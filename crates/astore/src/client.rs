@@ -1,0 +1,699 @@
+//! The AStore client — the access SDK embedded in the DBEngine (§IV-A).
+//!
+//! Control plane (create/delete/route/lease) goes through the CM over RPC
+//! and costs milliseconds; the data plane is **one-sided only**:
+//!
+//! * [`AStoreClient::append`] — the §IV-B write: one chained work request
+//!   carrying the payload WRITE, the io-meta WRITE (so the segment's
+//!   effective length survives any crash), and the trailing READ that
+//!   flushes into the PMem persistence domain. All replicas are written in
+//!   parallel; *every* replica must acknowledge or the segment is frozen
+//!   and the caller re-opens a new one (§IV-B "Write").
+//! * [`AStoreClient::read`] — a one-sided READ from any online replica.
+//!
+//! Route hygiene (§IV-C): routes are cached and re-validated against the CM
+//! when older than `refresh_period`, which the deployment guarantees is much
+//! shorter than the servers' stale-segment cleanup delay.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vedb_rdma::{RdmaEndpoint, RemoteMr};
+use vedb_sim::fault::NodeId;
+use vedb_sim::{LatencyModel, Resource, SimCtx, VTime};
+
+use crate::cm::{ClusterManager, Lease, Route};
+use crate::layout::SegmentClass;
+use crate::server::AStoreServer;
+use crate::{AStoreError, Result, SegmentId, SegmentLoc};
+
+/// A client-side reference to an open segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentHandle {
+    /// Cluster-wide segment id.
+    pub id: SegmentId,
+    /// Replication class.
+    pub class: SegmentClass,
+}
+
+struct CachedRoute {
+    route: Route,
+    fetched_at: VTime,
+}
+
+struct SegMeta {
+    len: u64,
+    capacity: u64,
+    frozen: bool,
+}
+
+/// The AStore client SDK.
+pub struct AStoreClient {
+    cm: Arc<ClusterManager>,
+    ep: RdmaEndpoint,
+    engine_cpu: Arc<Resource>,
+    model: LatencyModel,
+    client_id: u64,
+    refresh_period: VTime,
+    lease: Mutex<Lease>,
+    /// Per-node connection state: registered MR + server reference.
+    nodes: Mutex<HashMap<NodeId, (RemoteMr, Arc<AStoreServer>)>>,
+    routes: Mutex<HashMap<SegmentId, CachedRoute>>,
+    segs: Mutex<HashMap<SegmentId, SegMeta>>,
+}
+
+impl AStoreClient {
+    /// Connect: acquire a lease from the CM and set up one-sided access to
+    /// every live server.
+    pub fn connect(
+        ctx: &mut SimCtx,
+        cm: Arc<ClusterManager>,
+        ep: RdmaEndpoint,
+        engine_cpu: Arc<Resource>,
+        model: LatencyModel,
+        client_id: u64,
+        refresh_period: VTime,
+    ) -> Arc<Self> {
+        let lease = cm.acquire_lease(ctx, client_id);
+        let nodes = cm
+            .live_servers()
+            .into_iter()
+            .map(|s| (s.node(), (s.mr(), s)))
+            .collect();
+        Arc::new(AStoreClient {
+            cm,
+            ep,
+            engine_cpu,
+            model,
+            client_id,
+            refresh_period,
+            lease: Mutex::new(lease),
+            nodes: Mutex::new(nodes),
+            routes: Mutex::new(HashMap::new()),
+            segs: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The client's id.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Current lease (tests).
+    pub fn lease(&self) -> Lease {
+        *self.lease.lock()
+    }
+
+    /// The cluster manager this client talks to.
+    pub fn cm(&self) -> &Arc<ClusterManager> {
+        &self.cm
+    }
+
+    fn charge_sdk(&self, ctx: &mut SimCtx) {
+        let done = self
+            .engine_cpu
+            .acquire(ctx.now(), VTime::from_nanos(self.model.cpu_astore_sdk_ns));
+        ctx.wait_until(done);
+    }
+
+    fn node_conn(&self, node: NodeId) -> Result<(RemoteMr, Arc<AStoreServer>)> {
+        if let Some((mr, s)) = self.nodes.lock().get(&node) {
+            return Ok((mr.clone(), Arc::clone(s)));
+        }
+        // A node added after connect (repair target): fetch from the CM.
+        match self.cm.server(node) {
+            Some(s) => {
+                let mr = s.mr();
+                self.nodes.lock().insert(node, (mr.clone(), Arc::clone(&s)));
+                Ok((mr, s))
+            }
+            None => Err(AStoreError::UnknownSegment(0)),
+        }
+    }
+
+    /// Create a segment of the class's default replication. Control-plane
+    /// cost: milliseconds (§IV-B "Create").
+    pub fn create_segment(&self, ctx: &mut SimCtx, class: SegmentClass) -> Result<SegmentHandle> {
+        self.create_segment_with_replication(ctx, class, class.default_replication())
+    }
+
+    /// Create a segment with an explicit replication factor (the paper's
+    /// "configurable replication factor for different segments").
+    pub fn create_segment_with_replication(
+        &self,
+        ctx: &mut SimCtx,
+        class: SegmentClass,
+        replication: usize,
+    ) -> Result<SegmentHandle> {
+        self.charge_sdk(ctx);
+        let lease = *self.lease.lock();
+        let (id, route) = self.cm.create_segment(ctx, lease, class, replication)?;
+        let capacity = route
+            .replicas
+            .iter()
+            .filter_map(|loc| self.node_conn(loc.node).ok())
+            .map(|(_, s)| s.slot_size())
+            .min()
+            .unwrap_or(0);
+        self.routes.lock().insert(id, CachedRoute { route, fetched_at: ctx.now() });
+        self.segs.lock().insert(id, SegMeta { len: 0, capacity, frozen: false });
+        Ok(SegmentHandle { id, class })
+    }
+
+    /// Delete a segment (CM route removal + delayed server cleanup).
+    pub fn delete_segment(&self, ctx: &mut SimCtx, handle: SegmentHandle) -> Result<()> {
+        self.charge_sdk(ctx);
+        let lease = *self.lease.lock();
+        self.cm.delete_segment(ctx, lease, handle.id)?;
+        self.routes.lock().remove(&handle.id);
+        self.segs.lock().remove(&handle.id);
+        Ok(())
+    }
+
+    /// Refresh the cached route for `seg` if it is older than the refresh
+    /// period (§IV-C: "the AStore Client regularly checks with the CM to
+    /// see if the segment's route has changed").
+    fn maybe_refresh_route(&self, ctx: &mut SimCtx, seg: SegmentId) -> Result<Route> {
+        let stale = {
+            let routes = self.routes.lock();
+            match routes.get(&seg) {
+                Some(c) => ctx.now().saturating_sub(c.fetched_at) > self.refresh_period,
+                None => true,
+            }
+        };
+        if stale {
+            let route = self.cm.get_route(ctx, seg)?;
+            self.routes
+                .lock()
+                .insert(seg, CachedRoute { route: route.clone(), fetched_at: ctx.now() });
+            Ok(route)
+        } else {
+            Ok(self.routes.lock().get(&seg).expect("cached").route.clone())
+        }
+    }
+
+    /// Force-refresh all cached routes (background task).
+    pub fn refresh_all_routes(&self, ctx: &mut SimCtx) {
+        let segs: Vec<SegmentId> = self.routes.lock().keys().copied().collect();
+        for seg in segs {
+            match self.cm.get_route(ctx, seg) {
+                Ok(route) => {
+                    self.routes
+                        .lock()
+                        .insert(seg, CachedRoute { route, fetched_at: ctx.now() });
+                }
+                Err(_) => {
+                    // Route is gone: the segment was deleted or fully lost.
+                    self.routes.lock().remove(&seg);
+                }
+            }
+        }
+    }
+
+    /// Renew the client lease (periodic background task).
+    pub fn renew_lease(&self, ctx: &mut SimCtx) -> Result<()> {
+        let lease = *self.lease.lock();
+        self.cm.renew_lease(ctx, lease)
+    }
+
+    /// Bytes appended so far.
+    pub fn segment_len(&self, handle: SegmentHandle) -> u64 {
+        self.segs.lock().get(&handle.id).map(|m| m.len).unwrap_or(0)
+    }
+
+    /// Segment capacity in bytes.
+    pub fn segment_capacity(&self, handle: SegmentHandle) -> u64 {
+        self.segs.lock().get(&handle.id).map(|m| m.capacity).unwrap_or(0)
+    }
+
+    /// Whether the segment was frozen by a failed write.
+    pub fn is_frozen(&self, handle: SegmentHandle) -> bool {
+        self.segs.lock().get(&handle.id).map(|m| m.frozen).unwrap_or(true)
+    }
+
+    /// Mark a segment frozen (also done automatically on replica failure).
+    pub fn freeze(&self, handle: SegmentHandle) {
+        if let Some(m) = self.segs.lock().get_mut(&handle.id) {
+            m.frozen = true;
+        }
+    }
+
+    fn replica_write(
+        &self,
+        ctx: &mut SimCtx,
+        loc: &SegmentLoc,
+        writes: &[(u64, &[u8])],
+    ) -> Result<()> {
+        let (mr, server) = self.node_conn(loc.node)?;
+        // Translate segment-relative offsets to absolute device offsets;
+        // the io-meta sentinel offset u64::MAX maps to the slot's io-meta.
+        let abs: Vec<(u64, &[u8])> = writes
+            .iter()
+            .map(|(off, data)| {
+                if *off == u64::MAX {
+                    (server.io_meta_offset(loc.offset), *data)
+                } else {
+                    (loc.offset + off, *data)
+                }
+            })
+            .collect();
+        self.ep.write_chain(ctx, &mr, &abs)?;
+        Ok(())
+    }
+
+    fn fanout_write(
+        &self,
+        ctx: &mut SimCtx,
+        handle: SegmentHandle,
+        route: &Route,
+        writes: &[(u64, &[u8])],
+    ) -> Result<()> {
+        let required = route.replicas.len();
+        let mut done = ctx.now();
+        let mut acked = 0;
+        for loc in &route.replicas {
+            let mut rep_ctx = ctx.fork();
+            match self.replica_write(&mut rep_ctx, loc, writes) {
+                Ok(()) => {
+                    acked += 1;
+                    done = done.max(rep_ctx.now());
+                }
+                Err(AStoreError::Network(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if acked < required {
+            // §IV-B: "If any copy fails, it returns a failure to the
+            // application and freezes the segment with the current
+            // effective length."
+            self.freeze(handle);
+            return Err(AStoreError::ReplicaFailed { acked, required });
+        }
+        ctx.wait_until(done);
+        Ok(())
+    }
+
+    /// Append `data` to the segment (the §IV-B write path). Returns the
+    /// segment-relative offset the data landed at.
+    pub fn append(&self, ctx: &mut SimCtx, handle: SegmentHandle, data: &[u8]) -> Result<u64> {
+        self.append_with_tail(ctx, handle, data, &[])
+    }
+
+    /// Append `data` and additionally write `tail` *after* it without
+    /// advancing the segment length (the EBP writer uses this to lay down a
+    /// zeroed terminator header so server-side recovery scans stop at the
+    /// true end of data).
+    pub fn append_with_tail(
+        &self,
+        ctx: &mut SimCtx,
+        handle: SegmentHandle,
+        data: &[u8],
+        tail: &[u8],
+    ) -> Result<u64> {
+        assert!(!data.is_empty(), "empty appends are not meaningful");
+        self.charge_sdk(ctx);
+        let route = self.maybe_refresh_route(ctx, handle.id)?;
+        let (off, new_len) = {
+            let segs = self.segs.lock();
+            let meta = segs.get(&handle.id).ok_or(AStoreError::UnknownSegment(handle.id))?;
+            if meta.frozen {
+                return Err(AStoreError::SegmentFrozen(handle.id));
+            }
+            let end = meta.len + (data.len() + tail.len()) as u64;
+            if end > meta.capacity {
+                return Err(AStoreError::SegmentFull { used: meta.len, capacity: meta.capacity });
+            }
+            (meta.len, meta.len + data.len() as u64)
+        };
+        let len_bytes = new_len.to_le_bytes();
+        let mut writes: Vec<(u64, &[u8])> = vec![(off, data)];
+        if !tail.is_empty() {
+            writes.push((off + data.len() as u64, tail));
+        }
+        writes.push((u64::MAX, &len_bytes)); // io-meta, chained (2nd WRITE)
+        self.fanout_write(ctx, handle, &route, &writes)?;
+        if let Some(m) = self.segs.lock().get_mut(&handle.id) {
+            m.len = new_len;
+        }
+        Ok(off)
+    }
+
+    /// Positioned write that does **not** change the segment length —
+    /// used for in-segment headers (SegmentRing status/LSN updates).
+    pub fn write_at(
+        &self,
+        ctx: &mut SimCtx,
+        handle: SegmentHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        self.charge_sdk(ctx);
+        let route = self.maybe_refresh_route(ctx, handle.id)?;
+        {
+            let segs = self.segs.lock();
+            let meta = segs.get(&handle.id).ok_or(AStoreError::UnknownSegment(handle.id))?;
+            if offset + data.len() as u64 > meta.capacity {
+                return Err(AStoreError::SegmentFull { used: offset, capacity: meta.capacity });
+            }
+        }
+        self.fanout_write(ctx, handle, &route, &[(offset, data)])
+    }
+
+    /// Reset the segment's logical length to zero (ring-slot recycling).
+    pub fn reset_len(&self, ctx: &mut SimCtx, handle: SegmentHandle) -> Result<()> {
+        self.charge_sdk(ctx);
+        let route = self.maybe_refresh_route(ctx, handle.id)?;
+        let zero = 0u64.to_le_bytes();
+        self.fanout_write(ctx, handle, &route, &[(u64::MAX, &zero)])?;
+        if let Some(m) = self.segs.lock().get_mut(&handle.id) {
+            m.len = 0;
+            m.frozen = false;
+        }
+        Ok(())
+    }
+
+    /// One-sided read of `len` bytes at segment-relative `offset`, from the
+    /// first online replica (§IV-B "Read").
+    pub fn read(
+        &self,
+        ctx: &mut SimCtx,
+        handle: SegmentHandle,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        let route = self.maybe_refresh_route(ctx, handle.id)?;
+        {
+            let segs = self.segs.lock();
+            if let Some(meta) = segs.get(&handle.id) {
+                if offset + len as u64 > meta.capacity {
+                    return Err(AStoreError::SegmentFull { used: offset, capacity: meta.capacity });
+                }
+            }
+        }
+        let mut last_err = AStoreError::UnknownSegment(handle.id);
+        for loc in &route.replicas {
+            let (mr, _) = match self.node_conn(loc.node) {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            match self.ep.read(ctx, &mr, loc.offset + offset, len) {
+                Ok(data) => return Ok(data),
+                Err(e) => last_err = AStoreError::Network(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Recover a segment's effective data length from the on-media io-meta
+    /// (used after a client crash, when the DRAM `segs` table is gone).
+    pub fn recover_used_len(&self, ctx: &mut SimCtx, seg: SegmentId) -> Result<u64> {
+        let route = self.maybe_refresh_route(ctx, seg)?;
+        for loc in &route.replicas {
+            let (mr, server) = match self.node_conn(loc.node) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let abs = server.io_meta_offset(loc.offset);
+            if let Ok(bytes) = self.ep.read(ctx, &mr, abs, 8) {
+                return Ok(u64::from_le_bytes(bytes.try_into().unwrap()));
+            }
+        }
+        Err(AStoreError::Network(vedb_rdma::RdmaError::Dropped))
+    }
+
+    /// Adopt a segment created by a previous incarnation of this client
+    /// (crash recovery): fetch the route, recover the effective length.
+    pub fn adopt_segment(
+        &self,
+        ctx: &mut SimCtx,
+        seg: SegmentId,
+        class: SegmentClass,
+    ) -> Result<SegmentHandle> {
+        let route = self.cm.get_route(ctx, seg)?;
+        let capacity = route
+            .replicas
+            .iter()
+            .filter_map(|loc| self.node_conn(loc.node).ok())
+            .map(|(_, s)| s.slot_size())
+            .min()
+            .unwrap_or(0);
+        self.routes
+            .lock()
+            .insert(seg, CachedRoute { route, fetched_at: ctx.now() });
+        let handle = SegmentHandle { id: seg, class };
+        let len = self.recover_used_len(ctx, seg)?;
+        self.segs.lock().insert(seg, SegMeta { len, capacity, frozen: false });
+        Ok(handle)
+    }
+
+    /// The current route of a segment, if cached (engine push-down uses the
+    /// node ids to dispatch fragments to EBP hosts).
+    pub fn cached_route(&self, seg: SegmentId) -> Option<Route> {
+        self.routes.lock().get(&seg).map(|c| c.route.clone())
+    }
+
+    /// Server handle for a node (push-down execution against local PMem).
+    pub fn server(&self, node: NodeId) -> Option<Arc<AStoreServer>> {
+        self.node_conn(node).ok().map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use vedb_rdma::RpcFabric;
+    use vedb_sim::ClusterSpec;
+
+    pub(crate) struct TestCluster {
+        pub env: Arc<vedb_sim::SimEnv>,
+        pub cm: Arc<ClusterManager>,
+        pub servers: Vec<Arc<AStoreServer>>,
+        pub client: Arc<AStoreClient>,
+    }
+
+    pub(crate) fn test_cluster(ctx: &mut SimCtx) -> TestCluster {
+        let env = ClusterSpec::paper_default().build();
+        let cm = ClusterManager::new(
+            Arc::clone(&env.faults),
+            VTime::from_secs(30),
+            VTime::from_secs(1),
+        );
+        let servers: Vec<Arc<AStoreServer>> = env
+            .astore_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                AStoreServer::new(
+                    i as NodeId,
+                    Arc::clone(n),
+                    4 << 20,
+                    64 * 1024,
+                    false,
+                    VTime::from_millis(500),
+                    env.model.clone(),
+                )
+            })
+            .collect();
+        for s in &servers {
+            cm.register_server(Arc::clone(s));
+            cm.heartbeat(VTime::ZERO, s.node(), s.free_slots());
+        }
+        let ep = RdmaEndpoint::new(env.model.clone(), Arc::clone(&env.faults), Arc::clone(&env.engine_nic));
+        let client = AStoreClient::connect(
+            ctx,
+            Arc::clone(&cm),
+            ep,
+            Arc::clone(&env.engine_cpu),
+            env.model.clone(),
+            1,
+            VTime::from_millis(50),
+        );
+        let _ = RpcFabric::new(env.model.clone(), Arc::clone(&env.faults));
+        TestCluster { env, cm, servers, client }
+    }
+
+    #[test]
+    fn append_and_read_roundtrip() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        let off1 = tc.client.append(&mut ctx, seg, b"first-record").unwrap();
+        let off2 = tc.client.append(&mut ctx, seg, b"second").unwrap();
+        assert_eq!(off1, 0);
+        assert_eq!(off2, 12);
+        assert_eq!(tc.client.segment_len(seg), 18);
+        assert_eq!(tc.client.read(&mut ctx, seg, 0, 18).unwrap(), b"first-recordsecond");
+        assert_eq!(tc.client.read(&mut ctx, seg, 12, 6).unwrap(), b"second");
+    }
+
+    #[test]
+    fn append_latency_near_86us_table2() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        let n = 10;
+        let t0 = ctx.now();
+        for _ in 0..n {
+            tc.client.append(&mut ctx, seg, &[7u8; 4096]).unwrap();
+        }
+        let avg_us = (ctx.now() - t0).as_micros_f64() / n as f64;
+        assert!(
+            (50.0..=130.0).contains(&avg_us),
+            "4KB AStore append should average ~86us, got {avg_us:.1}us"
+        );
+    }
+
+    #[test]
+    fn appends_survive_server_crash_once_acked() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        tc.client.append(&mut ctx, seg, b"durable-record").unwrap();
+        // Power-cycle every server: PMem media survives, caches don't.
+        for s in &tc.servers {
+            s.device().crash();
+        }
+        assert_eq!(tc.client.read(&mut ctx, seg, 0, 14).unwrap(), b"durable-record");
+        // And the io-meta survives too.
+        assert_eq!(tc.client.recover_used_len(&mut ctx, seg.id).unwrap(), 14);
+    }
+
+    #[test]
+    fn replica_failure_freezes_segment() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        tc.client.append(&mut ctx, seg, b"before").unwrap();
+        let route = tc.client.cached_route(seg.id).unwrap();
+        tc.env.faults.crash(route.replicas[0].node);
+        assert!(matches!(
+            tc.client.append(&mut ctx, seg, b"after"),
+            Err(AStoreError::ReplicaFailed { acked: 2, required: 3 })
+        ));
+        assert!(tc.client.is_frozen(seg));
+        assert!(matches!(
+            tc.client.append(&mut ctx, seg, b"again"),
+            Err(AStoreError::SegmentFrozen(_))
+        ));
+        // The client opens a new segment and carries on (ring layer policy).
+        tc.env.faults.restore(route.replicas[0].node);
+        let seg2 = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        assert!(tc.client.append(&mut ctx, seg2, b"after").is_ok());
+        // Frozen segment still readable.
+        assert_eq!(tc.client.read(&mut ctx, seg, 0, 6).unwrap(), b"before");
+    }
+
+    #[test]
+    fn reads_fail_over_to_live_replicas() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        tc.client.append(&mut ctx, seg, b"replicated").unwrap();
+        let route = tc.client.cached_route(seg.id).unwrap();
+        tc.env.faults.crash(route.replicas[0].node);
+        assert_eq!(tc.client.read(&mut ctx, seg, 0, 10).unwrap(), b"replicated");
+    }
+
+    #[test]
+    fn segment_full_rejected() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        let cap = tc.client.segment_capacity(seg) as usize;
+        tc.client.append(&mut ctx, seg, &vec![1u8; cap - 8]).unwrap();
+        assert!(matches!(
+            tc.client.append(&mut ctx, seg, &[1u8; 16]),
+            Err(AStoreError::SegmentFull { .. })
+        ));
+        // Exactly filling works.
+        tc.client.append(&mut ctx, seg, &[1u8; 8]).unwrap();
+    }
+
+    #[test]
+    fn ebp_segment_has_one_replica() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Ebp).unwrap();
+        let route = tc.client.cached_route(seg.id).unwrap();
+        assert_eq!(route.replicas.len(), 1);
+    }
+
+    #[test]
+    fn write_at_and_reset_len() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        tc.client.append(&mut ctx, seg, &[0xFFu8; 64]).unwrap();
+        tc.client.write_at(&mut ctx, seg, 0, b"HDR!").unwrap();
+        assert_eq!(tc.client.read(&mut ctx, seg, 0, 4).unwrap(), b"HDR!");
+        assert_eq!(tc.client.segment_len(seg), 64, "write_at must not change len");
+        tc.client.reset_len(&mut ctx, seg).unwrap();
+        assert_eq!(tc.client.segment_len(seg), 0);
+        assert_eq!(tc.client.recover_used_len(&mut ctx, seg.id).unwrap(), 0);
+    }
+
+    #[test]
+    fn crashed_client_is_fenced_but_new_client_adopts_segments() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        tc.client.append(&mut ctx, seg, b"pre-crash-state!").unwrap();
+        let old_lease = tc.client.lease();
+
+        // "Client A fails; client B takes over" (§IV-C).
+        let ep = RdmaEndpoint::new(
+            tc.env.model.clone(),
+            Arc::clone(&tc.env.faults),
+            Arc::clone(&tc.env.engine_nic),
+        );
+        let client_b = AStoreClient::connect(
+            &mut ctx,
+            Arc::clone(&tc.cm),
+            ep,
+            Arc::clone(&tc.env.engine_cpu),
+            tc.env.model.clone(),
+            1, // same client identity, new incarnation
+            VTime::from_millis(50),
+        );
+        // Old incarnation's control-plane ops are fenced.
+        assert!(matches!(
+            tc.cm.validate_lease(ctx.now(), old_lease),
+            Err(AStoreError::LeaseExpired { .. })
+        ));
+        // New incarnation adopts the segment with the recovered length.
+        let adopted = client_b.adopt_segment(&mut ctx, seg.id, SegmentClass::Log).unwrap();
+        assert_eq!(client_b.segment_len(adopted), 16);
+        assert_eq!(client_b.read(&mut ctx, adopted, 0, 16).unwrap(), b"pre-crash-state!");
+        let off = client_b.append(&mut ctx, adopted, b"-postcrash").unwrap();
+        assert_eq!(off, 16);
+    }
+
+    #[test]
+    fn route_refresh_detects_repair() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        tc.client.append(&mut ctx, seg, b"data").unwrap();
+        let route_v1 = tc.client.cached_route(seg.id).unwrap();
+
+        tc.env.faults.crash(route_v1.replicas[0].node);
+        ctx.advance(VTime::from_secs(2));
+        for s in &tc.servers {
+            if s.node() != route_v1.replicas[0].node {
+                tc.cm.heartbeat(ctx.now(), s.node(), s.free_slots());
+            }
+        }
+        tc.cm.tick(&mut ctx);
+
+        // After the refresh period the client picks up the new route.
+        ctx.advance(VTime::from_millis(100));
+        tc.client.refresh_all_routes(&mut ctx);
+        let route_v2 = tc.client.cached_route(seg.id).unwrap();
+        assert!(route_v2.version > route_v1.version);
+        assert!(!route_v2.replicas.iter().any(|l| l.node == route_v1.replicas[0].node));
+    }
+}

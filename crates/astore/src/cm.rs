@@ -1,0 +1,627 @@
+//! The central cluster manager (CM).
+//!
+//! §IV-A: "The Cluster Manager is responsible for managing the resources of
+//! the entire cluster ... storage node management, registration, fault
+//! detection, background task scheduling, capacity expansion, and load
+//! balancing", plus the client leases of §IV-C.
+//!
+//! The CM is deliberately off the data path: clients talk to it only to
+//! create/delete segments and to refresh routes; reads and writes go
+//! straight to PMem with one-sided verbs. Control operations cost
+//! milliseconds (paper: "the entire process of Create takes a few
+//! milliseconds"), modelled as RPC round-trips plus a fixed CM processing
+//! delay.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vedb_sim::fault::NodeId;
+use vedb_sim::{FaultPlan, SimCtx, VTime};
+
+use crate::layout::SegmentClass;
+use crate::server::AStoreServer;
+use crate::{AStoreError, Result, SegmentId, SegmentLoc};
+
+/// Fixed CM processing delay per control operation.
+const CM_PROC: VTime = VTime::from_micros(800);
+
+/// A client lease (§IV-C): ownership of client-visible state is fenced by
+/// `epoch` — a client that crashes and returns holds a stale epoch and is
+/// rejected at the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// The owning client.
+    pub client_id: u64,
+    /// Monotonic fencing token.
+    pub epoch: u64,
+}
+
+/// A segment's routing entry.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Replication class.
+    pub class: SegmentClass,
+    /// Live replicas.
+    pub replicas: Vec<SegmentLoc>,
+    /// Bumped on every replica-set change; clients compare versions when
+    /// refreshing.
+    pub version: u64,
+}
+
+struct NodeInfo {
+    server: Arc<AStoreServer>,
+    last_heartbeat: VTime,
+    free_slots: usize,
+    alive: bool,
+}
+
+struct CmState {
+    nodes: HashMap<NodeId, NodeInfo>,
+    routes: HashMap<SegmentId, Route>,
+    next_segment: SegmentId,
+    /// client id -> (current epoch, lease expiry)
+    leases: HashMap<u64, (u64, VTime)>,
+    next_epoch: u64,
+}
+
+/// The cluster manager.
+pub struct ClusterManager {
+    faults: Arc<FaultPlan>,
+    lease_ttl: VTime,
+    heartbeat_timeout: VTime,
+    state: Mutex<CmState>,
+}
+
+impl ClusterManager {
+    /// Create a CM. `lease_ttl` bounds how long a silent client keeps
+    /// ownership; `heartbeat_timeout` is how long a silent server is
+    /// trusted.
+    pub fn new(faults: Arc<FaultPlan>, lease_ttl: VTime, heartbeat_timeout: VTime) -> Arc<Self> {
+        Arc::new(ClusterManager {
+            faults,
+            lease_ttl,
+            heartbeat_timeout,
+            state: Mutex::new(CmState {
+                nodes: HashMap::new(),
+                routes: HashMap::new(),
+                next_segment: 1,
+                leases: HashMap::new(),
+                next_epoch: 1,
+            }),
+        })
+    }
+
+    /// Register a storage node.
+    pub fn register_server(&self, server: Arc<AStoreServer>) {
+        let mut st = self.state.lock();
+        let free = server.free_slots();
+        st.nodes.insert(
+            server.node(),
+            NodeInfo { server, last_heartbeat: VTime::ZERO, free_slots: free, alive: true },
+        );
+    }
+
+    /// Look up a registered server (used by the engine to hand push-down
+    /// fragments to the EBP hosts).
+    pub fn server(&self, node: NodeId) -> Option<Arc<AStoreServer>> {
+        self.state.lock().nodes.get(&node).map(|n| Arc::clone(&n.server))
+    }
+
+    /// All currently-alive servers.
+    pub fn live_servers(&self) -> Vec<Arc<AStoreServer>> {
+        self.state
+            .lock()
+            .nodes
+            .values()
+            .filter(|n| n.alive)
+            .map(|n| Arc::clone(&n.server))
+            .collect()
+    }
+
+    /// Acquire (or re-acquire) a lease for `client_id`. Any previous epoch
+    /// for the same client is superseded.
+    pub fn acquire_lease(&self, ctx: &mut SimCtx, client_id: u64) -> Lease {
+        ctx.advance(CM_PROC);
+        let mut st = self.state.lock();
+        let epoch = st.next_epoch;
+        st.next_epoch += 1;
+        let expiry = ctx.now() + self.lease_ttl;
+        st.leases.insert(client_id, (epoch, expiry));
+        Lease { client_id, epoch }
+    }
+
+    /// Renew a lease; fails with [`AStoreError::LeaseExpired`] if the lease
+    /// was superseded or timed out.
+    pub fn renew_lease(&self, ctx: &mut SimCtx, lease: Lease) -> Result<()> {
+        ctx.advance(CM_PROC);
+        let mut st = self.state.lock();
+        self.validate_locked(&st, lease, ctx.now())?;
+        let exp = ctx.now() + self.lease_ttl;
+        st.leases.insert(lease.client_id, (lease.epoch, exp));
+        Ok(())
+    }
+
+    fn validate_locked(&self, st: &CmState, lease: Lease, now: VTime) -> Result<()> {
+        match st.leases.get(&lease.client_id) {
+            Some((epoch, expiry)) => {
+                if *epoch != lease.epoch {
+                    Err(AStoreError::LeaseExpired { presented: lease.epoch, current: *epoch })
+                } else if now > *expiry {
+                    Err(AStoreError::LeaseExpired { presented: lease.epoch, current: *epoch })
+                } else {
+                    Ok(())
+                }
+            }
+            None => Err(AStoreError::LeaseExpired { presented: lease.epoch, current: 0 }),
+        }
+    }
+
+    /// Validate a lease without renewing it.
+    pub fn validate_lease(&self, now: VTime, lease: Lease) -> Result<()> {
+        self.validate_locked(&self.state.lock(), lease, now)
+    }
+
+    /// Create a segment: pick the `replication` live nodes with the most
+    /// free slots, allocate a slot on each, and record the route.
+    pub fn create_segment(
+        &self,
+        ctx: &mut SimCtx,
+        lease: Lease,
+        class: SegmentClass,
+        replication: usize,
+    ) -> Result<(SegmentId, Route)> {
+        ctx.advance(CM_PROC);
+        let (seg, targets) = {
+            let mut st = self.state.lock();
+            self.validate_locked(&st, lease, ctx.now())?;
+            let mut live: Vec<(&NodeId, &NodeInfo)> = st
+                .nodes
+                .iter()
+                .filter(|(id, n)| n.alive && !self.faults.is_crashed(**id))
+                .collect();
+            if live.len() < replication {
+                return Err(AStoreError::NotEnoughServers { live: live.len(), required: replication });
+            }
+            // Load balancing: most free capacity first (§IV-A: "the CM
+            // returns the appropriate nodes according to the capacity and
+            // load").
+            live.sort_by(|a, b| b.1.free_slots.cmp(&a.1.free_slots).then(a.0.cmp(b.0)));
+            let targets: Vec<Arc<AStoreServer>> = live
+                .iter()
+                .take(replication)
+                .map(|(_, n)| Arc::clone(&n.server))
+                .collect();
+            let seg = st.next_segment;
+            st.next_segment += 1;
+            (seg, targets)
+        };
+        // Allocate on each replica (RPC-ish: server-side alloc work).
+        let mut replicas = Vec::with_capacity(replication);
+        for server in &targets {
+            let offset = server.handle_alloc(ctx, seg, class)?;
+            replicas.push(SegmentLoc { node: server.node(), offset });
+        }
+        let route = Route { class, replicas, version: 1 };
+        let mut st = self.state.lock();
+        for loc in &route.replicas {
+            if let Some(n) = st.nodes.get_mut(&loc.node) {
+                n.free_slots = n.free_slots.saturating_sub(1);
+            }
+        }
+        st.routes.insert(seg, route.clone());
+        Ok((seg, route))
+    }
+
+    /// Delete a segment: drop the route and ask the hosting servers to
+    /// clean the slots up (delayed on the server side, §IV-C).
+    pub fn delete_segment(&self, ctx: &mut SimCtx, lease: Lease, seg: SegmentId) -> Result<()> {
+        ctx.advance(CM_PROC);
+        let route = {
+            let mut st = self.state.lock();
+            self.validate_locked(&st, lease, ctx.now())?;
+            st.routes.remove(&seg).ok_or(AStoreError::UnknownSegment(seg))?
+        };
+        let servers: Vec<Arc<AStoreServer>> = {
+            let st = self.state.lock();
+            route
+                .replicas
+                .iter()
+                .filter_map(|loc| st.nodes.get(&loc.node).map(|n| Arc::clone(&n.server)))
+                .collect()
+        };
+        for server in servers {
+            server.handle_enqueue_cleanup(ctx.now(), seg);
+        }
+        Ok(())
+    }
+
+    /// Fetch a segment's current route (clients poll this on a short
+    /// period; cost is one CM round trip).
+    pub fn get_route(&self, ctx: &mut SimCtx, seg: SegmentId) -> Result<Route> {
+        ctx.advance(CM_PROC);
+        self.state
+            .lock()
+            .routes
+            .get(&seg)
+            .cloned()
+            .ok_or(AStoreError::UnknownSegment(seg))
+    }
+
+    /// Route version without charging time (driver-internal fast path for
+    /// tests).
+    pub fn peek_route_version(&self, seg: SegmentId) -> Option<u64> {
+        self.state.lock().routes.get(&seg).map(|r| r.version)
+    }
+
+    /// Server heartbeat: capacity + liveness report (§IV-A).
+    pub fn heartbeat(&self, now: VTime, node: NodeId, free_slots: usize) {
+        let mut st = self.state.lock();
+        if let Some(n) = st.nodes.get_mut(&node) {
+            n.last_heartbeat = now;
+            n.free_slots = free_slots;
+            n.alive = true;
+        }
+    }
+
+    /// Periodic failure detection + repair. Nodes silent for longer than
+    /// `heartbeat_timeout` (or crash-injected) are marked dead; their
+    /// replicas are removed from routes. Log-class segments are re-replicated
+    /// onto a live node by copying from a surviving replica; EBP-class
+    /// segments (replication 1) are simply dropped — losing them only
+    /// lowers the cache hit ratio (§V-E).
+    ///
+    /// Returns the segments whose routes changed.
+    pub fn tick(&self, ctx: &mut SimCtx) -> Vec<SegmentId> {
+        let now = ctx.now();
+        let dead: Vec<NodeId> = {
+            let mut st = self.state.lock();
+            let timeout = self.heartbeat_timeout;
+            let mut dead = Vec::new();
+            for (id, n) in st.nodes.iter_mut() {
+                let silent = now.saturating_sub(n.last_heartbeat) > timeout;
+                if n.alive && (silent || self.faults.is_crashed(*id)) {
+                    n.alive = false;
+                    dead.push(*id);
+                }
+            }
+            dead
+        };
+        if dead.is_empty() {
+            return Vec::new();
+        }
+        let mut changed = Vec::new();
+        let affected: Vec<SegmentId> = {
+            let st = self.state.lock();
+            st.routes
+                .iter()
+                .filter(|(_, r)| r.replicas.iter().any(|l| dead.contains(&l.node)))
+                .map(|(s, _)| *s)
+                .collect()
+        };
+        for seg in affected {
+            let (class, survivors, lost_count) = {
+                let mut st = self.state.lock();
+                let r = st.routes.get_mut(&seg).expect("route exists");
+                let before = r.replicas.len();
+                r.replicas.retain(|l| !dead.contains(&l.node));
+                r.version += 1;
+                (r.class, r.replicas.clone(), before - r.replicas.len())
+            };
+            if lost_count == 0 {
+                continue;
+            }
+            changed.push(seg);
+            if class == SegmentClass::Ebp || survivors.is_empty() {
+                // EBP loss is a cache miss, not a failure; a log segment
+                // with no survivors is unrecoverable here (the ring layer
+                // will have frozen and re-opened long before).
+                if survivors.is_empty() {
+                    self.state.lock().routes.remove(&seg);
+                }
+                continue;
+            }
+            // Re-replicate from a survivor onto the best live node not
+            // already hosting the segment.
+            for _ in 0..lost_count {
+                let target = {
+                    let st = self.state.lock();
+                    let mut candidates: Vec<&NodeInfo> = st
+                        .nodes
+                        .values()
+                        .filter(|n| {
+                            n.alive
+                                && !self.faults.is_crashed(n.server.node())
+                                && !n.server.hosts_segment(seg)
+                        })
+                        .collect();
+                    candidates.sort_by(|a, b| b.free_slots.cmp(&a.free_slots));
+                    candidates.first().map(|n| Arc::clone(&n.server))
+                };
+                let Some(target) = target else { break };
+                let src = {
+                    let st = self.state.lock();
+                    st.nodes.get(&survivors[0].node).map(|n| Arc::clone(&n.server))
+                };
+                let Some(src) = src else { break };
+                if let Ok(new_off) = target.handle_alloc(ctx, seg, class) {
+                    // Copy the slot contents survivor -> new replica.
+                    let data = src
+                        .device()
+                        .peek(survivors[0].offset, src.slot_size() as usize)
+                        .expect("slot readable");
+                    let done = target
+                        .device()
+                        .write(ctx.now(), new_off, &data)
+                        .expect("slot writable");
+                    target.device().flush(done);
+                    ctx.wait_until(done);
+                    let mut st = self.state.lock();
+                    if let Some(r) = st.routes.get_mut(&seg) {
+                        r.replicas.push(SegmentLoc { node: target.node(), offset: new_off });
+                        r.version += 1;
+                    }
+                    if let Some(n) = st.nodes.get_mut(&target.node()) {
+                        n.free_slots = n.free_slots.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// A failed node has returned (§IV-C): its local segments that are no
+    /// longer part of any current route are stale — enqueue their cleanup.
+    pub fn reintegrate_server(&self, ctx: &mut SimCtx, node: NodeId) -> usize {
+        let (server, stale): (Arc<AStoreServer>, Vec<SegmentId>) = {
+            let mut st = self.state.lock();
+            let Some(n) = st.nodes.get_mut(&node) else { return 0 };
+            n.alive = true;
+            n.last_heartbeat = ctx.now();
+            let server = Arc::clone(&n.server);
+            let stale = st
+                .routes
+                .iter()
+                .filter(|(seg, r)| {
+                    server.hosts_segment(**seg) && !r.replicas.iter().any(|l| l.node == node)
+                })
+                .map(|(s, _)| *s)
+                .collect();
+            (server, stale)
+        };
+        // Segments hosted locally but absent from every route are also stale.
+        let mut count = 0;
+        for seg in stale {
+            server.handle_enqueue_cleanup(ctx.now(), seg);
+            count += 1;
+        }
+        count
+    }
+
+    /// Number of known routes (tests).
+    pub fn route_count(&self) -> usize {
+        self.state.lock().routes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vedb_sim::ClusterSpec;
+
+    fn cluster() -> (Arc<vedb_sim::SimEnv>, Arc<ClusterManager>, Vec<Arc<AStoreServer>>) {
+        let env = ClusterSpec::paper_default().build();
+        let cm = ClusterManager::new(
+            Arc::clone(&env.faults),
+            VTime::from_secs(10),
+            VTime::from_secs(1),
+        );
+        let servers: Vec<Arc<AStoreServer>> = env
+            .astore_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                AStoreServer::new(
+                    i as NodeId,
+                    Arc::clone(n),
+                    1 << 20,
+                    64 * 1024,
+                    false,
+                    VTime::from_millis(500),
+                    env.model.clone(),
+                )
+            })
+            .collect();
+        for s in &servers {
+            cm.register_server(Arc::clone(s));
+        }
+        (env, cm, servers)
+    }
+
+    #[test]
+    fn lease_epoch_fencing() {
+        let (_env, cm, _servers) = cluster();
+        let mut ctx = SimCtx::new(1, 7);
+        let lease_a = cm.acquire_lease(&mut ctx, 42);
+        assert!(cm.validate_lease(ctx.now(), lease_a).is_ok());
+        // The "client returns after failover" scenario: a new incarnation
+        // acquires a fresh lease; the old epoch is fenced out.
+        let lease_b = cm.acquire_lease(&mut ctx, 42);
+        assert!(lease_b.epoch > lease_a.epoch);
+        assert!(matches!(
+            cm.validate_lease(ctx.now(), lease_a),
+            Err(AStoreError::LeaseExpired { .. })
+        ));
+        assert!(cm.validate_lease(ctx.now(), lease_b).is_ok());
+    }
+
+    #[test]
+    fn lease_expires_after_ttl() {
+        let (_env, cm, _servers) = cluster();
+        let mut ctx = SimCtx::new(1, 7);
+        let lease = cm.acquire_lease(&mut ctx, 1);
+        ctx.advance(VTime::from_secs(11));
+        assert!(matches!(
+            cm.validate_lease(ctx.now(), lease),
+            Err(AStoreError::LeaseExpired { .. })
+        ));
+        // Renewal before expiry keeps it alive.
+        let lease2 = cm.acquire_lease(&mut ctx, 1);
+        ctx.advance(VTime::from_secs(5));
+        cm.renew_lease(&mut ctx, lease2).unwrap();
+        ctx.advance(VTime::from_secs(6));
+        assert!(cm.validate_lease(ctx.now(), lease2).is_ok());
+    }
+
+    #[test]
+    fn create_places_on_distinct_most_free_nodes() {
+        let (_env, cm, _servers) = cluster();
+        let mut ctx = SimCtx::new(1, 7);
+        let lease = cm.acquire_lease(&mut ctx, 1);
+        let (seg, route) = cm.create_segment(&mut ctx, lease, SegmentClass::Log, 3).unwrap();
+        assert_eq!(route.replicas.len(), 3);
+        let mut nodes: Vec<NodeId> = route.replicas.iter().map(|l| l.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3, "replicas must land on distinct nodes");
+        assert_eq!(cm.peek_route_version(seg), Some(1));
+    }
+
+    #[test]
+    fn create_costs_milliseconds() {
+        let (_env, cm, _servers) = cluster();
+        let mut ctx = SimCtx::new(1, 7);
+        let lease = cm.acquire_lease(&mut ctx, 1);
+        let t0 = ctx.now();
+        cm.create_segment(&mut ctx, lease, SegmentClass::Log, 3).unwrap();
+        let cost = ctx.now() - t0;
+        assert!(
+            cost >= VTime::from_micros(800),
+            "create should cost ~ms (control plane), got {cost}"
+        );
+    }
+
+    #[test]
+    fn create_with_insufficient_live_servers_fails() {
+        let (env, cm, servers) = cluster();
+        let mut ctx = SimCtx::new(1, 7);
+        let lease = cm.acquire_lease(&mut ctx, 1);
+        env.faults.crash(servers[0].node());
+        assert!(matches!(
+            cm.create_segment(&mut ctx, lease, SegmentClass::Log, 3),
+            Err(AStoreError::NotEnoughServers { live: 2, required: 3 })
+        ));
+        // EBP (replication 1) still placeable.
+        assert!(cm.create_segment(&mut ctx, lease, SegmentClass::Ebp, 1).is_ok());
+    }
+
+    #[test]
+    fn delete_enqueues_delayed_cleanup() {
+        let (_env, cm, servers) = cluster();
+        let mut ctx = SimCtx::new(1, 7);
+        let lease = cm.acquire_lease(&mut ctx, 1);
+        let (seg, route) = cm.create_segment(&mut ctx, lease, SegmentClass::Log, 3).unwrap();
+        cm.delete_segment(&mut ctx, lease, seg).unwrap();
+        assert!(matches!(cm.get_route(&mut ctx, seg), Err(AStoreError::UnknownSegment(_))));
+        // Slots are still intact on the servers (delayed cleanup).
+        for loc in &route.replicas {
+            let s = servers.iter().find(|s| s.node() == loc.node).unwrap();
+            assert!(s.hosts_segment(seg));
+            assert_eq!(s.pending_cleanup_len(), 1);
+        }
+    }
+
+    #[test]
+    fn tick_detects_death_and_repairs_log_segments() {
+        let (env, cm, servers) = cluster();
+        let mut ctx = SimCtx::new(1, 7);
+        let lease = cm.acquire_lease(&mut ctx, 1);
+        // Heartbeats so everyone is fresh.
+        for s in &servers {
+            cm.heartbeat(ctx.now(), s.node(), s.free_slots());
+        }
+        let (seg, route) = cm.create_segment(&mut ctx, lease, SegmentClass::Log, 2).unwrap();
+        // Write recognizable bytes to one replica so repair copies them.
+        let src = servers.iter().find(|s| s.node() == route.replicas[0].node).unwrap();
+        let t = src.device().write(ctx.now(), route.replicas[0].offset, b"replica-data").unwrap();
+        src.device().flush(t);
+        // Mirror onto the second replica as a real client would.
+        let dst0 = servers.iter().find(|s| s.node() == route.replicas[1].node).unwrap();
+        let t = dst0.device().write(ctx.now(), route.replicas[1].offset, b"replica-data").unwrap();
+        dst0.device().flush(t);
+
+        // Kill the first replica's node; everyone else keeps heartbeating.
+        env.faults.crash(route.replicas[0].node);
+        ctx.advance(VTime::from_secs(2));
+        for s in &servers {
+            if s.node() != route.replicas[0].node {
+                cm.heartbeat(ctx.now(), s.node(), s.free_slots());
+            }
+        }
+        let changed = cm.tick(&mut ctx);
+        assert_eq!(changed, vec![seg]);
+
+        let new_route = cm.get_route(&mut ctx, seg).unwrap();
+        assert_eq!(new_route.replicas.len(), 2, "repair must restore replication");
+        assert!(new_route.version > route.version);
+        assert!(!new_route.replicas.iter().any(|l| l.node == route.replicas[0].node));
+        // The repaired replica holds the survivor's data.
+        let fresh = new_route
+            .replicas
+            .iter()
+            .find(|l| l.node != route.replicas[1].node)
+            .unwrap();
+        let s = servers.iter().find(|s| s.node() == fresh.node).unwrap();
+        assert_eq!(s.device().peek(fresh.offset, 12).unwrap(), b"replica-data");
+    }
+
+    #[test]
+    fn tick_drops_ebp_replicas_without_repair() {
+        let (env, cm, servers) = cluster();
+        let mut ctx = SimCtx::new(1, 7);
+        let lease = cm.acquire_lease(&mut ctx, 1);
+        for s in &servers {
+            cm.heartbeat(ctx.now(), s.node(), s.free_slots());
+        }
+        let (seg, route) = cm.create_segment(&mut ctx, lease, SegmentClass::Ebp, 1).unwrap();
+        env.faults.crash(route.replicas[0].node);
+        ctx.advance(VTime::from_secs(2));
+        for s in &servers {
+            if s.node() != route.replicas[0].node {
+                cm.heartbeat(ctx.now(), s.node(), s.free_slots());
+            }
+        }
+        let changed = cm.tick(&mut ctx);
+        assert_eq!(changed, vec![seg]);
+        // Route is gone entirely: the cached pages are simply lost.
+        assert!(matches!(cm.get_route(&mut ctx, seg), Err(AStoreError::UnknownSegment(_))));
+    }
+
+    #[test]
+    fn reintegration_cleans_stale_segments() {
+        let (env, cm, servers) = cluster();
+        let mut ctx = SimCtx::new(1, 7);
+        let lease = cm.acquire_lease(&mut ctx, 1);
+        for s in &servers {
+            cm.heartbeat(ctx.now(), s.node(), s.free_slots());
+        }
+        let (seg, route) = cm.create_segment(&mut ctx, lease, SegmentClass::Log, 2).unwrap();
+        let dead_node = route.replicas[0].node;
+        env.faults.crash(dead_node);
+        ctx.advance(VTime::from_secs(2));
+        for s in &servers {
+            if s.node() != dead_node {
+                cm.heartbeat(ctx.now(), s.node(), s.free_slots());
+            }
+        }
+        cm.tick(&mut ctx);
+
+        // Node comes back: its copy of `seg` is stale (route moved on).
+        env.faults.restore(dead_node);
+        let cleaned = cm.reintegrate_server(&mut ctx, dead_node);
+        assert_eq!(cleaned, 1);
+        let s = servers.iter().find(|s| s.node() == dead_node).unwrap();
+        assert_eq!(s.pending_cleanup_len(), 1);
+        let _ = seg;
+    }
+}

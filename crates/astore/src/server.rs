@@ -1,0 +1,529 @@
+//! The AStore server: PMem resource management on one storage node.
+//!
+//! §IV-A: the server manages the data layout, metadata, and background
+//! tasks; it registers the PMem space with the RDMA NIC (here:
+//! [`AStoreServer::mr`]) and tracks slot allocation with a persisted bitmap.
+//! Because clients access segment *data* purely with one-sided verbs, the
+//! server CPU only sees control-plane traffic (allocate/release) and
+//! background work — which is exactly why its cores are available for
+//! push-down query execution (§VI-B).
+//!
+//! Stale-segment hygiene (§IV-C): when the CM asks the server to clean a
+//! segment, the server does **not** free the slot immediately — it enqueues
+//! it and frees it only after `cleanup_delay` of virtual time has passed.
+//! Clients refresh their routes on a much shorter period, so no client can
+//! still be holding a one-sided route to a slot when it gets reused.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vedb_pmem::PmemDevice;
+use vedb_rdma::RemoteMr;
+use vedb_sim::cluster::NodeRes;
+use vedb_sim::fault::NodeId;
+use vedb_sim::{LatencyModel, SimCtx, VTime};
+
+use crate::ebp_format::{decode_header, RECORD_HDR_SIZE};
+use crate::layout::{
+    decode_slot_meta, encode_slot_meta, Geometry, SegmentClass, SlotBitmap, SlotState,
+    SLOT_META_SIZE, SUPERBLOCK_MAGIC, SUPERBLOCK_SIZE,
+};
+use crate::{AStoreError, Lsn, PageId, Result, SegmentId};
+
+/// A valid EBP page found by a recovery scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EbpScanEntry {
+    /// Cached page id.
+    pub page: PageId,
+    /// LSN of the cached image.
+    pub lsn: Lsn,
+    /// Segment holding the image.
+    pub segment: SegmentId,
+    /// Offset of the *payload* within the segment.
+    pub offset: u64,
+    /// Payload length.
+    pub len: u32,
+}
+
+struct ServerState {
+    bitmap: SlotBitmap,
+    /// segment id -> (slot index, class)
+    segments: HashMap<SegmentId, (usize, SegmentClass)>,
+    /// Deallocated segments awaiting delayed cleanup: (segment, enqueue time).
+    pending_cleanup: Vec<(SegmentId, VTime)>,
+}
+
+/// One storage node's AStore server.
+pub struct AStoreServer {
+    node: NodeId,
+    res: Arc<NodeRes>,
+    device: Arc<PmemDevice>,
+    geo: Geometry,
+    model: LatencyModel,
+    cleanup_delay: VTime,
+    state: Mutex<ServerState>,
+    /// page -> latest LSN, shipped in batches by the DBEngine (§V-E); used
+    /// to prune stale cached pages during EBP recovery. DRAM-resident.
+    page_lsns: Mutex<HashMap<PageId, Lsn>>,
+}
+
+impl AStoreServer {
+    /// Create and format a server over a fresh PMem device of
+    /// `capacity` bytes divided into `slot_size`-byte segment slots.
+    pub fn new(
+        node: NodeId,
+        res: Arc<NodeRes>,
+        capacity: usize,
+        slot_size: u64,
+        ddio_enabled: bool,
+        cleanup_delay: VTime,
+        model: LatencyModel,
+    ) -> Arc<Self> {
+        let device = Arc::new(PmemDevice::new(
+            format!("pmem-node-{node}"),
+            capacity,
+            ddio_enabled,
+            res.pmem.clone().expect("AStore node must have a PMem resource"),
+            model.clone(),
+        ));
+        let geo = Geometry::for_capacity(capacity as u64, slot_size);
+        assert!(geo.slots > 0, "device too small for even one slot");
+        // Format: superblock magic + slot count; meta area is already zero
+        // (all slots Free).
+        let mut sb = vec![0u8; 16];
+        sb[0..8].copy_from_slice(&SUPERBLOCK_MAGIC.to_le_bytes());
+        sb[8..16].copy_from_slice(&(geo.slots as u64).to_le_bytes());
+        device.write(VTime::ZERO, 0, &sb).expect("superblock fits");
+        device.flush(VTime::ZERO);
+        Arc::new(AStoreServer {
+            node,
+            res,
+            device,
+            geo,
+            model,
+            cleanup_delay,
+            state: Mutex::new(ServerState {
+                bitmap: SlotBitmap::new(geo.slots),
+                segments: HashMap::new(),
+                pending_cleanup: Vec::new(),
+            }),
+            page_lsns: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Node resources (for RPC dispatch and push-down CPU accounting).
+    pub fn res(&self) -> &Arc<NodeRes> {
+        &self.res
+    }
+
+    /// Slot size == maximum segment size on this server.
+    pub fn slot_size(&self) -> u64 {
+        self.geo.slot_size
+    }
+
+    /// Free slots (reported in heartbeats for CM placement).
+    pub fn free_slots(&self) -> usize {
+        self.state.lock().bitmap.free()
+    }
+
+    /// The backing device (crash injection in tests; local reads in
+    /// push-down execution).
+    pub fn device(&self) -> &Arc<PmemDevice> {
+        &self.device
+    }
+
+    /// Register the full PMem address space for one-sided access (§IV-A:
+    /// "register the full physical address of PMem devices to the RDMA
+    /// NIC"). Offsets handed to clients (slot data and io-meta offsets) are
+    /// absolute device offsets and can be used directly against this MR.
+    pub fn mr(self: &Arc<Self>) -> RemoteMr {
+        RemoteMr::register(
+            self.node,
+            Arc::clone(&self.res),
+            Arc::clone(&self.device),
+            0,
+            self.geo.total_size() as usize,
+        )
+    }
+
+    /// Absolute device offset of the client-maintained `used_len` io-meta
+    /// for the slot whose data starts at `slot_data_offset`.
+    pub fn io_meta_offset(&self, slot_data_offset: u64) -> u64 {
+        let slot = ((slot_data_offset - self.geo.data_base()) / self.geo.slot_size) as usize;
+        self.geo.meta_offset(slot) + crate::layout::IO_META_USED_OFFSET
+    }
+
+    fn persist_slot_meta(
+        &self,
+        ctx: &mut SimCtx,
+        slot: usize,
+        state: SlotState,
+        class: SegmentClass,
+        id: SegmentId,
+    ) {
+        let meta = encode_slot_meta(state, class, id);
+        let done = self
+            .device
+            .write(ctx.now(), self.geo.meta_offset(slot), &meta)
+            .expect("meta area in bounds");
+        self.device.flush(done);
+        ctx.wait_until(done);
+    }
+
+    /// Handler: allocate a slot for `segment_id`. Returns the segment's
+    /// absolute device offset. Zeroes the first EBP record header
+    /// so recovery scans terminate.
+    pub fn handle_alloc(
+        &self,
+        ctx: &mut SimCtx,
+        segment_id: SegmentId,
+        class: SegmentClass,
+    ) -> Result<u64> {
+        let slot = {
+            let mut st = self.state.lock();
+            if st.segments.contains_key(&segment_id) {
+                // Idempotent re-alloc (client RPC retry).
+                let (slot, _) = st.segments[&segment_id];
+                return Ok(self.geo.slot_offset(slot));
+            }
+            let slot = st.bitmap.alloc().ok_or(AStoreError::NoSpace)?;
+            st.segments.insert(segment_id, (slot, class));
+            slot
+        };
+        self.persist_slot_meta(ctx, slot, SlotState::Allocated, class, segment_id);
+        // Terminator so scans of recycled PMem stop immediately.
+        let zero = [0u8; RECORD_HDR_SIZE];
+        let done = self
+            .device
+            .write(ctx.now(), self.geo.slot_offset(slot), &zero)
+            .expect("slot start in bounds");
+        self.device.flush(done);
+        ctx.wait_until(done);
+        Ok(self.geo.slot_offset(slot))
+    }
+
+    /// Handler: the CM requests cleanup of a deallocated segment. The slot
+    /// is *enqueued*, not freed (§IV-C) — see [`run_cleanup`](Self::run_cleanup).
+    pub fn handle_enqueue_cleanup(&self, now: VTime, segment_id: SegmentId) {
+        let mut st = self.state.lock();
+        if st.segments.contains_key(&segment_id) {
+            st.pending_cleanup.push((segment_id, now));
+        }
+    }
+
+    /// Background task: free slots whose cleanup was enqueued at least
+    /// `cleanup_delay` ago. Returns the segments actually freed.
+    pub fn run_cleanup(&self, ctx: &mut SimCtx) -> Vec<SegmentId> {
+        let due: Vec<(SegmentId, VTime)> = {
+            let mut st = self.state.lock();
+            let now = ctx.now();
+            let delay = self.cleanup_delay;
+            let (due, keep): (Vec<_>, Vec<_>) = st
+                .pending_cleanup
+                .drain(..)
+                .partition(|(_, t)| now.saturating_sub(*t) >= delay);
+            st.pending_cleanup = keep;
+            due
+        };
+        let mut freed = Vec::with_capacity(due.len());
+        for (seg, _) in due {
+            let slot = {
+                let mut st = self.state.lock();
+                match st.segments.remove(&seg) {
+                    Some((slot, _)) => {
+                        st.bitmap.release(slot);
+                        slot
+                    }
+                    None => continue,
+                }
+            };
+            self.persist_slot_meta(ctx, slot, SlotState::Free, SegmentClass::Log, 0);
+            freed.push(seg);
+        }
+        freed
+    }
+
+    /// Segments still awaiting delayed cleanup (visible for tests and the
+    /// §IV-C consistency argument).
+    pub fn pending_cleanup_len(&self) -> usize {
+        self.state.lock().pending_cleanup.len()
+    }
+
+    /// Whether the server currently hosts `segment_id` (the slot may be
+    /// pending cleanup but is still intact until `run_cleanup` frees it).
+    pub fn hosts_segment(&self, segment_id: SegmentId) -> bool {
+        self.state.lock().segments.contains_key(&segment_id)
+    }
+
+    /// Offset of a hosted segment within the data-area MR.
+    pub fn segment_offset(&self, segment_id: SegmentId) -> Option<u64> {
+        self.state
+            .lock()
+            .segments
+            .get(&segment_id)
+            .map(|(slot, _)| self.geo.slot_offset(*slot))
+    }
+
+    /// Crash the node's volatile state **and** the device's unpersisted
+    /// bytes (the PMem media itself survives). After this, call
+    /// [`restart`](Self::restart).
+    pub fn crash(&self) {
+        self.device.crash();
+        let mut st = self.state.lock();
+        st.segments.clear();
+        st.pending_cleanup.clear();
+        st.bitmap = SlotBitmap::new(self.geo.slots);
+        self.page_lsns.lock().clear();
+    }
+
+    /// Rebuild the allocator and segment table from the persisted slot
+    /// metadata (the PMem-powered fast restart the paper leans on).
+    pub fn restart(&self, ctx: &mut SimCtx) -> Result<()> {
+        // Validate the superblock.
+        let sb = self.device.peek(0, 16).expect("superblock readable");
+        let magic = u64::from_le_bytes(sb[0..8].try_into().unwrap());
+        if magic != SUPERBLOCK_MAGIC {
+            return Err(AStoreError::Corrupt("bad superblock magic".into()));
+        }
+        let meta_len = self.geo.slots * SLOT_META_SIZE as usize;
+        let (meta, done) = self
+            .device
+            .read(ctx.now(), SUPERBLOCK_SIZE, meta_len)
+            .expect("meta area readable");
+        ctx.wait_until(done);
+        let mut st = self.state.lock();
+        st.bitmap = SlotBitmap::new(self.geo.slots);
+        st.segments.clear();
+        for slot in 0..self.geo.slots {
+            let rec = &meta[slot * SLOT_META_SIZE as usize..(slot + 1) * SLOT_META_SIZE as usize];
+            if let Some((SlotState::Allocated, class, id)) = decode_slot_meta(rec) {
+                st.bitmap.set_allocated(slot);
+                st.segments.insert(id, (slot, class));
+            }
+        }
+        Ok(())
+    }
+
+    /// Receive a batch of `(page, latest LSN)` mappings from the DBEngine
+    /// (§V-C: "periodically sent to the AStore server in batches").
+    pub fn record_page_lsns(&self, batch: impl IntoIterator<Item = (PageId, Lsn)>) {
+        let mut map = self.page_lsns.lock();
+        for (page, lsn) in batch {
+            let e = map.entry(page).or_insert(lsn);
+            if *e < lsn {
+                *e = lsn;
+            }
+        }
+    }
+
+    /// Number of page→LSN mappings currently held (tests).
+    pub fn page_lsn_count(&self) -> usize {
+        self.page_lsns.lock().len()
+    }
+
+    /// EBP recovery scan (§V-E): walk every EBP segment's records, drop
+    /// images older than the freshest known LSN for that page, and return
+    /// the newest valid image per page with its position.
+    pub fn ebp_recovery_scan(&self, ctx: &mut SimCtx) -> Vec<EbpScanEntry> {
+        let slots: Vec<(SegmentId, usize)> = {
+            let st = self.state.lock();
+            st.segments
+                .iter()
+                .filter(|(_, (_, class))| *class == SegmentClass::Ebp)
+                .map(|(id, (slot, _))| (*id, *slot))
+                .collect()
+        };
+        let lsn_map = self.page_lsns.lock().clone();
+        let mut best: HashMap<PageId, EbpScanEntry> = HashMap::new();
+        let mut scanned_bytes = 0usize;
+        for (seg, slot) in slots {
+            let base = self.geo.slot_offset(slot);
+            let mut pos = 0u64;
+            loop {
+                if pos + RECORD_HDR_SIZE as u64 > self.geo.slot_size {
+                    break;
+                }
+                let hdr_bytes = self
+                    .device
+                    .peek(base + pos, RECORD_HDR_SIZE)
+                    .expect("header in bounds");
+                let Some(hdr) = decode_header(&hdr_bytes) else { break };
+                if pos + RECORD_HDR_SIZE as u64 + hdr.len as u64 > self.geo.slot_size {
+                    break; // truncated tail record
+                }
+                scanned_bytes += RECORD_HDR_SIZE + hdr.len as usize;
+                let stale = lsn_map.get(&hdr.page).is_some_and(|latest| hdr.lsn < *latest);
+                if !stale {
+                    let entry = EbpScanEntry {
+                        page: hdr.page,
+                        lsn: hdr.lsn,
+                        segment: seg,
+                        offset: pos + RECORD_HDR_SIZE as u64,
+                        len: hdr.len,
+                    };
+                    match best.get(&hdr.page) {
+                        Some(prev) if prev.lsn >= hdr.lsn => {}
+                        _ => {
+                            best.insert(hdr.page, entry);
+                        }
+                    }
+                }
+                pos += RECORD_HDR_SIZE as u64 + hdr.len as u64;
+            }
+        }
+        // Charge the media time of the sequential scan in one go.
+        let done = self
+            .res
+            .pmem
+            .as_ref()
+            .expect("astore node has pmem")
+            .acquire(ctx.now(), self.model.pmem_read_svc(scanned_bytes.max(64)));
+        ctx.wait_until(done);
+        best.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ebp_format::{encode_header, EbpRecordHeader};
+    use vedb_sim::ClusterSpec;
+
+    fn server() -> (Arc<vedb_sim::SimEnv>, Arc<AStoreServer>) {
+        let env = ClusterSpec::tiny().build();
+        let s = AStoreServer::new(
+            0,
+            Arc::clone(&env.astore_nodes[0]),
+            1 << 20,
+            64 * 1024,
+            false,
+            VTime::from_millis(500),
+            env.model.clone(),
+        );
+        (env, s)
+    }
+
+    #[test]
+    fn alloc_is_idempotent_and_persists() {
+        let (_env, s) = server();
+        let mut ctx = SimCtx::new(1, 7);
+        let off1 = s.handle_alloc(&mut ctx, 42, SegmentClass::Log).unwrap();
+        let off2 = s.handle_alloc(&mut ctx, 42, SegmentClass::Log).unwrap();
+        assert_eq!(off1, off2);
+        assert!(s.hosts_segment(42));
+        assert_eq!(s.segment_offset(42), Some(off1));
+    }
+
+    #[test]
+    fn cleanup_is_delayed() {
+        let (_env, s) = server();
+        let mut ctx = SimCtx::new(1, 7);
+        s.handle_alloc(&mut ctx, 7, SegmentClass::Log).unwrap();
+        let free_before = s.free_slots();
+        s.handle_enqueue_cleanup(ctx.now(), 7);
+        assert_eq!(s.pending_cleanup_len(), 1);
+        // Too early: nothing freed.
+        assert!(s.run_cleanup(&mut ctx).is_empty());
+        assert!(s.hosts_segment(7));
+        // After the delay, the slot is reclaimed.
+        ctx.advance(VTime::from_millis(600));
+        assert_eq!(s.run_cleanup(&mut ctx), vec![7]);
+        assert!(!s.hosts_segment(7));
+        assert_eq!(s.free_slots(), free_before + 1);
+    }
+
+    #[test]
+    fn restart_rebuilds_from_persisted_meta() {
+        let (_env, s) = server();
+        let mut ctx = SimCtx::new(1, 7);
+        let off_a = s.handle_alloc(&mut ctx, 100, SegmentClass::Log).unwrap();
+        s.handle_alloc(&mut ctx, 101, SegmentClass::Ebp).unwrap();
+        let free = s.free_slots();
+
+        s.crash();
+        assert!(!s.hosts_segment(100));
+        s.restart(&mut ctx).unwrap();
+        assert!(s.hosts_segment(100));
+        assert!(s.hosts_segment(101));
+        assert_eq!(s.segment_offset(100), Some(off_a));
+        assert_eq!(s.free_slots(), free);
+        // New allocations don't collide with recovered ones.
+        let off_c = s.handle_alloc(&mut ctx, 102, SegmentClass::Log).unwrap();
+        assert_ne!(off_c, off_a);
+    }
+
+    #[test]
+    fn alloc_exhaustion_reports_no_space() {
+        let (_env, s) = server();
+        let mut ctx = SimCtx::new(1, 7);
+        let mut n = 0u64;
+        loop {
+            match s.handle_alloc(&mut ctx, n, SegmentClass::Log) {
+                Ok(_) => n += 1,
+                Err(AStoreError::NoSpace) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(n >= 10, "expected at least 10 slots in a 1MB device, got {n}");
+        assert_eq!(s.free_slots(), 0);
+    }
+
+    #[test]
+    fn ebp_scan_finds_newest_and_prunes_stale() {
+        let (_env, s) = server();
+        let mut ctx = SimCtx::new(1, 7);
+        s.handle_alloc(&mut ctx, 1, SegmentClass::Ebp).unwrap();
+        let mr = s.mr();
+        let base = s.segment_offset(1).unwrap();
+
+        // Write three records directly (as the engine's EBP writer would):
+        // page A @ lsn 10, page A @ lsn 20 (newer), page B @ lsn 5.
+        let page_a = PageId::new(1, 1);
+        let page_b = PageId::new(1, 2);
+        let mut pos = base;
+        for (page, lsn, fill) in [(page_a, 10u64, 0xAAu8), (page_a, 20, 0xAB), (page_b, 5, 0xBB)] {
+            let payload = vec![fill; 128];
+            let hdr = encode_header(&EbpRecordHeader { page, lsn, len: 128 });
+            let zero = [0u8; RECORD_HDR_SIZE];
+            let dev = mr.device();
+            let t = dev.write(ctx.now(), pos, &hdr).unwrap();
+            let t = dev.write(t, pos + RECORD_HDR_SIZE as u64, &payload).unwrap();
+            let t = dev
+                .write(t, pos + (RECORD_HDR_SIZE + 128) as u64, &zero)
+                .unwrap();
+            dev.flush(t);
+            pos += (RECORD_HDR_SIZE + 128) as u64;
+        }
+
+        let mut found = s.ebp_recovery_scan(&mut ctx);
+        found.sort_by_key(|e| e.page);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].page, page_a);
+        assert_eq!(found[0].lsn, 20, "newest image of page A wins");
+        assert_eq!(found[1].page, page_b);
+
+        // Now the engine reports page B was modified at LSN 50: the cached
+        // image (lsn 5) is stale and must be pruned.
+        s.record_page_lsns([(page_b, 50u64)]);
+        let found2 = s.ebp_recovery_scan(&mut ctx);
+        assert_eq!(found2.len(), 1);
+        assert_eq!(found2[0].page, page_a);
+    }
+
+    #[test]
+    fn record_page_lsns_keeps_max() {
+        let (_env, s) = server();
+        let p = PageId::new(9, 9);
+        s.record_page_lsns([(p, 10u64)]);
+        s.record_page_lsns([(p, 5u64)]); // older: ignored
+        s.record_page_lsns([(p, 30u64)]);
+        assert_eq!(s.page_lsn_count(), 1);
+        assert_eq!(*s.page_lsns.lock().get(&p).unwrap(), 30);
+    }
+}

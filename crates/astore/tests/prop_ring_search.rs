@@ -1,0 +1,60 @@
+//! Property tests for SegmentRing recovery's header binary search and the
+//! slot bitmap allocator.
+
+use proptest::prelude::*;
+use vedb_astore::layout::SlotBitmap;
+use vedb_astore::ring::newest_slot_binary_search;
+
+/// Generate a valid ring-header state: `n` slots, a contiguous used range
+/// of `used` slots starting at `start` (mod n) with strictly increasing
+/// LSNs beginning at `base`.
+fn ring_state() -> impl Strategy<Value = Vec<Option<u64>>> {
+    (2usize..64, 0usize..64, 0usize..=64, 0u64..1_000_000).prop_map(
+        |(n, start, used, base)| {
+            let start = start % n;
+            let used = used.min(n);
+            let mut keys = vec![None; n];
+            let mut lsn = base;
+            for i in 0..used {
+                keys[(start + i) % n] = Some(lsn);
+                lsn += 1 + (i as u64 * 37) % 1000; // strictly increasing
+            }
+            keys
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn binary_search_matches_linear_max(keys in ring_state()) {
+        let expected = keys
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| k.map(|v| (v, i)))
+            .max()
+            .map(|(_, i)| i);
+        prop_assert_eq!(newest_slot_binary_search(&keys), expected);
+    }
+
+    #[test]
+    fn bitmap_never_double_allocates(ops in proptest::collection::vec(any::<u8>(), 1..200)) {
+        let mut bm = SlotBitmap::new(40);
+        let mut live: Vec<usize> = Vec::new();
+        for op in ops {
+            if op % 3 == 0 && !live.is_empty() {
+                // Release a pseudo-random live slot.
+                let idx = live.remove((op as usize / 3) % live.len());
+                bm.release(idx);
+                prop_assert!(!bm.is_allocated(idx));
+            } else if let Some(slot) = bm.alloc() {
+                prop_assert!(!live.contains(&slot), "double allocation of {}", slot);
+                prop_assert!(bm.is_allocated(slot));
+                live.push(slot);
+            }
+            prop_assert_eq!(bm.allocated(), live.len());
+            prop_assert_eq!(bm.free(), 40 - live.len());
+        }
+    }
+}

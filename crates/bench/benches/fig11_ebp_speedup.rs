@@ -1,0 +1,106 @@
+//! **Figure 11** — EBP speedup on CH-benCHmark analytical queries, for two
+//! buffer-pool sizes.
+//!
+//! Paper shapes: queries whose working set exceeds the buffer pool (Q7 et
+//! al.) gain up to ~3.5× from the EBP; queries with a tiny working set
+//! (Q16) barely change. The gain shrinks when the buffer pool doubles.
+//! Protocol follows §VII-B: one warm-up run, then the average of three
+//! timed runs, EBP off vs on.
+
+use std::sync::Arc;
+
+use vedb_bench::{paper_note, print_table, Deployment};
+use vedb_core::db::{Db, DbConfig, LogBackendKind};
+use vedb_core::ebp::EbpConfig;
+use vedb_core::query::{execute, QuerySession};
+use vedb_sim::{SimCtx, VTime};
+use vedb_workloads::{chbench, tpcc};
+
+/// The queries Fig. 11 plots (its x-axis is a query subset with runtime
+/// below the paper's cut-off).
+const QUERIES: [usize; 8] = [1, 4, 6, 7, 12, 16, 17, 22];
+
+fn timed_runs(ctx: &mut SimCtx, db: &Arc<Db>, q: usize) -> VTime {
+    let session = QuerySession::default();
+    let plan = chbench::query(q);
+    execute(ctx, db, &session, &plan).unwrap(); // warm-up
+    let t0 = ctx.now();
+    for _ in 0..3 {
+        execute(ctx, db, &session, &plan).unwrap();
+    }
+    (ctx.now() - t0) / 3
+}
+
+fn run_config(bp_pages: usize, ebp: bool, scale: &tpcc::TpccScale) -> Vec<(usize, VTime)> {
+    let mut dep = Deployment::open(DbConfig {
+        bp_pages,
+        bp_shards: 8,
+        log: LogBackendKind::AStore,
+        ring_segments: 12,
+        ebp: ebp.then(|| EbpConfig { capacity_bytes: 512 << 20, ..Default::default() }),
+        ..Default::default()
+    });
+    dep.db.define_schema(|cat| {
+        tpcc::define_schema(cat);
+        chbench::extend_schema(cat);
+    });
+    dep.db.create_tables(&mut dep.ctx).unwrap();
+    tpcc::load(&mut dep.ctx, &dep.db, scale).unwrap();
+    chbench::load_extra(&mut dep.ctx, &dep.db).unwrap();
+    // Prime the EBP: one pass over the big tables pushes evictions into it.
+    if ebp {
+        for q in [1usize, 12] {
+            let _ = execute(&mut dep.ctx, &dep.db, &QuerySession::default(), &chbench::query(q));
+        }
+    }
+    QUERIES
+        .iter()
+        .map(|&q| (q, timed_runs(&mut dep.ctx, &dep.db, q)))
+        .collect()
+}
+
+fn main() {
+    // Working set of the order_line-heavy queries ≫ 64-page pool, smaller
+    // than the 128-page pool for some tables (mirroring 16GB vs 32GB).
+    let scale = tpcc::TpccScale {
+        warehouses: 8,
+        districts: 4,
+        customers: 60,
+        items: 300,
+        initial_orders: 40,
+    };
+    let mut rows = Vec::new();
+    let mut speedups_small = Vec::new();
+    for (label, bp) in [("16GB(=64p)", 64usize), ("32GB(=128p)", 128)] {
+        let off = run_config(bp, false, &scale);
+        let on = run_config(bp, true, &scale);
+        for (i, &q) in QUERIES.iter().enumerate() {
+            let s = off[i].1.as_nanos() as f64 / on[i].1.as_nanos().max(1) as f64;
+            if bp == 64 {
+                speedups_small.push((q, s));
+            }
+            rows.push(vec![
+                format!("Q{q}"),
+                label.to_string(),
+                format!("{:.1}", off[i].1.as_millis_f64()),
+                format!("{:.1}", on[i].1.as_millis_f64()),
+                format!("{s:.2}x"),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 11: EBP speedup per CH query (elapsed ms, avg of 3 runs)",
+        &["query", "buffer pool", "EBP off", "EBP on", "speedup"],
+        &rows,
+    );
+    paper_note("Q7 >3x in both BP settings; Q16 ~1x (working set fits in BP); others up to 3.5x");
+
+    let q7 = speedups_small.iter().find(|(q, _)| *q == 7).unwrap().1;
+    let q16 = speedups_small.iter().find(|(q, _)| *q == 16).unwrap().1;
+    assert!(q7 > 1.5, "Q7 (working set > BP) must gain substantially, got {q7:.2}x");
+    assert!(
+        q16 < q7,
+        "Q16 (tiny working set) must gain less than Q7 ({q16:.2}x vs {q7:.2}x)"
+    );
+    println!("\nshape-check: OK (Q7 {q7:.2}x, Q16 {q16:.2}x)");
+}

@@ -1,0 +1,167 @@
+//! **Figure 14** — push-down acceleration over the 22 CH-benCHmark
+//! queries.
+//!
+//! Three configurations per query, as in the paper:
+//!
+//! * **baseline** — no EBP, no push-down, default query plan;
+//! * **plan-change only** (blue bars) — the push-down-friendly plan (hash
+//!   joins instead of the optimizer's default nested loops) but executed
+//!   entirely in the engine;
+//! * **PQ + EBP** (orange bars) — push-down enabled with the EBP hosting
+//!   the hot pages.
+//!
+//! Paper shapes: Q1, 6, 11, 13, 15, 20, 22 gain 4–24× (aggregations and
+//! selective filters pushed down); geometric mean ≈2.8× for PQ+EBP and
+//! ≈2× attributable to execution (not plan choice) when re-baselined on
+//! the plan-change-only runs.
+
+use std::sync::Arc;
+
+use vedb_bench::{paper_note, print_table, Deployment};
+use vedb_core::db::{Db, DbConfig, LogBackendKind};
+use vedb_core::ebp::EbpConfig;
+use vedb_core::query::{execute, Expr, Plan, QuerySession};
+use vedb_sim::{SimCtx, VTime};
+use vedb_workloads::{chbench, tpcc};
+
+/// Queries whose *default* plan uses a nested-loop join (the optimizer
+/// preference the paper describes for Q13's customer⋈orders); switching to
+/// the hash plan is the "plan change" effect.
+fn default_plan(q: usize) -> Plan {
+    match q {
+        // Q16's default: nested-loop item x supplier.
+        16 => Plan::NestLoopJoin {
+            left: Box::new(Plan::scan("item")),
+            right: Box::new(Plan::scan_where(
+                "supplier",
+                Expr::cmp(vedb_core::query::CmpOp::Gt, Expr::col(3), Expr::dbl(100.0)),
+            )),
+            on: Expr::eq(Expr::col(0), Expr::col(3 + 0)),
+            project: None,
+        }
+        .agg(vec![4], vec![vedb_core::query::AggExpr::count_star()]),
+        // Q20's default: nested-loop stock x supplier.
+        20 => {
+            let filtered = Plan::scan_where(
+                "stock",
+                Expr::cmp(vedb_core::query::CmpOp::Gt, Expr::col(2), Expr::int(40)),
+            )
+            .project(vec![Expr::col(0), Expr::col(1), Expr::mul(Expr::col(0), Expr::col(1))]);
+            Plan::NestLoopJoin {
+                left: Box::new(filtered),
+                right: Box::new(Plan::scan("supplier")),
+                on: Expr::eq(Expr::col(2), Expr::col(3)),
+                project: None,
+            }
+            .agg(vec![5], vec![vedb_core::query::AggExpr::count_star()])
+        }
+        _ => chbench::query(q),
+    }
+}
+
+fn timed(ctx: &mut SimCtx, db: &Arc<Db>, session: &QuerySession, plan: &Plan) -> VTime {
+    execute(ctx, db, session, plan).unwrap(); // warm-up run
+    let t0 = ctx.now();
+    for _ in 0..2 {
+        execute(ctx, db, session, plan).unwrap();
+    }
+    (ctx.now() - t0) / 2
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn main() {
+    let scale = tpcc::TpccScale {
+        warehouses: 8,
+        districts: 4,
+        customers: 60,
+        items: 300,
+        initial_orders: 40,
+    };
+    let mut dep = Deployment::open(DbConfig {
+        bp_pages: 64, // much smaller than the AP working set
+        bp_shards: 8,
+        log: LogBackendKind::AStore,
+        ring_segments: 12,
+        ebp: Some(EbpConfig { capacity_bytes: 512 << 20, ..Default::default() }),
+        ..Default::default()
+    });
+    dep.db.define_schema(|cat| {
+        tpcc::define_schema(cat);
+        chbench::extend_schema(cat);
+    });
+    dep.db.create_tables(&mut dep.ctx).unwrap();
+    tpcc::load(&mut dep.ctx, &dep.db, &scale).unwrap();
+    chbench::load_extra(&mut dep.ctx, &dep.db).unwrap();
+    // Prime the EBP through evictions.
+    for q in [1usize, 12, 22] {
+        let _ = execute(&mut dep.ctx, &dep.db, &QuerySession::default(), &chbench::query(q));
+    }
+
+    let local = QuerySession::default();
+    let pq = QuerySession::with_pushdown();
+    let db = Arc::clone(&dep.db);
+    let ctx = &mut dep.ctx;
+
+    let mut rows = Vec::new();
+    let mut pq_speedups = Vec::new();
+    let mut plan_only_speedups = Vec::new();
+    let mut winners = Vec::new();
+    for q in 1..=22usize {
+        let t_base = timed(ctx, &db, &local, &default_plan(q));
+        let t_plan = timed(ctx, &db, &local, &chbench::query(q));
+        let t_pq = timed(ctx, &db, &pq, &chbench::query(q));
+        let s_plan = t_base.as_nanos() as f64 / t_plan.as_nanos().max(1) as f64;
+        let s_pq = t_base.as_nanos() as f64 / t_pq.as_nanos().max(1) as f64;
+        pq_speedups.push(s_pq);
+        plan_only_speedups.push(s_plan);
+        if chbench::PUSHDOWN_WINNERS.contains(&q) {
+            winners.push(s_pq);
+        }
+        rows.push(vec![
+            format!("Q{q}"),
+            format!("{:.1}", t_base.as_millis_f64()),
+            format!("{:.1}", t_plan.as_millis_f64()),
+            format!("{:.1}", t_pq.as_millis_f64()),
+            format!("{s_plan:.2}x"),
+            format!("{s_pq:.2}x"),
+        ]);
+    }
+    let g_pq = geomean(&pq_speedups);
+    let g_vs_plan = geomean(
+        &pq_speedups
+            .iter()
+            .zip(&plan_only_speedups)
+            .map(|(a, b)| a / b)
+            .collect::<Vec<_>>(),
+    );
+    rows.push(vec![
+        "geomean".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        format!("{:.2}x", geomean(&plan_only_speedups)),
+        format!("{g_pq:.2}x"),
+    ]);
+    print_table(
+        "Fig 14: CH query elapsed (ms): baseline plan vs plan-change vs PQ+EBP",
+        &["query", "baseline", "plan-only", "PQ+EBP", "plan speedup", "PQ speedup"],
+        &rows,
+    );
+    paper_note("Q1,6,11,13,15,20,22 gain 4-24x; geomean ~2.8x overall; ~2x of it beyond plan change");
+
+    let winners_ok = winners.iter().filter(|s| **s > 2.0).count();
+    assert!(
+        winners_ok >= 4,
+        "most marquee queries must gain >2x from PQ+EBP (got {winners_ok} of {})",
+        winners.len()
+    );
+    assert!(g_pq > 1.5, "geomean PQ speedup should be well above 1 (got {g_pq:.2}x)");
+    assert!(
+        g_vs_plan > 1.2,
+        "PQ must win beyond plan change alone (got {g_vs_plan:.2}x)"
+    );
+    println!("\nshape-check: OK (geomean {g_pq:.2}x; {g_vs_plan:.2}x beyond plan change)");
+}

@@ -1,0 +1,157 @@
+//! Criterion micro-benchmarks for the core data structures: slotted page
+//! operations, B+Tree point ops through the full engine stack, row/key
+//! codecs, REDO codecs, and the latency-histogram recorder.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vedb_core::db::{Db, DbConfig, StorageFabric};
+use vedb_core::row::{decode_row, encode_key, encode_row, Value};
+use vedb_pagestore::page::{Page, PageType};
+use vedb_pagestore::redo::{decode_record, encode_record, PageOp, RedoRecord};
+use vedb_sim::{ClusterSpec, LatencyRecorder, SimCtx, VTime};
+
+fn bench_page_ops(c: &mut Criterion) {
+    c.bench_function("page/insert_100_cells", |b| {
+        b.iter(|| {
+            let mut p = Page::new();
+            p.format(PageType::BTreeLeaf, 0);
+            for i in 0..100 {
+                p.insert_at(i, &[i as u8; 64]).unwrap();
+            }
+            p
+        })
+    });
+    let mut page = Page::new();
+    page.format(PageType::BTreeLeaf, 0);
+    for i in 0..100 {
+        page.insert_at(i, &[i as u8; 64]).unwrap();
+    }
+    c.bench_function("page/get_cell", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 100;
+            page.get(i).unwrap().len()
+        })
+    });
+    c.bench_function("page/update_and_compact", |b| {
+        b.iter(|| {
+            let mut p = page.clone();
+            p.update(50, &[1u8; 8]).unwrap();
+            p.compact();
+            p
+        })
+    });
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let row = vec![
+        Value::Int(123456),
+        Value::Str("hello world, this is a row".into()),
+        Value::Double(12.5),
+        Value::Int(-9),
+    ];
+    c.bench_function("codec/encode_row", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(64);
+            encode_row(&row, &mut buf);
+            buf
+        })
+    });
+    let mut buf = Vec::new();
+    encode_row(&row, &mut buf);
+    c.bench_function("codec/decode_row", |b| b.iter(|| decode_row(&buf).unwrap()));
+    c.bench_function("codec/encode_key", |b| {
+        b.iter(|| encode_key(&[Value::Int(42), Value::Str("abcdef".into())]))
+    });
+    let rec = RedoRecord {
+        lsn: 100,
+        prev_same_segment: 50,
+        txn_id: 7,
+        page: vedb_astore::PageId::new(3, 9),
+        op: PageOp::InsertAt { slot: 5, cell: vec![7u8; 80] },
+    };
+    c.bench_function("codec/encode_redo", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(128);
+            encode_record(&rec, &mut out);
+            out
+        })
+    });
+    let mut enc = Vec::new();
+    encode_record(&rec, &mut enc);
+    c.bench_function("codec/decode_redo", |b| b.iter(|| decode_record(&enc).unwrap()));
+}
+
+fn engine() -> (Arc<Db>, SimCtx) {
+    let fabric = StorageFabric::build(ClusterSpec::paper_default(), 64 << 20, 1 << 20);
+    let mut ctx = SimCtx::new(0, 7);
+    let db = Db::open(&mut ctx, &fabric, DbConfig { bp_pages: 2048, ..Default::default() }).unwrap();
+    db.define_schema(|cat| {
+        cat.define("t")
+            .col("id", vedb_core::ColumnType::Int)
+            .col("v", vedb_core::ColumnType::Str)
+            .pk(&["id"])
+            .build();
+    });
+    db.create_tables(&mut ctx).unwrap();
+    let mut txn = db.begin();
+    for i in 0..10_000 {
+        db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(i), Value::Str(format!("v{i}"))])
+            .unwrap();
+        if i % 1000 == 0 {
+            db.commit(&mut ctx, &mut txn).unwrap();
+            txn = db.begin();
+        }
+    }
+    db.commit(&mut ctx, &mut txn).unwrap();
+    // The fabric must outlive the Db; benches run to process exit anyway.
+    std::mem::forget(fabric);
+    (db, ctx)
+}
+
+fn bench_engine_ops(c: &mut Criterion) {
+    let (db, mut ctx) = engine();
+    c.bench_function("engine/point_get", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            db.get_by_pk(&mut ctx, None, "t", &[Value::Int(i)]).unwrap()
+        })
+    });
+    c.bench_function("engine/insert_commit", |b| {
+        let mut i = 100_000i64;
+        b.iter(|| {
+            i += 1;
+            let mut txn = db.begin();
+            db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(i), Value::Str("x".into())])
+                .unwrap();
+            db.commit(&mut ctx, &mut txn).unwrap();
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let rec = LatencyRecorder::new();
+    c.bench_function("sim/latency_record", |b| {
+        let mut i = 1u64;
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rec.record(VTime::from_nanos(i % 10_000_000));
+        })
+    });
+    for i in 0..100_000u64 {
+        rec.record(VTime::from_nanos(i));
+    }
+    c.bench_function("sim/latency_p99", |b| b.iter(|| rec.p99()));
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_page_ops, bench_codecs, bench_engine_ops, bench_histogram
+);
+criterion_main!(micro);

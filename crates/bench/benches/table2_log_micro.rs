@@ -1,0 +1,93 @@
+//! **Table II** — log-writing micro-benchmark.
+//!
+//! "We develop a micro benchmark tool that continuously writes 4KB pages
+//! to either AStore or the regular LogStore in a single thread and
+//! measures the latency, I/OPS, and bandwidth." Paper numbers:
+//! W/O PMem 0.638 ms / 1,527 IOPS / 5.97 MB/s; W/ PMem 0.086 ms / 11,465
+//! IOPS / 44.79 MB/s (~7× across the board).
+
+use std::sync::Arc;
+
+use vedb_astore::layout::SegmentClass;
+use vedb_bench::{paper_note, print_table};
+use vedb_blobstore::{BlobGroup, BlobGroupConfig};
+use vedb_core::db::StorageFabric;
+use vedb_sim::{ClusterSpec, SimCtx};
+
+const WRITES: usize = 2_000;
+const SIZE: usize = 4096;
+
+fn main() {
+    let fabric = StorageFabric::build(ClusterSpec::paper_default(), 512 << 20, 16 << 20);
+
+    // Baseline: BlobGroup over the SSD blob store (TCP RPC path).
+    let mut ctx = SimCtx::new(1, 7);
+    let group = BlobGroup::create(
+        &mut ctx,
+        BlobGroupConfig::default(),
+        &fabric.blob_servers,
+        Arc::clone(&fabric.rpc),
+    )
+    .unwrap();
+    let t0 = ctx.now();
+    for _ in 0..WRITES {
+        group.append(&mut ctx, &[7u8; SIZE]).unwrap();
+    }
+    let ssd = summarize(ctx.now() - t0);
+
+    // AStore: SegmentRing-style appends over PMem + one-sided RDMA.
+    let mut ctx = SimCtx::new(2, 7);
+    let ep = vedb_rdma::RdmaEndpoint::new(
+        fabric.env.model.clone(),
+        Arc::clone(&fabric.env.faults),
+        Arc::clone(&fabric.env.engine_nic),
+    );
+    let client = vedb_astore::AStoreClient::connect(
+        &mut ctx,
+        Arc::clone(&fabric.cm),
+        ep,
+        Arc::clone(&fabric.env.engine_cpu),
+        fabric.env.model.clone(),
+        99,
+        vedb_sim::VTime::from_millis(50),
+    );
+    let mut seg = client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+    let t0 = ctx.now();
+    for _ in 0..WRITES {
+        if client.segment_len(seg) + SIZE as u64 > client.segment_capacity(seg) {
+            seg = client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        }
+        client.append(&mut ctx, seg, &[7u8; SIZE]).unwrap();
+    }
+    let pmem = summarize(ctx.now() - t0);
+
+    print_table(
+        "Table II: log writing micro-benchmark (4KB, single thread)",
+        &["config", "avg write latency (ms)", "avg IOPS", "avg bandwidth (MB/s)"],
+        &[
+            vec!["W/O PMem".into(), format!("{:.3}", ssd.0), format!("{:.0}", ssd.1), format!("{:.2}", ssd.2)],
+            vec!["W/  PMem".into(), format!("{:.3}", pmem.0), format!("{:.0}", pmem.1), format!("{:.2}", pmem.2)],
+            vec![
+                "speedup".into(),
+                format!("{:.1}x", ssd.0 / pmem.0),
+                format!("{:.1}x", pmem.1 / ssd.1),
+                format!("{:.1}x", pmem.2 / ssd.2),
+            ],
+        ],
+    );
+    paper_note("W/O 0.638ms / 1527 IOPS / 5.97 MB/s; W/ 0.086ms / 11465 IOPS / 44.79 MB/s (~7x)");
+
+    assert!(
+        ssd.0 / pmem.0 >= 4.0,
+        "PMem log writes must be several times faster (got {:.1}x)",
+        ssd.0 / pmem.0
+    );
+}
+
+/// (avg latency ms, IOPS, MB/s) for WRITES ops over `total`.
+fn summarize(total: vedb_sim::VTime) -> (f64, f64, f64) {
+    let avg_ms = total.as_millis_f64() / WRITES as f64;
+    let iops = WRITES as f64 / total.as_secs_f64();
+    let mbps = iops * SIZE as f64 / 1e6;
+    (avg_ms, iops, mbps)
+}

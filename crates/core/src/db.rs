@@ -1,0 +1,966 @@
+//! The `Db` facade: veDB's DBEngine assembled.
+//!
+//! A [`Db`] wires together the catalog, buffer pool, optional Extended
+//! Buffer Pool, WAL (either log backend), PageStore shipping, the lock
+//! manager and the B+Trees. [`StorageFabric`] builds the storage cluster
+//! (AStore servers + CM, blob servers, PageStore servers) for one
+//! experiment; several `Db` configurations can be run against the same
+//! fabric, which is how the benches compare "veDB" vs "veDB + AStore".
+//!
+//! Data-plane flow for one mutation:
+//!
+//! 1. row lock (S2PL) → 2. B+Tree locates the page via the buffer pool
+//! (BP → EBP → PageStore) → 3. the mutation is WAL-logged (this is the
+//! latency AStore attacks) and applied to the in-pool page → 4. the REDO
+//! record joins the ship buffer, delivered to PageStore off the commit
+//! path → 5. commit = one more WAL record, then locks release.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use vedb_astore::client::AStoreClient;
+use vedb_astore::cm::ClusterManager;
+use vedb_astore::{AStoreServer, Lsn, PageId, SegmentId, SegmentRing};
+use vedb_blobstore::{BlobGroup, BlobGroupConfig, BlobServer};
+use vedb_pagestore::page::{Page, PageType};
+use vedb_pagestore::redo::{PageOp, RedoRecord};
+use vedb_pagestore::{PageStore, PageStoreConfig, PageStoreError, PageStoreServer};
+use vedb_rdma::{RdmaEndpoint, RpcFabric};
+use vedb_sim::fault::NodeId;
+use vedb_sim::{ClusterSpec, SimCtx, SimEnv, VTime};
+
+use crate::btree::{BTree, TreeAccess};
+use crate::buffer::{BufferPool, EvictionSink, Frame};
+use crate::catalog::{Catalog, TableDef};
+use crate::ebp::{Ebp, EbpConfig};
+use crate::lock::{LockManager, LockMode};
+use crate::row::{decode_row, encode_key, encode_row, Row, Value};
+use crate::txn::{TxnHandle, TxnStatus};
+use crate::wal::{BlobGroupLog, LogBackend, RingLog, UndoInfo, UndoOp, Wal, WalRecord};
+use crate::{EngineError, Result};
+
+/// Which log backend the engine uses — the paper's central switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogBackendKind {
+    /// Baseline: SSD LogStore over TCP (BlobGroups).
+    BlobStore,
+    /// Accelerated: AStore SegmentRing over PMem + one-sided RDMA.
+    AStore,
+}
+
+/// Engine configuration.
+#[derive(Clone)]
+pub struct DbConfig {
+    /// Buffer pool capacity in pages.
+    pub bp_pages: usize,
+    /// Buffer pool shards.
+    pub bp_shards: usize,
+    /// Log backend.
+    pub log: LogBackendKind,
+    /// SegmentRing length (AStore log).
+    pub ring_segments: usize,
+    /// Extended Buffer Pool (None = disabled).
+    pub ebp: Option<EbpConfig>,
+    /// Real-time lock wait budget (deadlock breaker).
+    pub lock_timeout: Duration,
+    /// Checkpoint (ship + truncate the log) automatically once this many
+    /// log bytes have accumulated since the last truncation. veDB's
+    /// storage layer applies REDO continuously, so the log's working
+    /// window stays small (§IV: "the capacity reserved for REDO logs in
+    /// AStore for each database instance is ... limited to GB level").
+    pub auto_checkpoint_bytes: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            bp_pages: 256,
+            bp_shards: 8,
+            log: LogBackendKind::AStore,
+            ring_segments: 8,
+            ebp: None,
+            lock_timeout: Duration::from_millis(200),
+            auto_checkpoint_bytes: 2 << 20,
+        }
+    }
+}
+
+/// The storage cluster for one experiment: AStore (servers + CM), the
+/// baseline blob store, PageStore, and the shared fabrics.
+pub struct StorageFabric {
+    /// The simulated cluster resources.
+    pub env: Arc<SimEnv>,
+    /// AStore control plane.
+    pub cm: Arc<ClusterManager>,
+    /// AStore data servers.
+    pub astore_servers: Vec<Arc<AStoreServer>>,
+    /// Baseline blob servers (share the storage nodes with PageStore).
+    pub blob_servers: Vec<Arc<BlobServer>>,
+    /// PageStore facade.
+    pub pagestore: Arc<PageStore>,
+    /// RPC fabric.
+    pub rpc: Arc<RpcFabric>,
+}
+
+impl StorageFabric {
+    /// Build the full Table-I-shaped fabric for a cluster spec.
+    ///
+    /// `astore_slot_bytes` is the AStore segment (slot) size; rings and the
+    /// EBP both allocate slots of this size.
+    pub fn build(spec: ClusterSpec, astore_capacity: usize, astore_slot_bytes: u64) -> StorageFabric {
+        let env = spec.build();
+        let cm = ClusterManager::new(
+            Arc::clone(&env.faults),
+            VTime::from_secs(3600),
+            VTime::from_secs(60),
+        );
+        let astore_servers: Vec<Arc<AStoreServer>> = env
+            .astore_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                AStoreServer::new(
+                    i as NodeId,
+                    Arc::clone(n),
+                    astore_capacity,
+                    astore_slot_bytes,
+                    false,
+                    VTime::from_millis(500),
+                    env.model.clone(),
+                )
+            })
+            .collect();
+        for s in &astore_servers {
+            cm.register_server(Arc::clone(s));
+            cm.heartbeat(VTime::ZERO, s.node(), s.free_slots());
+        }
+        let blob_servers: Vec<Arc<BlobServer>> = env
+            .storage_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                Arc::new(BlobServer::new(100 + i as NodeId, Arc::clone(n), env.model.clone(), 8192))
+            })
+            .collect();
+        let rpc = Arc::new(RpcFabric::new(env.model.clone(), Arc::clone(&env.faults)));
+        let ps_servers: Vec<Arc<PageStoreServer>> = env
+            .storage_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| PageStoreServer::new(200 + i as NodeId, Arc::clone(n), env.model.clone()))
+            .collect();
+        let pagestore = PageStore::new(PageStoreConfig::default(), Arc::clone(&rpc), ps_servers);
+        StorageFabric { env, cm, astore_servers, blob_servers, pagestore, rpc }
+    }
+}
+
+/// Persistent engine metadata, mirrored in the meta page (space 0, page 1).
+#[derive(Default, Clone, Debug, PartialEq, Eq)]
+struct MetaState {
+    /// Next page number per space (1-based; 0 means none allocated).
+    next_page: HashMap<u32, u32>,
+    /// Index roots: space -> (root page, level).
+    roots: HashMap<u32, (u32, u8)>,
+}
+
+/// The meta page's identity.
+pub const META_PAGE: PageId = PageId { space_no: 0, page_no: 1 };
+
+fn encode_meta(m: &MetaState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + m.next_page.len() * 8 + m.roots.len() * 9);
+    let mut np: Vec<(u32, u32)> = m.next_page.iter().map(|(k, v)| (*k, *v)).collect();
+    np.sort_unstable();
+    out.extend_from_slice(&(np.len() as u32).to_le_bytes());
+    for (s, n) in np {
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+    let mut roots: Vec<(u32, (u32, u8))> = m.roots.iter().map(|(k, v)| (*k, *v)).collect();
+    roots.sort_unstable();
+    out.extend_from_slice(&(roots.len() as u32).to_le_bytes());
+    for (s, (r, l)) in roots {
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&r.to_le_bytes());
+        out.push(l);
+    }
+    out
+}
+
+pub(crate) fn decode_meta_blob(buf: &[u8]) -> Result<(HashMap<u32, u32>, HashMap<u32, (u32, u8)>)> {
+    let m = decode_meta(buf)?;
+    Ok((m.next_page, m.roots))
+}
+
+fn decode_meta(buf: &[u8]) -> Result<MetaState> {
+    let err = || EngineError::Codec("meta truncated".into());
+    let mut m = MetaState::default();
+    let n = u32::from_le_bytes(buf.get(0..4).ok_or_else(err)?.try_into().unwrap()) as usize;
+    let mut pos = 4;
+    for _ in 0..n {
+        let s = u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap());
+        let v = u32::from_le_bytes(buf.get(pos + 4..pos + 8).ok_or_else(err)?.try_into().unwrap());
+        m.next_page.insert(s, v);
+        pos += 8;
+    }
+    let r = u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap()) as usize;
+    pos += 4;
+    for _ in 0..r {
+        let s = u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap());
+        let root = u32::from_le_bytes(buf.get(pos + 4..pos + 8).ok_or_else(err)?.try_into().unwrap());
+        let level = *buf.get(pos + 8).ok_or_else(err)?;
+        m.roots.insert(s, (root, level));
+        pos += 9;
+    }
+    Ok(m)
+}
+
+/// The engine.
+pub struct Db {
+    cfg: DbConfig,
+    catalog: RwLock<Catalog>,
+    bp: BufferPool,
+    ebp: Option<Ebp>,
+    wal: Wal,
+    pagestore: Arc<PageStore>,
+    locks: LockManager,
+    astore_client: Option<Arc<AStoreClient>>,
+    meta: Mutex<MetaState>,
+    page_lsns: Mutex<HashMap<PageId, Lsn>>,
+    ship_buf: Mutex<Vec<RedoRecord>>,
+    shipped_lsn: AtomicU64,
+    next_txn: AtomicU64,
+    space_latches: Mutex<HashMap<u32, Arc<RwLock<()>>>>,
+    env: Arc<SimEnv>,
+    log_segments: Vec<SegmentId>,
+    rpc: Arc<RpcFabric>,
+    last_truncate: AtomicU64,
+    checkpoint_lock: Mutex<()>,
+}
+
+impl Db {
+    /// Open a fresh engine against `fabric` and bootstrap the meta page.
+    pub fn open(ctx: &mut SimCtx, fabric: &StorageFabric, cfg: DbConfig) -> Result<Arc<Db>> {
+        let needs_astore = cfg.log == LogBackendKind::AStore || cfg.ebp.is_some();
+        let astore_client = if needs_astore {
+            let ep = RdmaEndpoint::new(
+                fabric.env.model.clone(),
+                Arc::clone(&fabric.env.faults),
+                Arc::clone(&fabric.env.engine_nic),
+            );
+            Some(AStoreClient::connect(
+                ctx,
+                Arc::clone(&fabric.cm),
+                ep,
+                Arc::clone(&fabric.env.engine_cpu),
+                fabric.env.model.clone(),
+                ctx.client_id,
+                VTime::from_millis(50),
+            ))
+        } else {
+            None
+        };
+        let mut log_segments = Vec::new();
+        let backend: Box<dyn LogBackend> = match cfg.log {
+            LogBackendKind::AStore => {
+                let client = Arc::clone(astore_client.as_ref().expect("astore client"));
+                let ring = SegmentRing::create(ctx, client, cfg.ring_segments, 0)?;
+                log_segments = ring.segment_ids();
+                Box::new(RingLog::new(ring))
+            }
+            LogBackendKind::BlobStore => {
+                let group = BlobGroup::create(
+                    ctx,
+                    BlobGroupConfig::default(),
+                    &fabric.blob_servers,
+                    Arc::clone(&fabric.rpc),
+                )?;
+                Box::new(BlobGroupLog::new(
+                    group,
+                    Arc::clone(&fabric.env.engine_cpu),
+                    fabric.env.model.clone(),
+                ))
+            }
+        };
+        let ebp = match &cfg.ebp {
+            Some(ecfg) => Some(Ebp::new(
+                Arc::clone(astore_client.as_ref().expect("astore client")),
+                ecfg.clone(),
+            )),
+            None => None,
+        };
+        let db = Db::assemble(fabric, cfg, Wal::new(backend), astore_client, ebp, log_segments);
+        db.bootstrap_meta(ctx)?;
+        db.wal.flush(ctx, db.wal.next_lsn())?;
+        Ok(db)
+    }
+
+    /// Assemble an engine around pre-built parts (fresh open and crash
+    /// recovery share this).
+    pub(crate) fn assemble(
+        fabric: &StorageFabric,
+        cfg: DbConfig,
+        wal: Wal,
+        astore_client: Option<Arc<AStoreClient>>,
+        ebp: Option<Ebp>,
+        log_segments: Vec<SegmentId>,
+    ) -> Arc<Db> {
+        Arc::new(Db {
+            bp: BufferPool::new(
+                cfg.bp_pages,
+                cfg.bp_shards,
+                Arc::clone(&fabric.env.engine_cpu),
+                fabric.env.model.clone(),
+            ),
+            ebp,
+            wal,
+            pagestore: Arc::clone(&fabric.pagestore),
+            locks: LockManager::new(64, cfg.lock_timeout),
+            astore_client,
+            catalog: RwLock::new(Catalog::new()),
+            meta: Mutex::new(MetaState::default()),
+            page_lsns: Mutex::new(HashMap::new()),
+            ship_buf: Mutex::new(Vec::new()),
+            shipped_lsn: AtomicU64::new(0),
+            next_txn: AtomicU64::new(1),
+            space_latches: Mutex::new(HashMap::new()),
+            env: Arc::clone(&fabric.env),
+            log_segments,
+            rpc: Arc::clone(&fabric.rpc),
+            last_truncate: AtomicU64::new(0),
+            checkpoint_lock: Mutex::new(()),
+            cfg,
+        })
+    }
+
+    fn bootstrap_meta(&self, ctx: &mut SimCtx) -> Result<()> {
+        let frame = self.get_frame(ctx, META_PAGE)?;
+        let mut page = frame.page.write();
+        self.log_and_apply(
+            ctx,
+            0,
+            META_PAGE,
+            PageOp::Format { ty: PageType::BTreeLeaf, level: 0 },
+            None,
+            &mut page,
+        )?;
+        let blob = encode_meta(&self.meta.lock());
+        self.log_and_apply(
+            ctx,
+            0,
+            META_PAGE,
+            PageOp::InsertAt { slot: 0, cell: blob },
+            None,
+            &mut page,
+        )?;
+        frame.mark_dirty();
+        Ok(())
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
+    /// The simulated environment (resource/utilization inspection).
+    pub fn env(&self) -> &Arc<SimEnv> {
+        &self.env
+    }
+
+    /// The buffer pool (hit-rate stats in benches).
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.bp
+    }
+
+    /// The EBP, when enabled.
+    pub fn ebp(&self) -> Option<&Ebp> {
+        self.ebp.as_ref()
+    }
+
+    /// The PageStore facade.
+    pub fn pagestore(&self) -> &Arc<PageStore> {
+        &self.pagestore
+    }
+
+    /// The AStore client, when the configuration uses AStore.
+    pub fn astore_client(&self) -> Option<&Arc<AStoreClient>> {
+        self.astore_client.as_ref()
+    }
+
+    /// SegmentRing segment ids — the engine's bootstrap catalog persists
+    /// these so a restarted instance can recover the ring (§V-A). Empty on
+    /// the baseline backend.
+    pub fn log_segment_ids(&self) -> Vec<SegmentId> {
+        self.log_segments.clone()
+    }
+
+    /// Register schema objects. Call before any data access.
+    pub fn define_schema(&self, f: impl FnOnce(&mut Catalog)) {
+        f(&mut self.catalog.write());
+    }
+
+    /// Create the B+Trees for every registered table (idempotent).
+    pub fn create_tables(&self, ctx: &mut SimCtx) -> Result<()> {
+        let spaces: Vec<u32> = {
+            let cat = self.catalog.read();
+            cat.tables()
+                .iter()
+                .flat_map(|t| {
+                    std::iter::once(t.space_no).chain(t.secondary.iter().map(|ix| ix.space_no))
+                })
+                .collect()
+        };
+        for space in spaces {
+            BTree::new(space).create(ctx, self, 0)?;
+        }
+        self.wal.flush(ctx, self.wal.next_lsn())?;
+        self.flush_ship(ctx, false);
+        Ok(())
+    }
+
+    /// Run `f` with the table definition for `name`.
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&TableDef) -> R) -> Result<R> {
+        let cat = self.catalog.read();
+        Ok(f(cat.table(name)?))
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> TxnHandle {
+        TxnHandle::new(self.next_txn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn pk_key(table: &TableDef, row: &Row) -> Vec<u8> {
+        let vals: Vec<Value> = table.pk_cols.iter().map(|i| row[*i].clone()).collect();
+        encode_key(&vals)
+    }
+
+    fn sec_key(table: &TableDef, ix: &crate::catalog::IndexDef, row: &Row) -> Vec<u8> {
+        let mut vals: Vec<Value> = ix.key_cols.iter().map(|i| row[*i].clone()).collect();
+        if !ix.unique {
+            for i in &table.pk_cols {
+                vals.push(row[*i].clone());
+            }
+        }
+        encode_key(&vals)
+    }
+
+    /// Insert a row.
+    pub fn insert(&self, ctx: &mut SimCtx, txn: &mut TxnHandle, table: &str, row: Row) -> Result<()> {
+        if !txn.is_active() {
+            return Err(EngineError::TxnFinished);
+        }
+        let t = self.catalog.read().table(table)?.clone();
+        let key = Self::pk_key(&t, &row);
+        self.lock_row(ctx, txn, t.space_no, key.clone(), LockMode::Exclusive)?;
+        let mut payload = Vec::with_capacity(64);
+        encode_row(&row, &mut payload);
+        let undo = UndoInfo { index_space: t.space_no, op: UndoOp::Remove { key: key.clone() } };
+        BTree::new(t.space_no)
+            .insert(ctx, self, txn.id, &key, &payload, Some(undo.clone()))
+            .map_err(|e| match e {
+                EngineError::DuplicateKey { .. } => EngineError::DuplicateKey { table: t.name.clone() },
+                e => e,
+            })?;
+        txn.undo.push(undo);
+        for ix in &t.secondary {
+            let skey = Self::sec_key(&t, ix, &row);
+            let undo = UndoInfo { index_space: ix.space_no, op: UndoOp::Remove { key: skey.clone() } };
+            BTree::new(ix.space_no).insert(ctx, self, txn.id, &skey, &key, Some(undo.clone()))?;
+            txn.undo.push(undo);
+        }
+        Ok(())
+    }
+
+    /// Point read by primary key. With a transaction, takes a shared row
+    /// lock; without, reads at read-committed (page latch only).
+    pub fn get_by_pk(
+        &self,
+        ctx: &mut SimCtx,
+        txn: Option<&mut TxnHandle>,
+        table: &str,
+        key_vals: &[Value],
+    ) -> Result<Option<Row>> {
+        let t = self.catalog.read().table(table)?.clone();
+        let key = encode_key(key_vals);
+        if let Some(txn) = txn {
+            self.lock_row(ctx, txn, t.space_no, key.clone(), LockMode::Shared)?;
+        }
+        match BTree::new(t.space_no).get(ctx, self, &key)? {
+            Some(payload) => Ok(Some(decode_row(&payload)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Update a row by primary key through a mutator closure.
+    pub fn update_by_pk(
+        &self,
+        ctx: &mut SimCtx,
+        txn: &mut TxnHandle,
+        table: &str,
+        key_vals: &[Value],
+        mutate: impl FnOnce(&mut Row),
+    ) -> Result<()> {
+        if !txn.is_active() {
+            return Err(EngineError::TxnFinished);
+        }
+        let t = self.catalog.read().table(table)?.clone();
+        let key = encode_key(key_vals);
+        self.lock_row(ctx, txn, t.space_no, key.clone(), LockMode::Exclusive)?;
+        let tree = BTree::new(t.space_no);
+        let old_payload = tree.get(ctx, self, &key)?.ok_or(EngineError::NotFound)?;
+        let old_row = decode_row(&old_payload)?;
+        let mut new_row = old_row.clone();
+        mutate(&mut new_row);
+        let mut new_payload = Vec::with_capacity(old_payload.len());
+        encode_row(&new_row, &mut new_payload);
+        let undo = UndoInfo {
+            index_space: t.space_no,
+            op: UndoOp::Revert { key: key.clone(), old_cell: old_payload.clone() },
+        };
+        tree.update(ctx, self, txn.id, &key, &new_payload, Some(undo.clone()))?;
+        txn.undo.push(undo);
+        // Maintain secondary indexes whose keys changed.
+        for ix in &t.secondary {
+            let old_k = Self::sec_key(&t, ix, &old_row);
+            let new_k = Self::sec_key(&t, ix, &new_row);
+            if old_k != new_k {
+                let u1 = UndoInfo {
+                    index_space: ix.space_no,
+                    op: UndoOp::ReInsert { key: old_k.clone(), old_cell: key.clone() },
+                };
+                BTree::new(ix.space_no).delete(ctx, self, txn.id, &old_k, Some(u1.clone()))?;
+                txn.undo.push(u1);
+                let u2 = UndoInfo {
+                    index_space: ix.space_no,
+                    op: UndoOp::Remove { key: new_k.clone() },
+                };
+                BTree::new(ix.space_no).insert(ctx, self, txn.id, &new_k, &key, Some(u2.clone()))?;
+                txn.undo.push(u2);
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete a row by primary key.
+    pub fn delete_by_pk(
+        &self,
+        ctx: &mut SimCtx,
+        txn: &mut TxnHandle,
+        table: &str,
+        key_vals: &[Value],
+    ) -> Result<()> {
+        if !txn.is_active() {
+            return Err(EngineError::TxnFinished);
+        }
+        let t = self.catalog.read().table(table)?.clone();
+        let key = encode_key(key_vals);
+        self.lock_row(ctx, txn, t.space_no, key.clone(), LockMode::Exclusive)?;
+        let tree = BTree::new(t.space_no);
+        let old_payload = tree.get(ctx, self, &key)?.ok_or(EngineError::NotFound)?;
+        let old_row = decode_row(&old_payload)?;
+        let undo = UndoInfo {
+            index_space: t.space_no,
+            op: UndoOp::ReInsert { key: key.clone(), old_cell: old_payload.clone() },
+        };
+        tree.delete(ctx, self, txn.id, &key, Some(undo.clone()))?;
+        txn.undo.push(undo);
+        for ix in &t.secondary {
+            let skey = Self::sec_key(&t, ix, &old_row);
+            let u = UndoInfo {
+                index_space: ix.space_no,
+                op: UndoOp::ReInsert { key: skey.clone(), old_cell: key.clone() },
+            };
+            BTree::new(ix.space_no).delete(ctx, self, txn.id, &skey, Some(u.clone()))?;
+            txn.undo.push(u);
+        }
+        Ok(())
+    }
+
+    /// Look up rows through a secondary index by key prefix.
+    pub fn index_lookup(
+        &self,
+        ctx: &mut SimCtx,
+        table: &str,
+        index: &str,
+        prefix_vals: &[Value],
+        limit: usize,
+    ) -> Result<Vec<Row>> {
+        let t = self.catalog.read().table(table)?.clone();
+        let ix = t
+            .secondary
+            .iter()
+            .find(|ix| ix.name == index)
+            .ok_or_else(|| EngineError::UnknownTable(format!("{table}.{index}")))?;
+        let prefix = encode_key(prefix_vals);
+        let mut pks: Vec<Vec<u8>> = Vec::new();
+        BTree::new(ix.space_no).scan(ctx, self, Some(&prefix), None, |k, v| {
+            if !k.starts_with(&prefix) {
+                return false;
+            }
+            pks.push(v.to_vec());
+            pks.len() < limit
+        })?;
+        let tree = BTree::new(t.space_no);
+        let mut rows = Vec::with_capacity(pks.len());
+        for pk in pks {
+            if let Some(payload) = tree.get(ctx, self, &pk)? {
+                rows.push(decode_row(&payload)?);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Full-table scan (read-committed), invoking `f` per row; stop early
+    /// when `f` returns `false`.
+    pub fn scan_table(
+        &self,
+        ctx: &mut SimCtx,
+        table: &str,
+        mut f: impl FnMut(&Row) -> bool,
+    ) -> Result<()> {
+        let t = self.catalog.read().table(table)?.clone();
+        let mut err = None;
+        BTree::new(t.space_no).scan(ctx, self, None, None, |_k, v| match decode_row(v) {
+            Ok(row) => f(&row),
+            Err(e) => {
+                err = Some(e);
+                false
+            }
+        })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn lock_row(
+        &self,
+        ctx: &mut SimCtx,
+        txn: &mut TxnHandle,
+        space: u32,
+        key: Vec<u8>,
+        mode: LockMode,
+    ) -> Result<()> {
+        let lk = (space, key);
+        if txn.locks.contains(&lk) && mode == LockMode::Shared {
+            return Ok(());
+        }
+        self.locks.acquire(ctx, txn.id, lk.clone(), mode)?;
+        if !txn.locks.contains(&lk) {
+            txn.locks.push(lk);
+        }
+        Ok(())
+    }
+
+    /// Commit: persist the commit record (the commit latency), release
+    /// locks, ship REDO off the critical path.
+    pub fn commit(&self, ctx: &mut SimCtx, txn: &mut TxnHandle) -> Result<()> {
+        if !txn.is_active() {
+            return Err(EngineError::TxnFinished);
+        }
+        let done = self
+            .env
+            .engine_cpu
+            .acquire(ctx.now(), VTime::from_nanos(self.env.model.cpu_txn_overhead_ns));
+        ctx.wait_until(done);
+        let commit_lsn = self.wal.log(ctx, &WalRecord::Commit { txn_id: txn.id })?;
+        // The commit latency: flush the global log buffer (group commit).
+        self.wal.flush(ctx, commit_lsn)?;
+        self.flush_ship(ctx, false);
+        self.maybe_auto_checkpoint(ctx)?;
+        self.locks.release_all(ctx.now(), txn.id, &txn.locks);
+        txn.locks.clear();
+        txn.undo.clear();
+        txn.status = TxnStatus::Committed;
+        Ok(())
+    }
+
+    /// Abort: apply logical undo in reverse, log the abort, release locks.
+    pub fn abort(&self, ctx: &mut SimCtx, txn: &mut TxnHandle) -> Result<()> {
+        if !txn.is_active() {
+            return Err(EngineError::TxnFinished);
+        }
+        let undo: Vec<UndoInfo> = txn.undo.drain(..).collect();
+        for u in undo.iter().rev() {
+            self.apply_undo(ctx, txn.id, u)?;
+        }
+        self.wal.log(ctx, &WalRecord::Abort { txn_id: txn.id })?;
+        self.flush_ship(ctx, false);
+        self.locks.release_all(ctx.now(), txn.id, &txn.locks);
+        txn.locks.clear();
+        txn.status = TxnStatus::Aborted;
+        Ok(())
+    }
+
+    /// Apply one logical undo operation (abort and crash recovery paths).
+    /// Idempotent: a missing key on Remove, or an existing key on
+    /// ReInsert, are tolerated (the compensation may already be in place).
+    pub(crate) fn apply_undo(&self, ctx: &mut SimCtx, txn_id: u64, u: &UndoInfo) -> Result<()> {
+        let tree = BTree::new(u.index_space);
+        match &u.op {
+            UndoOp::Remove { key } => match tree.delete(ctx, self, txn_id, key, None) {
+                Ok(()) | Err(EngineError::NotFound) => Ok(()),
+                Err(e) => Err(e),
+            },
+            UndoOp::Revert { key, old_cell } => {
+                match tree.update(ctx, self, txn_id, key, old_cell, None) {
+                    Ok(()) => Ok(()),
+                    Err(EngineError::NotFound) => {
+                        tree.insert(ctx, self, txn_id, key, old_cell, None)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            UndoOp::ReInsert { key, old_cell } => {
+                match tree.insert(ctx, self, txn_id, key, old_cell, None) {
+                    Ok(()) => Ok(()),
+                    Err(EngineError::DuplicateKey { .. }) => Ok(()),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    /// Ship buffered REDO to PageStore. With `sync == false` the transfer
+    /// happens in a forked context (off the caller's critical path) —
+    /// matching veDB's asynchronous REDO shipping; `sync == true` blocks
+    /// (checkpoint / pre-read barrier).
+    pub fn flush_ship(&self, ctx: &mut SimCtx, sync: bool) {
+        // Only durable (flushed) records may reach PageStore — otherwise a
+        // crash could leave PageStore with effects whose log was lost.
+        let durable = self.wal.flushed_lsn();
+        let records: Vec<RedoRecord> = {
+            let mut buf = self.ship_buf.lock();
+            if buf.is_empty() {
+                return;
+            }
+            let mut records = std::mem::take(&mut *buf);
+            records.sort_by_key(|r| r.lsn);
+            let keep: Vec<RedoRecord> =
+                records.iter().filter(|r| r.lsn >= durable).cloned().collect();
+            records.retain(|r| r.lsn < durable);
+            *buf = keep;
+            records
+        };
+        if records.is_empty() {
+            return;
+        }
+        let max_lsn = records.last().map(|r| r.lsn).unwrap_or(0);
+        // Always executed in a forked context: shipping consumes storage
+        // resources but is off the commit critical path (§III); `sync`
+        // callers additionally wait for completion.
+        let mut ship_ctx = ctx.fork();
+        if self.pagestore.ship(&mut ship_ctx, &records).is_ok() {
+            self.shipped_lsn.fetch_max(max_lsn, Ordering::AcqRel);
+        }
+        if sync {
+            ctx.wait_until(ship_ctx.now());
+        }
+    }
+
+    /// Checkpoint: ship everything, then let the log reclaim space below
+    /// the shipped LSN.
+    pub fn checkpoint(&self, ctx: &mut SimCtx) -> Result<()> {
+        let _g = self.checkpoint_lock.lock();
+        self.wal.flush(ctx, self.wal.next_lsn())?;
+        self.flush_ship(ctx, true);
+        let upto = self.shipped_lsn.load(Ordering::Acquire);
+        self.wal.truncate(ctx, upto)?;
+        self.last_truncate.fetch_max(upto, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Checkpoint when the log's working window exceeds the configured
+    /// budget (invoked on the commit path; cheap when nothing to do).
+    fn maybe_auto_checkpoint(&self, ctx: &mut SimCtx) -> Result<()> {
+        let used = self.wal.next_lsn().saturating_sub(self.last_truncate.load(Ordering::Acquire));
+        if used > self.cfg.auto_checkpoint_bytes {
+            self.checkpoint(ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Known latest LSN of a page (0 when never touched by this engine).
+    pub fn page_lsn(&self, pid: PageId) -> Lsn {
+        *self.page_lsns.lock().get(&pid).unwrap_or(&0)
+    }
+
+    /// Read a page image for push-down planning / remote execution support
+    /// — follows BP → EBP → PageStore without caching the result.
+    pub fn load_page_for_pushdown(&self, ctx: &mut SimCtx, pid: PageId) -> Result<Page> {
+        let frame = self.get_frame(ctx, pid)?;
+        let page = frame.page.read();
+        Ok(page.clone())
+    }
+
+    /// The shared RPC fabric (push-down task dispatch).
+    pub fn rpc(&self) -> &Arc<RpcFabric> {
+        &self.rpc
+    }
+
+    /// §VIII extension: warm the local buffer pool from the Extended
+    /// Buffer Pool after a restart ("speed up the warm-up process for the
+    /// buffer pool during crash recovery"). Loads up to `limit` cached
+    /// pages — most-recently-used first is not tracked across restarts, so
+    /// the scan order is index order. Returns how many pages were loaded.
+    pub fn warmup_from_ebp(&self, ctx: &mut SimCtx, limit: usize) -> usize {
+        let Some(ebp) = &self.ebp else { return 0 };
+        let mut loaded = 0;
+        for pid in ebp.cached_pages(limit) {
+            if self.get_frame(ctx, pid).is_ok() {
+                loaded += 1;
+            }
+        }
+        loaded
+    }
+
+    /// The WAL (recovery and tests).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Recovery-only: queue a REDO record read back from the log for
+    /// re-shipping to PageStore.
+    pub(crate) fn enqueue_redo_for_recovery(&self, redo: RedoRecord) {
+        self.ship_buf.lock().push(redo);
+    }
+
+    pub(crate) fn install_meta(&self, next_page: HashMap<u32, u32>, roots: HashMap<u32, (u32, u8)>) {
+        let mut m = self.meta.lock();
+        m.next_page = next_page;
+        m.roots = roots;
+    }
+
+    pub(crate) fn install_page_lsns(&self, lsns: HashMap<PageId, Lsn>) {
+        *self.page_lsns.lock() = lsns;
+    }
+
+    /// Allocated page count of a space (push-down page enumeration).
+    pub fn space_pages(&self, space: u32) -> u32 {
+        self.meta.lock().next_page.get(&space).copied().unwrap_or(0)
+    }
+
+    fn persist_meta(&self, ctx: &mut SimCtx, txn: u64) -> Result<()> {
+        let blob = encode_meta(&self.meta.lock());
+        let frame = self.get_frame(ctx, META_PAGE)?;
+        let mut page = frame.page.write();
+        self.log_and_apply(
+            ctx,
+            txn,
+            META_PAGE,
+            PageOp::Update { slot: 0, cell: blob },
+            None,
+            &mut page,
+        )?;
+        frame.mark_dirty();
+        Ok(())
+    }
+}
+
+/// Eviction sink that enforces the WAL rule before handing pages to the
+/// EBP: a page image may only be persisted once its mutations' log records
+/// are durable.
+struct DbEvictionSink<'a>(&'a Db);
+
+impl EvictionSink for DbEvictionSink<'_> {
+    fn on_evict(&self, ctx: &mut SimCtx, page_id: PageId, page: &Page, lsn: Lsn) {
+        // Never cache the meta page (recovery reads it from PageStore).
+        if page_id == META_PAGE {
+            return;
+        }
+        let Some(ebp) = &self.0.ebp else { return };
+        if lsn > self.0.wal.flushed_lsn() && self.0.wal.flush(ctx, lsn).is_err() {
+            return;
+        }
+        let _ = ebp.write_page(ctx, page_id, page, lsn);
+    }
+}
+
+impl TreeAccess for Db {
+    fn get_frame(&self, ctx: &mut SimCtx, pid: PageId) -> Result<Arc<Frame>> {
+        let sink_impl = DbEvictionSink(self);
+        let sink: Option<&dyn EvictionSink> =
+            self.ebp.as_ref().map(|_| &sink_impl as &dyn EvictionSink);
+        let min_lsn = self.page_lsn(pid);
+        self.bp.get(ctx, pid, sink, |ctx| {
+            // EBP first (§V-C), then PageStore.
+            if let Some(ebp) = &self.ebp {
+                if let Some(page) = ebp.read_page(ctx, pid, min_lsn) {
+                    return Ok(page);
+                }
+            }
+            // Make sure PageStore has everything we logged for this page:
+            // force the log (WAL rule), then ship.
+            if min_lsn > self.shipped_lsn.load(Ordering::Acquire) {
+                self.wal.flush(ctx, min_lsn).map_err(|e| e)?;
+                self.flush_ship(ctx, true);
+            }
+            match self.pagestore.read_page(ctx, pid, min_lsn) {
+                Ok(bytes) => Ok(Page::from_bytes(&bytes)?),
+                Err(PageStoreError::UnknownPage(_)) if min_lsn == 0 => {
+                    // Freshly allocated page: starts blank.
+                    Ok(Page::new())
+                }
+                Err(e) => Err(e.into()),
+            }
+        })
+    }
+
+    fn alloc_page(&self, ctx: &mut SimCtx, txn: u64, space: u32) -> Result<u32> {
+        let page_no = {
+            let mut m = self.meta.lock();
+            let next = m.next_page.entry(space).or_insert(0);
+            *next += 1;
+            *next
+        };
+        self.persist_meta(ctx, txn)?;
+        Ok(page_no)
+    }
+
+    fn root_of(&self, space: u32) -> (u32, u8) {
+        self.meta.lock().roots.get(&space).copied().unwrap_or((0, 0))
+    }
+
+    fn set_root(&self, ctx: &mut SimCtx, txn: u64, space: u32, root: u32, level: u8) -> Result<()> {
+        self.meta.lock().roots.insert(space, (root, level));
+        self.persist_meta(ctx, txn)
+    }
+
+    fn log_and_apply(
+        &self,
+        ctx: &mut SimCtx,
+        txn: u64,
+        pid: PageId,
+        op: PageOp,
+        undo: Option<UndoInfo>,
+        page: &mut Page,
+    ) -> Result<Lsn> {
+        let proto = RedoRecord { lsn: 0, prev_same_segment: 0, txn_id: txn, page: pid, op };
+        let (lsn, redo) = self.wal.log_page(ctx, proto, undo)?;
+        redo.apply(page)?;
+        self.ship_buf.lock().push(redo);
+        self.page_lsns.lock().insert(pid, lsn);
+        if let Some(ebp) = &self.ebp {
+            if ebp.contains(pid) {
+                ebp.note_page_lsn(ctx, pid, lsn);
+            }
+        }
+        Ok(lsn)
+    }
+
+    fn space_pages(&self, space: u32) -> u32 {
+        Db::space_pages(self, space)
+    }
+
+    fn charge_cpu(&self, ctx: &mut SimCtx, ns: u64) {
+        let done = self.env.engine_cpu.acquire(ctx.now(), VTime::from_nanos(ns));
+        ctx.wait_until(done);
+    }
+
+    fn space_latch(&self, space: u32) -> Arc<RwLock<()>> {
+        let mut latches = self.space_latches.lock();
+        Arc::clone(latches.entry(space).or_insert_with(|| Arc::new(RwLock::new(()))))
+    }
+}

@@ -1,0 +1,825 @@
+//! The Extended Buffer Pool (§V-C/D/E).
+//!
+//! Pages evicted from the local buffer pool are cached in AStore (PMem,
+//! replication factor 1 — losing an EBP page only lowers the hit ratio).
+//! The engine keeps the **EBP Index**: `{(space_no, page_no) → lsn +
+//! segment + offset}` in sharded maps, each shard with its own LRU order
+//! (the paper's "multiple LRU lists" for contention relief, §V-D).
+//!
+//! Writes are append-only records in EBP segments; overwriting a page makes
+//! the previous image *garbage*, tracked per segment. Segments whose
+//! garbage ratio crosses a threshold are **compacted** (live records moved
+//! to the active segment) or, if compaction is disabled, released outright
+//! — dropping some live pages with them, exactly as the paper describes.
+//!
+//! Capacity policies (§V-C): `Flat` — one LRU space for everyone;
+//! `Priority` — spaces carry priorities, and a page may only evict pages of
+//! its own priority or lower, so hot push-down tables can be pinned by
+//! giving their space a high priority (§VI-B).
+//!
+//! Recovery (§V-E): the engine periodically ships `(page, latest LSN)`
+//! batches to the AStore servers; after a DBEngine crash the servers scan
+//! their local PMem, prune stale images, and return the valid entries from
+//! which [`Ebp::recover`] rebuilds the index.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vedb_astore::client::{AStoreClient, SegmentHandle};
+use vedb_astore::ebp_format::{encode_header, EbpRecordHeader, RECORD_HDR_SIZE};
+use vedb_astore::layout::SegmentClass;
+use vedb_astore::{AStoreError, Lsn, PageId, SegmentId};
+use vedb_pagestore::Page;
+use vedb_sim::fault::NodeId;
+use vedb_sim::{SimCtx, VTime};
+
+use crate::Result;
+
+/// EBP capacity management policy (§V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EbpPolicy {
+    /// No partitioning: all pages compete in one LRU space.
+    Flat,
+    /// Spaces carry priorities; a page can only displace pages of equal or
+    /// lower priority.
+    Priority,
+}
+
+/// EBP configuration.
+#[derive(Clone)]
+pub struct EbpConfig {
+    /// Total live-page capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Capacity policy.
+    pub policy: EbpPolicy,
+    /// Index/LRU shards.
+    pub shards: usize,
+    /// Whether background compaction is enabled.
+    pub compaction: bool,
+    /// Garbage ratio above which a frozen segment is compacted/released.
+    pub compaction_garbage_ratio: f64,
+    /// Per-space priority (Priority policy; default 0).
+    pub space_priority: HashMap<u32, u8>,
+    /// Page→LSN mappings buffered before a batch is shipped to the
+    /// AStore servers.
+    pub lsn_batch_size: usize,
+}
+
+impl Default for EbpConfig {
+    fn default() -> Self {
+        EbpConfig {
+            capacity_bytes: 64 << 20,
+            policy: EbpPolicy::Flat,
+            shards: 8,
+            compaction: true,
+            compaction_garbage_ratio: 0.5,
+            space_priority: HashMap::new(),
+            lsn_batch_size: 64,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    lsn: Lsn,
+    seg: SegmentHandle,
+    offset: u64,
+    len: u32,
+    prio: u8,
+    touch: u64,
+}
+
+struct Shard {
+    entries: HashMap<PageId, Entry>,
+    recency: BTreeMap<u64, PageId>,
+}
+
+struct SegInfo {
+    handle: SegmentHandle,
+    used: u64,
+    garbage: u64,
+}
+
+struct SegTable {
+    active: Option<SegmentHandle>,
+    info: HashMap<SegmentId, SegInfo>,
+}
+
+/// Where an EBP-cached page physically lives (push-down task routing).
+#[derive(Debug, Clone, Copy)]
+pub struct EbpLoc {
+    /// AStore node hosting the (single) replica.
+    pub node: NodeId,
+    /// Segment.
+    pub seg: SegmentHandle,
+    /// Offset of the page image within the segment.
+    pub offset: u64,
+    /// Image length.
+    pub len: u32,
+    /// LSN the image was current as of.
+    pub lsn: Lsn,
+}
+
+/// The Extended Buffer Pool manager (engine side).
+pub struct Ebp {
+    client: Arc<AStoreClient>,
+    cfg: EbpConfig,
+    shards: Vec<Mutex<Shard>>,
+    segs: Mutex<SegTable>,
+    live_bytes: AtomicU64,
+    touch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    lsn_batch: Mutex<Vec<(PageId, Lsn)>>,
+}
+
+impl Ebp {
+    /// Create an empty EBP over `client`.
+    pub fn new(client: Arc<AStoreClient>, cfg: EbpConfig) -> Ebp {
+        assert!(cfg.shards > 0);
+        let shards = (0..cfg.shards)
+            .map(|_| Mutex::new(Shard { entries: HashMap::new(), recency: BTreeMap::new() }))
+            .collect();
+        Ebp {
+            client,
+            cfg,
+            shards,
+            segs: Mutex::new(SegTable { active: None, info: HashMap::new() }),
+            live_bytes: AtomicU64::new(0),
+            touch: AtomicU64::new(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            lsn_batch: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn shard_of(&self, pid: PageId) -> usize {
+        let h = (pid.space_no as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((pid.page_no as u64).wrapping_mul(0xFF51_AFD7_ED55_8CCD));
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn prio_of(&self, pid: PageId) -> u8 {
+        match self.cfg.policy {
+            EbpPolicy::Flat => 0,
+            EbpPolicy::Priority => *self.cfg.space_priority.get(&pid.space_no).unwrap_or(&0),
+        }
+    }
+
+    /// EBP hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// EBP misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Reset the hit/miss counters.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Live cached bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is a page currently cached (any version)?
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.shards[self.shard_of(pid)].lock().entries.contains_key(&pid)
+    }
+
+    /// Physical location of a cached page (push-down routing).
+    pub fn locate(&self, pid: PageId) -> Option<EbpLoc> {
+        let e = *self.shards[self.shard_of(pid)].lock().entries.get(&pid)?;
+        let node = self.client.cached_route(e.seg.id)?.replicas.first()?.node;
+        Some(EbpLoc { node, seg: e.seg, offset: e.offset, len: e.len, lsn: e.lsn })
+    }
+
+    fn active_segment(&self, ctx: &mut SimCtx, need: u64) -> Result<SegmentHandle> {
+        let mut segs = self.segs.lock();
+        if let Some(h) = segs.active {
+            let used = self.client.segment_len(h);
+            if used + need <= self.client.segment_capacity(h) && !self.client.is_frozen(h) {
+                return Ok(h);
+            }
+        }
+        // Freeze current (it becomes a compaction candidate) and open a new
+        // segment.
+        let h = self.client.create_segment(ctx, SegmentClass::Ebp)?;
+        segs.active = Some(h);
+        segs.info.insert(h.id, SegInfo { handle: h, used: 0, garbage: 0 });
+        Ok(h)
+    }
+
+    fn drop_entry(&self, pid: PageId, e: &Entry) {
+        self.live_bytes.fetch_sub(e.len as u64, Ordering::Relaxed);
+        let mut segs = self.segs.lock();
+        if let Some(info) = segs.info.get_mut(&e.seg.id) {
+            info.garbage += e.len as u64 + RECORD_HDR_SIZE as u64;
+        }
+        let _ = pid;
+    }
+
+    /// Cache a page image. Applies the admission/eviction policy; may
+    /// trigger segment roll-over and compaction. A page that cannot be
+    /// admitted (Priority policy, nothing evictable) is silently skipped —
+    /// the EBP is a cache, not a store.
+    pub fn write_page(&self, ctx: &mut SimCtx, pid: PageId, page: &Page, lsn: Lsn) -> Result<()> {
+        let bytes = page.as_bytes();
+        let prio = self.prio_of(pid);
+        let shard_idx = self.shard_of(pid);
+        let shard_cap = self.cfg.capacity_bytes / self.shards.len() as u64;
+
+        // Admission + eviction decision under the shard lock.
+        {
+            let mut shard = self.shards[shard_idx].lock();
+            // Overwrite: old image becomes garbage.
+            if let Some(old) = shard.entries.remove(&pid) {
+                shard.recency.remove(&old.touch);
+                self.drop_entry(pid, &old);
+            }
+            let shard_bytes =
+                |s: &Shard| s.entries.values().map(|e| e.len as u64).sum::<u64>();
+            let mut freed_enough = shard_bytes(&shard) + bytes.len() as u64 <= shard_cap;
+            while !freed_enough {
+                let victim = shard
+                    .recency
+                    .iter()
+                    .map(|(t, p)| (*t, *p))
+                    .find(|(_, p)| shard.entries.get(p).map(|e| e.prio <= prio).unwrap_or(false));
+                match victim {
+                    Some((t, p)) => {
+                        shard.recency.remove(&t);
+                        if let Some(e) = shard.entries.remove(&p) {
+                            self.drop_entry(p, &e);
+                        }
+                        freed_enough =
+                            shard_bytes(&shard) + bytes.len() as u64 <= shard_cap;
+                    }
+                    None => {
+                        // Priority policy: nothing evictable — skip caching.
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        // Append the record + terminator to the active segment.
+        let hdr = encode_header(&EbpRecordHeader { page: pid, lsn, len: bytes.len() as u32 });
+        let mut record = Vec::with_capacity(RECORD_HDR_SIZE + bytes.len());
+        record.extend_from_slice(&hdr);
+        record.extend_from_slice(bytes);
+        let zero = [0u8; RECORD_HDR_SIZE];
+        let need = (record.len() + zero.len()) as u64;
+        let mut seg = self.active_segment(ctx, need)?;
+        let offset = match self.client.append_with_tail(ctx, seg, &record, &zero) {
+            Ok(off) => off,
+            Err(AStoreError::SegmentFull { .. }) | Err(AStoreError::SegmentFrozen(_)) => {
+                self.segs.lock().active = None;
+                seg = self.active_segment(ctx, need)?;
+                self.client.append_with_tail(ctx, seg, &record, &zero)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        {
+            let mut segs = self.segs.lock();
+            if let Some(info) = segs.info.get_mut(&seg.id) {
+                info.used += need;
+            }
+        }
+        let t = self.touch.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut shard = self.shards[shard_idx].lock();
+            shard.entries.insert(
+                pid,
+                Entry {
+                    lsn,
+                    seg,
+                    offset: offset + RECORD_HDR_SIZE as u64,
+                    len: bytes.len() as u32,
+                    prio,
+                    touch: t,
+                },
+            );
+            shard.recency.insert(t, pid);
+        }
+        self.live_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.maybe_compact(ctx)?;
+        Ok(())
+    }
+
+    /// Fetch a cached page no older than `min_lsn`. A stale hit is treated
+    /// as a miss (and the stale entry dropped).
+    pub fn read_page(&self, ctx: &mut SimCtx, pid: PageId, min_lsn: Lsn) -> Option<Page> {
+        let shard_idx = self.shard_of(pid);
+        let entry = {
+            let mut shard = self.shards[shard_idx].lock();
+            match shard.entries.get(&pid).copied() {
+                Some(e) if e.lsn >= min_lsn => {
+                    // Touch.
+                    let t = self.touch.fetch_add(1, Ordering::Relaxed);
+                    shard.recency.remove(&e.touch);
+                    shard.recency.insert(t, pid);
+                    shard.entries.get_mut(&pid).expect("present").touch = t;
+                    Some(e)
+                }
+                Some(e) => {
+                    // Stale image: drop it.
+                    shard.recency.remove(&e.touch);
+                    shard.entries.remove(&pid);
+                    self.drop_entry(pid, &e);
+                    None
+                }
+                None => None,
+            }
+        };
+        let Some(e) = entry else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match self.client.read(ctx, e.seg, e.offset, e.len as usize) {
+            Ok(bytes) => match Page::from_bytes(&bytes) {
+                Ok(p) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(p)
+                }
+                Err(_) => None,
+            },
+            Err(_) => {
+                // Server lost: remove the entry; hit ratio drops, nothing
+                // else (§V-E).
+                let mut shard = self.shards[shard_idx].lock();
+                if let Some(e) = shard.entries.remove(&pid) {
+                    shard.recency.remove(&e.touch);
+                    self.drop_entry(pid, &e);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record that the engine has a newer version of `pid` (modified in
+    /// the local buffer pool); shipped to the AStore servers in batches for
+    /// EBP recovery pruning (§V-C).
+    pub fn note_page_lsn(&self, ctx: &mut SimCtx, pid: PageId, lsn: Lsn) {
+        let flush = {
+            let mut batch = self.lsn_batch.lock();
+            batch.push((pid, lsn));
+            batch.len() >= self.cfg.lsn_batch_size
+        };
+        if flush {
+            self.flush_lsn_batch(ctx);
+        }
+    }
+
+    /// Ship the buffered page→LSN batch to every AStore server.
+    pub fn flush_lsn_batch(&self, ctx: &mut SimCtx) {
+        let batch: Vec<(PageId, Lsn)> = std::mem::take(&mut *self.lsn_batch.lock());
+        if batch.is_empty() {
+            return;
+        }
+        for server in self.client.cm().live_servers() {
+            // One RPC per server per batch.
+            ctx.advance(VTime::from_micros(120));
+            server.record_page_lsns(batch.iter().copied());
+        }
+    }
+
+    /// Compact (or release) frozen segments whose garbage ratio crossed the
+    /// threshold (§V-D). Returns the number of segments processed.
+    pub fn maybe_compact(&self, ctx: &mut SimCtx) -> Result<usize> {
+        let candidates: Vec<(SegmentId, SegmentHandle)> = {
+            let segs = self.segs.lock();
+            segs.info
+                .iter()
+                .filter(|(_id, info)| {
+                    Some(info.handle) != segs.active
+                        && info.used > 0
+                        && info.garbage as f64 / info.used as f64
+                            >= self.cfg.compaction_garbage_ratio
+                })
+                .map(|(id, info)| (*id, info.handle))
+                .collect()
+        };
+        let mut processed = 0;
+        for (seg_id, handle) in candidates {
+            if self.cfg.compaction {
+                // Move live records into the active segment.
+                let live: Vec<(PageId, Entry)> = self
+                    .shards
+                    .iter()
+                    .flat_map(|s| {
+                        s.lock()
+                            .entries
+                            .iter()
+                            .filter(|(_, e)| e.seg.id == seg_id)
+                            .map(|(p, e)| (*p, *e))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                for (pid, e) in live {
+                    if let Ok(bytes) = self.client.read(ctx, e.seg, e.offset, e.len as usize) {
+                        if let Ok(page) = Page::from_bytes(&bytes) {
+                            // Re-admit at the same LSN (write_page drops the
+                            // old entry and appends to the active segment).
+                            self.write_page(ctx, pid, &page, e.lsn)?;
+                        }
+                    }
+                }
+            } else {
+                // Release directly, dropping live pages with it (§V-D).
+                for s in &self.shards {
+                    let mut shard = s.lock();
+                    let dead: Vec<PageId> = shard
+                        .entries
+                        .iter()
+                        .filter(|(_, e)| e.seg.id == seg_id)
+                        .map(|(p, _)| *p)
+                        .collect();
+                    for p in dead {
+                        if let Some(e) = shard.entries.remove(&p) {
+                            shard.recency.remove(&e.touch);
+                            self.live_bytes.fetch_sub(e.len as u64, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            let _ = self.client.delete_segment(ctx, handle);
+            self.segs.lock().info.remove(&seg_id);
+            processed += 1;
+        }
+        Ok(processed)
+    }
+
+    /// The first `limit` cached page ids (buffer-pool warm-up, §VIII).
+    pub fn cached_pages(&self, limit: usize) -> Vec<PageId> {
+        let mut out = Vec::with_capacity(limit.min(64));
+        for shard in &self.shards {
+            let s = shard.lock();
+            // Most recently used first.
+            for (_, pid) in s.recency.iter().rev() {
+                if out.len() >= limit {
+                    return out;
+                }
+                out.push(*pid);
+            }
+        }
+        out
+    }
+
+    /// §VIII extension: an AStore server that crashed and restarted still
+    /// holds its EBP segments in PMem ("leverage PMem persistency to
+    /// recover EBP data pages locally once the AStore server is
+    /// restarted"). Re-scan that server and re-adopt its valid pages into
+    /// the index. Returns the number of pages re-attached.
+    pub fn reattach_server(
+        &self,
+        ctx: &mut SimCtx,
+        server: &Arc<vedb_astore::AStoreServer>,
+    ) -> Result<usize> {
+        let mut attached = 0;
+        ctx.advance(VTime::from_micros(120)); // recovery RPC
+        for found in server.ebp_recovery_scan(ctx) {
+            // Only re-adopt segments the CM still routes (stale ones are
+            // pending cleanup).
+            let Ok(handle) = self
+                .client
+                .adopt_segment(ctx, found.segment, SegmentClass::Ebp)
+            else {
+                continue;
+            };
+            {
+                let mut segs = self.segs.lock();
+                segs.info.entry(handle.id).or_insert(SegInfo {
+                    handle,
+                    used: self.client.segment_len(handle),
+                    garbage: 0,
+                });
+            }
+            let shard_idx = self.shard_of(found.page);
+            let prio = self.prio_of(found.page);
+            let t = self.touch.fetch_add(1, Ordering::Relaxed);
+            let mut shard = self.shards[shard_idx].lock();
+            let newer_exists = shard
+                .entries
+                .get(&found.page)
+                .map(|e| e.lsn >= found.lsn)
+                .unwrap_or(false);
+            if !newer_exists {
+                if let Some(old) = shard.entries.remove(&found.page) {
+                    shard.recency.remove(&old.touch);
+                    self.live_bytes.fetch_sub(old.len as u64, Ordering::Relaxed);
+                }
+                shard.entries.insert(
+                    found.page,
+                    Entry {
+                        lsn: found.lsn,
+                        seg: handle,
+                        offset: found.offset,
+                        len: found.len,
+                        prio,
+                        touch: t,
+                    },
+                );
+                shard.recency.insert(t, found.page);
+                self.live_bytes.fetch_add(found.len as u64, Ordering::Relaxed);
+                attached += 1;
+            }
+        }
+        Ok(attached)
+    }
+
+    /// Rebuild the EBP after a DBEngine crash from server-side scans
+    /// (§V-E). `client` is the *new* engine incarnation's AStore client.
+    pub fn recover(ctx: &mut SimCtx, client: Arc<AStoreClient>, cfg: EbpConfig) -> Result<Ebp> {
+        let ebp = Ebp::new(Arc::clone(&client), cfg);
+        let mut adopted: HashMap<SegmentId, SegmentHandle> = HashMap::new();
+        for server in client.cm().live_servers() {
+            // Recovery request is an RPC; the scan charges PMem time.
+            ctx.advance(VTime::from_micros(120));
+            for found in server.ebp_recovery_scan(ctx) {
+                let handle = match adopted.get(&found.segment) {
+                    Some(h) => *h,
+                    None => {
+                        let Ok(h) = client.adopt_segment(ctx, found.segment, SegmentClass::Ebp)
+                        else {
+                            continue; // segment's route is gone
+                        };
+                        ebp.segs.lock().info.insert(
+                            h.id,
+                            SegInfo { handle: h, used: client.segment_len(h), garbage: 0 },
+                        );
+                        adopted.insert(found.segment, h);
+                        h
+                    }
+                };
+                let prio = ebp.prio_of(found.page);
+                let t = ebp.touch.fetch_add(1, Ordering::Relaxed);
+                let shard_idx = ebp.shard_of(found.page);
+                let mut shard = ebp.shards[shard_idx].lock();
+                let newer = shard
+                    .entries
+                    .get(&found.page)
+                    .map(|e| e.lsn >= found.lsn)
+                    .unwrap_or(false);
+                if !newer {
+                    if let Some(old) = shard.entries.remove(&found.page) {
+                        shard.recency.remove(&old.touch);
+                        ebp.live_bytes.fetch_sub(old.len as u64, Ordering::Relaxed);
+                    }
+                    shard.entries.insert(
+                        found.page,
+                        Entry {
+                            lsn: found.lsn,
+                            seg: handle,
+                            offset: found.offset,
+                            len: found.len,
+                            prio,
+                            touch: t,
+                        },
+                    );
+                    shard.recency.insert(t, found.page);
+                    ebp.live_bytes.fetch_add(found.len as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(ebp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vedb_pagestore::PageType;
+
+    // The EBP is exercised against a real AStore cluster via the shared
+    // test harness in the astore crate's client tests; here we use the
+    // public connect path.
+    use vedb_astore::cm::ClusterManager;
+    use vedb_rdma::RdmaEndpoint;
+    use vedb_sim::{ClusterSpec, VTime};
+
+    fn harness(
+        ctx: &mut SimCtx,
+        slot_kb: u64,
+    ) -> (Arc<vedb_sim::SimEnv>, Arc<AStoreClient>) {
+        let env = ClusterSpec::paper_default().build();
+        let cm = ClusterManager::new(
+            Arc::clone(&env.faults),
+            VTime::from_secs(3600),
+            VTime::from_secs(60),
+        );
+        for (i, n) in env.astore_nodes.iter().enumerate() {
+            let s = vedb_astore::AStoreServer::new(
+                i as NodeId,
+                Arc::clone(n),
+                8 << 20,
+                slot_kb * 1024,
+                false,
+                VTime::from_millis(500),
+                env.model.clone(),
+            );
+            cm.register_server(Arc::clone(&s));
+            cm.heartbeat(VTime::ZERO, s.node(), s.free_slots());
+        }
+        let ep = RdmaEndpoint::new(env.model.clone(), Arc::clone(&env.faults), Arc::clone(&env.engine_nic));
+        let client = AStoreClient::connect(
+            ctx,
+            cm,
+            ep,
+            Arc::clone(&env.engine_cpu),
+            env.model.clone(),
+            1,
+            VTime::from_millis(50),
+        );
+        (env, client)
+    }
+
+    fn page_with(marker: u8) -> Page {
+        let mut p = Page::new();
+        p.format(PageType::BTreeLeaf, 0);
+        p.insert_at(0, &[marker; 64]).unwrap();
+        p
+    }
+
+    fn small_cfg() -> EbpConfig {
+        EbpConfig {
+            capacity_bytes: 8 * 16 * 1024, // 8 pages
+            shards: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let mut ctx = SimCtx::new(1, 7);
+        let (_env, client) = harness(&mut ctx, 256);
+        let ebp = Ebp::new(client, small_cfg());
+        let pid = PageId::new(1, 5);
+        let page = page_with(0xAB);
+        ebp.write_page(&mut ctx, pid, &page, 100).unwrap();
+        assert!(ebp.contains(pid));
+        let got = ebp.read_page(&mut ctx, pid, 100).unwrap();
+        assert_eq!(got.get(0).unwrap(), &[0xAB; 64]);
+        assert_eq!(ebp.hits(), 1);
+    }
+
+    #[test]
+    fn stale_entry_is_a_miss() {
+        let mut ctx = SimCtx::new(1, 7);
+        let (_env, client) = harness(&mut ctx, 256);
+        let ebp = Ebp::new(client, small_cfg());
+        let pid = PageId::new(1, 5);
+        ebp.write_page(&mut ctx, pid, &page_with(1), 100).unwrap();
+        // The engine has since modified the page up to LSN 200.
+        assert!(ebp.read_page(&mut ctx, pid, 200).is_none());
+        assert!(!ebp.contains(pid), "stale entry must be dropped");
+        assert_eq!(ebp.misses(), 1);
+    }
+
+    #[test]
+    fn read_latency_near_20us() {
+        let mut ctx = SimCtx::new(1, 7);
+        let (_env, client) = harness(&mut ctx, 256);
+        let ebp = Ebp::new(client, small_cfg());
+        let pid = PageId::new(1, 1);
+        ebp.write_page(&mut ctx, pid, &page_with(1), 10).unwrap();
+        let t0 = ctx.now();
+        ebp.read_page(&mut ctx, pid, 10).unwrap();
+        let us = (ctx.now() - t0).as_micros_f64();
+        assert!((10.0..=40.0).contains(&us), "EBP page read should be ~20us, got {us:.1}us");
+    }
+
+    #[test]
+    fn lru_eviction_bounds_size() {
+        let mut ctx = SimCtx::new(1, 7);
+        let (_env, client) = harness(&mut ctx, 1024);
+        let ebp = Ebp::new(client, small_cfg()); // capacity: 8 pages
+        for i in 0..30 {
+            ebp.write_page(&mut ctx, PageId::new(1, i), &page_with(i as u8), 10).unwrap();
+        }
+        assert!(ebp.len() <= 8, "EBP exceeded capacity: {} pages", ebp.len());
+        assert!(ebp.live_bytes() <= 8 * 16 * 1024);
+        // Most recent pages survived.
+        assert!(ebp.contains(PageId::new(1, 29)));
+        assert!(!ebp.contains(PageId::new(1, 0)));
+    }
+
+    #[test]
+    fn priority_policy_protects_high_priority_pages() {
+        let mut ctx = SimCtx::new(1, 7);
+        let (_env, client) = harness(&mut ctx, 1024);
+        let mut cfg = small_cfg();
+        cfg.policy = EbpPolicy::Priority;
+        cfg.space_priority.insert(7, 10); // space 7 is precious
+        let ebp = Ebp::new(client, cfg);
+        // Fill with high-priority pages.
+        for i in 0..8 {
+            ebp.write_page(&mut ctx, PageId::new(7, i), &page_with(1), 10).unwrap();
+        }
+        // Low-priority pages cannot displace them: silently skipped.
+        for i in 0..8 {
+            ebp.write_page(&mut ctx, PageId::new(1, i), &page_with(2), 10).unwrap();
+        }
+        for i in 0..8 {
+            assert!(ebp.contains(PageId::new(7, i)), "high-prio page {i} evicted");
+            assert!(!ebp.contains(PageId::new(1, i)), "low-prio page {i} admitted");
+        }
+        // A high-priority page *can* displace its own kind.
+        ebp.write_page(&mut ctx, PageId::new(7, 100), &page_with(3), 10).unwrap();
+        assert!(ebp.contains(PageId::new(7, 100)));
+    }
+
+    #[test]
+    fn overwrite_creates_garbage_and_compaction_reclaims() {
+        let mut ctx = SimCtx::new(1, 7);
+        let (_env, client) = harness(&mut ctx, 64); // small segments: ~3 pages each
+        let cfg = EbpConfig {
+            capacity_bytes: 4 * 16 * 1024,
+            shards: 1,
+            compaction: true,
+            compaction_garbage_ratio: 0.4,
+            ..Default::default()
+        };
+        let ebp = Ebp::new(client, cfg);
+        let pid = PageId::new(1, 1);
+        // Overwrite the same page many times: old images become garbage,
+        // segments roll over, and compaction processes the frozen ones.
+        for v in 0..20 {
+            ebp.write_page(&mut ctx, pid, &page_with(v), 100 + v as u64).unwrap();
+        }
+        // The page is still readable at its latest LSN.
+        let got = ebp.read_page(&mut ctx, pid, 119).unwrap();
+        assert_eq!(got.get(0).unwrap(), &[19; 64]);
+        // Compaction kept the segment table bounded.
+        let n_segs = ebp.segs.lock().info.len();
+        assert!(n_segs <= 3, "compaction should bound segments, have {n_segs}");
+    }
+
+    #[test]
+    fn recovery_rebuilds_index_and_prunes_stale() {
+        let mut ctx = SimCtx::new(1, 7);
+        let (env, client) = harness(&mut ctx, 256);
+        let ebp = Ebp::new(Arc::clone(&client), small_cfg());
+        let keep = PageId::new(1, 1);
+        let stale = PageId::new(1, 2);
+        ebp.write_page(&mut ctx, keep, &page_with(0x11), 100).unwrap();
+        ebp.write_page(&mut ctx, stale, &page_with(0x22), 100).unwrap();
+        // Engine modifies `stale` afterwards and ships the mapping.
+        ebp.note_page_lsn(&mut ctx, stale, 500);
+        ebp.flush_lsn_batch(&mut ctx);
+
+        // DBEngine crashes: a new incarnation recovers the EBP.
+        drop(ebp);
+        let ep = RdmaEndpoint::new(
+            env.model.clone(),
+            Arc::clone(&env.faults),
+            Arc::clone(&env.engine_nic),
+        );
+        let client2 = AStoreClient::connect(
+            &mut ctx,
+            Arc::clone(client.cm()),
+            ep,
+            Arc::clone(&env.engine_cpu),
+            env.model.clone(),
+            1,
+            VTime::from_millis(50),
+        );
+        let recovered = Ebp::recover(&mut ctx, client2, small_cfg()).unwrap();
+        assert!(recovered.contains(keep), "fresh page must survive recovery");
+        assert!(!recovered.contains(stale), "stale page must be pruned");
+        let got = recovered.read_page(&mut ctx, keep, 100).unwrap();
+        assert_eq!(got.get(0).unwrap(), &[0x11; 64]);
+    }
+
+    #[test]
+    fn server_loss_degrades_to_misses() {
+        let mut ctx = SimCtx::new(1, 7);
+        let (env, client) = harness(&mut ctx, 256);
+        let ebp = Ebp::new(client, small_cfg());
+        let pid = PageId::new(1, 3);
+        ebp.write_page(&mut ctx, pid, &page_with(5), 10).unwrap();
+        let node = ebp.locate(pid).unwrap().node;
+        env.faults.crash(node);
+        assert!(ebp.read_page(&mut ctx, pid, 10).is_none());
+        assert!(!ebp.contains(pid), "entry for lost server must be dropped");
+    }
+}

@@ -1,0 +1,119 @@
+//! # vedb-core — the veDB DBEngine
+//!
+//! The compute layer of the reproduction (§III, §V, §VI): clustered B+Tree
+//! tables over 16 KB slotted pages, a sharded-LRU buffer pool, row-level
+//! two-phase locking, ARIES-style write-ahead REDO logging with logical
+//! undo, and a Volcano-style query executor with the paper's push-down
+//! framework.
+//!
+//! The engine is generic over its **log backend** ([`wal::LogBackend`]):
+//!
+//! * [`wal::BlobGroupLog`] — the baseline SSD LogStore (TCP + BlobGroups),
+//! * [`wal::RingLog`] — AStore's SegmentRing over PMem + one-sided RDMA,
+//!
+//! and optionally attaches an **Extended Buffer Pool** ([`ebp::Ebp`])
+//! between the local buffer pool and PageStore. Those two switches are
+//! exactly the paper's "veDB" vs "veDB + AStore (+EBP)" configurations and
+//! drive every experiment in §VII.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buffer;
+pub mod btree;
+pub mod catalog;
+pub mod db;
+pub mod ebp;
+pub mod lock;
+pub mod query;
+pub mod recovery;
+pub mod row;
+pub mod txn;
+pub mod wal;
+
+pub use catalog::{Catalog, ColumnDef, ColumnType, IndexDef, TableDef};
+pub use db::{Db, DbConfig, LogBackendKind};
+pub use row::{Row, Value};
+pub use txn::TxnHandle;
+
+use vedb_astore::PageId;
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Storage-layer failure (AStore).
+    AStore(vedb_astore::AStoreError),
+    /// Storage-layer failure (PageStore / page format).
+    PageStore(vedb_pagestore::PageStoreError),
+    /// Baseline blob-store failure.
+    Blob(vedb_blobstore::BlobError),
+    /// Duplicate primary key on insert.
+    DuplicateKey {
+        /// Table the insert targeted.
+        table: String,
+    },
+    /// Row not found (update/delete/get by key).
+    NotFound,
+    /// Lock wait timed out (deadlock victim).
+    LockTimeout {
+        /// Page/row the transaction was waiting for.
+        context: String,
+    },
+    /// Transaction already finished.
+    TxnFinished,
+    /// Catalog lookup failure.
+    UnknownTable(String),
+    /// Encoding failure.
+    Codec(String),
+    /// A page read could not be satisfied anywhere.
+    PageUnavailable(PageId),
+    /// Query planning/execution error.
+    Query(String),
+}
+
+impl From<vedb_astore::AStoreError> for EngineError {
+    fn from(e: vedb_astore::AStoreError) -> Self {
+        EngineError::AStore(e)
+    }
+}
+
+impl From<vedb_pagestore::PageStoreError> for EngineError {
+    fn from(e: vedb_pagestore::PageStoreError) -> Self {
+        EngineError::PageStore(e)
+    }
+}
+
+impl From<vedb_rdma::RdmaError> for EngineError {
+    fn from(e: vedb_rdma::RdmaError) -> Self {
+        EngineError::AStore(vedb_astore::AStoreError::Network(e))
+    }
+}
+
+impl From<vedb_blobstore::BlobError> for EngineError {
+    fn from(e: vedb_blobstore::BlobError) -> Self {
+        EngineError::Blob(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::AStore(e) => write!(f, "astore: {e}"),
+            EngineError::PageStore(e) => write!(f, "pagestore: {e}"),
+            EngineError::Blob(e) => write!(f, "blobstore: {e}"),
+            EngineError::DuplicateKey { table } => write!(f, "duplicate key in {table}"),
+            EngineError::NotFound => write!(f, "row not found"),
+            EngineError::LockTimeout { context } => write!(f, "lock timeout on {context}"),
+            EngineError::TxnFinished => write!(f, "transaction already finished"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            EngineError::Codec(m) => write!(f, "codec: {m}"),
+            EngineError::PageUnavailable(p) => write!(f, "page {p} unavailable"),
+            EngineError::Query(m) => write!(f, "query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

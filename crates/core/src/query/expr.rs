@@ -1,0 +1,410 @@
+//! Scalar expressions: evaluation and wire codec.
+//!
+//! Expressions are evaluated against a row (column indexes into the row).
+//! Booleans are represented as `Value::Int(0|1)`; any comparison involving
+//! NULL yields false (SQL-ish enough for the evaluated workloads). The
+//! binary codec exists because push-down plan fragments are *serialized*
+//! and sent to storage servers (§VI-A), and we reproduce that faithfully.
+
+use crate::row::{Row, Value};
+use crate::{EngineError, Result};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference (index into the input row).
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// SQL LIKE limited to `%substr%`, `prefix%`, `%suffix` patterns.
+    Like(Box<Expr>, String),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(Value::Int(v))
+    }
+
+    /// String literal.
+    pub fn str(v: &str) -> Expr {
+        Expr::Lit(Value::Str(v.to_string()))
+    }
+
+    /// Double literal.
+    pub fn dbl(v: f64) -> Expr {
+        Expr::Lit(Value::Double(v))
+    }
+
+    /// Comparison builder.
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a = b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Self::cmp(CmpOp::Eq, a, b)
+    }
+
+    /// `a AND b`.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a OR b`.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `a BETWEEN lo AND hi` (inclusive).
+    pub fn between(a: Expr, lo: Expr, hi: Expr) -> Expr {
+        Self::and(Self::cmp(CmpOp::Ge, a.clone(), lo), Self::cmp(CmpOp::Le, a, hi))
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// Evaluate against `row`.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        Ok(match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| EngineError::Query(format!("column {i} out of range")))?,
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let (va, vb) = (a.eval(row)?, b.eval(row)?);
+                let r = match va.partial_cmp(&vb) {
+                    None => false,
+                    Some(ord) => match op {
+                        CmpOp::Eq => ord.is_eq(),
+                        CmpOp::Ne => ord.is_ne(),
+                        CmpOp::Lt => ord.is_lt(),
+                        CmpOp::Le => ord.is_le(),
+                        CmpOp::Gt => ord.is_gt(),
+                        CmpOp::Ge => ord.is_ge(),
+                    },
+                };
+                // NULL comparisons are false.
+                let r = r && !va.is_null() && !vb.is_null();
+                Value::Int(r as i64)
+            }
+            Expr::And(a, b) => {
+                Value::Int((a.eval_bool(row)? && b.eval_bool(row)?) as i64)
+            }
+            Expr::Or(a, b) => Value::Int((a.eval_bool(row)? || b.eval_bool(row)?) as i64),
+            Expr::Not(a) => Value::Int(!a.eval_bool(row)? as i64),
+            Expr::Arith(op, a, b) => {
+                let (va, vb) = (a.eval(row)?, b.eval(row)?);
+                match (va, vb) {
+                    (Value::Int(x), Value::Int(y)) => match op {
+                        ArithOp::Add => Value::Int(x + y),
+                        ArithOp::Sub => Value::Int(x - y),
+                        ArithOp::Mul => Value::Int(x * y),
+                        ArithOp::Div => {
+                            if y == 0 {
+                                Value::Null
+                            } else {
+                                Value::Int(x / y)
+                            }
+                        }
+                    },
+                    (x, y) if !x.is_null() && !y.is_null() => {
+                        let (x, y) = (x.as_f64(), y.as_f64());
+                        Value::Double(match op {
+                            ArithOp::Add => x + y,
+                            ArithOp::Sub => x - y,
+                            ArithOp::Mul => x * y,
+                            ArithOp::Div => x / y,
+                        })
+                    }
+                    _ => Value::Null,
+                }
+            }
+            Expr::Like(e, pattern) => {
+                let v = e.eval(row)?;
+                let s = match &v {
+                    Value::Str(s) => s.as_str(),
+                    _ => return Ok(Value::Int(0)),
+                };
+                let m = match (pattern.starts_with('%'), pattern.ends_with('%')) {
+                    (true, true) => s.contains(&pattern[1..pattern.len() - 1]),
+                    (false, true) => s.starts_with(&pattern[..pattern.len() - 1]),
+                    (true, false) => s.ends_with(&pattern[1..]),
+                    (false, false) => s == pattern,
+                };
+                Value::Int(m as i64)
+            }
+        })
+    }
+
+    /// Evaluate as a boolean predicate.
+    pub fn eval_bool(&self, row: &Row) -> Result<bool> {
+        Ok(match self.eval(row)? {
+            Value::Int(v) => v != 0,
+            Value::Null => false,
+            Value::Double(v) => v != 0.0,
+            Value::Str(_) => true,
+        })
+    }
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    let mut row_buf = Vec::new();
+    crate::row::encode_row(&vec![v.clone()], &mut row_buf);
+    out.extend_from_slice(&(row_buf.len() as u32).to_le_bytes());
+    out.extend_from_slice(&row_buf);
+}
+
+fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    let err = || EngineError::Codec("expr value truncated".into());
+    let len =
+        u32::from_le_bytes(buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().unwrap()) as usize;
+    *pos += 4;
+    let row = crate::row::decode_row(buf.get(*pos..*pos + len).ok_or_else(err)?)?;
+    *pos += len;
+    row.into_iter().next().ok_or_else(err)
+}
+
+/// Encode an expression (push-down fragment wire format).
+pub fn encode_expr(e: &Expr, out: &mut Vec<u8>) {
+    match e {
+        Expr::Col(i) => {
+            out.push(0);
+            out.extend_from_slice(&(*i as u32).to_le_bytes());
+        }
+        Expr::Lit(v) => {
+            out.push(1);
+            encode_value(v, out);
+        }
+        Expr::Cmp(op, a, b) => {
+            out.push(2);
+            out.push(*op as u8);
+            encode_expr(a, out);
+            encode_expr(b, out);
+        }
+        Expr::And(a, b) => {
+            out.push(3);
+            encode_expr(a, out);
+            encode_expr(b, out);
+        }
+        Expr::Or(a, b) => {
+            out.push(4);
+            encode_expr(a, out);
+            encode_expr(b, out);
+        }
+        Expr::Not(a) => {
+            out.push(5);
+            encode_expr(a, out);
+        }
+        Expr::Arith(op, a, b) => {
+            out.push(6);
+            out.push(*op as u8);
+            encode_expr(a, out);
+            encode_expr(b, out);
+        }
+        Expr::Like(a, p) => {
+            out.push(7);
+            encode_expr(a, out);
+            out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            out.extend_from_slice(p.as_bytes());
+        }
+    }
+}
+
+/// Decode an expression.
+pub fn decode_expr(buf: &[u8], pos: &mut usize) -> Result<Expr> {
+    let err = || EngineError::Codec("expr truncated".into());
+    let tag = *buf.get(*pos).ok_or_else(err)?;
+    *pos += 1;
+    Ok(match tag {
+        0 => {
+            let i = u32::from_le_bytes(buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().unwrap());
+            *pos += 4;
+            Expr::Col(i as usize)
+        }
+        1 => Expr::Lit(decode_value(buf, pos)?),
+        2 => {
+            let op = match *buf.get(*pos).ok_or_else(err)? {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Ne,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                5 => CmpOp::Ge,
+                t => return Err(EngineError::Codec(format!("bad cmp op {t}"))),
+            };
+            *pos += 1;
+            let a = decode_expr(buf, pos)?;
+            let b = decode_expr(buf, pos)?;
+            Expr::Cmp(op, Box::new(a), Box::new(b))
+        }
+        3 => {
+            let a = decode_expr(buf, pos)?;
+            let b = decode_expr(buf, pos)?;
+            Expr::And(Box::new(a), Box::new(b))
+        }
+        4 => {
+            let a = decode_expr(buf, pos)?;
+            let b = decode_expr(buf, pos)?;
+            Expr::Or(Box::new(a), Box::new(b))
+        }
+        5 => Expr::Not(Box::new(decode_expr(buf, pos)?)),
+        6 => {
+            let op = match *buf.get(*pos).ok_or_else(err)? {
+                0 => ArithOp::Add,
+                1 => ArithOp::Sub,
+                2 => ArithOp::Mul,
+                3 => ArithOp::Div,
+                t => return Err(EngineError::Codec(format!("bad arith op {t}"))),
+            };
+            *pos += 1;
+            let a = decode_expr(buf, pos)?;
+            let b = decode_expr(buf, pos)?;
+            Expr::Arith(op, Box::new(a), Box::new(b))
+        }
+        7 => {
+            let a = decode_expr(buf, pos)?;
+            let len = u32::from_le_bytes(buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().unwrap())
+                as usize;
+            *pos += 4;
+            let p = String::from_utf8(buf.get(*pos..*pos + len).ok_or_else(err)?.to_vec())
+                .map_err(|_| EngineError::Codec("bad utf8 in LIKE".into()))?;
+            *pos += len;
+            Expr::Like(Box::new(a), p)
+        }
+        t => return Err(EngineError::Codec(format!("bad expr tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        vec![Value::Int(10), Value::Str("hello".into()), Value::Double(2.5), Value::Null]
+    }
+
+    #[test]
+    fn eval_comparisons() {
+        let r = row();
+        assert!(Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(10)).eval_bool(&r).unwrap());
+        assert!(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(11)).eval_bool(&r).unwrap());
+        assert!(!Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(10)).eval_bool(&r).unwrap());
+        assert!(Expr::cmp(CmpOp::Ge, Expr::col(2), Expr::dbl(2.5)).eval_bool(&r).unwrap());
+        // NULL comparisons are false.
+        assert!(!Expr::cmp(CmpOp::Eq, Expr::col(3), Expr::col(3)).eval_bool(&r).unwrap());
+        // Int/Double cross comparisons work.
+        assert!(Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::int(3)).eval_bool(&r).unwrap());
+    }
+
+    #[test]
+    fn eval_logic_and_arith() {
+        let r = row();
+        let e = Expr::and(
+            Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(5)),
+            Expr::Not(Box::new(Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::str("x")))),
+        );
+        assert!(e.eval_bool(&r).unwrap());
+        let m = Expr::mul(Expr::col(0), Expr::col(2)).eval(&r).unwrap();
+        assert_eq!(m, Value::Double(25.0));
+        let d = Expr::Arith(ArithOp::Div, Box::new(Expr::int(7)), Box::new(Expr::int(0)))
+            .eval(&r)
+            .unwrap();
+        assert!(d.is_null());
+        assert_eq!(
+            Expr::between(Expr::col(0), Expr::int(5), Expr::int(15)).eval_bool(&r).unwrap(),
+            true
+        );
+    }
+
+    #[test]
+    fn eval_like() {
+        let r = row();
+        assert!(Expr::Like(Box::new(Expr::col(1)), "%ell%".into()).eval_bool(&r).unwrap());
+        assert!(Expr::Like(Box::new(Expr::col(1)), "he%".into()).eval_bool(&r).unwrap());
+        assert!(Expr::Like(Box::new(Expr::col(1)), "%lo".into()).eval_bool(&r).unwrap());
+        assert!(!Expr::Like(Box::new(Expr::col(1)), "%xyz%".into()).eval_bool(&r).unwrap());
+        assert!(Expr::Like(Box::new(Expr::col(1)), "hello".into()).eval_bool(&r).unwrap());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let exprs = [
+            Expr::col(3),
+            Expr::int(-42),
+            Expr::str("abc"),
+            Expr::dbl(1.5),
+            Expr::and(
+                Expr::or(
+                    Expr::cmp(CmpOp::Ne, Expr::col(0), Expr::int(1)),
+                    Expr::Like(Box::new(Expr::col(1)), "%x%".into()),
+                ),
+                Expr::Not(Box::new(Expr::mul(Expr::col(2), Expr::dbl(2.0)))),
+            ),
+        ];
+        for e in exprs {
+            let mut buf = Vec::new();
+            encode_expr(&e, &mut buf);
+            let mut pos = 0;
+            let dec = decode_expr(&buf, &mut pos).unwrap();
+            assert_eq!(pos, buf.len());
+            assert_eq!(dec, e);
+        }
+    }
+
+    #[test]
+    fn truncated_expr_rejected() {
+        let mut buf = Vec::new();
+        encode_expr(&Expr::and(Expr::col(1), Expr::col(2)), &mut buf);
+        let mut pos = 0;
+        assert!(decode_expr(&buf[..buf.len() - 2], &mut pos).is_err());
+    }
+}

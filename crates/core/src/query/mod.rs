@@ -1,0 +1,11 @@
+//! Query processing: expressions, plans, the local executor, and the
+//! push-down framework (§VI).
+
+pub mod exec;
+pub mod expr;
+pub mod plan;
+pub mod pushdown;
+
+pub use exec::{execute, QuerySession};
+pub use expr::{CmpOp, Expr};
+pub use plan::{AggExpr, AggFunc, Plan};

@@ -1,0 +1,170 @@
+//! Tests for the §VIII future-work extensions implemented in this
+//! reproduction: cost-based push-down, buffer-pool warm-up from the EBP,
+//! and local EBP re-attachment after an AStore server restart.
+
+use std::sync::Arc;
+
+use vedb_core::catalog::ColumnType;
+use vedb_core::db::{Db, DbConfig, StorageFabric};
+use vedb_core::ebp::EbpConfig;
+use vedb_core::query::{execute, AggExpr, Expr, Plan, QuerySession};
+use vedb_core::Value;
+use vedb_sim::{ClusterSpec, SimCtx};
+
+fn fabric() -> StorageFabric {
+    StorageFabric::build(ClusterSpec::paper_default(), 96 << 20, 1 << 20)
+}
+
+fn open_big(ctx: &mut SimCtx, f: &StorageFabric, rows: i64) -> Arc<Db> {
+    let db = Db::open(
+        ctx,
+        f,
+        DbConfig {
+            bp_pages: 32,
+            ebp: Some(EbpConfig { capacity_bytes: 128 << 20, ..Default::default() }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    db.define_schema(|cat| {
+        cat.define("facts")
+            .col("id", ColumnType::Int)
+            .col("grp", ColumnType::Int)
+            .col("val", ColumnType::Double)
+            .col("pad", ColumnType::Str)
+            .pk(&["id"])
+            .build();
+    });
+    db.create_tables(ctx).unwrap();
+    let mut txn = db.begin();
+    for i in 0..rows {
+        db.insert(
+            ctx,
+            &mut txn,
+            "facts",
+            vec![
+                Value::Int(i),
+                Value::Int(i % 16),
+                Value::Double(i as f64),
+                Value::Str("p".repeat(120)),
+            ],
+        )
+        .unwrap();
+        if i % 500 == 0 {
+            db.commit(ctx, &mut txn).unwrap();
+            txn = db.begin();
+        }
+    }
+    db.commit(ctx, &mut txn).unwrap();
+    db.checkpoint(ctx).unwrap();
+    db
+}
+
+#[test]
+fn cost_based_pushdown_pushes_aggregates_and_matches_results() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(0, 7);
+    let db = open_big(&mut ctx, &f, 4000);
+    // Warm the EBP.
+    db.scan_table(&mut ctx, "facts", |_| true).unwrap();
+
+    let agg_plan = Plan::scan("facts").agg(
+        vec![1],
+        vec![AggExpr::count_star(), AggExpr::sum(Expr::col(2))],
+    );
+    let local = execute(&mut ctx, &db, &QuerySession::default(), &agg_plan).unwrap();
+
+    // Cost-based session: the aggregate is clearly cheaper pushed down.
+    let cb = QuerySession::with_cost_based_pushdown();
+    let t0 = ctx.now();
+    let pushed = execute(&mut ctx, &db, &cb, &agg_plan).unwrap();
+    let t_cb = ctx.now() - t0;
+    assert_eq!(format!("{local:?}"), format!("{pushed:?}"));
+
+    let t0 = ctx.now();
+    let _ = execute(&mut ctx, &db, &QuerySession::default(), &agg_plan).unwrap();
+    let t_local = ctx.now() - t0;
+    assert!(
+        t_cb < t_local,
+        "cost-based session should have pushed the aggregate down ({t_cb} vs {t_local})"
+    );
+
+    // A full-width unfiltered scan returns everything: the cost model must
+    // refuse to push it (shipping all rows back buys nothing).
+    let space = db.with_table("facts", |t| t.space_no).unwrap();
+    let pages = db.space_pages(space);
+    assert!(
+        !vedb_core::query::pushdown::cost_decision(&db, space, pages, false, false),
+        "full-width scan must not be pushed down by the cost model"
+    );
+    assert!(
+        vedb_core::query::pushdown::cost_decision(&db, space, pages, false, true),
+        "aggregation must be pushed down by the cost model"
+    );
+}
+
+#[test]
+fn warmup_from_ebp_restores_hit_rate() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(0, 7);
+    let db = open_big(&mut ctx, &f, 3000);
+    // Fill the EBP via evictions.
+    db.scan_table(&mut ctx, "facts", |_| true).unwrap();
+    assert!(db.ebp().unwrap().len() > 32);
+
+    // Simulate a restart of the local pool only.
+    db.buffer_pool().clear();
+    db.buffer_pool().reset_stats();
+
+    let loaded = db.warmup_from_ebp(&mut ctx, 32);
+    assert!(loaded > 0, "warm-up must load pages from the EBP");
+    assert!(db.buffer_pool().len() > 0);
+}
+
+#[test]
+fn astore_server_restart_reattaches_ebp_pages() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(0, 7);
+    let db = open_big(&mut ctx, &f, 3000);
+    db.scan_table(&mut ctx, "facts", |_| true).unwrap();
+    let ebp = db.ebp().unwrap();
+    let before = ebp.len();
+    assert!(before > 10);
+
+    // Find a server hosting EBP pages, power-cycle it.
+    let victim = f
+        .astore_servers
+        .iter()
+        .find(|s| {
+            ebp.cached_pages(before)
+                .iter()
+                .any(|p| ebp.locate(*p).map(|l| l.node == s.node()).unwrap_or(false))
+        })
+        .expect("some server hosts EBP pages")
+        .clone();
+    let victim_pages: Vec<_> = ebp
+        .cached_pages(before)
+        .into_iter()
+        .filter(|p| ebp.locate(*p).map(|l| l.node == victim.node()).unwrap_or(false))
+        .collect();
+    assert!(!victim_pages.is_empty());
+
+    // Power failure: the node goes unreachable and loses volatile state.
+    f.env.faults.crash(victim.node());
+    victim.crash();
+    // Reads of its pages now miss (entries dropped lazily on access).
+    let miss_page = victim_pages[0];
+    assert!(ebp.read_page(&mut ctx, miss_page, 0).is_none());
+
+    // The server restarts: PMem media survived; rebuild its volatile state
+    // and re-attach its pages to the engine's EBP index.
+    f.env.faults.restore(victim.node());
+    victim.restart(&mut ctx).unwrap();
+    let attached = ebp.reattach_server(&mut ctx, &victim).unwrap();
+    assert!(attached > 0, "restart must re-attach locally persisted EBP pages");
+    // The page whose index entry was dropped during the outage is back.
+    assert!(
+        ebp.read_page(&mut ctx, miss_page, 0).is_some(),
+        "re-attached pages must be readable again"
+    );
+}

@@ -1,0 +1,152 @@
+//! Property test: the engine's clustered B+Tree agrees with a `BTreeMap`
+//! model under arbitrary interleavings of insert/update/delete/get/scan,
+//! including keys sized to force page splits and delete+re-insert churn.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vedb_core::catalog::ColumnType;
+use vedb_core::db::{Db, DbConfig, StorageFabric};
+use vedb_core::{EngineError, Value};
+use vedb_sim::{ClusterSpec, SimCtx};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, u16),
+    Update(i64, u16),
+    Delete(i64),
+    Get(i64),
+    Scan,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0i64..200;
+    prop_oneof![
+        4 => (key.clone(), any::<u16>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (key.clone(), any::<u16>()).prop_map(|(k, v)| Op::Update(k, v)),
+        2 => key.clone().prop_map(Op::Delete),
+        2 => key.prop_map(Op::Get),
+        1 => Just(Op::Scan),
+    ]
+}
+
+fn payload(v: u16) -> String {
+    // Variable-width payloads (some large) so pages split and compact.
+    "x".repeat(32 + (v as usize % 400))
+}
+
+fn open(ctx: &mut SimCtx) -> (StorageFabric, Arc<Db>) {
+    let fabric = StorageFabric::build(ClusterSpec::tiny(), 16 << 20, 256 * 1024);
+    let db = Db::open(ctx, &fabric, DbConfig { bp_pages: 32, bp_shards: 2, ..Default::default() })
+        .unwrap();
+    db.define_schema(|cat| {
+        cat.define("t")
+            .col("id", ColumnType::Int)
+            .col("v", ColumnType::Str)
+            .pk(&["id"])
+            .build();
+    });
+    db.create_tables(ctx).unwrap();
+    (fabric, db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn btree_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut ctx = SimCtx::new(1, 99);
+        let (_fabric, db) = open(&mut ctx);
+        let mut model: BTreeMap<i64, String> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let p = payload(*v);
+                    let mut txn = db.begin();
+                    let r = db.insert(&mut ctx, &mut txn, "t",
+                        vec![Value::Int(*k), Value::Str(p.clone())]);
+                    match r {
+                        Ok(()) => {
+                            prop_assert!(!model.contains_key(k), "inserted duplicate {k}");
+                            db.commit(&mut ctx, &mut txn).unwrap();
+                            model.insert(*k, p);
+                        }
+                        Err(EngineError::DuplicateKey { .. }) => {
+                            prop_assert!(model.contains_key(k));
+                            db.abort(&mut ctx, &mut txn).unwrap();
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("insert: {e}"))),
+                    }
+                }
+                Op::Update(k, v) => {
+                    let p = payload(*v);
+                    let mut txn = db.begin();
+                    let r = db.update_by_pk(&mut ctx, &mut txn, "t", &[Value::Int(*k)], |row| {
+                        row[1] = Value::Str(p.clone());
+                    });
+                    match r {
+                        Ok(()) => {
+                            prop_assert!(model.contains_key(k));
+                            db.commit(&mut ctx, &mut txn).unwrap();
+                            model.insert(*k, p);
+                        }
+                        Err(EngineError::NotFound) => {
+                            prop_assert!(!model.contains_key(k));
+                            db.abort(&mut ctx, &mut txn).unwrap();
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("update: {e}"))),
+                    }
+                }
+                Op::Delete(k) => {
+                    let mut txn = db.begin();
+                    let r = db.delete_by_pk(&mut ctx, &mut txn, "t", &[Value::Int(*k)]);
+                    match r {
+                        Ok(()) => {
+                            prop_assert!(model.remove(k).is_some());
+                            db.commit(&mut ctx, &mut txn).unwrap();
+                        }
+                        Err(EngineError::NotFound) => {
+                            prop_assert!(!model.contains_key(k));
+                            db.abort(&mut ctx, &mut txn).unwrap();
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("delete: {e}"))),
+                    }
+                }
+                Op::Get(k) => {
+                    let got = db.get_by_pk(&mut ctx, None, "t", &[Value::Int(*k)]).unwrap();
+                    match (got, model.get(k)) {
+                        (Some(row), Some(p)) => prop_assert_eq!(row[1].as_str(), p.as_str()),
+                        (None, None) => {}
+                        (a, b) => {
+                            return Err(TestCaseError::fail(format!(
+                                "get({k}): engine={:?} model={:?}", a.map(|r| r.len()), b.map(|p| p.len())
+                            )))
+                        }
+                    }
+                }
+                Op::Scan => {
+                    let mut seen: Vec<(i64, String)> = Vec::new();
+                    db.scan_table(&mut ctx, "t", |row| {
+                        seen.push((row[0].as_int(), row[1].as_str().to_string()));
+                        true
+                    })
+                    .unwrap();
+                    let expected: Vec<(i64, String)> =
+                        model.iter().map(|(k, v)| (*k, v.clone())).collect();
+                    prop_assert_eq!(&seen, &expected, "scan order/content mismatch");
+                }
+            }
+        }
+        // Final full verification.
+        let mut seen = Vec::new();
+        db.scan_table(&mut ctx, "t", |row| {
+            seen.push(row[0].as_int());
+            true
+        })
+        .unwrap();
+        let expected: Vec<i64> = model.keys().copied().collect();
+        prop_assert_eq!(seen, expected);
+    }
+}

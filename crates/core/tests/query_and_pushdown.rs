@@ -1,0 +1,266 @@
+//! Query executor and push-down framework integration tests: correctness
+//! (push-down must return exactly the local result on every shape) and the
+//! paper's performance claims (push-down beats engine-local execution for
+//! scan-heavy queries; EBP-hosted fragments beat PageStore-hosted ones).
+
+use std::sync::Arc;
+
+use vedb_core::catalog::ColumnType;
+use vedb_core::db::{Db, DbConfig, StorageFabric};
+use vedb_core::ebp::EbpConfig;
+use vedb_core::query::expr::CmpOp;
+use vedb_core::query::{execute, AggExpr, Expr, Plan, QuerySession};
+use vedb_core::{Row, Value};
+use vedb_sim::{ClusterSpec, SimCtx, VTime};
+
+fn fabric() -> StorageFabric {
+    StorageFabric::build(ClusterSpec::paper_default(), 64 << 20, 512 * 1024)
+}
+
+/// orders(o_id, o_cust, o_amount, o_region) + lineitems(l_id, l_oid, l_qty)
+fn setup(ctx: &mut SimCtx, f: &StorageFabric, cfg: DbConfig, rows: i64) -> Arc<Db> {
+    let db = Db::open(ctx, f, cfg).unwrap();
+    db.define_schema(|cat| {
+        cat.define("orders")
+            .col("o_id", ColumnType::Int)
+            .col("o_cust", ColumnType::Int)
+            .col("o_amount", ColumnType::Double)
+            .col("o_region", ColumnType::Str)
+            .pk(&["o_id"])
+            .build();
+        cat.define("lineitems")
+            .col("l_id", ColumnType::Int)
+            .col("l_oid", ColumnType::Int)
+            .col("l_qty", ColumnType::Int)
+            .pk(&["l_id"])
+            .build();
+    });
+    db.create_tables(ctx).unwrap();
+    let regions = ["north", "south", "east", "west"];
+    let mut txn = db.begin();
+    for i in 0..rows {
+        db.insert(
+            ctx,
+            &mut txn,
+            "orders",
+            vec![
+                Value::Int(i),
+                Value::Int(i % 50),
+                Value::Double((i % 997) as f64 * 1.5),
+                Value::Str(regions[(i % 4) as usize].into()),
+            ],
+        )
+        .unwrap();
+        if i % 100 == 0 {
+            db.commit(ctx, &mut txn).unwrap();
+            txn = db.begin();
+        }
+    }
+    for i in 0..rows / 2 {
+        db.insert(
+            ctx,
+            &mut txn,
+            "lineitems",
+            vec![Value::Int(i), Value::Int(i % rows), Value::Int((i % 7) + 1)],
+        )
+        .unwrap();
+    }
+    db.commit(ctx, &mut txn).unwrap();
+    db.checkpoint(ctx).unwrap();
+    db
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+
+#[test]
+fn filter_and_projection() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(1, 7);
+    let db = setup(&mut ctx, &f, DbConfig::default(), 500);
+    let plan = Plan::SeqScan {
+        table: "orders".into(),
+        filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(10))),
+        project: Some(vec![Expr::col(0), Expr::mul(Expr::col(2), Expr::dbl(2.0))]),
+    };
+    let rows = execute(&mut ctx, &db, &QuerySession::default(), &plan).unwrap();
+    assert_eq!(rows.len(), 10);
+    assert_eq!(rows[3][0], Value::Int(3));
+    assert_eq!(rows[3][1], Value::Double(9.0));
+}
+
+#[test]
+fn aggregation_group_by() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(1, 7);
+    let db = setup(&mut ctx, &f, DbConfig::default(), 400);
+    // SELECT o_region, COUNT(*), SUM(o_amount) FROM orders GROUP BY o_region
+    let plan = Plan::scan("orders").agg(
+        vec![3],
+        vec![AggExpr::count_star(), AggExpr::sum(Expr::col(2)), AggExpr::max(Expr::col(0))],
+    );
+    let rows = execute(&mut ctx, &db, &QuerySession::default(), &plan).unwrap();
+    assert_eq!(rows.len(), 4);
+    let total: i64 = rows.iter().map(|r| r[1].as_int()).sum();
+    assert_eq!(total, 400);
+    for r in &rows {
+        assert!(r[3].as_int() >= 396, "every region sees a high max id");
+    }
+}
+
+#[test]
+fn joins_hash_and_nested_loop_agree() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(1, 7);
+    let db = setup(&mut ctx, &f, DbConfig::default(), 200);
+    let hash = Plan::scan("orders").hash_join(Plan::scan("lineitems"), vec![0], vec![1]);
+    let nl = Plan::NestLoopJoin {
+        left: Box::new(Plan::scan("orders")),
+        right: Box::new(Plan::scan("lineitems")),
+        on: Expr::eq(Expr::col(0), Expr::col(5)), // o_id == l_oid
+        project: None,
+    };
+    let s = QuerySession::default();
+    let h = execute(&mut ctx, &db, &s, &hash).unwrap();
+    let n = execute(&mut ctx, &db, &s, &nl).unwrap();
+    assert_eq!(h.len(), 100);
+    assert_eq!(sorted(h), sorted(n));
+}
+
+#[test]
+fn sort_and_limit() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(1, 7);
+    let db = setup(&mut ctx, &f, DbConfig::default(), 300);
+    let plan = Plan::scan("orders").top_k(vec![(2, true), (0, false)], 5);
+    let rows = execute(&mut ctx, &db, &QuerySession::default(), &plan).unwrap();
+    assert_eq!(rows.len(), 5);
+    for w in rows.windows(2) {
+        assert!(w[0][2].as_f64() >= w[1][2].as_f64());
+    }
+}
+
+#[test]
+fn pushdown_matches_local_execution() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(1, 7);
+    let cfg = DbConfig {
+        bp_pages: 32,
+        ebp: Some(EbpConfig { capacity_bytes: 32 << 20, ..Default::default() }),
+        ..Default::default()
+    };
+    let db = setup(&mut ctx, &f, cfg, 3000);
+    let local = QuerySession::default();
+    let pq = QuerySession::with_pushdown();
+
+    let plans = vec![
+        // Plain filtered scan.
+        Plan::SeqScan {
+            table: "orders".into(),
+            filter: Some(Expr::cmp(CmpOp::Ge, Expr::col(2), Expr::dbl(700.0))),
+            project: None,
+        },
+        // Projection push-down.
+        Plan::SeqScan {
+            table: "orders".into(),
+            filter: Some(Expr::Like(Box::new(Expr::col(3)), "n%".into())),
+            project: Some(vec![Expr::col(0), Expr::col(3)]),
+        },
+        // Aggregation push-down with all functions.
+        Plan::scan("orders").agg(
+            vec![3],
+            vec![
+                AggExpr::count_star(),
+                AggExpr::sum(Expr::col(2)),
+                AggExpr::avg(Expr::col(2)),
+                AggExpr::min(Expr::col(0)),
+                AggExpr::max(Expr::col(0)),
+            ],
+        ),
+        // Global (no group-by) aggregate.
+        Plan::scan_where(
+            "orders",
+            Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::int(25)),
+        )
+        .agg(vec![], vec![AggExpr::count_star(), AggExpr::sum(Expr::col(2))]),
+    ];
+    for (i, plan) in plans.iter().enumerate() {
+        let a = execute(&mut ctx, &db, &local, plan).unwrap();
+        let b = execute(&mut ctx, &db, &pq, plan).unwrap();
+        assert_eq!(sorted(a), sorted(b), "plan {i} must agree local vs pushdown");
+    }
+}
+
+#[test]
+fn pushdown_is_faster_and_uses_storage_cpu() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(1, 7);
+    let cfg = DbConfig {
+        bp_pages: 16, // tiny pool: engine-local scan must fetch remotely
+        ebp: Some(EbpConfig { capacity_bytes: 64 << 20, ..Default::default() }),
+        ..Default::default()
+    };
+    let db = setup(&mut ctx, &f, cfg, 6000);
+    // Aggregation over everything: the classic push-down win (Q1/Q6-like).
+    let plan = Plan::scan("orders").agg(
+        vec![3],
+        vec![AggExpr::count_star(), AggExpr::sum(Expr::col(2))],
+    );
+    // Warm-up (fills EBP through evictions).
+    let s = QuerySession::default();
+    execute(&mut ctx, &db, &s, &plan).unwrap();
+
+    let t0 = ctx.now();
+    execute(&mut ctx, &db, &s, &plan).unwrap();
+    let local_time = ctx.now() - t0;
+
+    let astore_cpu_before: VTime =
+        db.env().astore_nodes.iter().map(|n| n.cpu.total_busy()).sum();
+    let t1 = ctx.now();
+    execute(&mut ctx, &db, &QuerySession::with_pushdown(), &plan).unwrap();
+    let pq_time = ctx.now() - t1;
+    let astore_cpu_after: VTime =
+        db.env().astore_nodes.iter().map(|n| n.cpu.total_busy()).sum();
+
+    assert!(
+        pq_time.as_nanos() * 2 < local_time.as_nanos(),
+        "pushdown ({pq_time}) should be >2x faster than local ({local_time})"
+    );
+    assert!(
+        astore_cpu_after > astore_cpu_before,
+        "pushdown must consume AStore server CPU (the idle cores of §VI-B)"
+    );
+}
+
+#[test]
+fn index_lookup_plan() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(1, 7);
+    let db = Db::open(&mut ctx, &f, DbConfig::default()).unwrap();
+    db.define_schema(|cat| {
+        cat.define("t")
+            .col("id", ColumnType::Int)
+            .col("grp", ColumnType::Int)
+            .pk(&["id"])
+            .index("by_grp", &["grp"])
+            .build();
+    });
+    db.create_tables(&mut ctx).unwrap();
+    let mut txn = db.begin();
+    for i in 0..100 {
+        db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(i), Value::Int(i % 10)]).unwrap();
+    }
+    db.commit(&mut ctx, &mut txn).unwrap();
+    let plan = Plan::IndexLookup {
+        table: "t".into(),
+        index: "by_grp".into(),
+        prefix: vec![Value::Int(3)],
+        filter: Some(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(50))),
+        project: None,
+    };
+    let rows = execute(&mut ctx, &db, &QuerySession::default(), &plan).unwrap();
+    assert_eq!(rows.len(), 5); // 53,63,73,83,93
+    assert!(rows.iter().all(|r| r[1] == Value::Int(3) && r[0].as_int() > 50));
+}

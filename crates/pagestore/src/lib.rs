@@ -1,0 +1,111 @@
+//! # vedb-pagestore — page persistence and REDO replay (§III "PageStore")
+//!
+//! PageStore is the page-serving half of veDB's storage layer: it receives
+//! REDO records from the DBEngine (grouped by PageStore *segment*), keeps
+//! them durable with **quorum replication**, repairs holes with a **gossip
+//! protocol** driven by per-record back-links, continuously applies records
+//! to reconstruct the latest page images, and serves 16 KB page reads —
+//! checkpointing in the compute layer is never needed.
+//!
+//! This crate also owns the two formats shared with the engine above it:
+//!
+//! * [`page`] — the 16 KB slotted page,
+//! * [`redo`] — physiological REDO records and their application.
+//!
+//! The remote-read path costs an RPC + server CPU + SSD time (~1 ms for a
+//! cold 16 KB page with the paper-default calibration), which is exactly
+//! the latency the Extended Buffer Pool exists to avoid.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod page;
+pub mod redo;
+pub mod server;
+
+pub use page::{Page, PageType, PAGE_SIZE};
+pub use redo::{PageOp, RedoRecord};
+pub use server::{PageStore, PageStoreConfig, PageStoreServer, PsSegmentKey};
+
+/// Errors from page/REDO/PageStore operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageStoreError {
+    /// A page image had the wrong size.
+    BadPageImage {
+        /// Expected byte count.
+        expected: usize,
+        /// Actual byte count.
+        got: usize,
+    },
+    /// Slot index beyond the directory.
+    SlotOutOfRange {
+        /// Requested slot.
+        idx: usize,
+        /// Slots present.
+        n_slots: usize,
+    },
+    /// Not enough room in the page.
+    PageFull {
+        /// Bytes needed.
+        need: usize,
+        /// Bytes available (after compaction).
+        free: usize,
+    },
+    /// Encoding/decoding failure.
+    Codec(String),
+    /// The requested page does not exist on this store.
+    UnknownPage(vedb_astore::PageId),
+    /// Fewer than quorum replicas acknowledged a ship.
+    QuorumFailed {
+        /// Acks received.
+        acked: usize,
+        /// Quorum required.
+        quorum: usize,
+    },
+    /// Replay cannot reach the requested LSN (missing records even after
+    /// gossip).
+    NotYetApplied {
+        /// LSN required.
+        need: vedb_astore::Lsn,
+        /// LSN reached.
+        applied: vedb_astore::Lsn,
+    },
+    /// Network-level failure.
+    Network(vedb_rdma::RdmaError),
+}
+
+impl From<vedb_rdma::RdmaError> for PageStoreError {
+    fn from(e: vedb_rdma::RdmaError) -> Self {
+        PageStoreError::Network(e)
+    }
+}
+
+impl std::fmt::Display for PageStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageStoreError::BadPageImage { expected, got } => {
+                write!(f, "bad page image: expected {expected} bytes, got {got}")
+            }
+            PageStoreError::SlotOutOfRange { idx, n_slots } => {
+                write!(f, "slot {idx} out of range ({n_slots} slots)")
+            }
+            PageStoreError::PageFull { need, free } => {
+                write!(f, "page full: need {need}, free {free}")
+            }
+            PageStoreError::Codec(m) => write!(f, "codec: {m}"),
+            PageStoreError::UnknownPage(p) => write!(f, "unknown page {p}"),
+            PageStoreError::QuorumFailed { acked, quorum } => {
+                write!(f, "ship acked by {acked} replicas, quorum is {quorum}")
+            }
+            PageStoreError::NotYetApplied { need, applied } => {
+                write!(f, "replay at lsn {applied}, need {need}")
+            }
+            PageStoreError::Network(e) => write!(f, "network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PageStoreError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, PageStoreError>;

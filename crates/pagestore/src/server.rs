@@ -1,0 +1,614 @@
+//! PageStore servers and the client-side facade.
+//!
+//! Pages are grouped into PageStore *segments* of `pages_per_segment`
+//! consecutive page numbers per tablespace; each segment is replicated on
+//! `replication` servers and a ship is durable once `quorum` replicas
+//! acknowledge it (§III: "we choose to implement a quorum replication, and
+//! use a gossip protocol for filling in missing records").
+//!
+//! Every record carries a back-link to the previous record of the same
+//! segment; a replica that sees a mismatched back-link parks the record in
+//! an out-of-order buffer and [`PageStoreServer::gossip_fill`]s the hole
+//! from its peers before applying.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vedb_astore::{Lsn, PageId};
+use vedb_rdma::RpcFabric;
+use vedb_sim::cluster::NodeRes;
+use vedb_sim::fault::NodeId;
+use vedb_sim::{LatencyModel, SimCtx, VTime};
+
+use crate::page::{Page, PAGE_SIZE};
+use crate::redo::RedoRecord;
+use crate::{PageStoreError, Result};
+
+/// Identifies a PageStore segment: a run of consecutive pages in one space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PsSegmentKey {
+    /// Tablespace.
+    pub space_no: u32,
+    /// Segment index within the space.
+    pub index: u32,
+}
+
+/// PageStore deployment configuration.
+#[derive(Debug, Clone)]
+pub struct PageStoreConfig {
+    /// Replicas per segment (paper: three or six).
+    pub replication: usize,
+    /// Acks required before a ship is durable.
+    pub quorum: usize,
+    /// Pages per segment.
+    pub pages_per_segment: u32,
+}
+
+impl Default for PageStoreConfig {
+    fn default() -> Self {
+        PageStoreConfig { replication: 3, quorum: 2, pages_per_segment: 256 }
+    }
+}
+
+impl PageStoreConfig {
+    /// The segment a page belongs to.
+    pub fn segment_of(&self, page: PageId) -> PsSegmentKey {
+        PsSegmentKey { space_no: page.space_no, index: page.page_no / self.pages_per_segment }
+    }
+}
+
+#[derive(Default)]
+struct ReplicaSeg {
+    pages: HashMap<u32, Page>,
+    /// LSN replay has reached.
+    applied_lsn: Lsn,
+    /// LSN of the last record received *in order*.
+    last_lsn: Lsn,
+    /// In-order records not yet applied.
+    queue: Vec<RedoRecord>,
+    /// Records whose back-link did not match (a gap precedes them).
+    out_of_order: BTreeMap<Lsn, RedoRecord>,
+    /// Everything ever received in order, retained for gossip peers.
+    retained: BTreeMap<Lsn, RedoRecord>,
+}
+
+/// One PageStore server process (one per storage node).
+pub struct PageStoreServer {
+    node: NodeId,
+    res: Arc<NodeRes>,
+    model: LatencyModel,
+    segs: Mutex<HashMap<PsSegmentKey, ReplicaSeg>>,
+}
+
+impl PageStoreServer {
+    /// Create a server on a storage node.
+    pub fn new(node: NodeId, res: Arc<NodeRes>, model: LatencyModel) -> Arc<Self> {
+        Arc::new(PageStoreServer { node, res, model, segs: Mutex::new(HashMap::new()) })
+    }
+
+    /// Node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Node resources (RPC dispatch + push-down CPU accounting).
+    pub fn res(&self) -> &Arc<NodeRes> {
+        &self.res
+    }
+
+    /// Handler: ingest a batch of records for `key`. Records whose
+    /// back-link matches extend the in-order stream; the rest wait in the
+    /// out-of-order buffer. Charges per-record CPU.
+    pub fn handle_ship(&self, ctx: &mut SimCtx, key: PsSegmentKey, records: &[RedoRecord]) {
+        let cpu = self
+            .res
+            .cpu
+            .acquire(ctx.now(), VTime::from_nanos(records.len() as u64 * 800));
+        ctx.wait_until(cpu);
+        let mut segs = self.segs.lock();
+        let seg = segs.entry(key).or_default();
+        for rec in records {
+            if rec.lsn <= seg.last_lsn {
+                continue; // duplicate delivery
+            }
+            if rec.prev_same_segment == seg.last_lsn {
+                seg.last_lsn = rec.lsn;
+                seg.retained.insert(rec.lsn, rec.clone());
+                seg.queue.push(rec.clone());
+                // Absorb any parked records that now chain on.
+                while let Some((&lsn, parked)) = seg.out_of_order.iter().next() {
+                    if parked.prev_same_segment == seg.last_lsn {
+                        let parked = seg.out_of_order.remove(&lsn).expect("present");
+                        seg.last_lsn = parked.lsn;
+                        seg.retained.insert(parked.lsn, parked.clone());
+                        seg.queue.push(parked);
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                seg.out_of_order.insert(rec.lsn, rec.clone());
+            }
+        }
+    }
+
+    /// Handler: serve retained records after `from_lsn` (gossip peer side).
+    pub fn handle_get_records(&self, key: PsSegmentKey, from_lsn: Lsn, max: usize) -> Vec<RedoRecord> {
+        let segs = self.segs.lock();
+        match segs.get(&key) {
+            Some(seg) => seg
+                .retained
+                .range(from_lsn + 1..)
+                .take(max)
+                .map(|(_, r)| r.clone())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Fill back-link gaps for `key` by gossiping with `peers` (§III:
+    /// "with the back-link mechanism a PageStore instance can detect
+    /// missing logs and gossip with other instances to retrieve them").
+    /// Returns how many records were recovered.
+    pub fn gossip_fill(
+        &self,
+        ctx: &mut SimCtx,
+        rpc: &RpcFabric,
+        key: PsSegmentKey,
+        peers: &[Arc<PageStoreServer>],
+    ) -> usize {
+        let mut recovered = 0;
+        loop {
+            let (last, has_gap) = {
+                let segs = self.segs.lock();
+                match segs.get(&key) {
+                    Some(seg) => (seg.last_lsn, !seg.out_of_order.is_empty()),
+                    None => (0, false),
+                }
+            };
+            if !has_gap {
+                break;
+            }
+            let mut progressed = false;
+            for peer in peers {
+                if peer.node() == self.node {
+                    continue;
+                }
+                let got = rpc.call(ctx, peer.node(), peer.res(), 64, 4096, |_c| {
+                    peer.handle_get_records(key, last, 64)
+                });
+                if let Ok(records) = got {
+                    if !records.is_empty() {
+                        let before = self.segs.lock().get(&key).map(|s| s.last_lsn).unwrap_or(0);
+                        self.handle_ship(ctx, key, &records);
+                        let after = self.segs.lock().get(&key).map(|s| s.last_lsn).unwrap_or(0);
+                        if after > before {
+                            recovered += 1;
+                            progressed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break; // peers cannot help (records truly lost)
+            }
+        }
+        recovered
+    }
+
+    /// Apply all in-order records (the "constantly replays" background
+    /// work, charged to this node's CPU and SSD).
+    pub fn apply_pending(&self, ctx: &mut SimCtx, key: PsSegmentKey) -> Result<()> {
+        let to_apply: Vec<RedoRecord> = {
+            let mut segs = self.segs.lock();
+            match segs.get_mut(&key) {
+                Some(seg) => std::mem::take(&mut seg.queue),
+                None => return Ok(()),
+            }
+        };
+        if to_apply.is_empty() {
+            return Ok(());
+        }
+        // CPU per record + an amortized SSD write per batch of pages.
+        let cpu = self
+            .res
+            .cpu
+            .acquire(ctx.now(), VTime::from_nanos(to_apply.len() as u64 * 600));
+        ctx.wait_until(cpu);
+        let mut touched = 0usize;
+        {
+            let mut segs = self.segs.lock();
+            let seg = segs.get_mut(&key).expect("created by ship");
+            for rec in &to_apply {
+                let page = seg.pages.entry(rec.page.page_no).or_default();
+                rec.apply(page)?;
+                seg.applied_lsn = seg.applied_lsn.max(rec.lsn);
+                touched += 1;
+            }
+        }
+        if let Some(ssd) = &self.res.ssd {
+            let batches = touched.div_ceil(16).max(1);
+            let done = ssd.acquire(ctx.now(), self.model.ssd_write_svc(batches * PAGE_SIZE) / 4);
+            ctx.wait_until(done);
+        }
+        Ok(())
+    }
+
+    /// LSN replay has reached for `key`.
+    pub fn applied_lsn(&self, key: PsSegmentKey) -> Lsn {
+        self.segs.lock().get(&key).map(|s| s.applied_lsn).unwrap_or(0)
+    }
+
+    /// Handler: read the latest image of `page`, replaying (and gossiping
+    /// via `peers` if records are missing) until `min_lsn` is covered.
+    pub fn handle_read_page(
+        &self,
+        ctx: &mut SimCtx,
+        rpc: &RpcFabric,
+        key: PsSegmentKey,
+        page: PageId,
+        min_lsn: Lsn,
+        peers: &[Arc<PageStoreServer>],
+    ) -> Result<Vec<u8>> {
+        self.apply_pending(ctx, key)?;
+        if self.applied_lsn(key) < min_lsn {
+            self.gossip_fill(ctx, rpc, key, peers);
+            self.apply_pending(ctx, key)?;
+        }
+        let applied = self.applied_lsn(key);
+        if applied < min_lsn {
+            return Err(PageStoreError::NotYetApplied { need: min_lsn, applied });
+        }
+        // Charge the 16KB media read.
+        if let Some(ssd) = &self.res.ssd {
+            let done = ssd.acquire(ctx.now(), self.model.ssd_read_svc(PAGE_SIZE));
+            ctx.wait_until(done);
+        }
+        let segs = self.segs.lock();
+        let seg = segs.get(&key).ok_or(PageStoreError::UnknownPage(page))?;
+        let p = seg.pages.get(&page.page_no).ok_or(PageStoreError::UnknownPage(page))?;
+        Ok(p.as_bytes().to_vec())
+    }
+
+    /// Local (no-RPC) page access for push-down execution on this server;
+    /// charges the SSD read but no network. Replays pending records first.
+    pub fn local_page(
+        &self,
+        ctx: &mut SimCtx,
+        cfg: &PageStoreConfig,
+        page: PageId,
+        min_lsn: Lsn,
+    ) -> Result<Page> {
+        let key = cfg.segment_of(page);
+        self.apply_pending(ctx, key)?;
+        let applied = self.applied_lsn(key);
+        if applied < min_lsn {
+            return Err(PageStoreError::NotYetApplied { need: min_lsn, applied });
+        }
+        if let Some(ssd) = &self.res.ssd {
+            let done = ssd.acquire(ctx.now(), self.model.ssd_read_svc(PAGE_SIZE));
+            ctx.wait_until(done);
+        }
+        let segs = self.segs.lock();
+        let seg = segs.get(&key).ok_or(PageStoreError::UnknownPage(page))?;
+        seg.pages
+            .get(&page.page_no)
+            .cloned()
+            .ok_or(PageStoreError::UnknownPage(page))
+    }
+
+    /// Number of distinct pages materialized for a segment (tests).
+    pub fn page_count(&self, key: PsSegmentKey) -> usize {
+        self.segs.lock().get(&key).map(|s| s.pages.len()).unwrap_or(0)
+    }
+
+    /// Records parked out-of-order for a segment (tests / monitoring).
+    pub fn gap_count(&self, key: PsSegmentKey) -> usize {
+        self.segs.lock().get(&key).map(|s| s.out_of_order.len()).unwrap_or(0)
+    }
+}
+
+/// Client-side facade: knows the replica layout, ships with quorum, reads
+/// with replica fail-over. This is the part of the storage SDK that talks
+/// to PageStore (§III).
+pub struct PageStore {
+    cfg: PageStoreConfig,
+    rpc: Arc<RpcFabric>,
+    servers: Vec<Arc<PageStoreServer>>,
+    /// Last LSN shipped per segment — the source of each record's back-link.
+    ship_state: Mutex<HashMap<PsSegmentKey, Lsn>>,
+}
+
+impl PageStore {
+    /// Create the facade over a set of servers.
+    pub fn new(cfg: PageStoreConfig, rpc: Arc<RpcFabric>, servers: Vec<Arc<PageStoreServer>>) -> Arc<Self> {
+        assert!(
+            servers.len() >= cfg.replication,
+            "need >= {} PageStore servers",
+            cfg.replication
+        );
+        assert!(cfg.quorum <= cfg.replication && cfg.quorum >= 1);
+        Arc::new(PageStore { cfg, rpc, servers, ship_state: Mutex::new(HashMap::new()) })
+    }
+
+    /// Configuration (segment mapping).
+    pub fn cfg(&self) -> &PageStoreConfig {
+        &self.cfg
+    }
+
+    /// The replica servers of a segment.
+    pub fn replicas_of(&self, key: PsSegmentKey) -> Vec<Arc<PageStoreServer>> {
+        let n = self.servers.len();
+        let h = (key.space_no as usize).wrapping_mul(31).wrapping_add(key.index as usize);
+        (0..self.cfg.replication)
+            .map(|i| Arc::clone(&self.servers[(h + i) % n]))
+            .collect()
+    }
+
+    /// All servers (push-down task dispatch).
+    pub fn servers(&self) -> &[Arc<PageStoreServer>] {
+        &self.servers
+    }
+
+    /// Ship records (in LSN order, possibly spanning pages/segments):
+    /// grouped per segment, back-links attached, delivered to all replicas,
+    /// durable at quorum.
+    pub fn ship(&self, ctx: &mut SimCtx, records: &[RedoRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        // Group by segment, preserving order, and attach back-links.
+        let mut groups: Vec<(PsSegmentKey, Vec<RedoRecord>)> = Vec::new();
+        {
+            let mut ship_state = self.ship_state.lock();
+            for rec in records {
+                let key = self.cfg.segment_of(rec.page);
+                let prev = ship_state.entry(key).or_insert(0);
+                let mut rec = rec.clone();
+                rec.prev_same_segment = *prev;
+                *prev = rec.lsn;
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, v)) => v.push(rec),
+                    None => groups.push((key, vec![rec])),
+                }
+            }
+        }
+        let bytes: usize = records.len() * 64;
+        let mut max_done = ctx.now();
+        for (key, group) in &groups {
+            let mut acked = 0;
+            let mut group_done = ctx.now();
+            for server in self.replicas_of(*key) {
+                let mut rep_ctx = ctx.fork();
+                let ok = self
+                    .rpc
+                    .call(&mut rep_ctx, server.node(), server.res(), bytes, 16, |c| {
+                        server.handle_ship(c, *key, group);
+                    })
+                    .is_ok();
+                if ok {
+                    acked += 1;
+                    group_done = group_done.max(rep_ctx.now());
+                }
+            }
+            if acked < self.cfg.quorum {
+                return Err(PageStoreError::QuorumFailed { acked, quorum: self.cfg.quorum });
+            }
+            max_done = max_done.max(group_done);
+        }
+        ctx.wait_until(max_done);
+        Ok(())
+    }
+
+    /// Read the latest image of `page` at or beyond `min_lsn`, trying
+    /// replicas in order.
+    pub fn read_page(&self, ctx: &mut SimCtx, page: PageId, min_lsn: Lsn) -> Result<Vec<u8>> {
+        let key = self.cfg.segment_of(page);
+        let replicas = self.replicas_of(key);
+        let mut last_err = PageStoreError::UnknownPage(page);
+        for server in &replicas {
+            let peers: Vec<Arc<PageStoreServer>> = replicas
+                .iter()
+                .filter(|p| p.node() != server.node())
+                .cloned()
+                .collect();
+            let rpc = Arc::clone(&self.rpc);
+            let result = self.rpc.call(
+                ctx,
+                server.node(),
+                server.res(),
+                64,
+                PAGE_SIZE,
+                |c| server.handle_read_page(c, &rpc, key, page, min_lsn, &peers),
+            );
+            match result {
+                Ok(Ok(bytes)) => return Ok(bytes),
+                Ok(Err(e)) => last_err = e,
+                Err(e) => last_err = PageStoreError::Network(e),
+            }
+        }
+        Err(last_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageType;
+    use crate::redo::PageOp;
+    use vedb_sim::ClusterSpec;
+
+    fn setup() -> (Arc<vedb_sim::SimEnv>, Arc<PageStore>) {
+        let env = ClusterSpec::paper_default().build();
+        let servers: Vec<Arc<PageStoreServer>> = env
+            .storage_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| PageStoreServer::new(200 + i as NodeId, Arc::clone(n), env.model.clone()))
+            .collect();
+        let rpc = Arc::new(RpcFabric::new(env.model.clone(), Arc::clone(&env.faults)));
+        let ps = PageStore::new(PageStoreConfig::default(), rpc, servers);
+        (env, ps)
+    }
+
+    fn make_records(page: PageId, start_lsn: Lsn, n: usize) -> Vec<RedoRecord> {
+        let mut recs = vec![RedoRecord {
+            lsn: start_lsn,
+            prev_same_segment: 0,
+            txn_id: 1,
+            page,
+            op: PageOp::Format { ty: PageType::BTreeLeaf, level: 0 },
+        }];
+        for i in 0..n {
+            recs.push(RedoRecord {
+                lsn: start_lsn + 10 * (i as u64 + 1),
+                prev_same_segment: 0,
+                txn_id: 1,
+                page,
+                op: PageOp::InsertAt { slot: i as u16, cell: format!("row-{i:03}").into_bytes() },
+            });
+        }
+        recs
+    }
+
+    #[test]
+    fn ship_apply_read_roundtrip() {
+        let (_env, ps) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 42);
+        let recs = make_records(page, 100, 5);
+        let last_lsn = recs.last().unwrap().lsn;
+        ps.ship(&mut ctx, &recs).unwrap();
+        let bytes = ps.read_page(&mut ctx, page, last_lsn).unwrap();
+        let p = Page::from_bytes(&bytes).unwrap();
+        assert_eq!(p.lsn(), last_lsn);
+        assert_eq!(p.n_slots(), 5);
+        assert_eq!(p.get(2).unwrap(), b"row-002");
+    }
+
+    #[test]
+    fn cold_page_read_costs_about_a_millisecond() {
+        let (_env, ps) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 1);
+        let recs = make_records(page, 100, 3);
+        ps.ship(&mut ctx, &recs).unwrap();
+        let t0 = ctx.now();
+        ps.read_page(&mut ctx, page, recs.last().unwrap().lsn).unwrap();
+        let ms = (ctx.now() - t0).as_millis_f64();
+        assert!(
+            (0.4..=2.0).contains(&ms),
+            "remote page read should be ~1ms, got {ms:.2}ms"
+        );
+    }
+
+    #[test]
+    fn quorum_tolerates_one_dead_replica() {
+        let (env, ps) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 7);
+        let key = ps.cfg().segment_of(page);
+        let replicas = ps.replicas_of(key);
+        env.faults.crash(replicas[0].node());
+        let recs = make_records(page, 100, 3);
+        ps.ship(&mut ctx, &recs).unwrap(); // 2/3 acks = quorum
+        env.faults.restore(replicas[0].node());
+        // Read from any replica; the one that missed everything gossips.
+        let bytes = ps.read_page(&mut ctx, page, recs.last().unwrap().lsn).unwrap();
+        assert_eq!(Page::from_bytes(&bytes).unwrap().n_slots(), 3);
+    }
+
+    #[test]
+    fn two_dead_replicas_fail_quorum() {
+        let (env, ps) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 9);
+        let key = ps.cfg().segment_of(page);
+        let replicas = ps.replicas_of(key);
+        env.faults.crash(replicas[0].node());
+        env.faults.crash(replicas[1].node());
+        assert!(matches!(
+            ps.ship(&mut ctx, &make_records(page, 100, 1)),
+            Err(PageStoreError::QuorumFailed { acked: 1, quorum: 2 })
+        ));
+    }
+
+    #[test]
+    fn backlink_gap_detected_and_gossip_fills() {
+        let (env, ps) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 11);
+        let key = ps.cfg().segment_of(page);
+        let replicas = ps.replicas_of(key);
+
+        // First batch reaches everyone.
+        let batch1 = make_records(page, 100, 2);
+        ps.ship(&mut ctx, &batch1).unwrap();
+        // Second batch misses replica 0 (it is down).
+        env.faults.crash(replicas[0].node());
+        let batch2 = vec![RedoRecord {
+            lsn: 500,
+            prev_same_segment: 0, // facade fills it in
+            txn_id: 2,
+            page,
+            op: PageOp::InsertAt { slot: 2, cell: b"late".to_vec() },
+        }];
+        ps.ship(&mut ctx, &batch2).unwrap();
+        env.faults.restore(replicas[0].node());
+        // Third batch reaches everyone — replica 0 sees a back-link gap.
+        let batch3 = vec![RedoRecord {
+            lsn: 600,
+            prev_same_segment: 0,
+            txn_id: 2,
+            page,
+            op: PageOp::InsertAt { slot: 3, cell: b"even-later".to_vec() },
+        }];
+        ps.ship(&mut ctx, &batch3).unwrap();
+        assert_eq!(replicas[0].gap_count(key), 1, "replica 0 must park the gapped record");
+
+        // Gossip heals it.
+        let peers: Vec<_> = replicas[1..].to_vec();
+        let rpc = RpcFabric::new(env.model.clone(), Arc::clone(&env.faults));
+        replicas[0].gossip_fill(&mut ctx, &rpc, key, &peers);
+        assert_eq!(replicas[0].gap_count(key), 0);
+        replicas[0].apply_pending(&mut ctx, key).unwrap();
+        assert_eq!(replicas[0].applied_lsn(key), 600);
+    }
+
+    #[test]
+    fn read_requires_min_lsn() {
+        let (_env, ps) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 13);
+        let recs = make_records(page, 100, 1);
+        ps.ship(&mut ctx, &recs).unwrap();
+        // Asking for a future LSN fails cleanly.
+        assert!(matches!(
+            ps.read_page(&mut ctx, page, 10_000),
+            Err(PageStoreError::NotYetApplied { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_page_reported() {
+        let (_env, ps) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        assert!(matches!(
+            ps.read_page(&mut ctx, PageId::new(9, 9), 0),
+            Err(PageStoreError::UnknownPage(_))
+        ));
+    }
+
+    #[test]
+    fn segment_mapping_is_stable() {
+        let cfg = PageStoreConfig::default();
+        let a = cfg.segment_of(PageId::new(1, 0));
+        let b = cfg.segment_of(PageId::new(1, 255));
+        let c = cfg.segment_of(PageId::new(1, 256));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(cfg.segment_of(PageId::new(2, 0)), a);
+    }
+}

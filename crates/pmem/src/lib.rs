@@ -1,0 +1,358 @@
+//! # vedb-pmem — a simulated Optane-style persistent-memory device
+//!
+//! The paper's AStore servers expose raw PMem over one-sided RDMA. The
+//! crash-consistency subtlety (§IV-B) is that an RDMA WRITE that has been
+//! acknowledged by the NIC is **not yet persistent**: with Intel DDIO
+//! enabled the payload may sit in the CPU's L3 cache, and even with DDIO
+//! disabled it may sit in PCIe/iMC buffers outside the ADR (Asynchronous
+//! DRAM Refresh) persistence domain. AStore therefore disables DDIO and
+//! issues a trailing one-sided RDMA READ, which forces the preceding writes
+//! through to the memory controller — inside the ADR domain — before the
+//! write is acknowledged to the client.
+//!
+//! [`PmemDevice`] models exactly that state machine with three "places"
+//! bytes can live:
+//!
+//! 1. **in-flight** — written but not yet flushed (always lost on crash),
+//! 2. **cache** — flushed while DDIO is *enabled* (still lost on crash:
+//!    this is the bug the paper engineered around),
+//! 3. **media** — flushed while DDIO is *disabled* (ADR-protected; survives
+//!    crash).
+//!
+//! Reads always observe the newest data regardless of placement (cache
+//! coherence). [`PmemDevice::crash`] reverts the device to its durable
+//! contents, which is what lets the higher layers (AStore recovery, EBP
+//! rebuild, SegmentRing recovery) be tested against *real* crash semantics.
+//!
+//! Timing: every access charges service time from the shared
+//! [`LatencyModel`] on the device's [`Resource`] (a small number of lanes —
+//! Optane's limited internal parallelism), so concurrency collapse emerges
+//! under load.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use vedb_sim::{LatencyModel, Resource, VTime};
+
+/// Errors returned by the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmemError {
+    /// Access beyond the device capacity.
+    OutOfBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: usize,
+        /// Device capacity in bytes.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for PmemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmemError::OutOfBounds { offset, len, capacity } => write!(
+                f,
+                "pmem access out of bounds: offset={offset} len={len} capacity={capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PmemError {}
+
+/// Result alias for device operations.
+pub type Result<T> = std::result::Result<T, PmemError>;
+
+/// Where a flushed-but-not-crashed byte range currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Written, not yet flushed (PCIe/NIC buffers).
+    InFlight,
+    /// Flushed with DDIO enabled — sits in L3, volatile.
+    Cache,
+}
+
+#[derive(Debug, Clone)]
+struct PendingRange {
+    offset: u64,
+    data: Vec<u8>,
+    stage: Stage,
+}
+
+struct Inner {
+    /// Live view: what any read observes.
+    live: Vec<u8>,
+    /// Durable view: what survives a crash (the ADR persistence domain).
+    durable: Vec<u8>,
+    /// Ranges present in `live` but not yet in `durable`.
+    pending: Vec<PendingRange>,
+}
+
+/// A simulated PMem DIMM attached to one AStore server.
+pub struct PmemDevice {
+    name: String,
+    capacity: usize,
+    ddio_enabled: bool,
+    inner: RwLock<Inner>,
+    resource: Arc<Resource>,
+    model: LatencyModel,
+}
+
+impl PmemDevice {
+    /// Create a device of `capacity` bytes, zero-filled, using the given
+    /// contention resource (typically `NodeRes::pmem`) and calibration.
+    ///
+    /// `ddio_enabled = false` reproduces the paper's deployment; `true`
+    /// exists to demonstrate (and test) the data-loss mode the paper avoids.
+    pub fn new(
+        name: impl Into<String>,
+        capacity: usize,
+        ddio_enabled: bool,
+        resource: Arc<Resource>,
+        model: LatencyModel,
+    ) -> Self {
+        PmemDevice {
+            name: name.into(),
+            capacity,
+            ddio_enabled,
+            inner: RwLock::new(Inner {
+                live: vec![0; capacity],
+                durable: vec![0; capacity],
+                pending: Vec::new(),
+            }),
+            resource,
+            model,
+        }
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether DDIO is enabled (see crate docs).
+    pub fn ddio_enabled(&self) -> bool {
+        self.ddio_enabled
+    }
+
+    /// The device's contention resource (exposed so the RDMA layer can
+    /// co-charge NIC and media time).
+    pub fn resource(&self) -> &Arc<Resource> {
+        &self.resource
+    }
+
+    fn check(&self, offset: u64, len: usize) -> Result<()> {
+        let end = offset as usize + len;
+        if end > self.capacity {
+            return Err(PmemError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Write `data` at `offset`. The bytes become *visible* immediately but
+    /// *durable* only after [`flush`](Self::flush) (and only if DDIO is
+    /// disabled). Returns the virtual completion time (media service charged
+    /// on the device resource).
+    pub fn write(&self, now: VTime, offset: u64, data: &[u8]) -> Result<VTime> {
+        self.check(offset, data.len())?;
+        let done = self.resource.acquire(now, self.model.pmem_write_svc(data.len()));
+        let mut inner = self.inner.write();
+        inner.live[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        inner.pending.push(PendingRange {
+            offset,
+            data: data.to_vec(),
+            stage: Stage::InFlight,
+        });
+        Ok(done)
+    }
+
+    /// Read `len` bytes at `offset` — always the newest data, wherever the
+    /// bytes currently live. Returns the data and virtual completion time.
+    pub fn read(&self, now: VTime, offset: u64, len: usize) -> Result<(Vec<u8>, VTime)> {
+        self.check(offset, len)?;
+        let done = self.resource.acquire(now, self.model.pmem_read_svc(len));
+        let inner = self.inner.read();
+        Ok((inner.live[offset as usize..offset as usize + len].to_vec(), done))
+    }
+
+    /// Flush everything in flight toward the persistence domain. With DDIO
+    /// disabled the bytes reach ADR-protected media (crash-durable); with
+    /// DDIO enabled they only reach the (volatile) cache. Models the
+    /// trailing one-sided RDMA READ in the AStore write chain; the READ's
+    /// own media time is charged by the caller as a small read.
+    pub fn flush(&self, now: VTime) -> VTime {
+        let mut inner = self.inner.write();
+        if self.ddio_enabled {
+            for p in &mut inner.pending {
+                if p.stage == Stage::InFlight {
+                    p.stage = Stage::Cache;
+                }
+            }
+        } else {
+            let pending = std::mem::take(&mut inner.pending);
+            for p in pending {
+                let start = p.offset as usize;
+                inner.durable[start..start + p.data.len()].copy_from_slice(&p.data);
+            }
+        }
+        now
+    }
+
+    /// Bytes written but not yet crash-durable (in flight or in cache).
+    pub fn unpersisted_bytes(&self) -> usize {
+        self.inner.read().pending.iter().map(|p| p.data.len()).sum()
+    }
+
+    /// Power-fail the device: the live view reverts to the durable
+    /// (ADR-protected) contents; everything in flight or in cache is lost.
+    pub fn crash(&self) {
+        let mut inner = self.inner.write();
+        inner.pending.clear();
+        let durable = inner.durable.clone();
+        inner.live = durable;
+    }
+
+    /// Read without charging any virtual time (server-local access during
+    /// recovery scans, and assertions in tests).
+    pub fn peek(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.check(offset, len)?;
+        let inner = self.inner.read();
+        Ok(inner.live[offset as usize..offset as usize + len].to_vec())
+    }
+
+    /// What a crash *would* preserve right now (tests/verification only).
+    pub fn durable_snapshot(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.check(offset, len)?;
+        let inner = self.inner.read();
+        Ok(inner.durable[offset as usize..offset as usize + len].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device(ddio: bool) -> PmemDevice {
+        PmemDevice::new(
+            "pmem-0",
+            1 << 20,
+            ddio,
+            Arc::new(Resource::new("pmem", 7)),
+            LatencyModel::paper_default(),
+        )
+    }
+
+    #[test]
+    fn write_then_read_sees_data() {
+        let d = device(false);
+        let t = d.write(VTime::ZERO, 100, b"hello").unwrap();
+        assert!(t > VTime::ZERO);
+        let (data, t2) = d.read(t, 100, 5).unwrap();
+        assert_eq!(&data, b"hello");
+        assert!(t2 > t);
+    }
+
+    #[test]
+    fn unflushed_write_lost_on_crash() {
+        let d = device(false);
+        d.write(VTime::ZERO, 0, b"volatile").unwrap();
+        assert_eq!(d.unpersisted_bytes(), 8);
+        d.crash();
+        assert_eq!(d.peek(0, 8).unwrap(), vec![0; 8]);
+    }
+
+    #[test]
+    fn flushed_write_survives_crash_with_ddio_off() {
+        let d = device(false);
+        d.write(VTime::ZERO, 64, b"durable!").unwrap();
+        d.flush(VTime::ZERO);
+        assert_eq!(d.unpersisted_bytes(), 0);
+        d.crash();
+        assert_eq!(d.peek(64, 8).unwrap(), b"durable!");
+    }
+
+    #[test]
+    fn flushed_write_lost_on_crash_with_ddio_on() {
+        // The failure mode the paper disables DDIO to avoid.
+        let d = device(true);
+        d.write(VTime::ZERO, 64, b"unsafe!!").unwrap();
+        d.flush(VTime::ZERO);
+        assert_eq!(d.unpersisted_bytes(), 8); // still volatile (L3)
+        d.crash();
+        assert_eq!(d.peek(64, 8).unwrap(), vec![0; 8]);
+    }
+
+    #[test]
+    fn crash_preserves_older_flushed_data_under_overwrite() {
+        let d = device(false);
+        d.write(VTime::ZERO, 0, b"AAAA").unwrap();
+        d.flush(VTime::ZERO);
+        d.write(VTime::ZERO, 0, b"BBBB").unwrap(); // not flushed
+        assert_eq!(d.peek(0, 4).unwrap(), b"BBBB"); // visible
+        d.crash();
+        assert_eq!(d.peek(0, 4).unwrap(), b"AAAA"); // durable version restored
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let d = device(false);
+        let cap = d.capacity() as u64;
+        assert!(matches!(
+            d.write(VTime::ZERO, cap - 2, b"xyz"),
+            Err(PmemError::OutOfBounds { .. })
+        ));
+        assert!(d.read(VTime::ZERO, cap, 1).is_err());
+        assert!(d.peek(cap - 1, 2).is_err());
+        // Exactly at the boundary is fine.
+        assert!(d.write(VTime::ZERO, cap - 3, b"xyz").is_ok());
+    }
+
+    #[test]
+    fn writes_queue_on_device_lanes() {
+        let r = Arc::new(Resource::new("pmem", 1));
+        let d = PmemDevice::new("p", 4096, false, r, LatencyModel::paper_default());
+        let t1 = d.write(VTime::ZERO, 0, &[1u8; 1024]).unwrap();
+        let t2 = d.write(VTime::ZERO, 1024, &[2u8; 1024]).unwrap();
+        assert!(t2 > t1, "single-lane device must serialize");
+        assert_eq!(t2.as_nanos(), t1.as_nanos() * 2);
+    }
+
+    #[test]
+    fn read_is_cheaper_than_write() {
+        let d = device(false);
+        let w = d.write(VTime::ZERO, 0, &[0u8; 4096]).unwrap();
+        let (_, r) = d.read(VTime::ZERO, 0, 4096).unwrap();
+        // Same start time; read completes first even queued behind the write
+        // on a 7-lane device (separate lanes).
+        assert!(r < w);
+    }
+
+    #[test]
+    fn overlapping_pending_ranges_flush_in_order() {
+        let d = device(false);
+        d.write(VTime::ZERO, 0, b"XXXXXXXX").unwrap();
+        d.write(VTime::ZERO, 4, b"YYYY").unwrap();
+        d.flush(VTime::ZERO);
+        d.crash();
+        assert_eq!(d.peek(0, 8).unwrap(), b"XXXXYYYY");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PmemError::OutOfBounds { offset: 10, len: 5, capacity: 12 };
+        assert!(e.to_string().contains("offset=10"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property test: the device's crash semantics match a reference model.
+//!
+//! The model keeps two byte arrays — `live` and `durable` — and applies the
+//! same op sequence: `Write` updates `live` and remembers the range as
+//! pending, `Flush` copies pending ranges into `durable` (DDIO off), `Crash`
+//! resets `live` to `durable`. After any sequence, the device's visible and
+//! would-survive contents must equal the model's.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vedb_pmem::PmemDevice;
+use vedb_sim::{LatencyModel, Resource, VTime};
+
+const CAP: usize = 4096;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { offset: u64, data: Vec<u8> },
+    Flush,
+    Crash,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..(CAP as u64 - 64), proptest::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(offset, data)| Op::Write { offset, data }),
+        2 => Just(Op::Flush),
+        1 => Just(Op::Crash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn device_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let dev = PmemDevice::new(
+            "prop",
+            CAP,
+            false,
+            Arc::new(Resource::new("pmem", 4)),
+            LatencyModel::paper_default(),
+        );
+        let mut live = vec![0u8; CAP];
+        let mut durable = vec![0u8; CAP];
+        let mut pending: Vec<(u64, Vec<u8>)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Write { offset, data } => {
+                    dev.write(VTime::ZERO, *offset, data).unwrap();
+                    live[*offset as usize..*offset as usize + data.len()]
+                        .copy_from_slice(data);
+                    pending.push((*offset, data.clone()));
+                }
+                Op::Flush => {
+                    dev.flush(VTime::ZERO);
+                    for (off, data) in pending.drain(..) {
+                        durable[off as usize..off as usize + data.len()]
+                            .copy_from_slice(&data);
+                    }
+                }
+                Op::Crash => {
+                    dev.crash();
+                    pending.clear();
+                    live = durable.clone();
+                }
+            }
+            prop_assert_eq!(dev.peek(0, CAP).unwrap(), live.clone());
+        }
+
+        // A final crash must land exactly on the model's durable state.
+        dev.crash();
+        prop_assert_eq!(dev.peek(0, CAP).unwrap(), durable);
+    }
+}

@@ -1,0 +1,201 @@
+//! The Table I cluster, encoded as simulation resources.
+//!
+//! [`ClusterSpec`] captures the evaluation cluster of the paper (counts and
+//! core/lane numbers); [`SimEnv`] instantiates it into live [`Resource`]s
+//! shared by every component of a single experiment. One `SimEnv` == one
+//! deployed cluster.
+
+use std::sync::Arc;
+
+use crate::fault::FaultPlan;
+use crate::latency::LatencyModel;
+use crate::resource::Resource;
+use crate::time::VTime;
+
+/// Per-node bundle of contended resources.
+pub struct NodeRes {
+    /// Human-readable name, e.g. `astore-1`.
+    pub name: String,
+    /// The node's CPU cores.
+    pub cpu: Arc<Resource>,
+    /// The node's NIC link(s) — occupancy models bandwidth serialization.
+    pub nic: Arc<Resource>,
+    /// PMem device, present on AStore servers.
+    pub pmem: Option<Arc<Resource>>,
+    /// SSD array, present on Page/LogStore servers.
+    pub ssd: Option<Arc<Resource>>,
+}
+
+/// Shape of the simulated cluster (defaults mirror Table I).
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// AStore data servers (Table I: 3 bare-metal boxes + root server).
+    pub astore_servers: usize,
+    /// Cores per AStore server (Xeon 8260: 96).
+    pub astore_cores: usize,
+    /// NIC ports per AStore server (2 × ConnectX-5 25 Gbps).
+    pub astore_nic_ports: usize,
+    /// Page/LogStore data servers (3 boxes + root server).
+    pub storage_servers: usize,
+    /// Cores per Page/LogStore server (Xeon 5218: 64).
+    pub storage_cores: usize,
+    /// NIC ports per storage server.
+    pub storage_nic_ports: usize,
+    /// DBEngine VM cores (Table I: 20-core VM).
+    pub engine_cores: usize,
+    /// Latency calibration to use.
+    pub model: LatencyModel,
+}
+
+impl ClusterSpec {
+    /// The Table I configuration.
+    pub fn paper_default() -> Self {
+        ClusterSpec {
+            astore_servers: 3,
+            astore_cores: 96,
+            astore_nic_ports: 2,
+            storage_servers: 3,
+            storage_cores: 64,
+            storage_nic_ports: 1,
+            engine_cores: 20,
+            model: LatencyModel::paper_default(),
+        }
+    }
+
+    /// A small configuration for fast unit tests (single server each).
+    pub fn tiny() -> Self {
+        ClusterSpec {
+            astore_servers: 1,
+            astore_cores: 8,
+            astore_nic_ports: 1,
+            storage_servers: 1,
+            storage_cores: 8,
+            storage_nic_ports: 1,
+            engine_cores: 4,
+            model: LatencyModel::paper_default(),
+        }
+    }
+
+    /// Override the DBEngine core count (Table III rows use 32/16/8).
+    pub fn with_engine_cores(mut self, cores: usize) -> Self {
+        self.engine_cores = cores;
+        self
+    }
+
+    /// Instantiate the cluster into live resources.
+    pub fn build(self) -> Arc<SimEnv> {
+        let astore_nodes = (0..self.astore_servers)
+            .map(|i| {
+                Arc::new(NodeRes {
+                    name: format!("astore-{i}"),
+                    cpu: Arc::new(Resource::new(format!("astore-{i}.cpu"), self.astore_cores)),
+                    nic: Arc::new(Resource::new(format!("astore-{i}.nic"), self.astore_nic_ports)),
+                    pmem: Some(Arc::new(Resource::new(
+                        format!("astore-{i}.pmem"),
+                        self.model.pmem_lanes,
+                    ))),
+                    ssd: None,
+                })
+            })
+            .collect();
+        let storage_nodes = (0..self.storage_servers)
+            .map(|i| {
+                Arc::new(NodeRes {
+                    name: format!("storage-{i}"),
+                    cpu: Arc::new(Resource::new(format!("storage-{i}.cpu"), self.storage_cores)),
+                    nic: Arc::new(Resource::new(format!("storage-{i}.nic"), self.storage_nic_ports)),
+                    pmem: None,
+                    ssd: Some(Arc::new(Resource::new(
+                        format!("storage-{i}.ssd"),
+                        self.model.ssd_lanes,
+                    ))),
+                })
+            })
+            .collect();
+        Arc::new(SimEnv {
+            engine_cpu: Arc::new(Resource::new("engine.cpu", self.engine_cores)),
+            engine_nic: Arc::new(Resource::new("engine.nic", 1)),
+            astore_nodes,
+            storage_nodes,
+            faults: Arc::new(FaultPlan::new()),
+            model: self.model,
+        })
+    }
+}
+
+/// A live simulated cluster: the resources every component charges time on.
+pub struct SimEnv {
+    /// DBEngine VM cores.
+    pub engine_cpu: Arc<Resource>,
+    /// DBEngine NIC link.
+    pub engine_nic: Arc<Resource>,
+    /// AStore data servers (PMem-equipped).
+    pub astore_nodes: Vec<Arc<NodeRes>>,
+    /// Page/LogStore data servers (SSD-equipped).
+    pub storage_nodes: Vec<Arc<NodeRes>>,
+    /// Shared failure-injection switches.
+    pub faults: Arc<FaultPlan>,
+    /// Latency calibration.
+    pub model: LatencyModel,
+}
+
+impl SimEnv {
+    /// Reset all resource timelines and counters (between benchmark phases).
+    pub fn reset_resources(&self) {
+        self.engine_cpu.reset();
+        self.engine_nic.reset();
+        for n in self.astore_nodes.iter().chain(self.storage_nodes.iter()) {
+            n.cpu.reset();
+            n.nic.reset();
+            if let Some(p) = &n.pmem {
+                p.reset();
+            }
+            if let Some(s) = &n.ssd {
+                s.reset();
+            }
+        }
+    }
+
+    /// Total engine CPU busy time (for utilization reports).
+    pub fn engine_cpu_busy(&self) -> VTime {
+        self.engine_cpu.total_busy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table1() {
+        let env = ClusterSpec::paper_default().build();
+        assert_eq!(env.astore_nodes.len(), 3);
+        assert_eq!(env.storage_nodes.len(), 3);
+        assert_eq!(env.engine_cpu.lanes(), 20);
+        assert!(env.astore_nodes[0].pmem.is_some());
+        assert!(env.astore_nodes[0].ssd.is_none());
+        assert!(env.storage_nodes[0].ssd.is_some());
+        assert!(env.storage_nodes[0].pmem.is_none());
+        assert_eq!(env.astore_nodes[0].cpu.lanes(), 96);
+    }
+
+    #[test]
+    fn engine_cores_override() {
+        let env = ClusterSpec::paper_default().with_engine_cores(8).build();
+        assert_eq!(env.engine_cpu.lanes(), 8);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let env = ClusterSpec::tiny().build();
+        env.engine_cpu.acquire(VTime::ZERO, VTime::from_micros(5));
+        env.astore_nodes[0]
+            .pmem
+            .as_ref()
+            .unwrap()
+            .acquire(VTime::ZERO, VTime::from_micros(5));
+        env.reset_resources();
+        assert_eq!(env.engine_cpu.total_busy(), VTime::ZERO);
+        assert_eq!(env.astore_nodes[0].pmem.as_ref().unwrap().ops(), 0);
+    }
+}

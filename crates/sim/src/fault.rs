@@ -1,0 +1,94 @@
+//! Failure injection shared across all simulated components.
+//!
+//! A [`FaultPlan`] is a small bag of switches consulted by the device and
+//! network layers: which nodes are currently crashed, and with what
+//! probability messages should be dropped (used by the PageStore gossip
+//! tests). Components hold an `Arc<FaultPlan>` and check it on every
+//! operation, so tests can kill an AStore server mid-write or partition a
+//! replica without any special hooks in the code under test.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// Identifier of a simulated node (assigned by the node registry).
+pub type NodeId = u32;
+
+/// Shared failure-injection state.
+#[derive(Default)]
+pub struct FaultPlan {
+    crashed: RwLock<HashSet<NodeId>>,
+    /// f64 bits of the message-drop probability.
+    drop_prob_bits: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan with nothing failing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark `node` crashed: RDMA and RPC operations against it fail until
+    /// [`FaultPlan::restore`].
+    pub fn crash(&self, node: NodeId) {
+        self.crashed.write().insert(node);
+    }
+
+    /// Bring `node` back (its persistent state — PMem contents — survives;
+    /// volatile state does not; that split is enforced by `vedb-pmem`).
+    pub fn restore(&self, node: NodeId) {
+        self.crashed.write().remove(&node);
+    }
+
+    /// Is `node` currently crashed?
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.read().contains(&node)
+    }
+
+    /// Number of currently-crashed nodes.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed.read().len()
+    }
+
+    /// Set the probability in `[0,1]` that any single message is dropped.
+    pub fn set_drop_prob(&self, p: f64) {
+        self.drop_prob_bits
+            .store(p.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current message-drop probability.
+    pub fn drop_prob(&self) -> f64 {
+        f64::from_bits(self.drop_prob_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_and_restore() {
+        let f = FaultPlan::new();
+        assert!(!f.is_crashed(3));
+        f.crash(3);
+        f.crash(5);
+        assert!(f.is_crashed(3));
+        assert_eq!(f.crashed_count(), 2);
+        f.restore(3);
+        assert!(!f.is_crashed(3));
+        assert!(f.is_crashed(5));
+    }
+
+    #[test]
+    fn drop_probability_roundtrip_and_clamp() {
+        let f = FaultPlan::new();
+        assert_eq!(f.drop_prob(), 0.0);
+        f.set_drop_prob(0.25);
+        assert!((f.drop_prob() - 0.25).abs() < 1e-12);
+        f.set_drop_prob(7.0);
+        assert_eq!(f.drop_prob(), 1.0);
+        f.set_drop_prob(-1.0);
+        assert_eq!(f.drop_prob(), 0.0);
+    }
+}

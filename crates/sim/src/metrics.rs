@@ -1,0 +1,282 @@
+//! Latency histograms and benchmark trial results.
+//!
+//! [`LatencyRecorder`] is a log-bucketed concurrent histogram (HdrHistogram
+//! style, ~3% relative error): 64 power-of-two magnitude groups × 32 linear
+//! sub-buckets, all atomic, so hundreds of driver threads can record without
+//! locks. Percentiles, mean and max are derived from the buckets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::time::VTime;
+
+const SUB_BITS: u32 = 5; // 32 sub-buckets per magnitude
+const SUB: usize = 1 << SUB_BITS;
+const GROUPS: usize = 64;
+
+/// Concurrent log-bucketed latency histogram over virtual-time samples.
+pub struct LatencyRecorder {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyRecorder {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder {
+            buckets: (0..GROUPS * SUB).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn index(ns: u64) -> usize {
+        if ns < SUB as u64 {
+            return ns as usize;
+        }
+        let mag = 63 - ns.leading_zeros(); // >= SUB_BITS
+        let group = (mag - SUB_BITS + 1) as usize;
+        let sub = ((ns >> (mag - SUB_BITS)) - SUB as u64) as usize;
+        // group 0 handles values < SUB directly above
+        (group * SUB + sub).min(GROUPS * SUB - 1)
+    }
+
+    /// Representative (midpoint-ish) value of bucket `i` in nanoseconds.
+    fn bucket_value(i: usize) -> u64 {
+        let group = i / SUB;
+        let sub = (i % SUB) as u64;
+        if group == 0 {
+            return sub;
+        }
+        let shift = (group - 1) as u32;
+        ((SUB as u64 + sub) << shift) + (1u64 << shift) / 2
+    }
+
+    /// Record one latency sample.
+    pub fn record(&self, lat: VTime) {
+        let ns = lat.as_nanos();
+        self.buckets[Self::index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency (zero if empty).
+    pub fn mean(&self) -> VTime {
+        let n = self.count();
+        if n == 0 {
+            return VTime::ZERO;
+        }
+        VTime::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
+    }
+
+    /// Maximum recorded latency (exact, not bucketed).
+    pub fn max(&self) -> VTime {
+        VTime::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Percentile in `[0, 100]`; returns the representative value of the
+    /// bucket containing that rank (zero if empty).
+    pub fn percentile(&self, p: f64) -> VTime {
+        let n = self.count();
+        if n == 0 {
+            return VTime::ZERO;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return VTime::from_nanos(Self::bucket_value(i));
+            }
+        }
+        self.max()
+    }
+
+    /// Median (P50).
+    pub fn p50(&self) -> VTime {
+        self.percentile(50.0)
+    }
+
+    /// P95.
+    pub fn p95(&self) -> VTime {
+        self.percentile(95.0)
+    }
+
+    /// P99.
+    pub fn p99(&self) -> VTime {
+        self.percentile(99.0)
+    }
+
+    /// Merge another recorder's samples into this one.
+    pub fn merge(&self, other: &LatencyRecorder) {
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = b.load(Ordering::Relaxed);
+            if v > 0 {
+                a.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum_ns.fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns.fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Drop all samples.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Outcome of one benchmark trial: operation counts over a virtual-time
+/// window plus the latency distribution.
+pub struct TrialResult {
+    /// Successfully committed operations/transactions.
+    pub committed: u64,
+    /// Aborted/retried operations.
+    pub aborted: u64,
+    /// Virtual-time length of the measurement window.
+    pub window: VTime,
+    /// Latency distribution of committed operations.
+    pub latency: LatencyRecorder,
+}
+
+impl TrialResult {
+    /// Empty result for a window (drivers fill it in).
+    pub fn new(window: VTime) -> Self {
+        TrialResult {
+            committed: 0,
+            aborted: 0,
+            window,
+            latency: LatencyRecorder::new(),
+        }
+    }
+
+    /// Committed operations per virtual second.
+    pub fn throughput(&self) -> f64 {
+        if self.window == VTime::ZERO {
+            return 0.0;
+        }
+        self.committed as f64 / self.window.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean(), VTime::ZERO);
+        assert_eq!(r.p99(), VTime::ZERO);
+        assert_eq!(r.max(), VTime::ZERO);
+    }
+
+    #[test]
+    fn single_sample() {
+        let r = LatencyRecorder::new();
+        r.record(VTime::from_micros(100));
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.mean(), VTime::from_micros(100));
+        let p = r.p50().as_nanos() as f64;
+        assert!((p - 100_000.0).abs() / 100_000.0 < 0.05, "p50={p}");
+        assert_eq!(r.max(), VTime::from_micros(100));
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let r = LatencyRecorder::new();
+        for i in 1..=10_000u64 {
+            r.record(VTime::from_micros(i));
+        }
+        let p50 = r.p50().as_micros_f64();
+        let p95 = r.p95().as_micros_f64();
+        let p99 = r.p99().as_micros_f64();
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.06, "p50={p50}");
+        assert!((p95 - 9_500.0).abs() / 9_500.0 < 0.06, "p95={p95}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.06, "p99={p99}");
+        assert_eq!(r.max(), VTime::from_micros(10_000));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let r = LatencyRecorder::new();
+        for ns in 0..32u64 {
+            r.record(VTime::from_nanos(ns));
+        }
+        assert_eq!(r.count(), 32);
+        // Buckets below SUB are exact: rank 1 is the 0ns sample, rank 2 is 1ns.
+        assert_eq!(r.percentile(100.0 / 32.0).as_nanos(), 0);
+        assert_eq!(r.percentile(200.0 / 32.0).as_nanos(), 1);
+        assert_eq!(r.percentile(100.0).as_nanos(), 31);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let a = LatencyRecorder::new();
+        let b = LatencyRecorder::new();
+        a.record(VTime::from_micros(10));
+        b.record(VTime::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), VTime::from_micros(1000));
+        assert_eq!(a.mean(), VTime::from_micros(505));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let r = LatencyRecorder::new();
+        r.record(VTime::from_micros(5));
+        r.reset();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.max(), VTime::ZERO);
+    }
+
+    #[test]
+    fn trial_throughput() {
+        let mut t = TrialResult::new(VTime::from_secs(2));
+        t.committed = 1000;
+        assert!((t.throughput() - 500.0).abs() < 1e-9);
+        let empty = TrialResult::new(VTime::ZERO);
+        assert_eq!(empty.throughput(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_record() {
+        use std::sync::Arc;
+        let r = Arc::new(LatencyRecorder::new());
+        let mut hs = vec![];
+        for t in 0..4 {
+            let r = Arc::clone(&r);
+            hs.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    r.record(VTime::from_nanos(i * (t + 1)));
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(r.count(), 40_000);
+    }
+}

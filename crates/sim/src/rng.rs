@@ -1,0 +1,166 @@
+//! Deterministic random number generation for simulations.
+//!
+//! All randomness in the reproduction flows through [`SimRng`] so that a
+//! benchmark run is a pure function of its seed. The implementation wraps
+//! `rand::rngs::SmallRng` (xoshiro-family, fast, non-cryptographic — exactly
+//! right for workload generation and latency jitter).
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::VTime;
+
+/// A seeded, deterministic RNG.
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform sample from a range, e.g. `rng.gen_range(0..10)`.
+    #[inline]
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Exponentially-distributed virtual-time jitter with the given mean.
+    ///
+    /// Used to model OS scheduling noise on RPC paths (the paper's "periodic
+    /// spikes in latency" for the SSD/TCP LogStore, §V). The sample is capped
+    /// at 20× the mean to keep single outliers from dominating short trials.
+    pub fn jitter(&mut self, mean: VTime) -> VTime {
+        if mean == VTime::ZERO {
+            return VTime::ZERO;
+        }
+        let u: f64 = self.inner.gen_range(1e-12..1.0f64);
+        let sample = -u.ln() * mean.as_nanos() as f64;
+        let capped = sample.min(mean.as_nanos() as f64 * 20.0);
+        VTime::from_nanos(capped as u64)
+    }
+
+    /// NURand-style non-uniform random value used by TPC-C (clause 2.1.6).
+    ///
+    /// `a` is the bit-or window constant (255, 1023, 8191); the C constant is
+    /// fixed per-run which is sufficient for reproduction purposes.
+    pub fn nurand(&mut self, a: u64, x: u64, y: u64) -> u64 {
+        let c = a / 2; // fixed run constant
+        (((self.gen_range(0..=a) | self.gen_range(x..=y)) + c) % (y - x + 1)) + x
+    }
+
+    /// Zipf-like skewed pick over `n` items: returns an index in `[0, n)`,
+    /// where a `hot_fraction` of accesses hit the first item. Used for the
+    /// internal order-processing workload's hot vendor rows.
+    pub fn skewed_index(&mut self, n: u64, hot_fraction: f64) -> u64 {
+        if n <= 1 || self.gen_bool(hot_fraction) {
+            0
+        } else {
+            self.gen_range(1..n)
+        }
+    }
+
+    /// Random alphanumeric string of the given length (workload payloads).
+    pub fn alnum_string(&mut self, len: usize) -> String {
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+        (0..len)
+            .map(|_| CHARS[self.gen_range(0..CHARS.len())] as char)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(123);
+        let mut b = SimRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn jitter_is_nonnegative_and_bounded() {
+        let mut rng = SimRng::new(7);
+        let mean = VTime::from_micros(30);
+        let mut total = 0u64;
+        for _ in 0..10_000 {
+            let j = rng.jitter(mean);
+            assert!(j.as_nanos() <= mean.as_nanos() * 20);
+            total += j.as_nanos();
+        }
+        let avg = total as f64 / 10_000.0;
+        // Exponential mean should be close to the requested mean.
+        assert!(
+            (avg - mean.as_nanos() as f64).abs() < mean.as_nanos() as f64 * 0.15,
+            "avg jitter {avg} too far from mean {}",
+            mean.as_nanos()
+        );
+    }
+
+    #[test]
+    fn jitter_zero_mean() {
+        let mut rng = SimRng::new(7);
+        assert_eq!(rng.jitter(VTime::ZERO), VTime::ZERO);
+    }
+
+    #[test]
+    fn nurand_in_range() {
+        let mut rng = SimRng::new(99);
+        for _ in 0..1000 {
+            let v = rng.nurand(1023, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn skewed_index_hits_hot_item() {
+        let mut rng = SimRng::new(5);
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            if rng.skewed_index(100, 0.8) == 0 {
+                hot += 1;
+            }
+        }
+        // ~80% + 0.2 * 1/99 stray hits
+        assert!(hot > 7_500 && hot < 8_700, "hot hits: {hot}");
+    }
+
+    #[test]
+    fn alnum_string_len_and_charset() {
+        let mut rng = SimRng::new(1);
+        let s = rng.alnum_string(32);
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+    }
+}

@@ -1,0 +1,298 @@
+//! Virtual timestamps and per-client clocks.
+//!
+//! A [`VTime`] is a number of *virtual nanoseconds* since the start of a
+//! simulation. Each simulated client (a TPC-C terminal, an AP query stream, a
+//! micro-benchmark thread) owns a [`SimCtx`] whose clock advances as the
+//! client performs work: CPU work charges time on a CPU [`Resource`],
+//! device/network operations charge their modelled service times, and lock
+//! waits jump the clock to the releaser's time.
+//!
+//! [`Resource`]: crate::resource::Resource
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use crate::rng::SimRng;
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// `VTime` is used both as an absolute timestamp and as a duration; the
+/// arithmetic is identical and the simulation never mixes virtual time with
+/// wall-clock time, so a separate duration type would add noise without
+/// preventing any real bug class here.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct VTime(pub u64);
+
+impl VTime {
+    /// Zero — the start of every simulation.
+    pub const ZERO: VTime = VTime(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        VTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        VTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        VTime(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        VTime(s * 1_000_000_000)
+    }
+
+    /// Value in nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in (fractional) milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Value in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction; a simulation never produces negative spans, but
+    /// racing clock reads in multi-threaded drivers can observe small
+    /// inversions which must not panic.
+    #[inline]
+    pub fn saturating_sub(self, other: VTime) -> VTime {
+        VTime(self.0.saturating_sub(other.0))
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: VTime) -> VTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for VTime {
+    type Output = VTime;
+    #[inline]
+    fn add(self, rhs: VTime) -> VTime {
+        VTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: VTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VTime {
+    type Output = VTime;
+    #[inline]
+    fn sub(self, rhs: VTime) -> VTime {
+        VTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for VTime {
+    type Output = VTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> VTime {
+        VTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for VTime {
+    type Output = VTime;
+    #[inline]
+    fn div(self, rhs: u64) -> VTime {
+        VTime(self.0 / rhs)
+    }
+}
+
+impl Sum for VTime {
+    fn sum<I: Iterator<Item = VTime>>(iter: I) -> VTime {
+        VTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Debug for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2}us", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Per-client simulation context: a virtual clock plus a deterministic RNG.
+///
+/// Every operation on the simulated storage stack takes `&mut SimCtx` and
+/// advances the clock by the operation's (possibly queued) completion time.
+/// Clients are cheap to create; benchmarks typically create one per simulated
+/// connection, each seeded differently but deterministically.
+pub struct SimCtx {
+    now: VTime,
+    rng: SimRng,
+    /// Identifier of the simulated client; used for lease ownership, LRU
+    /// shard selection in drivers, and debugging.
+    pub client_id: u64,
+}
+
+impl SimCtx {
+    /// Create a context for `client_id`, deterministically seeded from
+    /// `seed ^ client_id`.
+    pub fn new(client_id: u64, seed: u64) -> Self {
+        SimCtx {
+            now: VTime::ZERO,
+            rng: SimRng::new(seed ^ client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            client_id,
+        }
+    }
+
+    /// Current virtual time of this client.
+    #[inline]
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// Advance the clock by `d`.
+    #[inline]
+    pub fn advance(&mut self, d: VTime) {
+        self.now += d;
+    }
+
+    /// Move the clock forward to `t` if `t` is later (never moves backwards).
+    #[inline]
+    pub fn wait_until(&mut self, t: VTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Mutable access to the deterministic RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Reset the clock to zero (used between benchmark phases so warm-up time
+    /// does not pollute measurement windows).
+    pub fn reset_clock(&mut self) {
+        self.now = VTime::ZERO;
+    }
+
+    /// Fork a child context that starts at this context's current time, for
+    /// operations issued *in parallel* (replica fan-out, BlobGroup chunk
+    /// striping, push-down task scatter). The child gets a fresh RNG stream
+    /// derived from the parent. Re-join with
+    /// [`wait_until`](Self::wait_until)`(child.now())` — typically the max
+    /// over all children.
+    pub fn fork(&mut self) -> SimCtx {
+        SimCtx {
+            now: self.now,
+            rng: SimRng::new(self.rng.next_u64()),
+            client_id: self.client_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(VTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(VTime::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(VTime::from_secs(1).as_nanos(), 1_000_000_000);
+        assert!((VTime::from_micros(1500).as_millis_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VTime::from_micros(10);
+        let b = VTime::from_micros(4);
+        assert_eq!((a + b).as_nanos(), 14_000);
+        assert_eq!((a - b).as_nanos(), 6_000);
+        assert_eq!((a * 3).as_nanos(), 30_000);
+        assert_eq!((a / 2).as_nanos(), 5_000);
+        assert_eq!(b.saturating_sub(a), VTime::ZERO);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(format!("{}", VTime::from_nanos(5)), "5ns");
+        assert_eq!(format!("{}", VTime::from_micros(5)), "5.00us");
+        assert_eq!(format!("{}", VTime::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", VTime::from_secs(5)), "5.000s");
+    }
+
+    #[test]
+    fn ctx_clock() {
+        let mut ctx = SimCtx::new(7, 42);
+        assert_eq!(ctx.now(), VTime::ZERO);
+        ctx.advance(VTime::from_micros(5));
+        ctx.wait_until(VTime::from_micros(3)); // no-op, earlier
+        assert_eq!(ctx.now(), VTime::from_micros(5));
+        ctx.wait_until(VTime::from_micros(9));
+        assert_eq!(ctx.now(), VTime::from_micros(9));
+        ctx.reset_clock();
+        assert_eq!(ctx.now(), VTime::ZERO);
+    }
+
+    #[test]
+    fn ctx_rng_is_deterministic_per_client() {
+        let mut a1 = SimCtx::new(1, 99);
+        let mut a2 = SimCtx::new(1, 99);
+        let mut b = SimCtx::new(2, 99);
+        let x1: u64 = a1.rng().next_u64();
+        let x2: u64 = a2.rng().next_u64();
+        let y: u64 = b.rng().next_u64();
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+    }
+
+    #[test]
+    fn vtime_sum() {
+        let total: VTime = (1..=3).map(VTime::from_micros).sum();
+        assert_eq!(total, VTime::from_micros(6));
+    }
+}

@@ -1,0 +1,249 @@
+//! CH-benCHmark: TPC-C plus the 22 TPC-H-derived analytical queries
+//! (Figures 10, 11, 14).
+//!
+//! The AP schema adds `supplier`, `nation`, and `region` to the TPC-C
+//! tables. Queries are built as physical plans; they are *simplified*
+//! relative to the full CH SQL (no correlated subqueries; LIKE is limited
+//! to affix patterns) but each keeps its defining shape — which of them
+//! are pure scan+aggregate (push-down friendly: Q1, Q6, Q22 of Fig. 14),
+//! which carry a selective filter (Q11, Q13, Q15), and which are
+//! join-dominated (barely helped by push-down: Q16 et al.).
+//!
+//! Column maps (indexes into each table's row):
+//! `order_line`: 0 w, 1 d, 2 o, 3 number, 4 item, 5 supply_w, 6 qty,
+//! 7 amount, 8 delivery_d · `orders`: 0 w, 1 d, 2 id, 3 c, 4 ol_cnt,
+//! 5 carrier, 6 entry_d · `customer`: 0 w, 1 d, 2 id, 3 name, 4 balance,
+//! 5 ytd, 6 pay_cnt, 7 delivery_cnt, 8 data · `stock`: 0 w, 1 item,
+//! 2 qty, 3 ytd, 4 order_cnt · `item`: 0 id, 1 name, 2 price ·
+//! `supplier`: 0 key, 1 name, 2 nation, 3 acctbal · `nation`: 0 key,
+//! 1 name, 2 region · `region`: 0 key, 1 name.
+
+use std::sync::Arc;
+
+use vedb_core::catalog::{Catalog, ColumnType};
+use vedb_core::db::Db;
+use vedb_core::query::expr::CmpOp;
+use vedb_core::query::{AggExpr, Expr, Plan};
+use vedb_core::Value;
+use vedb_sim::SimCtx;
+
+/// Suppliers (CH spec: 10000; scaled).
+pub const SUPPLIERS: i64 = 100;
+/// Nations.
+pub const NATIONS: i64 = 25;
+/// Regions.
+pub const REGIONS: i64 = 5;
+
+/// Add the CH-only tables to a TPC-C catalog.
+pub fn extend_schema(cat: &mut Catalog) {
+    cat.define("supplier")
+        .col("su_suppkey", ColumnType::Int)
+        .col("su_name", ColumnType::Str)
+        .col("su_nationkey", ColumnType::Int)
+        .col("su_acctbal", ColumnType::Double)
+        .pk(&["su_suppkey"])
+        .build();
+    cat.define("nation")
+        .col("n_nationkey", ColumnType::Int)
+        .col("n_name", ColumnType::Str)
+        .col("n_regionkey", ColumnType::Int)
+        .pk(&["n_nationkey"])
+        .build();
+    cat.define("region")
+        .col("r_regionkey", ColumnType::Int)
+        .col("r_name", ColumnType::Str)
+        .pk(&["r_regionkey"])
+        .build();
+}
+
+/// Load the CH-only tables.
+pub fn load_extra(ctx: &mut SimCtx, db: &Arc<Db>) -> vedb_core::Result<()> {
+    let mut txn = db.begin();
+    for r in 0..REGIONS {
+        db.insert(ctx, &mut txn, "region", vec![Value::Int(r), Value::Str(format!("region-{r}"))])?;
+    }
+    for n in 0..NATIONS {
+        db.insert(
+            ctx,
+            &mut txn,
+            "nation",
+            vec![Value::Int(n), Value::Str(format!("nation-{n}")), Value::Int(n % REGIONS)],
+        )?;
+    }
+    for s in 0..SUPPLIERS {
+        db.insert(
+            ctx,
+            &mut txn,
+            "supplier",
+            vec![
+                Value::Int(s),
+                Value::Str(format!("supplier-{s}")),
+                Value::Int(s % NATIONS),
+                Value::Double(((s * 37) % 2000) as f64 - 200.0),
+            ],
+        )?;
+    }
+    db.commit(ctx, &mut txn)?;
+    Ok(())
+}
+
+fn col(i: usize) -> Expr {
+    Expr::col(i)
+}
+
+/// Build CH query `n` (1–22).
+///
+/// # Panics
+/// Panics if `n` is not in `1..=22`.
+pub fn query(n: usize) -> Plan {
+    match n {
+        // Q1: pricing summary — pure scan + aggregate over order_line.
+        1 => Plan::scan_where("order_line", Expr::cmp(CmpOp::Gt, col(8), Expr::int(0))).agg(
+            vec![3],
+            vec![
+                AggExpr::sum(col(6)),
+                AggExpr::sum(col(7)),
+                AggExpr::avg(col(6)),
+                AggExpr::avg(col(7)),
+                AggExpr::count_star(),
+            ],
+        ),
+        // Q2: minimum-cost supplier per item class — stock⋈supplier⋈nation.
+        2 => Plan::scan("stock")
+            .project(vec![col(0), col(1), col(2), Expr::mul(col(0), col(1))])
+            .hash_join(Plan::scan("supplier"), vec![3], vec![0])
+            .hash_join(Plan::scan("nation"), vec![6], vec![0])
+            .agg(vec![9], vec![AggExpr::min(col(2)), AggExpr::count_star()]),
+        // Q3: unshipped orders revenue — orders⋈order_line, carrier = 0.
+        3 => Plan::scan_where("orders", Expr::eq(col(5), Expr::int(0)))
+            .hash_join(Plan::scan("order_line"), vec![0, 1, 2], vec![0, 1, 2])
+            .agg(vec![2], vec![AggExpr::sum(col(14)), AggExpr::max(col(6))])
+            .top_k(vec![(1, true)], 10),
+        // Q4: order priority count — orders grouped by line count.
+        4 => Plan::scan_where("orders", Expr::cmp(CmpOp::Gt, col(6), Expr::int(0)))
+            .agg(vec![4], vec![AggExpr::count_star()]),
+        // Q5: local supplier revenue by nation.
+        5 => Plan::scan("order_line")
+            .project(vec![col(5), col(7), Expr::mul(col(4), col(5))])
+            .hash_join(Plan::scan("supplier"), vec![2], vec![0])
+            .hash_join(Plan::scan("nation"), vec![5], vec![0])
+            .agg(vec![8], vec![AggExpr::sum(col(1))])
+            .sort(vec![(1, true)]),
+        // Q6: forecast revenue — the classic pushable filter + SUM.
+        6 => Plan::scan_where(
+            "order_line",
+            Expr::and(
+                Expr::between(col(6), Expr::int(1), Expr::int(100000)),
+                Expr::cmp(CmpOp::Gt, col(8), Expr::int(0)),
+            ),
+        )
+        .agg(vec![], vec![AggExpr::sum(col(7)), AggExpr::count_star()]),
+        // Q7: volume shipping between nations (via supplier nation).
+        7 => Plan::scan("order_line")
+            .project(vec![col(0), col(7), Expr::mul(col(4), col(5))])
+            .hash_join(Plan::scan("supplier"), vec![2], vec![0])
+            .hash_join(Plan::scan("nation"), vec![5], vec![0])
+            .agg(vec![0, 8], vec![AggExpr::sum(col(1))])
+            .sort(vec![(0, false)]),
+        // Q8: market share — two-level join with region filter.
+        8 => Plan::scan("order_line")
+            .project(vec![col(7), Expr::mul(col(4), col(5))])
+            .hash_join(Plan::scan("supplier"), vec![1], vec![0])
+            .hash_join(
+                Plan::scan("nation").filtered(Expr::cmp(CmpOp::Lt, col(2), Expr::int(2))),
+                vec![4],
+                vec![0],
+            )
+            .agg(vec![8], vec![AggExpr::sum(col(0)), AggExpr::count_star()]),
+        // Q9: product profit by nation and item band.
+        9 => Plan::scan("order_line")
+            .hash_join(Plan::scan("item"), vec![4], vec![0])
+            .project(vec![col(7), Expr::mul(col(4), col(5)), col(11)])
+            .hash_join(Plan::scan("supplier"), vec![1], vec![0])
+            .agg(vec![5], vec![AggExpr::sum(col(0)), AggExpr::avg(col(2))]),
+        // Q10: returned item reporting — customer⋈orders⋈order_line.
+        10 => Plan::scan("customer")
+            .hash_join(Plan::scan("orders"), vec![0, 1, 2], vec![0, 1, 3])
+            .hash_join(Plan::scan("order_line"), vec![9, 10, 11], vec![0, 1, 2])
+            .agg(vec![2], vec![AggExpr::sum(col(23))])
+            .top_k(vec![(1, true)], 20),
+        // Q11: important stock — selective filter push-down (Fig. 14).
+        11 => Plan::scan_where("stock", Expr::cmp(CmpOp::Gt, col(3), Expr::int(0)))
+            .agg(vec![1], vec![AggExpr::sum(col(4))])
+            .top_k(vec![(1, true)], 50),
+        // Q12: shipping mode — orders⋈order_line by carrier class.
+        12 => Plan::scan("orders")
+            .hash_join(Plan::scan("order_line"), vec![0, 1, 2], vec![0, 1, 2])
+            .agg(vec![5], vec![AggExpr::count_star(), AggExpr::sum(col(14))]),
+        // Q13: customer order distribution — selective filter on carrier.
+        13 => Plan::scan_where("orders", Expr::cmp(CmpOp::Ge, col(5), Expr::int(1)))
+            .agg(vec![0, 1, 3], vec![AggExpr::count_star()])
+            .agg(vec![3], vec![AggExpr::count_star()]),
+        // Q14: promotion effect — order_line⋈item, LIKE on name.
+        14 => Plan::scan("order_line")
+            .hash_join(Plan::scan("item"), vec![4], vec![0])
+            .project(vec![
+                Expr::Like(Box::new(col(10)), "item-1%".into()),
+                col(7),
+            ])
+            .agg(vec![0], vec![AggExpr::sum(col(1)), AggExpr::count_star()]),
+        // Q15: top supplier — selective filter + group + top-1.
+        15 => Plan::scan_where("order_line", Expr::cmp(CmpOp::Gt, col(7), Expr::dbl(50.0)))
+            .agg(vec![5], vec![AggExpr::sum(col(7))])
+            .top_k(vec![(1, true)], 1),
+        // Q16: part/supplier relationship — small join, tiny working set
+        // (the "barely improved" query of Fig. 11).
+        16 => Plan::scan("item")
+            .hash_join(
+                Plan::scan_where("supplier", Expr::cmp(CmpOp::Gt, col(3), Expr::dbl(100.0))),
+                vec![0],
+                vec![0],
+            )
+            .agg(vec![4], vec![AggExpr::count_star()]),
+        // Q17: small-quantity-order revenue.
+        17 => Plan::scan_where("order_line", Expr::cmp(CmpOp::Lt, col(6), Expr::int(5)))
+            .agg(vec![4], vec![AggExpr::avg(col(6)), AggExpr::sum(col(7))]),
+        // Q18: large-volume customers.
+        18 => Plan::scan("orders")
+            .hash_join(Plan::scan("order_line"), vec![0, 1, 2], vec![0, 1, 2])
+            .agg(vec![0, 1, 3], vec![AggExpr::sum(col(14)), AggExpr::count_star()])
+            .top_k(vec![(3, true)], 100),
+        // Q19: discounted revenue — OR-heavy filter.
+        19 => Plan::scan_where(
+            "order_line",
+            Expr::or(
+                Expr::and(
+                    Expr::between(col(6), Expr::int(1), Expr::int(5)),
+                    Expr::cmp(CmpOp::Gt, col(7), Expr::dbl(10.0)),
+                ),
+                Expr::and(
+                    Expr::between(col(6), Expr::int(6), Expr::int(10)),
+                    Expr::cmp(CmpOp::Gt, col(7), Expr::dbl(20.0)),
+                ),
+            ),
+        )
+        .agg(vec![], vec![AggExpr::sum(col(7))]),
+        // Q20: potential part promotion — stock quantity threshold.
+        20 => Plan::scan_where("stock", Expr::cmp(CmpOp::Gt, col(2), Expr::int(40)))
+            .project(vec![col(0), col(1), Expr::mul(col(0), col(1))])
+            .hash_join(Plan::scan("supplier"), vec![2], vec![0])
+            .agg(vec![5], vec![AggExpr::count_star()]),
+        // Q21: suppliers who kept orders waiting.
+        21 => Plan::scan_where("order_line", Expr::eq(col(8), Expr::int(0)))
+            .hash_join(Plan::scan("orders"), vec![0, 1, 2], vec![0, 1, 2])
+            .agg(vec![5], vec![AggExpr::count_star()])
+            .top_k(vec![(1, true)], 10),
+        // Q22: global sales opportunity — pushable customer aggregate.
+        22 => Plan::scan_where("customer", Expr::cmp(CmpOp::Gt, col(4), Expr::dbl(-1_000_000.0)))
+            .agg(vec![0], vec![AggExpr::count_star(), AggExpr::sum(col(4))]),
+        n => panic!("CH-benCHmark has queries 1..=22, got {n}"),
+    }
+}
+
+/// All 22 queries.
+pub fn all_queries() -> Vec<(usize, Plan)> {
+    (1..=22).map(|n| (n, query(n))).collect()
+}
+
+/// The Fig. 14 "significant improvement" set.
+pub const PUSHDOWN_WINNERS: [usize; 7] = [1, 6, 11, 13, 15, 20, 22];

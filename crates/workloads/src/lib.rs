@@ -1,0 +1,29 @@
+//! # vedb-workloads — the paper's evaluation workloads
+//!
+//! Everything §VII runs against the engine lives here:
+//!
+//! * [`tpcc`] — scaled TPC-C (Figures 6, 7) and the TP side of TPC-CH,
+//! * [`chbench`] — the 22 CH-benCHmark analytical queries (Figures 10, 11, 14),
+//! * [`sysbench`] — sysbench-style `oltp_read_write` (Figure 13),
+//! * [`orders`] — the internal batched order-processing workload (Figure 8),
+//! * [`ads`] — the internal advertisement workload (Figure 9),
+//! * [`lookup`] — the internal large-table lookup workload (Figure 12),
+//! * [`driver`] — the multi-client virtual-time trial driver shared by all.
+//!
+//! Scale note: datasets are scaled down (the paper loads 1000 warehouses on
+//! a bare-metal cluster) but *ratios* — working set vs. buffer pool vs. EBP
+//! — are preserved per experiment, which is what the measured effects
+//! depend on (see DESIGN.md §1).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ads;
+pub mod chbench;
+pub mod driver;
+pub mod lookup;
+pub mod orders;
+pub mod sysbench;
+pub mod tpcc;
+
+pub use driver::{run_trial, DriverConfig};

@@ -1,0 +1,139 @@
+//! The internal batched order-processing workload (Figure 8, §VII-A).
+//!
+//! Characteristics from the paper:
+//!
+//! 1. INSERTs are wide — about 2 KB per order-flow row,
+//! 2. UPDATEs hit hot rows — many concurrent updates of the same vendor's
+//!    account balance,
+//! 3. the customer's target is 10,000+ TPS.
+//!
+//! Two operations are measured: `single_insert` (one wide insert per
+//! transaction) and `order_batch` (the full scenario: a batch of orders in
+//! one transaction block — each order updates the vendor balance and
+//! inserts the returned balance into the order-flow table).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use vedb_core::catalog::{Catalog, ColumnType};
+use vedb_core::db::Db;
+use vedb_core::{EngineError, Value};
+use vedb_sim::SimCtx;
+
+use crate::driver::OpOutcome;
+
+/// Width of the order-flow payload (paper: "about 2KB").
+pub const ROW_PAYLOAD: usize = 2048;
+
+/// Number of vendors (few → hot rows).
+pub const VENDORS: i64 = 8;
+
+/// Orders batched into one transaction.
+pub const BATCH: usize = 5;
+
+static NEXT_FLOW_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Register the schema.
+pub fn define_schema(cat: &mut Catalog) {
+    cat.define("vendor_account")
+        .col("v_id", ColumnType::Int)
+        .col("v_balance", ColumnType::Double)
+        .col("v_updates", ColumnType::Int)
+        .pk(&["v_id"])
+        .build();
+    cat.define("order_flow")
+        .col("f_id", ColumnType::Int)
+        .col("f_vendor", ColumnType::Int)
+        .col("f_balance", ColumnType::Double)
+        .col("f_payload", ColumnType::Str)
+        .pk(&["f_id"])
+        .index("idx_flow_vendor", &["f_vendor"])
+        .build();
+}
+
+/// Load the vendors.
+pub fn load(ctx: &mut SimCtx, db: &Arc<Db>) -> vedb_core::Result<()> {
+    NEXT_FLOW_ID.store(1, Ordering::Relaxed);
+    let mut txn = db.begin();
+    for v in 1..=VENDORS {
+        db.insert(
+            ctx,
+            &mut txn,
+            "vendor_account",
+            vec![Value::Int(v), Value::Double(0.0), Value::Int(0)],
+        )?;
+    }
+    db.commit(ctx, &mut txn)?;
+    Ok(())
+}
+
+fn flow_id() -> i64 {
+    NEXT_FLOW_ID.fetch_add(1, Ordering::Relaxed) as i64
+}
+
+/// One wide (2 KB) insert per transaction — the first half of Figure 8.
+pub fn single_insert(ctx: &mut SimCtx, db: &Arc<Db>) -> OpOutcome {
+    let vendor = ctx.rng().skewed_index(VENDORS as u64, 0.5) as i64 + 1;
+    let payload = "p".repeat(ROW_PAYLOAD);
+    let mut txn = db.begin();
+    let r = db.insert(
+        ctx,
+        &mut txn,
+        "order_flow",
+        vec![Value::Int(flow_id()), Value::Int(vendor), Value::Double(0.0), Value::Str(payload)],
+    );
+    finish(ctx, db, txn, r)
+}
+
+/// The full batched order transaction — hot-row vendor update + wide
+/// insert per order, [`BATCH`] orders per transaction.
+pub fn order_batch(ctx: &mut SimCtx, db: &Arc<Db>) -> OpOutcome {
+    // Hot vendor: most batches hit the same merchant (paper: "often many
+    // concurrent updates for the same merchant").
+    let vendor = ctx.rng().skewed_index(VENDORS as u64, 0.6) as i64 + 1;
+    let payload = "p".repeat(ROW_PAYLOAD);
+    let mut txn = db.begin();
+    let r = (|| -> vedb_core::Result<()> {
+        for _ in 0..BATCH {
+            let amount = ctx.rng().gen_range(1..1000) as f64 / 10.0;
+            let mut new_balance = 0.0;
+            db.update_by_pk(ctx, &mut txn, "vendor_account", &[Value::Int(vendor)], |row| {
+                new_balance = row[1].as_f64() + amount;
+                row[1] = Value::Double(new_balance);
+                row[2] = Value::Int(row[2].as_int() + 1);
+            })?;
+            db.insert(
+                ctx,
+                &mut txn,
+                "order_flow",
+                vec![
+                    Value::Int(flow_id()),
+                    Value::Int(vendor),
+                    Value::Double(new_balance),
+                    Value::Str(payload.clone()),
+                ],
+            )?;
+        }
+        Ok(())
+    })();
+    finish(ctx, db, txn, r.map(|_| ()))
+}
+
+fn finish(
+    ctx: &mut SimCtx,
+    db: &Arc<Db>,
+    mut txn: vedb_core::TxnHandle,
+    r: vedb_core::Result<()>,
+) -> OpOutcome {
+    match r {
+        Ok(()) => match db.commit(ctx, &mut txn) {
+            Ok(()) => OpOutcome::Committed,
+            Err(_) => OpOutcome::Aborted,
+        },
+        Err(EngineError::LockTimeout { .. }) | Err(EngineError::DuplicateKey { .. }) => {
+            let _ = db.abort(ctx, &mut txn);
+            OpOutcome::Aborted
+        }
+        Err(e) => panic!("order workload failed: {e}"),
+    }
+}

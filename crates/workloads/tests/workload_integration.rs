@@ -1,0 +1,200 @@
+//! Workload integration tests: TPC-C consistency under concurrency, CH
+//! queries run on every configuration, and the internal workloads drive
+//! real transactions.
+
+use std::sync::Arc;
+
+use vedb_core::db::{Db, DbConfig, LogBackendKind, StorageFabric};
+use vedb_core::ebp::EbpConfig;
+use vedb_core::query::{execute, QuerySession};
+use vedb_sim::{ClusterSpec, SimCtx, VTime};
+use vedb_workloads::driver::{run_trial, DriverConfig, OpOutcome};
+use vedb_workloads::{ads, chbench, lookup, orders, sysbench, tpcc};
+
+fn fabric() -> StorageFabric {
+    StorageFabric::build(ClusterSpec::paper_default(), 96 << 20, 1 << 20)
+}
+
+fn open(ctx: &mut SimCtx, f: &StorageFabric, cfg: DbConfig) -> Arc<Db> {
+    Db::open(ctx, f, cfg).unwrap()
+}
+
+#[test]
+fn tpcc_loads_and_stays_consistent_under_concurrency() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(0, 7);
+    let db = open(&mut ctx, &f, DbConfig { bp_pages: 512, ..Default::default() });
+    let scale = tpcc::TpccScale::tiny();
+    db.define_schema(tpcc::define_schema);
+    db.create_tables(&mut ctx).unwrap();
+    tpcc::load(&mut ctx, &db, &scale).unwrap();
+    tpcc::check_consistency(&mut ctx, &db, &scale).unwrap();
+
+    let result = run_trial(&DriverConfig::quick(8).starting_at(ctx.now()), |ctx, _| {
+        tpcc::run_transaction(ctx, &db, &scale)
+    });
+    assert!(result.committed > 50, "committed only {}", result.committed);
+    // Money conservation holds after the storm.
+    let mut ctx2 = SimCtx::new(0, 8);
+    tpcc::check_consistency(&mut ctx2, &db, &scale).unwrap();
+}
+
+#[test]
+fn tpcc_throughput_with_astore_beats_blobstore() {
+    let scale = tpcc::TpccScale::tiny();
+    let mut results = Vec::new();
+    for log in [LogBackendKind::BlobStore, LogBackendKind::AStore] {
+        // One fabric per configuration: separate deployments in the paper.
+        let f = fabric();
+        let mut ctx = SimCtx::new(0, 7);
+        let db = open(&mut ctx, &f, DbConfig { bp_pages: 512, log, ..Default::default() });
+        db.define_schema(tpcc::define_schema);
+        db.create_tables(&mut ctx).unwrap();
+        tpcc::load(&mut ctx, &db, &scale).unwrap();
+        let r = run_trial(&DriverConfig::quick(16).starting_at(ctx.now()), |ctx, _| {
+            tpcc::run_transaction(ctx, &db, &scale)
+        });
+        results.push(r.throughput());
+    }
+    assert!(
+        results[1] > results[0] * 1.15,
+        "AStore TPS ({:.0}) should clearly beat the SSD LogStore ({:.0})",
+        results[1],
+        results[0]
+    );
+}
+
+#[test]
+fn all_22_ch_queries_execute_and_agree_with_pushdown() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(0, 7);
+    let cfg = DbConfig {
+        bp_pages: 256,
+        ebp: Some(EbpConfig { capacity_bytes: 48 << 20, ..Default::default() }),
+        ..Default::default()
+    };
+    let db = open(&mut ctx, &f, cfg);
+    let scale = tpcc::TpccScale::tiny();
+    db.define_schema(|cat| {
+        tpcc::define_schema(cat);
+        chbench::extend_schema(cat);
+    });
+    db.create_tables(&mut ctx).unwrap();
+    tpcc::load(&mut ctx, &db, &scale).unwrap();
+    chbench::load_extra(&mut ctx, &db).unwrap();
+
+    let local = QuerySession::default();
+    let pq = QuerySession::with_pushdown();
+    for (n, plan) in chbench::all_queries() {
+        let a = execute(&mut ctx, &db, &local, &plan)
+            .unwrap_or_else(|e| panic!("Q{n} failed locally: {e}"));
+        let b = execute(&mut ctx, &db, &pq, &plan)
+            .unwrap_or_else(|e| panic!("Q{n} failed with pushdown: {e}"));
+        let fmt = |rows: &Vec<vedb_core::Row>| {
+            let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(fmt(&a), fmt(&b), "Q{n}: local vs pushdown results differ");
+        // Scan-heavy queries must return something at this scale.
+        if [1, 4, 6, 12, 22].contains(&n) {
+            assert!(!a.is_empty(), "Q{n} returned nothing");
+        }
+    }
+}
+
+#[test]
+fn order_processing_hot_rows_serialize() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(0, 7);
+    let db = open(&mut ctx, &f, DbConfig::default());
+    db.define_schema(orders::define_schema);
+    db.create_tables(&mut ctx).unwrap();
+    orders::load(&mut ctx, &db).unwrap();
+
+    let r = run_trial(&DriverConfig::quick(8).starting_at(ctx.now()), |ctx, _| orders::order_batch(ctx, &db));
+    // Hot-row serialization caps throughput near 1/batch-latency; with a
+    // 100ms window that is on the order of a dozen commits.
+    assert!(r.committed > 8, "committed {}", r.committed);
+    // Vendor balances must equal the sum of their flow rows' deltas —
+    // verified implicitly by update counters matching flow count.
+    let mut ctx2 = SimCtx::new(0, 9);
+    let mut updates = 0i64;
+    db.scan_table(&mut ctx2, "vendor_account", |row| {
+        updates += row[2].as_int();
+        true
+    })
+    .unwrap();
+    let mut flows = 0i64;
+    db.scan_table(&mut ctx2, "order_flow", |_| {
+        flows += 1;
+        true
+    })
+    .unwrap();
+    assert_eq!(updates, flows, "every flow row pairs with one balance update");
+}
+
+#[test]
+fn ads_lookup_sysbench_smoke() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(0, 7);
+    let db = open(&mut ctx, &f, DbConfig { bp_pages: 512, ..Default::default() });
+    db.define_schema(|cat| {
+        ads::define_schema(cat);
+        lookup::define_schema(cat);
+        sysbench::define_schema(cat);
+    });
+    db.create_tables(&mut ctx).unwrap();
+    ads::load(&mut ctx, &db).unwrap();
+    lookup::load(&mut ctx, &db, lookup::LookupScale::tiny()).unwrap();
+    sysbench::load(&mut ctx, &db, sysbench::SysbenchScale::tiny()).unwrap();
+
+    // Sequential trials advance a shared virtual timeline: each starts
+    // where the previous one ended.
+    let base = DriverConfig::quick(4);
+    let mut cursor = ctx.now();
+    let r_ads = run_trial(&base.clone().starting_at(cursor), |ctx, _| ads::ad_op(ctx, &db));
+    cursor = cursor + base.warmup + base.measure;
+    assert!(r_ads.committed > 100, "ads committed {}", r_ads.committed);
+    let r_lk = run_trial(&base.clone().starting_at(cursor), |ctx, _| {
+        lookup::lookup_op(ctx, &db, lookup::LookupScale::tiny())
+    });
+    cursor = cursor + base.warmup + base.measure;
+    assert!(r_lk.committed > 100, "lookup committed {}", r_lk.committed);
+    let r_sb = run_trial(&base.clone().starting_at(cursor), |ctx, _| {
+        sysbench::transaction(ctx, &db, sysbench::SysbenchScale::tiny())
+    });
+    assert!(r_sb.committed > 10, "sysbench committed {}", r_sb.committed);
+}
+
+#[test]
+fn driver_latency_under_contention_grows_with_clients() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(0, 7);
+    let db = open(&mut ctx, &f, DbConfig::default());
+    db.define_schema(orders::define_schema);
+    db.create_tables(&mut ctx).unwrap();
+    orders::load(&mut ctx, &db).unwrap();
+
+    let mut p95s = Vec::new();
+    let mut cursor = ctx.now();
+    for clients in [1usize, 16] {
+        let cfg = DriverConfig {
+            clients,
+            warmup: VTime::from_millis(2),
+            measure: VTime::from_millis(60),
+            seed: 5,
+            start: cursor,
+        };
+        cursor = cursor + cfg.warmup + cfg.measure;
+        let r = run_trial(&cfg, |ctx, _| orders::order_batch(ctx, &db));
+        p95s.push(r.latency.p95());
+        if let OpOutcome::Committed = OpOutcome::Committed {} // keep import used
+    }
+    assert!(
+        p95s[1] > p95s[0],
+        "P95 must grow with hot-row contention: 1 client {} vs 16 clients {}",
+        p95s[0],
+        p95s[1]
+    );
+}

@@ -1,0 +1,100 @@
+//! Crash recovery end to end (§V-E): the DBEngine dies mid-flight; the new
+//! incarnation recovers the SegmentRing from PMem (binary-searching the
+//! segment headers), repeats history at PageStore, rolls back the loser
+//! transaction, and rebuilds the Extended Buffer Pool from server-side
+//! PMem scans.
+//!
+//! Run with: `cargo run --release --example crash_recovery`
+
+use vedb::core::recovery;
+use vedb::prelude::*;
+
+fn schema(cat: &mut Catalog) {
+    cat.define("ledger")
+        .col("id", ColumnType::Int)
+        .col("note", ColumnType::Str)
+        .col("amount", ColumnType::Int)
+        .pk(&["id"])
+        .build();
+}
+
+fn main() {
+    let fabric = StorageFabric::build(ClusterSpec::paper_default(), 64 << 20, 512 * 1024);
+    let cfg = DbConfig {
+        bp_pages: 64,
+        log: LogBackendKind::AStore,
+        ring_segments: 8,
+        ebp: Some(EbpConfig::default()),
+        ..Default::default()
+    };
+
+    // ---- incarnation 1 -------------------------------------------------
+    let mut ctx = SimCtx::new(1, 42);
+    let db = Db::open(&mut ctx, &fabric, cfg.clone()).unwrap();
+    db.define_schema(schema);
+    db.create_tables(&mut ctx).unwrap();
+
+    let mut committed = db.begin();
+    for i in 0..500 {
+        db.insert(
+            &mut ctx,
+            &mut committed,
+            "ledger",
+            vec![Value::Int(i), Value::Str(format!("entry-{i}")), Value::Int(i * 10)],
+        )
+        .unwrap();
+    }
+    db.commit(&mut ctx, &mut committed).unwrap();
+    println!("committed 500 rows");
+
+    // A transaction that will never commit...
+    let mut loser = db.begin();
+    db.insert(&mut ctx, &mut loser, "ledger", vec![Value::Int(9999), Value::Str("ghost".into()), Value::Int(-1)])
+        .unwrap();
+    db.update_by_pk(&mut ctx, &mut loser, "ledger", &[Value::Int(42)], |row| {
+        row[2] = Value::Int(-424242);
+    })
+    .unwrap();
+    // ...but whose log records become durable via a concurrent committer's
+    // group-commit flush:
+    let mut bystander = db.begin();
+    db.insert(&mut ctx, &mut bystander, "ledger", vec![Value::Int(1000), Value::Str("bystander".into()), Value::Int(1)])
+        .unwrap();
+    db.commit(&mut ctx, &mut bystander).unwrap();
+    println!("loser transaction in flight (records durable via group commit)");
+
+    // The engine's bootstrap catalog would persist these; we carry them over.
+    let ring_ids = db.log_segment_ids();
+
+    // ---- CRASH ---------------------------------------------------------
+    drop(loser);
+    drop(db);
+    println!("\n*** DBEngine crashed: buffer pool, EBP index, txn table all gone ***\n");
+
+    // ---- incarnation 2 -------------------------------------------------
+    let mut ctx2 = SimCtx::new(2, 43);
+    let t0 = ctx2.now();
+    let (db2, report) = recovery::recover(&mut ctx2, &fabric, cfg, schema, &ring_ids).unwrap();
+    println!("recovery done in {} (virtual time):", ctx2.now() - t0);
+    println!("  log records scanned : {}", report.records_scanned);
+    println!("  committed txns      : {}", report.committed);
+    println!("  losers rolled back  : {}", report.losers_undone);
+    println!("  EBP pages recovered : {}", report.ebp_pages_recovered);
+
+    // Committed state is intact.
+    let row = db2.get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(499)]).unwrap().unwrap();
+    assert_eq!(row[2], Value::Int(4990));
+    let bystander_row = db2.get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(1000)]).unwrap();
+    assert!(bystander_row.is_some());
+    // The loser's effects are gone.
+    assert!(db2.get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(9999)]).unwrap().is_none());
+    let row42 = db2.get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(42)]).unwrap().unwrap();
+    assert_eq!(row42[2], Value::Int(420), "loser's update must be rolled back");
+
+    // And the engine keeps serving.
+    let mut txn = db2.begin();
+    db2.insert(&mut ctx2, &mut txn, "ledger", vec![Value::Int(2000), Value::Str("post-crash".into()), Value::Int(7)])
+        .unwrap();
+    db2.commit(&mut ctx2, &mut txn).unwrap();
+    println!("\npost-recovery writes OK — all invariants hold");
+}

@@ -1,0 +1,52 @@
+//! # veDB reproduction — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *"Accelerating Cloud-Native
+//! Databases with Distributed PMem Stores"* (ICDE 2023): the veDB
+//! compute/storage-separated database engine, the paper's **AStore**
+//! disaggregated PMem store with one-sided RDMA, the **Extended Buffer
+//! Pool**, and the **query push-down** framework — all running over a
+//! deterministic virtual-time simulation of the paper's Table I cluster.
+//!
+//! This crate re-exports the public API of the workspace members and hosts
+//! the runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+//!
+//! ```no_run
+//! use vedb::prelude::*;
+//!
+//! let fabric = StorageFabric::build(ClusterSpec::paper_default(), 64 << 20, 1 << 20);
+//! let mut ctx = SimCtx::new(0, 42);
+//! let db = Db::open(&mut ctx, &fabric, DbConfig::default()).unwrap();
+//! db.define_schema(|cat| {
+//!     cat.define("users")
+//!         .col("id", ColumnType::Int)
+//!         .col("name", ColumnType::Str)
+//!         .pk(&["id"])
+//!         .build();
+//! });
+//! db.create_tables(&mut ctx).unwrap();
+//! let mut txn = db.begin();
+//! db.insert(&mut ctx, &mut txn, "users", vec![Value::Int(1), Value::Str("ada".into())])
+//!     .unwrap();
+//! db.commit(&mut ctx, &mut txn).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub use vedb_astore as astore;
+pub use vedb_blobstore as blobstore;
+pub use vedb_core as core;
+pub use vedb_pagestore as pagestore;
+pub use vedb_pmem as pmem;
+pub use vedb_rdma as rdma;
+pub use vedb_sim as sim;
+pub use vedb_workloads as workloads;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use vedb_core::db::{Db, DbConfig, LogBackendKind, StorageFabric};
+    pub use vedb_core::ebp::{EbpConfig, EbpPolicy};
+    pub use vedb_core::query::{execute, AggExpr, AggFunc, CmpOp, Expr, Plan, QuerySession};
+    pub use vedb_core::{Catalog, ColumnType, EngineError, Row, TxnHandle, Value};
+    pub use vedb_sim::{ClusterSpec, LatencyModel, SimCtx, VTime};
+}
