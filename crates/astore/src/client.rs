@@ -3,17 +3,40 @@
 //! Control plane (create/delete/route/lease) goes through the CM over RPC
 //! and costs milliseconds; the data plane is **one-sided only**:
 //!
-//! * [`AStoreClient::append`] — the §IV-B write: one chained work request
-//!   carrying the payload WRITE, the io-meta WRITE (so the segment's
-//!   effective length survives any crash), and the trailing READ that
-//!   flushes into the PMem persistence domain. All replicas are written in
-//!   parallel; *every* replica must acknowledge or the segment is frozen
-//!   and the caller re-opens a new one (§IV-B "Write").
+//! * [`AStoreClient::append_with`] — the §IV-B write: one chained work
+//!   request carrying the payload WRITE, the io-meta WRITE (so the
+//!   segment's effective length survives any crash), and the trailing READ
+//!   that flushes into the PMem persistence domain. All replicas are
+//!   written in parallel; *every* replica must acknowledge (§IV-B "Write").
 //! * [`AStoreClient::read`] — a one-sided READ from any online replica.
 //!
 //! Route hygiene (§IV-C): routes are cached and re-validated against the CM
 //! when older than `refresh_period`, which the deployment guarantees is much
 //! shorter than the servers' stale-segment cleanup delay.
+//!
+//! ## Fault recovery
+//!
+//! Every operation runs under a [`RetryPolicy`] (capped exponential backoff
+//! over *virtual* time):
+//!
+//! * Transient message loss ([`vedb_rdma::RdmaError::Dropped`]) retries the
+//!   same chained write — idempotent, since every attempt writes the same
+//!   bytes at the same offsets.
+//! * A replica that is *unreachable* is reported to the CM
+//!   ([`ClusterManager::report_failure`]), which verifies the claim,
+//!   re-replicates the segment (or shrinks its replica set when no spare
+//!   node exists) and bumps the route version; the client force-refreshes
+//!   the route and retries against the repaired replica set.
+//! * `LeaseExpired` on a control-plane call triggers one **same-epoch**
+//!   lease renewal. The SDK never re-acquires: a re-acquire would mint a
+//!   fresh epoch and defeat the §IV-C fencing of superseded clients.
+//! * Reads fail over across replicas, refreshing the route between retry
+//!   rounds.
+//!
+//! Only when the policy is exhausted does a write surface
+//! [`AStoreError::ReplicaFailed`] — at which point the segment is frozen
+//! and the ring layer rolls to a fresh one. All recovery activity is
+//! published through [`RecoveryCounters`] (see `vedb_sim::metrics`).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -21,10 +44,11 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use vedb_rdma::{RdmaEndpoint, RemoteMr};
 use vedb_sim::fault::NodeId;
-use vedb_sim::{LatencyModel, Resource, SimCtx, VTime};
+use vedb_sim::{LatencyModel, RecoveryCounters, Resource, SimCtx, VTime};
 
 use crate::cm::{ClusterManager, Lease, Route};
 use crate::layout::SegmentClass;
+use crate::retry::{AppendOpts, RetryPolicy, SegmentOpts};
 use crate::server::AStoreServer;
 use crate::{AStoreError, Result, SegmentId, SegmentLoc};
 
@@ -56,6 +80,8 @@ pub struct AStoreClient {
     model: LatencyModel,
     client_id: u64,
     refresh_period: VTime,
+    policy: RetryPolicy,
+    counters: Arc<RecoveryCounters>,
     lease: Mutex<Lease>,
     /// Per-node connection state: registered MR + server reference.
     nodes: Mutex<HashMap<NodeId, (RemoteMr, Arc<AStoreServer>)>>,
@@ -64,8 +90,8 @@ pub struct AStoreClient {
 }
 
 impl AStoreClient {
-    /// Connect: acquire a lease from the CM and set up one-sided access to
-    /// every live server.
+    /// Connect with the default [`RetryPolicy`]: acquire a lease from the
+    /// CM and set up one-sided access to every live server.
     pub fn connect(
         ctx: &mut SimCtx,
         cm: Arc<ClusterManager>,
@@ -75,12 +101,39 @@ impl AStoreClient {
         client_id: u64,
         refresh_period: VTime,
     ) -> Arc<Self> {
+        Self::connect_with_policy(
+            ctx,
+            cm,
+            ep,
+            engine_cpu,
+            model,
+            client_id,
+            refresh_period,
+            RetryPolicy::default(),
+        )
+    }
+
+    /// Connect with an explicit [`RetryPolicy`] (the DBEngine passes
+    /// `DbConfig::retry` through here).
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_with_policy(
+        ctx: &mut SimCtx,
+        cm: Arc<ClusterManager>,
+        ep: RdmaEndpoint,
+        engine_cpu: Arc<Resource>,
+        model: LatencyModel,
+        client_id: u64,
+        refresh_period: VTime,
+        policy: RetryPolicy,
+    ) -> Arc<Self> {
         let lease = cm.acquire_lease(ctx, client_id);
         let nodes = cm
             .live_servers()
             .into_iter()
             .map(|s| (s.node(), (s.mr(), s)))
             .collect();
+        let counters = Arc::new(RecoveryCounters::new());
+        cm.attach_recovery_counters(Arc::clone(&counters));
         Arc::new(AStoreClient {
             cm,
             ep,
@@ -88,6 +141,8 @@ impl AStoreClient {
             model,
             client_id,
             refresh_period,
+            policy,
+            counters,
             lease: Mutex::new(lease),
             nodes: Mutex::new(nodes),
             routes: Mutex::new(HashMap::new()),
@@ -110,11 +165,60 @@ impl AStoreClient {
         &self.cm
     }
 
+    /// The retry policy this client runs under.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Recovery telemetry: retries, failovers, renewals, repairs.
+    pub fn recovery_counters(&self) -> &Arc<RecoveryCounters> {
+        &self.counters
+    }
+
     fn charge_sdk(&self, ctx: &mut SimCtx) {
         let done = self
             .engine_cpu
             .acquire(ctx.now(), VTime::from_nanos(self.model.cpu_astore_sdk_ns));
         ctx.wait_until(done);
+    }
+
+    /// Sleep the capped-exponential backoff for retry number `retry`.
+    fn sleep_backoff(&self, ctx: &mut SimCtx, retry: u32) {
+        let slept = self.policy.backoff(retry);
+        ctx.advance(slept);
+        self.counters.note_retry();
+        self.counters.note_backoff(slept);
+    }
+
+    /// Run a lease-bearing CM operation under the retry policy. A fencing
+    /// error gets exactly one **same-epoch** renewal attempt; if the CM
+    /// refuses the renewal this client was superseded and the fence is
+    /// final. Transient errors back off and retry.
+    fn cm_op<T>(
+        &self,
+        ctx: &mut SimCtx,
+        mut op: impl FnMut(&mut SimCtx, Lease) -> Result<T>,
+    ) -> Result<T> {
+        let mut retry = 0u32;
+        let mut renewed = false;
+        loop {
+            let lease = *self.lease.lock();
+            match op(ctx, lease) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_fencing() && !renewed => {
+                    // Renew the *same* epoch; never re-acquire (that would
+                    // mint a new epoch and bypass the §IV-C fence).
+                    self.cm.renew_lease(ctx, lease)?;
+                    self.counters.note_lease_renewal();
+                    renewed = true;
+                }
+                Err(e) if e.is_retryable() && self.policy.allows(retry) => {
+                    self.sleep_backoff(ctx, retry);
+                    retry += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn node_conn(&self, node: NodeId) -> Result<(RemoteMr, Arc<AStoreServer>)> {
@@ -132,23 +236,20 @@ impl AStoreClient {
         }
     }
 
-    /// Create a segment of the class's default replication. Control-plane
-    /// cost: milliseconds (§IV-B "Create").
-    pub fn create_segment(&self, ctx: &mut SimCtx, class: SegmentClass) -> Result<SegmentHandle> {
-        self.create_segment_with_replication(ctx, class, class.default_replication())
-    }
-
-    /// Create a segment with an explicit replication factor (the paper's
-    /// "configurable replication factor for different segments").
-    pub fn create_segment_with_replication(
+    /// Create a segment described by `opts` — class plus optional explicit
+    /// replication factor. Control-plane cost: milliseconds (§IV-B
+    /// "Create").
+    pub fn create_segment_with(
         &self,
         ctx: &mut SimCtx,
-        class: SegmentClass,
-        replication: usize,
+        opts: SegmentOpts,
     ) -> Result<SegmentHandle> {
         self.charge_sdk(ctx);
-        let lease = *self.lease.lock();
-        let (id, route) = self.cm.create_segment(ctx, lease, class, replication)?;
+        let class = opts.class;
+        let replication = opts.effective_replication();
+        let (id, route) = self.cm_op(ctx, |ctx, lease| {
+            self.cm.create_segment(ctx, lease, class, replication)
+        })?;
         let capacity = route
             .replicas
             .iter()
@@ -156,16 +257,49 @@ impl AStoreClient {
             .map(|(_, s)| s.slot_size())
             .min()
             .unwrap_or(0);
-        self.routes.lock().insert(id, CachedRoute { route, fetched_at: ctx.now() });
-        self.segs.lock().insert(id, SegMeta { len: 0, capacity, frozen: false });
+        self.routes.lock().insert(
+            id,
+            CachedRoute {
+                route,
+                fetched_at: ctx.now(),
+            },
+        );
+        self.segs.lock().insert(
+            id,
+            SegMeta {
+                len: 0,
+                capacity,
+                frozen: false,
+            },
+        );
         Ok(SegmentHandle { id, class })
+    }
+
+    /// Create a segment of the class's default replication.
+    #[deprecated(note = "use `create_segment_with(ctx, SegmentOpts::new(class))`")]
+    pub fn create_segment(&self, ctx: &mut SimCtx, class: SegmentClass) -> Result<SegmentHandle> {
+        self.create_segment_with(ctx, SegmentOpts::new(class))
+    }
+
+    /// Create a segment with an explicit replication factor.
+    #[deprecated(
+        note = "use `create_segment_with(ctx, SegmentOpts::new(class).with_replication(n))`"
+    )]
+    pub fn create_segment_with_replication(
+        &self,
+        ctx: &mut SimCtx,
+        class: SegmentClass,
+        replication: usize,
+    ) -> Result<SegmentHandle> {
+        self.create_segment_with(ctx, SegmentOpts::new(class).with_replication(replication))
     }
 
     /// Delete a segment (CM route removal + delayed server cleanup).
     pub fn delete_segment(&self, ctx: &mut SimCtx, handle: SegmentHandle) -> Result<()> {
         self.charge_sdk(ctx);
-        let lease = *self.lease.lock();
-        self.cm.delete_segment(ctx, lease, handle.id)?;
+        self.cm_op(ctx, |ctx, lease| {
+            self.cm.delete_segment(ctx, lease, handle.id)
+        })?;
         self.routes.lock().remove(&handle.id);
         self.segs.lock().remove(&handle.id);
         Ok(())
@@ -184,13 +318,31 @@ impl AStoreClient {
         };
         if stale {
             let route = self.cm.get_route(ctx, seg)?;
-            self.routes
-                .lock()
-                .insert(seg, CachedRoute { route: route.clone(), fetched_at: ctx.now() });
+            self.routes.lock().insert(
+                seg,
+                CachedRoute {
+                    route: route.clone(),
+                    fetched_at: ctx.now(),
+                },
+            );
             Ok(route)
         } else {
             Ok(self.routes.lock().get(&seg).expect("cached").route.clone())
         }
+    }
+
+    /// Re-resolve a route from the CM unconditionally (recovery path).
+    fn force_refresh_route(&self, ctx: &mut SimCtx, seg: SegmentId) -> Result<Route> {
+        let route = self.cm.get_route(ctx, seg)?;
+        self.routes.lock().insert(
+            seg,
+            CachedRoute {
+                route: route.clone(),
+                fetched_at: ctx.now(),
+            },
+        );
+        self.counters.note_route_refresh();
+        Ok(route)
     }
 
     /// Force-refresh all cached routes (background task).
@@ -199,9 +351,13 @@ impl AStoreClient {
         for seg in segs {
             match self.cm.get_route(ctx, seg) {
                 Ok(route) => {
-                    self.routes
-                        .lock()
-                        .insert(seg, CachedRoute { route, fetched_at: ctx.now() });
+                    self.routes.lock().insert(
+                        seg,
+                        CachedRoute {
+                            route,
+                            fetched_at: ctx.now(),
+                        },
+                    );
                 }
                 Err(_) => {
                     // Route is gone: the segment was deleted or fully lost.
@@ -224,12 +380,20 @@ impl AStoreClient {
 
     /// Segment capacity in bytes.
     pub fn segment_capacity(&self, handle: SegmentHandle) -> u64 {
-        self.segs.lock().get(&handle.id).map(|m| m.capacity).unwrap_or(0)
+        self.segs
+            .lock()
+            .get(&handle.id)
+            .map(|m| m.capacity)
+            .unwrap_or(0)
     }
 
     /// Whether the segment was frozen by a failed write.
     pub fn is_frozen(&self, handle: SegmentHandle) -> bool {
-        self.segs.lock().get(&handle.id).map(|m| m.frozen).unwrap_or(true)
+        self.segs
+            .lock()
+            .get(&handle.id)
+            .map(|m| m.frozen)
+            .unwrap_or(true)
     }
 
     /// Mark a segment frozen (also done automatically on replica failure).
@@ -237,6 +401,37 @@ impl AStoreClient {
         if let Some(m) = self.segs.lock().get_mut(&handle.id) {
             m.frozen = true;
         }
+    }
+
+    /// Attempt to un-freeze a segment frozen by a failed write: force a
+    /// route re-resolution (the CM may have repaired or shrunk the replica
+    /// set since the failure) and probe every replica's io-meta with a
+    /// one-sided READ. If the whole current replica set answers, the
+    /// segment accepts appends again; otherwise the caller rolls to a
+    /// fresh segment (§V-E).
+    pub fn try_unfreeze(&self, ctx: &mut SimCtx, handle: SegmentHandle) -> Result<bool> {
+        let Ok(route) = self.force_refresh_route(ctx, handle.id) else {
+            return Ok(false);
+        };
+        if route.replicas.is_empty() {
+            return Ok(false);
+        }
+        for loc in &route.replicas {
+            let Ok((mr, server)) = self.node_conn(loc.node) else {
+                return Ok(false);
+            };
+            if self
+                .ep
+                .read(ctx, &mr, server.io_meta_offset(loc.offset), 8)
+                .is_err()
+            {
+                return Ok(false);
+            }
+        }
+        if let Some(m) = self.segs.lock().get_mut(&handle.id) {
+            m.frozen = false;
+        }
+        Ok(true)
     }
 
     fn replica_write(
@@ -262,16 +457,21 @@ impl AStoreClient {
         Ok(())
     }
 
-    fn fanout_write(
+    /// One round of the replicated §IV-B write: every replica in `route`
+    /// gets the chained WRITE in parallel. Transient failures leave the
+    /// replica un-acked; concretely unreachable nodes are also collected in
+    /// `unreachable` so the caller can report them to the CM.
+    fn fanout_once(
         &self,
         ctx: &mut SimCtx,
-        handle: SegmentHandle,
         route: &Route,
         writes: &[(u64, &[u8])],
+        unreachable: &mut Vec<NodeId>,
     ) -> Result<()> {
         let required = route.replicas.len();
         let mut done = ctx.now();
         let mut acked = 0;
+        unreachable.clear();
         for loc in &route.replicas {
             let mut rep_ctx = ctx.fork();
             match self.replica_write(&mut rep_ctx, loc, writes) {
@@ -279,50 +479,103 @@ impl AStoreClient {
                     acked += 1;
                     done = done.max(rep_ctx.now());
                 }
-                Err(AStoreError::Network(_)) => {}
+                Err(e) if e.is_retryable() => {
+                    if let Some(n) = e.unreachable_node() {
+                        unreachable.push(n);
+                    }
+                    // The failed attempt still cost the client its timeout.
+                    done = done.max(rep_ctx.now());
+                }
                 Err(e) => return Err(e),
             }
         }
+        ctx.wait_until(done);
         if acked < required {
-            // §IV-B: "If any copy fails, it returns a failure to the
-            // application and freezes the segment with the current
-            // effective length."
-            self.freeze(handle);
             return Err(AStoreError::ReplicaFailed { acked, required });
         }
-        ctx.wait_until(done);
         Ok(())
     }
 
-    /// Append `data` to the segment (the §IV-B write path). Returns the
-    /// segment-relative offset the data landed at.
-    pub fn append(&self, ctx: &mut SimCtx, handle: SegmentHandle, data: &[u8]) -> Result<u64> {
-        self.append_with_tail(ctx, handle, data, &[])
+    /// The replicated write with the full recovery ladder (§IV-B + §V-E):
+    ///
+    /// 1. fan the chained WRITE out to every replica;
+    /// 2. on shortfall, report unreachable replicas to the CM (verified
+    ///    failure detection → re-replication or route shrink), force a
+    ///    route re-resolution, back off, retry — the chain is idempotent;
+    /// 3. only with the retry budget exhausted freeze the segment and
+    ///    surface [`AStoreError::ReplicaFailed`] for the ring layer.
+    fn fanout_write(
+        &self,
+        ctx: &mut SimCtx,
+        handle: SegmentHandle,
+        writes: &[(u64, &[u8])],
+    ) -> Result<()> {
+        let mut route = self.maybe_refresh_route(ctx, handle.id)?;
+        let mut unreachable = Vec::new();
+        let mut retry = 0u32;
+        loop {
+            match self.fanout_once(ctx, &route, writes, &mut unreachable) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_segment_unwritable() || e.is_retryable() => {
+                    if !self.policy.allows(retry) {
+                        // §IV-B: freeze with the current effective length;
+                        // the caller re-opens a new segment.
+                        self.freeze(handle);
+                        return Err(e);
+                    }
+                    for &node in &unreachable {
+                        self.cm.report_failure(ctx, node);
+                    }
+                    self.sleep_backoff(ctx, retry);
+                    retry += 1;
+                    if !unreachable.is_empty() {
+                        // The replica set may have been repaired or shrunk.
+                        match self.force_refresh_route(ctx, handle.id) {
+                            Ok(r) => route = r,
+                            Err(e2) => return Err(e2),
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
-    /// Append `data` and additionally write `tail` *after* it without
-    /// advancing the segment length (the EBP writer uses this to lay down a
-    /// zeroed terminator header so server-side recovery scans stop at the
-    /// true end of data).
-    pub fn append_with_tail(
+    /// Append `data` to the segment (the §IV-B write path) with the options
+    /// in `opts`. Returns the segment-relative offset the data landed at.
+    ///
+    /// `opts.tail` additionally writes bytes *after* the record without
+    /// advancing the segment length (the EBP writer lays down a zeroed
+    /// terminator header this way, in the same chained work request).
+    pub fn append_with(
         &self,
         ctx: &mut SimCtx,
         handle: SegmentHandle,
         data: &[u8],
-        tail: &[u8],
+        opts: AppendOpts<'_>,
     ) -> Result<u64> {
         assert!(!data.is_empty(), "empty appends are not meaningful");
         self.charge_sdk(ctx);
-        let route = self.maybe_refresh_route(ctx, handle.id)?;
+        let tail = opts.tail.unwrap_or(&[]);
+        // A frozen segment gets one shot at un-freezing — the CM may have
+        // repaired the replica set since the failed write that froze it.
+        if self.is_frozen(handle) && !self.try_unfreeze(ctx, handle)? {
+            return Err(AStoreError::SegmentFrozen(handle.id));
+        }
         let (off, new_len) = {
             let segs = self.segs.lock();
-            let meta = segs.get(&handle.id).ok_or(AStoreError::UnknownSegment(handle.id))?;
+            let meta = segs
+                .get(&handle.id)
+                .ok_or(AStoreError::UnknownSegment(handle.id))?;
             if meta.frozen {
                 return Err(AStoreError::SegmentFrozen(handle.id));
             }
             let end = meta.len + (data.len() + tail.len()) as u64;
             if end > meta.capacity {
-                return Err(AStoreError::SegmentFull { used: meta.len, capacity: meta.capacity });
+                return Err(AStoreError::SegmentFull {
+                    used: meta.len,
+                    capacity: meta.capacity,
+                });
             }
             (meta.len, meta.len + data.len() as u64)
         };
@@ -332,11 +585,34 @@ impl AStoreClient {
             writes.push((off + data.len() as u64, tail));
         }
         writes.push((u64::MAX, &len_bytes)); // io-meta, chained (2nd WRITE)
-        self.fanout_write(ctx, handle, &route, &writes)?;
+        self.fanout_write(ctx, handle, &writes)?;
         if let Some(m) = self.segs.lock().get_mut(&handle.id) {
             m.len = new_len;
         }
         Ok(off)
+    }
+
+    /// Append `data` to the segment.
+    #[deprecated(note = "use `append_with(ctx, handle, data, AppendOpts::new())`")]
+    pub fn append(&self, ctx: &mut SimCtx, handle: SegmentHandle, data: &[u8]) -> Result<u64> {
+        self.append_with(ctx, handle, data, AppendOpts::new())
+    }
+
+    /// Append `data` followed by a speculative `tail` write.
+    #[deprecated(note = "use `append_with(ctx, handle, data, AppendOpts::new().with_tail(tail))`")]
+    pub fn append_with_tail(
+        &self,
+        ctx: &mut SimCtx,
+        handle: SegmentHandle,
+        data: &[u8],
+        tail: &[u8],
+    ) -> Result<u64> {
+        let opts = if tail.is_empty() {
+            AppendOpts::new()
+        } else {
+            AppendOpts::new().with_tail(tail)
+        };
+        self.append_with(ctx, handle, data, opts)
     }
 
     /// Positioned write that does **not** change the segment length —
@@ -349,23 +625,26 @@ impl AStoreClient {
         data: &[u8],
     ) -> Result<()> {
         self.charge_sdk(ctx);
-        let route = self.maybe_refresh_route(ctx, handle.id)?;
         {
             let segs = self.segs.lock();
-            let meta = segs.get(&handle.id).ok_or(AStoreError::UnknownSegment(handle.id))?;
+            let meta = segs
+                .get(&handle.id)
+                .ok_or(AStoreError::UnknownSegment(handle.id))?;
             if offset + data.len() as u64 > meta.capacity {
-                return Err(AStoreError::SegmentFull { used: offset, capacity: meta.capacity });
+                return Err(AStoreError::SegmentFull {
+                    used: offset,
+                    capacity: meta.capacity,
+                });
             }
         }
-        self.fanout_write(ctx, handle, &route, &[(offset, data)])
+        self.fanout_write(ctx, handle, &[(offset, data)])
     }
 
     /// Reset the segment's logical length to zero (ring-slot recycling).
     pub fn reset_len(&self, ctx: &mut SimCtx, handle: SegmentHandle) -> Result<()> {
         self.charge_sdk(ctx);
-        let route = self.maybe_refresh_route(ctx, handle.id)?;
         let zero = 0u64.to_le_bytes();
-        self.fanout_write(ctx, handle, &route, &[(u64::MAX, &zero)])?;
+        self.fanout_write(ctx, handle, &[(u64::MAX, &zero)])?;
         if let Some(m) = self.segs.lock().get_mut(&handle.id) {
             m.len = 0;
             m.frozen = false;
@@ -373,8 +652,10 @@ impl AStoreClient {
         Ok(())
     }
 
-    /// One-sided read of `len` bytes at segment-relative `offset`, from the
-    /// first online replica (§IV-B "Read").
+    /// One-sided read of `len` bytes at segment-relative `offset` (§IV-B
+    /// "Read"): served by the first replica that answers, failing over
+    /// across the replica set and re-resolving the route between retry
+    /// rounds.
     pub fn read(
         &self,
         ctx: &mut SimCtx,
@@ -382,36 +663,56 @@ impl AStoreClient {
         offset: u64,
         len: usize,
     ) -> Result<Vec<u8>> {
-        let route = self.maybe_refresh_route(ctx, handle.id)?;
-        {
-            let segs = self.segs.lock();
-            if let Some(meta) = segs.get(&handle.id) {
-                if offset + len as u64 > meta.capacity {
-                    return Err(AStoreError::SegmentFull { used: offset, capacity: meta.capacity });
+        let mut retry = 0u32;
+        loop {
+            let route = self.maybe_refresh_route(ctx, handle.id)?;
+            {
+                let segs = self.segs.lock();
+                if let Some(meta) = segs.get(&handle.id) {
+                    if offset + len as u64 > meta.capacity {
+                        return Err(AStoreError::SegmentFull {
+                            used: offset,
+                            capacity: meta.capacity,
+                        });
+                    }
                 }
             }
-        }
-        let mut last_err = AStoreError::UnknownSegment(handle.id);
-        for loc in &route.replicas {
-            let (mr, _) = match self.node_conn(loc.node) {
-                Ok(c) => c,
-                Err(e) => {
-                    last_err = e;
-                    continue;
+            let mut last_err = AStoreError::UnknownSegment(handle.id);
+            for (i, loc) in route.replicas.iter().enumerate() {
+                let (mr, _) = match self.node_conn(loc.node) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                };
+                match self.ep.read(ctx, &mr, loc.offset + offset, len) {
+                    Ok(data) => {
+                        if i > 0 {
+                            self.counters.note_read_failover();
+                        }
+                        return Ok(data);
+                    }
+                    Err(e) => last_err = AStoreError::Network(e),
                 }
-            };
-            match self.ep.read(ctx, &mr, loc.offset + offset, len) {
-                Ok(data) => return Ok(data),
-                Err(e) => last_err = AStoreError::Network(e),
             }
+            // Every replica failed this round.
+            if !last_err.is_retryable() || !self.policy.allows(retry) {
+                return Err(last_err);
+            }
+            self.sleep_backoff(ctx, retry);
+            retry += 1;
+            let _ = self.force_refresh_route(ctx, handle.id);
         }
-        Err(last_err)
     }
 
     /// Recover a segment's effective data length from the on-media io-meta
     /// (used after a client crash, when the DRAM `segs` table is gone).
+    /// Reads every reachable replica and takes the maximum — a replica
+    /// re-replicated mid-history may hold an older io-meta.
     pub fn recover_used_len(&self, ctx: &mut SimCtx, seg: SegmentId) -> Result<u64> {
         let route = self.maybe_refresh_route(ctx, seg)?;
+        let mut best: Option<u64> = None;
         for loc in &route.replicas {
             let (mr, server) = match self.node_conn(loc.node) {
                 Ok(c) => c,
@@ -419,10 +720,11 @@ impl AStoreClient {
             };
             let abs = server.io_meta_offset(loc.offset);
             if let Ok(bytes) = self.ep.read(ctx, &mr, abs, 8) {
-                return Ok(u64::from_le_bytes(bytes.try_into().unwrap()));
+                let len = u64::from_le_bytes(bytes.try_into().unwrap());
+                best = Some(best.map_or(len, |b| b.max(len)));
             }
         }
-        Err(AStoreError::Network(vedb_rdma::RdmaError::Dropped))
+        best.ok_or(AStoreError::Network(vedb_rdma::RdmaError::Dropped))
     }
 
     /// Adopt a segment created by a previous incarnation of this client
@@ -441,12 +743,23 @@ impl AStoreClient {
             .map(|(_, s)| s.slot_size())
             .min()
             .unwrap_or(0);
-        self.routes
-            .lock()
-            .insert(seg, CachedRoute { route, fetched_at: ctx.now() });
+        self.routes.lock().insert(
+            seg,
+            CachedRoute {
+                route,
+                fetched_at: ctx.now(),
+            },
+        );
         let handle = SegmentHandle { id: seg, class };
         let len = self.recover_used_len(ctx, seg)?;
-        self.segs.lock().insert(seg, SegMeta { len, capacity, frozen: false });
+        self.segs.lock().insert(
+            seg,
+            SegMeta {
+                len,
+                capacity,
+                frozen: false,
+            },
+        );
         Ok(handle)
     }
 
@@ -476,6 +789,10 @@ pub(crate) mod tests {
     }
 
     pub(crate) fn test_cluster(ctx: &mut SimCtx) -> TestCluster {
+        test_cluster_with_policy(ctx, RetryPolicy::default())
+    }
+
+    pub(crate) fn test_cluster_with_policy(ctx: &mut SimCtx, policy: RetryPolicy) -> TestCluster {
         let env = ClusterSpec::paper_default().build();
         let cm = ClusterManager::new(
             Arc::clone(&env.faults),
@@ -502,8 +819,12 @@ pub(crate) mod tests {
             cm.register_server(Arc::clone(s));
             cm.heartbeat(VTime::ZERO, s.node(), s.free_slots());
         }
-        let ep = RdmaEndpoint::new(env.model.clone(), Arc::clone(&env.faults), Arc::clone(&env.engine_nic));
-        let client = AStoreClient::connect(
+        let ep = RdmaEndpoint::new(
+            env.model.clone(),
+            Arc::clone(&env.faults),
+            Arc::clone(&env.engine_nic),
+        );
+        let client = AStoreClient::connect_with_policy(
             ctx,
             Arc::clone(&cm),
             ep,
@@ -511,34 +832,78 @@ pub(crate) mod tests {
             env.model.clone(),
             1,
             VTime::from_millis(50),
+            policy,
         );
         let _ = RpcFabric::new(env.model.clone(), Arc::clone(&env.faults));
-        TestCluster { env, cm, servers, client }
+        TestCluster {
+            env,
+            cm,
+            servers,
+            client,
+        }
+    }
+
+    fn log_seg(ctx: &mut SimCtx, tc: &TestCluster) -> SegmentHandle {
+        tc.client
+            .create_segment_with(ctx, SegmentOpts::new(SegmentClass::Log))
+            .unwrap()
     }
 
     #[test]
     fn append_and_read_roundtrip() {
         let mut ctx = SimCtx::new(1, 7);
         let tc = test_cluster(&mut ctx);
-        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
-        let off1 = tc.client.append(&mut ctx, seg, b"first-record").unwrap();
-        let off2 = tc.client.append(&mut ctx, seg, b"second").unwrap();
+        let seg = log_seg(&mut ctx, &tc);
+        let off1 = tc
+            .client
+            .append_with(&mut ctx, seg, b"first-record", AppendOpts::new())
+            .unwrap();
+        let off2 = tc
+            .client
+            .append_with(&mut ctx, seg, b"second", AppendOpts::new())
+            .unwrap();
         assert_eq!(off1, 0);
         assert_eq!(off2, 12);
         assert_eq!(tc.client.segment_len(seg), 18);
-        assert_eq!(tc.client.read(&mut ctx, seg, 0, 18).unwrap(), b"first-recordsecond");
+        assert_eq!(
+            tc.client.read(&mut ctx, seg, 0, 18).unwrap(),
+            b"first-recordsecond"
+        );
         assert_eq!(tc.client.read(&mut ctx, seg, 12, 6).unwrap(), b"second");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = tc
+            .client
+            .create_segment(&mut ctx, SegmentClass::Log)
+            .unwrap();
+        let seg2 = tc
+            .client
+            .create_segment_with_replication(&mut ctx, SegmentClass::Log, 2)
+            .unwrap();
+        assert_eq!(tc.client.cached_route(seg2.id).unwrap().replicas.len(), 2);
+        tc.client.append(&mut ctx, seg, b"old-api").unwrap();
+        tc.client
+            .append_with_tail(&mut ctx, seg, b"x", &[0u8; 4])
+            .unwrap();
+        assert_eq!(tc.client.read(&mut ctx, seg, 0, 7).unwrap(), b"old-api");
     }
 
     #[test]
     fn append_latency_near_86us_table2() {
         let mut ctx = SimCtx::new(1, 7);
         let tc = test_cluster(&mut ctx);
-        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        let seg = log_seg(&mut ctx, &tc);
         let n = 10;
         let t0 = ctx.now();
         for _ in 0..n {
-            tc.client.append(&mut ctx, seg, &[7u8; 4096]).unwrap();
+            tc.client
+                .append_with(&mut ctx, seg, &[7u8; 4096], AppendOpts::new())
+                .unwrap();
         }
         let avg_us = (ctx.now() - t0).as_micros_f64() / n as f64;
         assert!(
@@ -551,73 +916,232 @@ pub(crate) mod tests {
     fn appends_survive_server_crash_once_acked() {
         let mut ctx = SimCtx::new(1, 7);
         let tc = test_cluster(&mut ctx);
-        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
-        tc.client.append(&mut ctx, seg, b"durable-record").unwrap();
+        let seg = log_seg(&mut ctx, &tc);
+        tc.client
+            .append_with(&mut ctx, seg, b"durable-record", AppendOpts::new())
+            .unwrap();
         // Power-cycle every server: PMem media survives, caches don't.
         for s in &tc.servers {
             s.device().crash();
         }
-        assert_eq!(tc.client.read(&mut ctx, seg, 0, 14).unwrap(), b"durable-record");
+        assert_eq!(
+            tc.client.read(&mut ctx, seg, 0, 14).unwrap(),
+            b"durable-record"
+        );
         // And the io-meta survives too.
         assert_eq!(tc.client.recover_used_len(&mut ctx, seg.id).unwrap(), 14);
     }
 
     #[test]
-    fn replica_failure_freezes_segment() {
+    fn replica_failure_freezes_segment_without_retry_policy() {
+        // RetryPolicy::disabled() preserves the raw §IV-B contract: any
+        // replica shortfall freezes the segment and surfaces ReplicaFailed.
         let mut ctx = SimCtx::new(1, 7);
-        let tc = test_cluster(&mut ctx);
-        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
-        tc.client.append(&mut ctx, seg, b"before").unwrap();
+        let tc = test_cluster_with_policy(&mut ctx, RetryPolicy::disabled());
+        let seg = log_seg(&mut ctx, &tc);
+        tc.client
+            .append_with(&mut ctx, seg, b"before", AppendOpts::new())
+            .unwrap();
         let route = tc.client.cached_route(seg.id).unwrap();
         tc.env.faults.crash(route.replicas[0].node);
-        assert!(matches!(
-            tc.client.append(&mut ctx, seg, b"after"),
-            Err(AStoreError::ReplicaFailed { acked: 2, required: 3 })
-        ));
+        let err = tc
+            .client
+            .append_with(&mut ctx, seg, b"after", AppendOpts::new())
+            .unwrap_err();
+        assert!(
+            err.is_segment_unwritable(),
+            "expected replica shortfall, got {err}"
+        );
         assert!(tc.client.is_frozen(seg));
-        assert!(matches!(
-            tc.client.append(&mut ctx, seg, b"again"),
-            Err(AStoreError::SegmentFrozen(_))
-        ));
+        // While the cluster is degraded the un-freeze probe fails and the
+        // frozen segment keeps rejecting appends.
+        let err = tc
+            .client
+            .append_with(&mut ctx, seg, b"again", AppendOpts::new())
+            .unwrap_err();
+        assert!(err.is_segment_unwritable());
         // The client opens a new segment and carries on (ring layer policy).
         tc.env.faults.restore(route.replicas[0].node);
-        let seg2 = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
-        assert!(tc.client.append(&mut ctx, seg2, b"after").is_ok());
+        let seg2 = log_seg(&mut ctx, &tc);
+        assert!(tc
+            .client
+            .append_with(&mut ctx, seg2, b"after", AppendOpts::new())
+            .is_ok());
         // Frozen segment still readable.
         assert_eq!(tc.client.read(&mut ctx, seg, 0, 6).unwrap(), b"before");
+    }
+
+    #[test]
+    fn write_path_recovers_from_replica_crash() {
+        // With the default policy a crashed replica is reported to the CM,
+        // the route shrinks (no spare node on the 3-node cluster) and the
+        // append completes against the surviving replicas — no error, no
+        // frozen segment.
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = log_seg(&mut ctx, &tc);
+        tc.client
+            .append_with(&mut ctx, seg, b"before", AppendOpts::new())
+            .unwrap();
+        let route = tc.client.cached_route(seg.id).unwrap();
+        tc.env.faults.crash(route.replicas[0].node);
+        let off = tc
+            .client
+            .append_with(&mut ctx, seg, b"-after", AppendOpts::new())
+            .unwrap();
+        assert_eq!(off, 6);
+        assert!(!tc.client.is_frozen(seg));
+        let c = tc.client.recovery_counters();
+        assert!(c.retries() >= 1, "recovery must have retried: {c:?}");
+        assert!(
+            c.route_refreshes() >= 1,
+            "recovery must have re-resolved the route: {c:?}"
+        );
+        let new_route = tc.client.cached_route(seg.id).unwrap();
+        assert_eq!(new_route.replicas.len(), 2, "route shrunk to the survivors");
+        assert!(new_route.version > route.version);
+        assert_eq!(
+            tc.client.read(&mut ctx, seg, 0, 12).unwrap(),
+            b"before-after"
+        );
+    }
+
+    #[test]
+    fn write_path_rides_out_transient_drops() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = log_seg(&mut ctx, &tc);
+        tc.env.faults.set_drop_prob(0.2);
+        for i in 0..20u8 {
+            tc.client
+                .append_with(&mut ctx, seg, &[i; 128], AppendOpts::new())
+                .unwrap();
+        }
+        tc.env.faults.set_drop_prob(0.0);
+        assert_eq!(tc.client.segment_len(seg), 20 * 128);
+        let c = tc.client.recovery_counters();
+        assert!(c.retries() >= 1, "20% drop rate must force retries: {c:?}");
+        assert!(c.backoff() > VTime::ZERO);
+        // Every byte of every acked append is readable.
+        let all = tc.client.read(&mut ctx, seg, 0, 20 * 128).unwrap();
+        for i in 0..20usize {
+            assert!(all[i * 128..(i + 1) * 128].iter().all(|&b| b == i as u8));
+        }
+    }
+
+    #[test]
+    fn frozen_segment_unfreezes_after_repair() {
+        // Freeze a segment with an exhausted policy, then heal the cluster:
+        // the next append un-freezes it instead of failing.
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster_with_policy(&mut ctx, RetryPolicy::disabled());
+        let seg = log_seg(&mut ctx, &tc);
+        tc.client
+            .append_with(&mut ctx, seg, b"before", AppendOpts::new())
+            .unwrap();
+        let route = tc.client.cached_route(seg.id).unwrap();
+        tc.env.faults.crash(route.replicas[0].node);
+        assert!(tc
+            .client
+            .append_with(&mut ctx, seg, b"x", AppendOpts::new())
+            .is_err());
+        assert!(tc.client.is_frozen(seg));
+        // Node comes back; the route is intact, the un-freeze probe passes.
+        tc.env.faults.restore(route.replicas[0].node);
+        let off = tc
+            .client
+            .append_with(&mut ctx, seg, b"-after", AppendOpts::new())
+            .unwrap();
+        assert_eq!(off, 6);
+        assert!(!tc.client.is_frozen(seg));
+        assert_eq!(
+            tc.client.read(&mut ctx, seg, 0, 12).unwrap(),
+            b"before-after"
+        );
     }
 
     #[test]
     fn reads_fail_over_to_live_replicas() {
         let mut ctx = SimCtx::new(1, 7);
         let tc = test_cluster(&mut ctx);
-        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
-        tc.client.append(&mut ctx, seg, b"replicated").unwrap();
+        let seg = log_seg(&mut ctx, &tc);
+        tc.client
+            .append_with(&mut ctx, seg, b"replicated", AppendOpts::new())
+            .unwrap();
         let route = tc.client.cached_route(seg.id).unwrap();
         tc.env.faults.crash(route.replicas[0].node);
         assert_eq!(tc.client.read(&mut ctx, seg, 0, 10).unwrap(), b"replicated");
+        assert!(tc.client.recovery_counters().read_failovers() >= 1);
+    }
+
+    #[test]
+    fn reads_retry_through_a_partition() {
+        // Partition (not crash) the first replica: reads fail over; with
+        // *every* replica partitioned the read errors after bounded retries.
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let seg = log_seg(&mut ctx, &tc);
+        tc.client
+            .append_with(&mut ctx, seg, b"partition-proof", AppendOpts::new())
+            .unwrap();
+        let route = tc.client.cached_route(seg.id).unwrap();
+        tc.env.faults.partition(route.replicas[0].node);
+        assert_eq!(
+            tc.client.read(&mut ctx, seg, 0, 15).unwrap(),
+            b"partition-proof"
+        );
+        for loc in &route.replicas {
+            tc.env.faults.partition(loc.node);
+        }
+        let before = tc.client.recovery_counters().retries();
+        let err = tc.client.read(&mut ctx, seg, 0, 15).unwrap_err();
+        assert!(
+            err.is_retryable(),
+            "a fully-partitioned read surfaces as transient: {err}"
+        );
+        let spent = tc.client.recovery_counters().retries() - before;
+        assert_eq!(
+            spent as u32,
+            tc.client.retry_policy().max_retries,
+            "retries are bounded"
+        );
+        for loc in &route.replicas {
+            tc.env.faults.heal(loc.node);
+        }
+        assert_eq!(
+            tc.client.read(&mut ctx, seg, 0, 15).unwrap(),
+            b"partition-proof"
+        );
     }
 
     #[test]
     fn segment_full_rejected() {
         let mut ctx = SimCtx::new(1, 7);
         let tc = test_cluster(&mut ctx);
-        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+        let seg = log_seg(&mut ctx, &tc);
         let cap = tc.client.segment_capacity(seg) as usize;
-        tc.client.append(&mut ctx, seg, &vec![1u8; cap - 8]).unwrap();
+        tc.client
+            .append_with(&mut ctx, seg, &vec![1u8; cap - 8], AppendOpts::new())
+            .unwrap();
         assert!(matches!(
-            tc.client.append(&mut ctx, seg, &[1u8; 16]),
+            tc.client
+                .append_with(&mut ctx, seg, &[1u8; 16], AppendOpts::new()),
             Err(AStoreError::SegmentFull { .. })
         ));
         // Exactly filling works.
-        tc.client.append(&mut ctx, seg, &[1u8; 8]).unwrap();
+        tc.client
+            .append_with(&mut ctx, seg, &[1u8; 8], AppendOpts::new())
+            .unwrap();
     }
 
     #[test]
     fn ebp_segment_has_one_replica() {
         let mut ctx = SimCtx::new(1, 7);
         let tc = test_cluster(&mut ctx);
-        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Ebp).unwrap();
+        let seg = tc
+            .client
+            .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Ebp))
+            .unwrap();
         let route = tc.client.cached_route(seg.id).unwrap();
         assert_eq!(route.replicas.len(), 1);
     }
@@ -626,11 +1150,17 @@ pub(crate) mod tests {
     fn write_at_and_reset_len() {
         let mut ctx = SimCtx::new(1, 7);
         let tc = test_cluster(&mut ctx);
-        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
-        tc.client.append(&mut ctx, seg, &[0xFFu8; 64]).unwrap();
+        let seg = log_seg(&mut ctx, &tc);
+        tc.client
+            .append_with(&mut ctx, seg, &[0xFFu8; 64], AppendOpts::new())
+            .unwrap();
         tc.client.write_at(&mut ctx, seg, 0, b"HDR!").unwrap();
         assert_eq!(tc.client.read(&mut ctx, seg, 0, 4).unwrap(), b"HDR!");
-        assert_eq!(tc.client.segment_len(seg), 64, "write_at must not change len");
+        assert_eq!(
+            tc.client.segment_len(seg),
+            64,
+            "write_at must not change len"
+        );
         tc.client.reset_len(&mut ctx, seg).unwrap();
         assert_eq!(tc.client.segment_len(seg), 0);
         assert_eq!(tc.client.recover_used_len(&mut ctx, seg.id).unwrap(), 0);
@@ -640,8 +1170,10 @@ pub(crate) mod tests {
     fn crashed_client_is_fenced_but_new_client_adopts_segments() {
         let mut ctx = SimCtx::new(1, 7);
         let tc = test_cluster(&mut ctx);
-        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
-        tc.client.append(&mut ctx, seg, b"pre-crash-state!").unwrap();
+        let seg = log_seg(&mut ctx, &tc);
+        tc.client
+            .append_with(&mut ctx, seg, b"pre-crash-state!", AppendOpts::new())
+            .unwrap();
         let old_lease = tc.client.lease();
 
         // "Client A fails; client B takes over" (§IV-C).
@@ -665,19 +1197,87 @@ pub(crate) mod tests {
             Err(AStoreError::LeaseExpired { .. })
         ));
         // New incarnation adopts the segment with the recovered length.
-        let adopted = client_b.adopt_segment(&mut ctx, seg.id, SegmentClass::Log).unwrap();
+        let adopted = client_b
+            .adopt_segment(&mut ctx, seg.id, SegmentClass::Log)
+            .unwrap();
         assert_eq!(client_b.segment_len(adopted), 16);
-        assert_eq!(client_b.read(&mut ctx, adopted, 0, 16).unwrap(), b"pre-crash-state!");
-        let off = client_b.append(&mut ctx, adopted, b"-postcrash").unwrap();
+        assert_eq!(
+            client_b.read(&mut ctx, adopted, 0, 16).unwrap(),
+            b"pre-crash-state!"
+        );
+        let off = client_b
+            .append_with(&mut ctx, adopted, b"-postcrash", AppendOpts::new())
+            .unwrap();
         assert_eq!(off, 16);
+    }
+
+    #[test]
+    fn superseded_client_stays_fenced_despite_retries() {
+        // The fencing regression the retry layer must NOT break: once a new
+        // incarnation holds a fresher epoch, the old client's control-plane
+        // calls fail, its automatic renewal is refused, and no amount of
+        // retrying gets it back in.
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let old_client = Arc::clone(&tc.client);
+        let ep = RdmaEndpoint::new(
+            tc.env.model.clone(),
+            Arc::clone(&tc.env.faults),
+            Arc::clone(&tc.env.engine_nic),
+        );
+        let new_client = AStoreClient::connect(
+            &mut ctx,
+            Arc::clone(&tc.cm),
+            ep,
+            Arc::clone(&tc.env.engine_cpu),
+            tc.env.model.clone(),
+            1, // supersedes old_client's lease
+            VTime::from_millis(50),
+        );
+        assert!(new_client.lease().epoch > old_client.lease().epoch);
+        let err = old_client
+            .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+            .unwrap_err();
+        assert!(
+            err.is_fencing(),
+            "superseded client must stay fenced, got {err}"
+        );
+        // Explicit renewal is refused too — same epoch, but superseded.
+        assert!(old_client.renew_lease(&mut ctx).unwrap_err().is_fencing());
+        // The new incarnation is unaffected.
+        assert!(new_client
+            .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+            .is_ok());
+    }
+
+    #[test]
+    fn lease_renewed_automatically_after_ttl_lapse() {
+        // The TTL (30s here) lapses while the client is idle; the next
+        // control-plane call renews the same epoch transparently.
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        ctx.advance(VTime::from_secs(40));
+        let epoch_before = tc.client.lease().epoch;
+        let seg = log_seg(&mut ctx, &tc);
+        assert_eq!(
+            tc.client.lease().epoch,
+            epoch_before,
+            "no re-acquire, same epoch"
+        );
+        assert!(tc.client.recovery_counters().lease_renewals() >= 1);
+        tc.client
+            .append_with(&mut ctx, seg, b"renewed", AppendOpts::new())
+            .unwrap();
     }
 
     #[test]
     fn route_refresh_detects_repair() {
         let mut ctx = SimCtx::new(1, 7);
         let tc = test_cluster(&mut ctx);
-        let seg = tc.client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
-        tc.client.append(&mut ctx, seg, b"data").unwrap();
+        let seg = log_seg(&mut ctx, &tc);
+        tc.client
+            .append_with(&mut ctx, seg, b"data", AppendOpts::new())
+            .unwrap();
         let route_v1 = tc.client.cached_route(seg.id).unwrap();
 
         tc.env.faults.crash(route_v1.replicas[0].node);
@@ -694,6 +1294,9 @@ pub(crate) mod tests {
         tc.client.refresh_all_routes(&mut ctx);
         let route_v2 = tc.client.cached_route(seg.id).unwrap();
         assert!(route_v2.version > route_v1.version);
-        assert!(!route_v2.replicas.iter().any(|l| l.node == route_v1.replicas[0].node));
+        assert!(!route_v2
+            .replicas
+            .iter()
+            .any(|l| l.node == route_v1.replicas[0].node));
     }
 }

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use vedb_sim::fault::NodeId;
-use vedb_sim::{FaultPlan, SimCtx, VTime};
+use vedb_sim::{FaultPlan, RecoveryCounters, SimCtx, VTime};
 
 use crate::layout::SegmentClass;
 use crate::server::AStoreServer;
@@ -71,6 +71,8 @@ pub struct ClusterManager {
     lease_ttl: VTime,
     heartbeat_timeout: VTime,
     state: Mutex<CmState>,
+    /// Optional recovery telemetry sink (shared with the client SDK).
+    counters: Mutex<Option<Arc<RecoveryCounters>>>,
 }
 
 impl ClusterManager {
@@ -89,7 +91,15 @@ impl ClusterManager {
                 leases: HashMap::new(),
                 next_epoch: 1,
             }),
+            counters: Mutex::new(None),
         })
+    }
+
+    /// Attach a [`RecoveryCounters`] sink: repair actions (re-replication)
+    /// are counted there so tests and operators can observe failover
+    /// activity alongside the client SDK's retry counters.
+    pub fn attach_recovery_counters(&self, counters: Arc<RecoveryCounters>) {
+        *self.counters.lock() = Some(counters);
     }
 
     /// Register a storage node.
@@ -98,14 +108,23 @@ impl ClusterManager {
         let free = server.free_slots();
         st.nodes.insert(
             server.node(),
-            NodeInfo { server, last_heartbeat: VTime::ZERO, free_slots: free, alive: true },
+            NodeInfo {
+                server,
+                last_heartbeat: VTime::ZERO,
+                free_slots: free,
+                alive: true,
+            },
         );
     }
 
     /// Look up a registered server (used by the engine to hand push-down
     /// fragments to the EBP hosts).
     pub fn server(&self, node: NodeId) -> Option<Arc<AStoreServer>> {
-        self.state.lock().nodes.get(&node).map(|n| Arc::clone(&n.server))
+        self.state
+            .lock()
+            .nodes
+            .get(&node)
+            .map(|n| Arc::clone(&n.server))
     }
 
     /// All currently-alive servers.
@@ -132,11 +151,32 @@ impl ClusterManager {
     }
 
     /// Renew a lease; fails with [`AStoreError::LeaseExpired`] if the lease
-    /// was superseded or timed out.
+    /// was **superseded** (a newer epoch exists for the client).
+    ///
+    /// A merely *timed-out* lease with the still-current epoch is renewable:
+    /// epoch supersession is the real fence (§IV-C), while TTL expiry just
+    /// bounds how long a silent client keeps ownership. This is what lets
+    /// the SDK's retry layer recover from `LeaseExpired` on a slow client
+    /// without re-acquiring (which would mint a new epoch and fence the
+    /// client's own in-flight operations).
     pub fn renew_lease(&self, ctx: &mut SimCtx, lease: Lease) -> Result<()> {
         ctx.advance(CM_PROC);
         let mut st = self.state.lock();
-        self.validate_locked(&st, lease, ctx.now())?;
+        match st.leases.get(&lease.client_id) {
+            Some((epoch, _)) if *epoch != lease.epoch => {
+                return Err(AStoreError::LeaseExpired {
+                    presented: lease.epoch,
+                    current: *epoch,
+                });
+            }
+            Some(_) => {}
+            None => {
+                return Err(AStoreError::LeaseExpired {
+                    presented: lease.epoch,
+                    current: 0,
+                })
+            }
+        }
         let exp = ctx.now() + self.lease_ttl;
         st.leases.insert(lease.client_id, (lease.epoch, exp));
         Ok(())
@@ -145,15 +185,21 @@ impl ClusterManager {
     fn validate_locked(&self, st: &CmState, lease: Lease, now: VTime) -> Result<()> {
         match st.leases.get(&lease.client_id) {
             Some((epoch, expiry)) => {
-                if *epoch != lease.epoch {
-                    Err(AStoreError::LeaseExpired { presented: lease.epoch, current: *epoch })
-                } else if now > *expiry {
-                    Err(AStoreError::LeaseExpired { presented: lease.epoch, current: *epoch })
+                // Superseded epoch or lapsed TTL: either way the lease no
+                // longer grants ownership.
+                if *epoch != lease.epoch || now > *expiry {
+                    Err(AStoreError::LeaseExpired {
+                        presented: lease.epoch,
+                        current: *epoch,
+                    })
                 } else {
                     Ok(())
                 }
             }
-            None => Err(AStoreError::LeaseExpired { presented: lease.epoch, current: 0 }),
+            None => Err(AStoreError::LeaseExpired {
+                presented: lease.epoch,
+                current: 0,
+            }),
         }
     }
 
@@ -178,10 +224,15 @@ impl ClusterManager {
             let mut live: Vec<(&NodeId, &NodeInfo)> = st
                 .nodes
                 .iter()
-                .filter(|(id, n)| n.alive && !self.faults.is_crashed(**id))
+                .filter(|(id, n)| {
+                    n.alive && !self.faults.is_crashed(**id) && !self.faults.is_partitioned(**id)
+                })
                 .collect();
             if live.len() < replication {
-                return Err(AStoreError::NotEnoughServers { live: live.len(), required: replication });
+                return Err(AStoreError::NotEnoughServers {
+                    live: live.len(),
+                    required: replication,
+                });
             }
             // Load balancing: most free capacity first (§IV-A: "the CM
             // returns the appropriate nodes according to the capacity and
@@ -200,9 +251,16 @@ impl ClusterManager {
         let mut replicas = Vec::with_capacity(replication);
         for server in &targets {
             let offset = server.handle_alloc(ctx, seg, class)?;
-            replicas.push(SegmentLoc { node: server.node(), offset });
+            replicas.push(SegmentLoc {
+                node: server.node(),
+                offset,
+            });
         }
-        let route = Route { class, replicas, version: 1 };
+        let route = Route {
+            class,
+            replicas,
+            version: 1,
+        };
         let mut st = self.state.lock();
         for loc in &route.replicas {
             if let Some(n) = st.nodes.get_mut(&loc.node) {
@@ -220,7 +278,9 @@ impl ClusterManager {
         let route = {
             let mut st = self.state.lock();
             self.validate_locked(&st, lease, ctx.now())?;
-            st.routes.remove(&seg).ok_or(AStoreError::UnknownSegment(seg))?
+            st.routes
+                .remove(&seg)
+                .ok_or(AStoreError::UnknownSegment(seg))?
         };
         let servers: Vec<Arc<AStoreServer>> = {
             let st = self.state.lock();
@@ -290,6 +350,41 @@ impl ClusterManager {
         if dead.is_empty() {
             return Vec::new();
         }
+        self.repair_after_death(ctx, &dead)
+    }
+
+    /// A client observed `node` unreachable on the data path and reported
+    /// it (push-based failure detection, complementing the heartbeat pull
+    /// path of [`ClusterManager::tick`]). The CM verifies the claim against
+    /// its own connectivity before acting — a client behind a partition must
+    /// not be able to evict a healthy node.
+    ///
+    /// Returns the segments whose routes changed.
+    pub fn report_failure(&self, ctx: &mut SimCtx, node: NodeId) -> Vec<SegmentId> {
+        ctx.advance(CM_PROC);
+        if !(self.faults.is_crashed(node) || self.faults.is_partitioned(node)) {
+            return Vec::new();
+        }
+        let newly_dead = {
+            let mut st = self.state.lock();
+            match st.nodes.get_mut(&node) {
+                Some(n) if n.alive => {
+                    n.alive = false;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if !newly_dead {
+            return Vec::new();
+        }
+        self.repair_after_death(ctx, &[node])
+    }
+
+    /// Remove `dead` nodes from every route and re-replicate Log-class
+    /// segments from a surviving replica (shared by [`ClusterManager::tick`]
+    /// and [`ClusterManager::report_failure`]).
+    fn repair_after_death(&self, ctx: &mut SimCtx, dead: &[NodeId]) -> Vec<SegmentId> {
         let mut changed = Vec::new();
         let affected: Vec<SegmentId> = {
             let st = self.state.lock();
@@ -332,16 +427,19 @@ impl ClusterManager {
                         .filter(|n| {
                             n.alive
                                 && !self.faults.is_crashed(n.server.node())
+                                && !self.faults.is_partitioned(n.server.node())
                                 && !n.server.hosts_segment(seg)
                         })
                         .collect();
-                    candidates.sort_by(|a, b| b.free_slots.cmp(&a.free_slots));
+                    candidates.sort_by_key(|n| std::cmp::Reverse(n.free_slots));
                     candidates.first().map(|n| Arc::clone(&n.server))
                 };
                 let Some(target) = target else { break };
                 let src = {
                     let st = self.state.lock();
-                    st.nodes.get(&survivors[0].node).map(|n| Arc::clone(&n.server))
+                    st.nodes
+                        .get(&survivors[0].node)
+                        .map(|n| Arc::clone(&n.server))
                 };
                 let Some(src) = src else { break };
                 if let Ok(new_off) = target.handle_alloc(ctx, seg, class) {
@@ -356,13 +454,33 @@ impl ClusterManager {
                         .expect("slot writable");
                     target.device().flush(done);
                     ctx.wait_until(done);
+                    // The io-meta (effective length) lives outside the slot
+                    // and must travel with it, or the new replica would
+                    // claim the segment is empty during crash recovery.
+                    let meta = src
+                        .device()
+                        .peek(src.io_meta_offset(survivors[0].offset), 8)
+                        .expect("io-meta readable");
+                    let done = target
+                        .device()
+                        .write(ctx.now(), target.io_meta_offset(new_off), &meta)
+                        .expect("io-meta writable");
+                    target.device().flush(done);
+                    ctx.wait_until(done);
                     let mut st = self.state.lock();
                     if let Some(r) = st.routes.get_mut(&seg) {
-                        r.replicas.push(SegmentLoc { node: target.node(), offset: new_off });
+                        r.replicas.push(SegmentLoc {
+                            node: target.node(),
+                            offset: new_off,
+                        });
                         r.version += 1;
                     }
                     if let Some(n) = st.nodes.get_mut(&target.node()) {
                         n.free_slots = n.free_slots.saturating_sub(1);
+                    }
+                    drop(st);
+                    if let Some(c) = self.counters.lock().as_ref() {
+                        c.note_replica_repaired();
                     }
                 }
             }
@@ -375,7 +493,9 @@ impl ClusterManager {
     pub fn reintegrate_server(&self, ctx: &mut SimCtx, node: NodeId) -> usize {
         let (server, stale): (Arc<AStoreServer>, Vec<SegmentId>) = {
             let mut st = self.state.lock();
-            let Some(n) = st.nodes.get_mut(&node) else { return 0 };
+            let Some(n) = st.nodes.get_mut(&node) else {
+                return 0;
+            };
             n.alive = true;
             n.last_heartbeat = ctx.now();
             let server = Arc::clone(&n.server);
@@ -409,7 +529,11 @@ mod tests {
     use super::*;
     use vedb_sim::ClusterSpec;
 
-    fn cluster() -> (Arc<vedb_sim::SimEnv>, Arc<ClusterManager>, Vec<Arc<AStoreServer>>) {
+    fn cluster() -> (
+        Arc<vedb_sim::SimEnv>,
+        Arc<ClusterManager>,
+        Vec<Arc<AStoreServer>>,
+    ) {
         let env = ClusterSpec::paper_default().build();
         let cm = ClusterManager::new(
             Arc::clone(&env.faults),
@@ -474,11 +598,62 @@ mod tests {
     }
 
     #[test]
+    fn renew_allows_expired_same_epoch_but_not_superseded() {
+        let (_env, cm, _servers) = cluster();
+        let mut ctx = SimCtx::new(1, 7);
+        let lease = cm.acquire_lease(&mut ctx, 1);
+        ctx.advance(VTime::from_secs(11)); // past the 10s TTL
+        assert!(cm.validate_lease(ctx.now(), lease).is_err());
+        // Same epoch: the TTL lapse is recoverable by renewal.
+        cm.renew_lease(&mut ctx, lease).unwrap();
+        assert!(cm.validate_lease(ctx.now(), lease).is_ok());
+        // Superseded epoch: renewal must be refused forever.
+        let newer = cm.acquire_lease(&mut ctx, 1);
+        assert!(matches!(
+            cm.renew_lease(&mut ctx, lease),
+            Err(AStoreError::LeaseExpired { .. })
+        ));
+        assert!(cm.renew_lease(&mut ctx, newer).is_ok());
+    }
+
+    #[test]
+    fn report_failure_repairs_only_verified_dead_nodes() {
+        let (env, cm, servers) = cluster();
+        let mut ctx = SimCtx::new(1, 7);
+        let lease = cm.acquire_lease(&mut ctx, 1);
+        for s in &servers {
+            cm.heartbeat(ctx.now(), s.node(), s.free_slots());
+        }
+        let (seg, route) = cm
+            .create_segment(&mut ctx, lease, SegmentClass::Log, 2)
+            .unwrap();
+        let dead = route.replicas[0].node;
+        // A report against a healthy node is rejected (no route change).
+        assert!(cm.report_failure(&mut ctx, dead).is_empty());
+        assert_eq!(cm.peek_route_version(seg), Some(1));
+        // Crash it for real: the report is now verified and repair runs.
+        env.faults.crash(dead);
+        let changed = cm.report_failure(&mut ctx, dead);
+        assert_eq!(changed, vec![seg]);
+        let new_route = cm.get_route(&mut ctx, seg).unwrap();
+        assert_eq!(
+            new_route.replicas.len(),
+            2,
+            "re-replicated onto a live node"
+        );
+        assert!(!new_route.replicas.iter().any(|l| l.node == dead));
+        // A duplicate report is a no-op.
+        assert!(cm.report_failure(&mut ctx, dead).is_empty());
+    }
+
+    #[test]
     fn create_places_on_distinct_most_free_nodes() {
         let (_env, cm, _servers) = cluster();
         let mut ctx = SimCtx::new(1, 7);
         let lease = cm.acquire_lease(&mut ctx, 1);
-        let (seg, route) = cm.create_segment(&mut ctx, lease, SegmentClass::Log, 3).unwrap();
+        let (seg, route) = cm
+            .create_segment(&mut ctx, lease, SegmentClass::Log, 3)
+            .unwrap();
         assert_eq!(route.replicas.len(), 3);
         let mut nodes: Vec<NodeId> = route.replicas.iter().map(|l| l.node).collect();
         nodes.sort_unstable();
@@ -493,7 +668,8 @@ mod tests {
         let mut ctx = SimCtx::new(1, 7);
         let lease = cm.acquire_lease(&mut ctx, 1);
         let t0 = ctx.now();
-        cm.create_segment(&mut ctx, lease, SegmentClass::Log, 3).unwrap();
+        cm.create_segment(&mut ctx, lease, SegmentClass::Log, 3)
+            .unwrap();
         let cost = ctx.now() - t0;
         assert!(
             cost >= VTime::from_micros(800),
@@ -509,10 +685,15 @@ mod tests {
         env.faults.crash(servers[0].node());
         assert!(matches!(
             cm.create_segment(&mut ctx, lease, SegmentClass::Log, 3),
-            Err(AStoreError::NotEnoughServers { live: 2, required: 3 })
+            Err(AStoreError::NotEnoughServers {
+                live: 2,
+                required: 3
+            })
         ));
         // EBP (replication 1) still placeable.
-        assert!(cm.create_segment(&mut ctx, lease, SegmentClass::Ebp, 1).is_ok());
+        assert!(cm
+            .create_segment(&mut ctx, lease, SegmentClass::Ebp, 1)
+            .is_ok());
     }
 
     #[test]
@@ -520,9 +701,14 @@ mod tests {
         let (_env, cm, servers) = cluster();
         let mut ctx = SimCtx::new(1, 7);
         let lease = cm.acquire_lease(&mut ctx, 1);
-        let (seg, route) = cm.create_segment(&mut ctx, lease, SegmentClass::Log, 3).unwrap();
+        let (seg, route) = cm
+            .create_segment(&mut ctx, lease, SegmentClass::Log, 3)
+            .unwrap();
         cm.delete_segment(&mut ctx, lease, seg).unwrap();
-        assert!(matches!(cm.get_route(&mut ctx, seg), Err(AStoreError::UnknownSegment(_))));
+        assert!(matches!(
+            cm.get_route(&mut ctx, seg),
+            Err(AStoreError::UnknownSegment(_))
+        ));
         // Slots are still intact on the servers (delayed cleanup).
         for loc in &route.replicas {
             let s = servers.iter().find(|s| s.node() == loc.node).unwrap();
@@ -540,14 +726,28 @@ mod tests {
         for s in &servers {
             cm.heartbeat(ctx.now(), s.node(), s.free_slots());
         }
-        let (seg, route) = cm.create_segment(&mut ctx, lease, SegmentClass::Log, 2).unwrap();
+        let (seg, route) = cm
+            .create_segment(&mut ctx, lease, SegmentClass::Log, 2)
+            .unwrap();
         // Write recognizable bytes to one replica so repair copies them.
-        let src = servers.iter().find(|s| s.node() == route.replicas[0].node).unwrap();
-        let t = src.device().write(ctx.now(), route.replicas[0].offset, b"replica-data").unwrap();
+        let src = servers
+            .iter()
+            .find(|s| s.node() == route.replicas[0].node)
+            .unwrap();
+        let t = src
+            .device()
+            .write(ctx.now(), route.replicas[0].offset, b"replica-data")
+            .unwrap();
         src.device().flush(t);
         // Mirror onto the second replica as a real client would.
-        let dst0 = servers.iter().find(|s| s.node() == route.replicas[1].node).unwrap();
-        let t = dst0.device().write(ctx.now(), route.replicas[1].offset, b"replica-data").unwrap();
+        let dst0 = servers
+            .iter()
+            .find(|s| s.node() == route.replicas[1].node)
+            .unwrap();
+        let t = dst0
+            .device()
+            .write(ctx.now(), route.replicas[1].offset, b"replica-data")
+            .unwrap();
         dst0.device().flush(t);
 
         // Kill the first replica's node; everyone else keeps heartbeating.
@@ -562,9 +762,16 @@ mod tests {
         assert_eq!(changed, vec![seg]);
 
         let new_route = cm.get_route(&mut ctx, seg).unwrap();
-        assert_eq!(new_route.replicas.len(), 2, "repair must restore replication");
+        assert_eq!(
+            new_route.replicas.len(),
+            2,
+            "repair must restore replication"
+        );
         assert!(new_route.version > route.version);
-        assert!(!new_route.replicas.iter().any(|l| l.node == route.replicas[0].node));
+        assert!(!new_route
+            .replicas
+            .iter()
+            .any(|l| l.node == route.replicas[0].node));
         // The repaired replica holds the survivor's data.
         let fresh = new_route
             .replicas
@@ -583,7 +790,9 @@ mod tests {
         for s in &servers {
             cm.heartbeat(ctx.now(), s.node(), s.free_slots());
         }
-        let (seg, route) = cm.create_segment(&mut ctx, lease, SegmentClass::Ebp, 1).unwrap();
+        let (seg, route) = cm
+            .create_segment(&mut ctx, lease, SegmentClass::Ebp, 1)
+            .unwrap();
         env.faults.crash(route.replicas[0].node);
         ctx.advance(VTime::from_secs(2));
         for s in &servers {
@@ -594,7 +803,10 @@ mod tests {
         let changed = cm.tick(&mut ctx);
         assert_eq!(changed, vec![seg]);
         // Route is gone entirely: the cached pages are simply lost.
-        assert!(matches!(cm.get_route(&mut ctx, seg), Err(AStoreError::UnknownSegment(_))));
+        assert!(matches!(
+            cm.get_route(&mut ctx, seg),
+            Err(AStoreError::UnknownSegment(_))
+        ));
     }
 
     #[test]
@@ -605,7 +817,9 @@ mod tests {
         for s in &servers {
             cm.heartbeat(ctx.now(), s.node(), s.free_slots());
         }
-        let (seg, route) = cm.create_segment(&mut ctx, lease, SegmentClass::Log, 2).unwrap();
+        let (seg, route) = cm
+            .create_segment(&mut ctx, lease, SegmentClass::Log, 2)
+            .unwrap();
         let dead_node = route.replicas[0].node;
         env.faults.crash(dead_node);
         ctx.advance(VTime::from_secs(2));

@@ -86,7 +86,11 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = EbpRecordHeader { page: PageId::new(3, 77), lsn: 123_456, len: 16 * 1024 };
+        let h = EbpRecordHeader {
+            page: PageId::new(3, 77),
+            lsn: 123_456,
+            len: 16 * 1024,
+        };
         let enc = encode_header(&h);
         assert_eq!(decode_header(&enc), Some(h));
     }
@@ -98,7 +102,11 @@ mod tests {
 
     #[test]
     fn corrupted_header_rejected() {
-        let h = EbpRecordHeader { page: PageId::new(1, 2), lsn: 9, len: 100 };
+        let h = EbpRecordHeader {
+            page: PageId::new(1, 2),
+            lsn: 9,
+            len: 100,
+        };
         let mut enc = encode_header(&h);
         enc[5] ^= 0xFF; // flip a bit in space_no
         assert_eq!(decode_header(&enc), None);
@@ -109,7 +117,11 @@ mod tests {
 
     #[test]
     fn short_buffer_rejected() {
-        let h = EbpRecordHeader { page: PageId::new(1, 2), lsn: 9, len: 100 };
+        let h = EbpRecordHeader {
+            page: PageId::new(1, 2),
+            lsn: 9,
+            len: 100,
+        };
         let enc = encode_header(&h);
         assert_eq!(decode_header(&enc[..31]), None);
     }

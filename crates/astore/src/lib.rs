@@ -31,12 +31,14 @@ pub mod client;
 pub mod cm;
 pub mod ebp_format;
 pub mod layout;
+pub mod retry;
 pub mod ring;
 pub mod server;
 
 pub use client::{AStoreClient, SegmentHandle};
 pub use cm::{ClusterManager, Lease};
 pub use layout::SegmentClass;
+pub use retry::{AppendOpts, RetryPolicy, SegmentOpts};
 pub use ring::SegmentRing;
 pub use server::AStoreServer;
 
@@ -73,6 +75,13 @@ impl std::fmt::Display for PageId {
 }
 
 /// Errors surfaced by AStore operations.
+///
+/// The enum is `#[non_exhaustive]`: code outside this crate must not match
+/// on variants to drive recovery decisions — use the classification methods
+/// ([`AStoreError::is_retryable`], [`AStoreError::is_fencing`],
+/// [`AStoreError::is_segment_unwritable`]) instead, so new failure modes
+/// can be added without breaking callers.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AStoreError {
     /// Network / node failure.
@@ -117,6 +126,53 @@ pub enum AStoreError {
     },
 }
 
+impl AStoreError {
+    /// Is this a *transient* fault that a capped-backoff retry of the same
+    /// operation may clear (dropped message, unreachable node that the CM
+    /// may repair around)? Retry code must branch on this — never on the
+    /// enum variants directly.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, AStoreError::Network(_))
+    }
+
+    /// Is this a fencing error — the client's lease epoch was superseded or
+    /// expired? Fencing is only recoverable by *renewing the same epoch*;
+    /// if renewal is refused the client has been superseded and must stop
+    /// (retrying can never bypass the fence).
+    pub fn is_fencing(&self) -> bool {
+        matches!(self, AStoreError::LeaseExpired { .. })
+    }
+
+    /// Can this segment no longer accept appends (full, frozen, or a
+    /// replica set that lost a member mid-write)? Callers holding a ring of
+    /// segments roll over to a fresh one on these.
+    pub fn is_segment_unwritable(&self) -> bool {
+        matches!(
+            self,
+            AStoreError::SegmentFull { .. }
+                | AStoreError::SegmentFrozen(_)
+                | AStoreError::ReplicaFailed { .. }
+        )
+    }
+
+    /// If this error identifies a concrete unreachable node, its id. The
+    /// recovery layer reports such nodes to the CM, which verifies the claim
+    /// and re-replicates or shrinks the affected routes.
+    pub fn unreachable_node(&self) -> Option<NodeId> {
+        match self {
+            AStoreError::Network(RdmaError::NodeUnreachable(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Terminal for the current operation: not transient, not fencing, and
+    /// not cleared by rolling to another segment (e.g. corruption, unknown
+    /// segment, cluster-wide capacity exhaustion).
+    pub fn is_terminal(&self) -> bool {
+        !self.is_retryable() && !self.is_fencing() && !self.is_segment_unwritable()
+    }
+}
+
 impl From<RdmaError> for AStoreError {
     fn from(e: RdmaError) -> Self {
         AStoreError::Network(e)
@@ -128,7 +184,10 @@ impl std::fmt::Display for AStoreError {
         match self {
             AStoreError::Network(e) => write!(f, "network: {e}"),
             AStoreError::LeaseExpired { presented, current } => {
-                write!(f, "lease expired: presented epoch {presented}, current {current}")
+                write!(
+                    f,
+                    "lease expired: presented epoch {presented}, current {current}"
+                )
             }
             AStoreError::NoSpace => write!(f, "no server has space for the segment"),
             AStoreError::UnknownSegment(s) => write!(f, "unknown segment {s}"),
@@ -142,7 +201,10 @@ impl std::fmt::Display for AStoreError {
             AStoreError::LogFull => write!(f, "segment ring exhausted (log not truncated)"),
             AStoreError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             AStoreError::NotEnoughServers { live, required } => {
-                write!(f, "only {live} live servers for replication factor {required}")
+                write!(
+                    f,
+                    "only {live} live servers for replication factor {required}"
+                )
             }
         }
     }

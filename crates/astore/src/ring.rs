@@ -25,6 +25,7 @@ use vedb_sim::SimCtx;
 
 use crate::client::{AStoreClient, SegmentHandle};
 use crate::layout::SegmentClass;
+use crate::retry::{AppendOpts, SegmentOpts};
 use crate::{AStoreError, Lsn, Result, SegmentId};
 
 /// Bytes reserved at the start of each segment for the ring header.
@@ -107,7 +108,7 @@ pub fn newest_slot_binary_search(keys: &[Option<Lsn>]) -> Option<usize> {
     let used_at = |i: usize| keys[(start + i) % n];
     let (mut lo, mut hi) = (0usize, n - 1);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         // Used and part of the same increasing run as `start`?
         let in_run = match (used_at(mid), used_at(0)) {
             (Some(m), Some(s0)) => m >= s0,
@@ -158,13 +159,22 @@ impl SegmentRing {
         assert!(n_segments >= 2, "a ring needs at least two segments");
         let mut slots = Vec::with_capacity(n_segments);
         for _ in 0..n_segments {
-            let handle = client.create_segment(ctx, SegmentClass::Log)?;
-            slots.push(RingSlot { handle, status: SlotStatus::Empty, start_lsn: 0 });
+            let handle = client.create_segment_with(ctx, SegmentOpts::new(SegmentClass::Log))?;
+            slots.push(RingSlot {
+                handle,
+                status: SlotStatus::Empty,
+                start_lsn: 0,
+            });
         }
         let seg_capacity = client.segment_capacity(slots[0].handle);
         let ring = SegmentRing {
             client,
-            state: Mutex::new(RingState { slots, active: 0, next_lsn: initial_lsn, retired: Vec::new() }),
+            state: Mutex::new(RingState {
+                slots,
+                active: 0,
+                next_lsn: initial_lsn,
+                retired: Vec::new(),
+            }),
             seg_capacity,
         };
         ring.open_slot(ctx, 0, initial_lsn)?;
@@ -175,7 +185,12 @@ impl SegmentRing {
     /// these in its bootstrap catalog so a restarted instance can
     /// [`recover`](Self::recover) the ring.
     pub fn segment_ids(&self) -> Vec<SegmentId> {
-        self.state.lock().slots.iter().map(|s| s.handle.id).collect()
+        self.state
+            .lock()
+            .slots
+            .iter()
+            .map(|s| s.handle.id)
+            .collect()
     }
 
     /// Bytes of log a single segment can hold.
@@ -195,7 +210,8 @@ impl SegmentRing {
         };
         self.client.reset_len(ctx, handle)?;
         let hdr = encode_ring_header(SlotStatus::InUse, start_lsn);
-        self.client.append(ctx, handle, &hdr)?;
+        self.client
+            .append_with(ctx, handle, &hdr, AppendOpts::new())?;
         let mut st = self.state.lock();
         st.slots[idx].status = SlotStatus::InUse;
         st.slots[idx].start_lsn = start_lsn;
@@ -218,7 +234,10 @@ impl SegmentRing {
     /// Create a replacement segment for a slot whose segment failed, open
     /// it at `start_lsn`, and return its handle.
     fn replace_slot(&self, ctx: &mut SimCtx, idx: usize, start_lsn: Lsn) -> Result<SegmentHandle> {
-        let new_handle = self.client.create_segment(ctx, SegmentClass::Log)?;
+        let new_handle = self
+            .client
+            .create_segment_with(ctx, SegmentOpts::new(SegmentClass::Log))?;
+        self.client.recovery_counters().note_segment_replaced();
         {
             let mut st = self.state.lock();
             let old = st.slots[idx].handle;
@@ -254,7 +273,9 @@ impl SegmentRing {
             self.replace_slot(ctx, active, lsn)?;
         }
         // Advance to the next slot if the record does not fit.
-        let used = self.client.segment_len(self.state.lock().slots[active].handle);
+        let used = self
+            .client
+            .segment_len(self.state.lock().slots[active].handle);
         if used + record.len() as u64 > self.seg_capacity {
             self.freeze_slot(ctx, active, SlotStatus::Full)?;
             let next = (active + 1) % self.state.lock().slots.len();
@@ -266,15 +287,18 @@ impl SegmentRing {
             active = next;
         }
         let handle = self.state.lock().slots[active].handle;
-        match self.client.append(ctx, handle, record) {
+        match self
+            .client
+            .append_with(ctx, handle, record, AppendOpts::new())
+        {
             Ok(_) => {}
-            Err(AStoreError::ReplicaFailed { .. })
-            | Err(AStoreError::Network(_))
-            | Err(AStoreError::SegmentFrozen(_)) => {
-                // §V-E: close the failed segment, create a new one, retry.
+            Err(e) if e.is_segment_unwritable() || e.is_retryable() => {
+                // §V-E, after the client's own retry budget is spent: close
+                // the failed segment, create a new one, retry once there.
                 self.freeze_slot(ctx, active, SlotStatus::Error)?;
                 let new_handle = self.replace_slot(ctx, active, lsn)?;
-                self.client.append(ctx, new_handle, record)?;
+                self.client
+                    .append_with(ctx, new_handle, record, AppendOpts::new())?;
             }
             Err(e) => return Err(e),
         }
@@ -314,8 +338,10 @@ impl SegmentRing {
         // Retired segments fully below the truncation point are deleted.
         let drop_retired: Vec<SegmentHandle> = {
             let mut st = self.state.lock();
-            let (dead, keep): (Vec<_>, Vec<_>) =
-                st.retired.drain(..).partition(|(_, _, end)| *end <= upto_lsn);
+            let (dead, keep): (Vec<_>, Vec<_>) = st
+                .retired
+                .drain(..)
+                .partition(|(_, _, end)| *end <= upto_lsn);
             st.retired = keep;
             dead.into_iter().map(|(h, _, _)| h).collect()
         };
@@ -340,14 +366,18 @@ impl SegmentRing {
     /// the start equals `from_lsn` when it falls inside the retained log,
     /// or the oldest retained LSN otherwise.
     pub fn read_from(&self, ctx: &mut SimCtx, from_lsn: Lsn) -> Result<(Lsn, Vec<u8>)> {
-        let (slots_info, retired, next_lsn): (
+        type Snapshot = (
             Vec<(SegmentHandle, SlotStatus, Lsn)>,
             Vec<(SegmentHandle, Lsn, Lsn)>,
             Lsn,
-        ) = {
+        );
+        let (slots_info, retired, next_lsn): Snapshot = {
             let st = self.state.lock();
             (
-                st.slots.iter().map(|s| (s.handle, s.status, s.start_lsn)).collect(),
+                st.slots
+                    .iter()
+                    .map(|s| (s.handle, s.status, s.start_lsn))
+                    .collect(),
                 st.retired.clone(),
                 st.next_lsn,
             )
@@ -363,7 +393,11 @@ impl SegmentRing {
         let mut out = Vec::new();
         let mut out_start = None;
         for (i, (handle, start_lsn)) in used.iter().enumerate() {
-            let end_lsn = if i + 1 < used.len() { used[i + 1].1 } else { next_lsn };
+            let end_lsn = if i + 1 < used.len() {
+                used[i + 1].1
+            } else {
+                next_lsn
+            };
             if end_lsn <= from_lsn {
                 continue;
             }
@@ -374,9 +408,7 @@ impl SegmentRing {
             if want == 0 {
                 continue;
             }
-            let bytes = self
-                .client
-                .read(ctx, *handle, RING_HDR_SIZE + skip, want)?;
+            let bytes = self.client.read(ctx, *handle, RING_HDR_SIZE + skip, want)?;
             if out_start.is_none() {
                 out_start = Some(start_lsn + skip);
             }
@@ -403,7 +435,11 @@ impl SegmentRing {
             } else {
                 (SlotStatus::Empty, 0)
             };
-            slots.push(RingSlot { handle, status, start_lsn });
+            slots.push(RingSlot {
+                handle,
+                status,
+                start_lsn,
+            });
         }
         let keys: Vec<Option<Lsn>> = slots
             .iter()
@@ -421,7 +457,12 @@ impl SegmentRing {
         };
         Ok(SegmentRing {
             client,
-            state: Mutex::new(RingState { slots, active, next_lsn, retired: Vec::new() }),
+            state: Mutex::new(RingState {
+                slots,
+                active,
+                next_lsn,
+                retired: Vec::new(),
+            }),
             seg_capacity,
         })
     }
@@ -440,7 +481,8 @@ impl SegmentRing {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::tests::test_cluster;
+    use crate::client::tests::{test_cluster, test_cluster_with_policy};
+    use crate::retry::RetryPolicy;
     use vedb_sim::VTime;
 
     #[test]
@@ -515,7 +557,10 @@ mod tests {
         ring.append(&mut ctx, &rec).unwrap();
         ring.append(&mut ctx, &rec).unwrap();
         let err = ring.append(&mut ctx, &rec);
-        assert!(matches!(err, Err(AStoreError::LogFull)), "untruncated ring must report LogFull");
+        assert!(
+            matches!(err, Err(AStoreError::LogFull)),
+            "untruncated ring must report LogFull"
+        );
 
         // PageStore applied everything: recycle and continue.
         let recycled = ring.truncate(&mut ctx, ring.next_lsn()).unwrap();
@@ -563,16 +608,14 @@ mod tests {
     }
 
     #[test]
-    fn replica_failure_replaces_segment_transparently() {
+    fn replica_failure_replaces_segment_when_retries_disabled() {
+        // With the client's retry layer off, the ring's own §V-E policy is
+        // the only recovery: freeze the slot, create a replacement, retry.
         let mut ctx = SimCtx::new(1, 7);
-        let tc = test_cluster(&mut ctx);
+        let tc = test_cluster_with_policy(&mut ctx, RetryPolicy::disabled());
         let ring = SegmentRing::create(&mut ctx, Arc::clone(&tc.client), 3, 0).unwrap();
         ring.append(&mut ctx, b"before-failure").unwrap();
 
-        // Kill a replica of the active segment, then heal the cluster view
-        // so a replacement can be created on the remaining nodes... the
-        // paper requires >= replication-factor healthy nodes, so restore
-        // the node first and only fail the one write.
         let active_seg = ring.segment_ids()[0];
         let route = tc.client.cached_route(active_seg).unwrap();
         tc.env.faults.crash(route.replicas[0].node);
@@ -584,7 +627,31 @@ mod tests {
         // Retry now succeeds via the replacement path (slot was frozen).
         let lsn = ring.append(&mut ctx, b"after-restore").unwrap();
         assert_eq!(lsn, 14, "LSN continuity across segment replacement");
+        assert!(tc.client.recovery_counters().segments_replaced() >= 1);
         let (_, bytes) = ring.read_from(&mut ctx, 14).unwrap();
         assert_eq!(&bytes, b"after-restore");
+    }
+
+    #[test]
+    fn replica_crash_is_absorbed_below_the_ring() {
+        // With the default retry policy the client reports the dead node,
+        // the CM shrinks the route, and the append completes — the ring
+        // never sees an error and keeps the same segment.
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let ring = SegmentRing::create(&mut ctx, Arc::clone(&tc.client), 3, 0).unwrap();
+        ring.append(&mut ctx, b"before-failure").unwrap();
+
+        let ids_before = ring.segment_ids();
+        let route = tc.client.cached_route(ids_before[0]).unwrap();
+        tc.env.faults.crash(route.replicas[0].node);
+
+        let lsn = ring.append(&mut ctx, b"during-failure").unwrap();
+        assert_eq!(lsn, 14, "append must succeed despite the crashed replica");
+        assert_eq!(ring.segment_ids(), ids_before, "no slot replacement needed");
+        assert_eq!(tc.client.recovery_counters().segments_replaced(), 0);
+        assert!(tc.client.recovery_counters().retries() >= 1);
+        let (_, bytes) = ring.read_from(&mut ctx, 0).unwrap();
+        assert_eq!(&bytes, b"before-failureduring-failure");
     }
 }

@@ -84,7 +84,9 @@ impl AStoreServer {
             format!("pmem-node-{node}"),
             capacity,
             ddio_enabled,
-            res.pmem.clone().expect("AStore node must have a PMem resource"),
+            res.pmem
+                .clone()
+                .expect("AStore node must have a PMem resource"),
             model.clone(),
         ));
         let geo = Geometry::for_capacity(capacity as u64, slot_size);
@@ -353,12 +355,16 @@ impl AStoreServer {
                     .device
                     .peek(base + pos, RECORD_HDR_SIZE)
                     .expect("header in bounds");
-                let Some(hdr) = decode_header(&hdr_bytes) else { break };
+                let Some(hdr) = decode_header(&hdr_bytes) else {
+                    break;
+                };
                 if pos + RECORD_HDR_SIZE as u64 + hdr.len as u64 > self.geo.slot_size {
                     break; // truncated tail record
                 }
                 scanned_bytes += RECORD_HDR_SIZE + hdr.len as usize;
-                let stale = lsn_map.get(&hdr.page).is_some_and(|latest| hdr.lsn < *latest);
+                let stale = lsn_map
+                    .get(&hdr.page)
+                    .is_some_and(|latest| hdr.lsn < *latest);
                 if !stale {
                     let entry = EbpScanEntry {
                         page: hdr.page,
@@ -470,7 +476,10 @@ mod tests {
                 Err(e) => panic!("unexpected error: {e}"),
             }
         }
-        assert!(n >= 10, "expected at least 10 slots in a 1MB device, got {n}");
+        assert!(
+            n >= 10,
+            "expected at least 10 slots in a 1MB device, got {n}"
+        );
         assert_eq!(s.free_slots(), 0);
     }
 
@@ -487,13 +496,23 @@ mod tests {
         let page_a = PageId::new(1, 1);
         let page_b = PageId::new(1, 2);
         let mut pos = base;
-        for (page, lsn, fill) in [(page_a, 10u64, 0xAAu8), (page_a, 20, 0xAB), (page_b, 5, 0xBB)] {
+        for (page, lsn, fill) in [
+            (page_a, 10u64, 0xAAu8),
+            (page_a, 20, 0xAB),
+            (page_b, 5, 0xBB),
+        ] {
             let payload = vec![fill; 128];
-            let hdr = encode_header(&EbpRecordHeader { page, lsn, len: 128 });
+            let hdr = encode_header(&EbpRecordHeader {
+                page,
+                lsn,
+                len: 128,
+            });
             let zero = [0u8; RECORD_HDR_SIZE];
             let dev = mr.device();
             let t = dev.write(ctx.now(), pos, &hdr).unwrap();
-            let t = dev.write(t, pos + RECORD_HDR_SIZE as u64, &payload).unwrap();
+            let t = dev
+                .write(t, pos + RECORD_HDR_SIZE as u64, &payload)
+                .unwrap();
             let t = dev
                 .write(t, pos + (RECORD_HDR_SIZE + 128) as u64, &zero)
                 .unwrap();

@@ -1,0 +1,370 @@
+//! Chaos suite: the fault-recovery layer under injected failures.
+//!
+//! Each test drives TPC-C-style committed-write traffic (mixed-size REDO
+//! records through the client / SegmentRing) while the [`FaultPlan`] kills
+//! servers mid-append, partitions replicas, drops messages, and expires
+//! leases. The invariants, per the §IV-B/§V-E contract:
+//!
+//! * **Zero lost committed writes** — every append that returned `Ok` is
+//!   readable afterwards, byte for byte.
+//! * **No `ReplicaFailed` reaching the caller** while the cluster retains a
+//!   survivor — the retry layer absorbs crashes by reporting the dead node
+//!   to the CM and re-resolving the shrunk/repaired route.
+//! * **Bounded retries** — the capped-backoff policy never spins; retry
+//!   counts stay within `max_retries` per operation and are visible through
+//!   `vedb_sim::metrics::RecoveryCounters`.
+
+use std::sync::Arc;
+
+use vedb_astore::client::AStoreClient;
+use vedb_astore::cm::ClusterManager;
+use vedb_astore::layout::SegmentClass;
+use vedb_astore::{AStoreServer, AppendOpts, RetryPolicy, SegmentOpts, SegmentRing};
+use vedb_rdma::RdmaEndpoint;
+use vedb_sim::fault::NodeId;
+use vedb_sim::{ClusterSpec, SimCtx, SimEnv, VTime};
+
+struct Cluster {
+    env: Arc<SimEnv>,
+    cm: Arc<ClusterManager>,
+    servers: Vec<Arc<AStoreServer>>,
+}
+
+fn cluster(lease_ttl: VTime) -> Cluster {
+    let env = ClusterSpec::paper_default().build();
+    let cm = ClusterManager::new(Arc::clone(&env.faults), lease_ttl, VTime::from_secs(1));
+    let servers: Vec<Arc<AStoreServer>> = env
+        .astore_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            AStoreServer::new(
+                i as NodeId,
+                Arc::clone(n),
+                8 << 20,
+                256 * 1024,
+                false,
+                VTime::from_millis(500),
+                env.model.clone(),
+            )
+        })
+        .collect();
+    for s in &servers {
+        cm.register_server(Arc::clone(s));
+        cm.heartbeat(VTime::ZERO, s.node(), s.free_slots());
+    }
+    Cluster { env, cm, servers }
+}
+
+fn connect(c: &Cluster, ctx: &mut SimCtx, id: u64, policy: RetryPolicy) -> Arc<AStoreClient> {
+    let ep = RdmaEndpoint::new(
+        c.env.model.clone(),
+        Arc::clone(&c.env.faults),
+        Arc::clone(&c.env.engine_nic),
+    );
+    AStoreClient::connect_with_policy(
+        ctx,
+        Arc::clone(&c.cm),
+        ep,
+        Arc::clone(&c.env.engine_cpu),
+        c.env.model.clone(),
+        id,
+        VTime::from_millis(50),
+        policy,
+    )
+}
+
+/// TPC-C-ish record: NewOrder/Payment-sized REDO payloads, 64–700 bytes,
+/// deterministic per index so reads can verify content.
+fn record(i: usize) -> Vec<u8> {
+    let len = 64 + (i * 97) % 640;
+    let mut v = Vec::with_capacity(len);
+    v.extend_from_slice(&(i as u64).to_le_bytes());
+    v.resize(len, (i % 251) as u8);
+    v
+}
+
+/// The ISSUE acceptance scenario: one of three replicas crashes mid-run
+/// with 1% message loss on top; a committed-write workload completes with
+/// zero data loss, no `ReplicaFailed` surfacing, and retry counters
+/// visible through `sim::metrics`.
+#[test]
+fn crash_one_replica_with_drops_loses_nothing() {
+    let c = cluster(VTime::from_secs(3600));
+    let mut ctx = SimCtx::new(1, 0xC0FFEE);
+    let client = connect(&c, &mut ctx, 1, RetryPolicy::default());
+    let seg = client
+        .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+        .unwrap();
+    let route = client.cached_route(seg.id).unwrap();
+    assert_eq!(route.replicas.len(), 3);
+
+    c.env.faults.set_drop_prob(0.01);
+    let n = 200;
+    let mut committed: Vec<(u64, Vec<u8>)> = Vec::new();
+    for i in 0..n {
+        if i == n / 2 {
+            // Kill one replica mid-append-stream.
+            c.env.faults.crash(route.replicas[0].node);
+        }
+        let data = record(i);
+        let off = client
+            .append_with(&mut ctx, seg, &data, AppendOpts::new())
+            .unwrap_or_else(|e| panic!("append {i} must not surface an error, got {e}"));
+        committed.push((off, data));
+    }
+    c.env.faults.set_drop_prob(0.0);
+
+    // Zero lost committed writes: every acked byte reads back.
+    for (off, data) in &committed {
+        let got = client.read(&mut ctx, seg, *off, data.len()).unwrap();
+        assert_eq!(
+            &got, data,
+            "committed write at offset {off} lost or corrupted"
+        );
+    }
+    // The route shrank to the two survivors (3-node cluster has no spare).
+    let after = client.cached_route(seg.id).unwrap();
+    assert_eq!(after.replicas.len(), 2);
+    assert!(!after
+        .replicas
+        .iter()
+        .any(|l| l.node == route.replicas[0].node));
+    assert!(!client.is_frozen(seg));
+
+    // Recovery telemetry: retries happened, are bounded, and are visible.
+    let counters = client.recovery_counters();
+    assert!(
+        counters.retries() >= 1,
+        "crash + 1% drops must force retries: {counters:?}"
+    );
+    assert!(
+        counters.retries() <= (n as u64) * RetryPolicy::default().max_retries as u64,
+        "retry counts must stay within the policy budget: {counters:?}"
+    );
+    assert!(
+        counters.route_refreshes() >= 1,
+        "crash must force a route re-resolution"
+    );
+    assert!(counters.backoff() > VTime::ZERO);
+}
+
+/// Replica crash while a SegmentRing (the WAL's container) is mid-stream:
+/// the ring never sees an error and the full REDO byte stream survives.
+#[test]
+fn ring_traffic_rides_through_replica_crash() {
+    let c = cluster(VTime::from_secs(3600));
+    let mut ctx = SimCtx::new(1, 0xBEEF);
+    let client = connect(&c, &mut ctx, 1, RetryPolicy::default());
+    let ring = SegmentRing::create(&mut ctx, Arc::clone(&client), 6, 0).unwrap();
+
+    let victim = client.cached_route(ring.segment_ids()[0]).unwrap().replicas[0].node;
+    let mut expected = Vec::new();
+    for i in 0..150 {
+        if i == 40 {
+            c.env.faults.crash(victim);
+        }
+        let data = record(i);
+        let lsn = ring.append(&mut ctx, &data).unwrap();
+        assert_eq!(
+            lsn,
+            expected.len() as u64,
+            "LSNs stay dense across the crash"
+        );
+        expected.extend_from_slice(&data);
+    }
+    let (start, bytes) = ring.read_from(&mut ctx, 0).unwrap();
+    assert_eq!(start, 0);
+    assert_eq!(
+        bytes, expected,
+        "REDO stream must be intact after the crash"
+    );
+    assert!(client.recovery_counters().retries() >= 1);
+}
+
+/// Sustained 1% message loss over a long append+read workload: every
+/// operation completes, and the total retry count stays near the expected
+/// loss rate rather than exploding (bounded backoff, no retry storms).
+#[test]
+fn one_percent_drops_bounded_retries() {
+    let c = cluster(VTime::from_secs(3600));
+    let mut ctx = SimCtx::new(1, 0xD06);
+    let client = connect(&c, &mut ctx, 1, RetryPolicy::default());
+    let seg = client
+        .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+        .unwrap();
+    c.env.faults.set_drop_prob(0.01);
+    let n = 300;
+    let mut offs = Vec::new();
+    for i in 0..n {
+        let data = record(i);
+        let off = client
+            .append_with(&mut ctx, seg, &data, AppendOpts::new())
+            .unwrap();
+        offs.push((off, data.len()));
+    }
+    for (i, (off, len)) in offs.iter().enumerate() {
+        let got = client.read(&mut ctx, seg, *off, *len).unwrap();
+        assert_eq!(got, record(i));
+    }
+    c.env.faults.set_drop_prob(0.0);
+    let counters = client.recovery_counters();
+    // ~1% of ~900 one-sided messages + ~300 reads → a handful of retries;
+    // 10× the expectation still catches a retry storm.
+    assert!(
+        counters.retries() <= 120,
+        "retry storm under 1% drops: {counters:?}"
+    );
+}
+
+/// A partitioned replica (alive but unreachable) serves no reads; the read
+/// path fails over to the other replicas and keeps the data available.
+#[test]
+fn reads_survive_partition_of_primary_replica() {
+    let c = cluster(VTime::from_secs(3600));
+    let mut ctx = SimCtx::new(1, 0xFA11);
+    let client = connect(&c, &mut ctx, 1, RetryPolicy::default());
+    let seg = client
+        .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+        .unwrap();
+    let data = b"partitioned-but-available".to_vec();
+    let off = client
+        .append_with(&mut ctx, seg, &data, AppendOpts::new())
+        .unwrap();
+
+    let route = client.cached_route(seg.id).unwrap();
+    c.env.faults.partition(route.replicas[0].node);
+    for _ in 0..10 {
+        let got = client.read(&mut ctx, seg, off, data.len()).unwrap();
+        assert_eq!(got, data);
+    }
+    assert!(client.recovery_counters().read_failovers() >= 10);
+    c.env.faults.heal(route.replicas[0].node);
+}
+
+/// Lease TTL expires repeatedly while traffic runs: control-plane calls
+/// renew the same epoch transparently; the client is never re-fenced and
+/// never mints a new epoch.
+#[test]
+fn lease_expiry_mid_traffic_renews_same_epoch() {
+    let ttl = VTime::from_secs(5);
+    let c = cluster(ttl);
+    let mut ctx = SimCtx::new(1, 0x1EA5E);
+    let client = connect(&c, &mut ctx, 1, RetryPolicy::default());
+    let epoch = client.lease().epoch;
+
+    for round in 0..4 {
+        // Let the TTL lapse, then run control-plane + data-plane traffic.
+        ctx.advance(ttl + VTime::from_secs(1));
+        let seg = client
+            .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+            .unwrap();
+        let data = record(round);
+        let off = client
+            .append_with(&mut ctx, seg, &data, AppendOpts::new())
+            .unwrap();
+        assert_eq!(client.read(&mut ctx, seg, off, data.len()).unwrap(), data);
+        client.delete_segment(&mut ctx, seg).unwrap();
+    }
+    assert_eq!(
+        client.lease().epoch,
+        epoch,
+        "renewal must never mint a new epoch"
+    );
+    assert!(client.recovery_counters().lease_renewals() >= 4);
+}
+
+/// Fencing regression: the retry layer renews leases but must never let a
+/// *superseded* incarnation back in — even though it retries and renews,
+/// every control-plane call keeps failing with a fencing error.
+#[test]
+fn superseded_epoch_is_fenced_through_the_retry_layer() {
+    let c = cluster(VTime::from_secs(3600));
+    let mut ctx = SimCtx::new(1, 0xFE7CE);
+    let old = connect(&c, &mut ctx, 7, RetryPolicy::default());
+    let seg = old
+        .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+        .unwrap();
+    old.append_with(&mut ctx, seg, b"epoch-1-data", AppendOpts::new())
+        .unwrap();
+
+    // A new incarnation of the same client takes over: fresh epoch.
+    let new = connect(&c, &mut ctx, 7, RetryPolicy::default());
+    assert!(new.lease().epoch > old.lease().epoch);
+
+    // The superseded client keeps retrying/renewing — and keeps losing.
+    for _ in 0..3 {
+        let err = old
+            .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+            .unwrap_err();
+        assert!(
+            err.is_fencing(),
+            "superseded epoch must stay fenced, got {err}"
+        );
+    }
+    assert!(old.renew_lease(&mut ctx).unwrap_err().is_fencing());
+
+    // The new incarnation adopts and extends the data unharmed.
+    let adopted = new
+        .adopt_segment(&mut ctx, seg.id, SegmentClass::Log)
+        .unwrap();
+    assert_eq!(new.read(&mut ctx, adopted, 0, 12).unwrap(), b"epoch-1-data");
+    new.append_with(&mut ctx, adopted, b"+epoch-2", AppendOpts::new())
+        .unwrap();
+}
+
+/// Crash + restore churn: a replica dies, the CM repairs routes onto the
+/// survivors, the node returns and is reintegrated — and a brand-new
+/// client recovers every committed byte from the repaired replica set,
+/// including the io-meta copied during re-replication.
+#[test]
+fn repair_copies_io_meta_so_recovery_sees_full_length() {
+    let c = cluster(VTime::from_secs(3600));
+    let mut ctx = SimCtx::new(1, 0x10_AD);
+    let client = connect(&c, &mut ctx, 1, RetryPolicy::default());
+    let seg = client
+        .create_segment_with(
+            &mut ctx,
+            SegmentOpts::new(SegmentClass::Log).with_replication(2),
+        )
+        .unwrap();
+    let mut total = 0u64;
+    for i in 0..20 {
+        let data = record(i);
+        client
+            .append_with(&mut ctx, seg, &data, AppendOpts::new())
+            .unwrap();
+        total += data.len() as u64;
+    }
+
+    // Kill one of the two replicas; the CM's failure sweep re-replicates
+    // the segment (slot data AND io-meta) onto the spare third node.
+    let route = client.cached_route(seg.id).unwrap();
+    let dead = route.replicas[0].node;
+    c.env.faults.crash(dead);
+    ctx.advance(VTime::from_secs(5));
+    for s in &c.servers {
+        if s.node() != dead {
+            c.cm.heartbeat(ctx.now(), s.node(), s.free_slots());
+        }
+    }
+    c.cm.tick(&mut ctx);
+    let repaired = c.cm.get_route(&mut ctx, seg.id).unwrap();
+    assert_eq!(
+        repaired.replicas.len(),
+        2,
+        "re-replicated onto the spare node"
+    );
+
+    // A fresh incarnation recovers the segment length from io-meta alone —
+    // whichever replica it reads, including the freshly repaired one.
+    let client2 = connect(&c, &mut ctx, 1, RetryPolicy::default());
+    let adopted = client2
+        .adopt_segment(&mut ctx, seg.id, SegmentClass::Log)
+        .unwrap();
+    assert_eq!(
+        client2.segment_len(adopted),
+        total,
+        "io-meta must survive repair"
+    );
+}

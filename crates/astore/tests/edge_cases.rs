@@ -7,7 +7,7 @@ use std::sync::Arc;
 use vedb_astore::client::AStoreClient;
 use vedb_astore::cm::ClusterManager;
 use vedb_astore::layout::SegmentClass;
-use vedb_astore::{AStoreError, AStoreServer, SegmentRing};
+use vedb_astore::{AStoreServer, AppendOpts, SegmentOpts, SegmentRing};
 use vedb_rdma::RdmaEndpoint;
 use vedb_sim::fault::NodeId;
 use vedb_sim::{ClusterSpec, SimCtx, SimEnv, VTime};
@@ -20,7 +20,11 @@ struct Cluster {
 
 fn cluster(cleanup_delay: VTime) -> Cluster {
     let env = ClusterSpec::paper_default().build();
-    let cm = ClusterManager::new(Arc::clone(&env.faults), VTime::from_secs(600), VTime::from_secs(30));
+    let cm = ClusterManager::new(
+        Arc::clone(&env.faults),
+        VTime::from_secs(600),
+        VTime::from_secs(30),
+    );
     let servers: Vec<Arc<AStoreServer>> = env
         .astore_nodes
         .iter()
@@ -45,7 +49,11 @@ fn cluster(cleanup_delay: VTime) -> Cluster {
 }
 
 fn connect(c: &Cluster, ctx: &mut SimCtx, id: u64, refresh: VTime) -> Arc<AStoreClient> {
-    let ep = RdmaEndpoint::new(c.env.model.clone(), Arc::clone(&c.env.faults), Arc::clone(&c.env.engine_nic));
+    let ep = RdmaEndpoint::new(
+        c.env.model.clone(),
+        Arc::clone(&c.env.faults),
+        Arc::clone(&c.env.engine_nic),
+    );
     AStoreClient::connect(
         ctx,
         Arc::clone(&c.cm),
@@ -68,8 +76,12 @@ fn delayed_cleanup_outlives_route_refresh() {
     let mut ctx = SimCtx::new(1, 7);
     let client = connect(&c, &mut ctx, 1, refresh);
 
-    let seg = client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
-    client.append(&mut ctx, seg, b"live-data").unwrap();
+    let seg = client
+        .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+        .unwrap();
+    client
+        .append_with(&mut ctx, seg, b"live-data", AppendOpts::new())
+        .unwrap();
     client.delete_segment(&mut ctx, seg).unwrap();
 
     // Within the refresh period the slot must still be intact on every
@@ -79,7 +91,10 @@ fn delayed_cleanup_outlives_route_refresh() {
     for s in &c.servers {
         if s.hosts_segment(seg.id) {
             let mut sctx = ctx.fork();
-            assert!(s.run_cleanup(&mut sctx).is_empty(), "cleanup must be delayed");
+            assert!(
+                s.run_cleanup(&mut sctx).is_empty(),
+                "cleanup must be delayed"
+            );
         }
     }
     // After the (longer) cleanup delay the slots are reclaimed.
@@ -99,22 +114,24 @@ fn stale_incarnation_is_fenced_from_control_plane() {
     let c = cluster(VTime::from_millis(500));
     let mut ctx = SimCtx::new(1, 7);
     let old = connect(&c, &mut ctx, 42, VTime::from_secs(3600));
-    let seg = old.create_segment(&mut ctx, SegmentClass::Log).unwrap();
-    old.append(&mut ctx, seg, b"original").unwrap();
+    let seg = old
+        .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+        .unwrap();
+    old.append_with(&mut ctx, seg, b"original", AppendOpts::new())
+        .unwrap();
 
     // New incarnation takes over (same client identity).
     let new = connect(&c, &mut ctx, 42, VTime::from_millis(50));
-    let adopted = new.adopt_segment(&mut ctx, seg.id, SegmentClass::Log).unwrap();
+    let adopted = new
+        .adopt_segment(&mut ctx, seg.id, SegmentClass::Log)
+        .unwrap();
 
     // Old incarnation: control-plane ops rejected.
-    assert!(matches!(
-        old.create_segment(&mut ctx, SegmentClass::Log),
-        Err(AStoreError::LeaseExpired { .. })
-    ));
-    assert!(matches!(
-        old.delete_segment(&mut ctx, seg),
-        Err(AStoreError::LeaseExpired { .. })
-    ));
+    assert!(old
+        .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+        .unwrap_err()
+        .is_fencing());
+    assert!(old.delete_segment(&mut ctx, seg).unwrap_err().is_fencing());
     // New incarnation owns the data.
     assert_eq!(new.read(&mut ctx, adopted, 0, 8).unwrap(), b"original");
 }
@@ -155,9 +172,14 @@ fn repair_then_reintegrate_cleans_only_stale_copies() {
     let mut ctx = SimCtx::new(1, 7);
     let client = connect(&c, &mut ctx, 1, VTime::from_millis(20));
     let seg = client
-        .create_segment_with_replication(&mut ctx, SegmentClass::Log, 2)
+        .create_segment_with(
+            &mut ctx,
+            SegmentOpts::new(SegmentClass::Log).with_replication(2),
+        )
         .unwrap();
-    client.append(&mut ctx, seg, b"replicated-payload").unwrap();
+    client
+        .append_with(&mut ctx, seg, b"replicated-payload", AppendOpts::new())
+        .unwrap();
     let route = client.cached_route(seg.id).unwrap();
     let dead = route.replicas[0].node;
 
@@ -178,7 +200,10 @@ fn repair_then_reintegrate_cleans_only_stale_copies() {
     assert_eq!(cleaned, 1);
     // Reads still served from the repaired replica set.
     client.refresh_all_routes(&mut ctx);
-    assert_eq!(client.read(&mut ctx, seg, 0, 18).unwrap(), b"replicated-payload");
+    assert_eq!(
+        client.read(&mut ctx, seg, 0, 18).unwrap(),
+        b"replicated-payload"
+    );
 }
 
 /// Appends around the exact segment boundary: a record that exactly fills

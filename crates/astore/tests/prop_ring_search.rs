@@ -9,19 +9,17 @@ use vedb_astore::ring::newest_slot_binary_search;
 /// of `used` slots starting at `start` (mod n) with strictly increasing
 /// LSNs beginning at `base`.
 fn ring_state() -> impl Strategy<Value = Vec<Option<u64>>> {
-    (2usize..64, 0usize..64, 0usize..=64, 0u64..1_000_000).prop_map(
-        |(n, start, used, base)| {
-            let start = start % n;
-            let used = used.min(n);
-            let mut keys = vec![None; n];
-            let mut lsn = base;
-            for i in 0..used {
-                keys[(start + i) % n] = Some(lsn);
-                lsn += 1 + (i as u64 * 37) % 1000; // strictly increasing
-            }
-            keys
-        },
-    )
+    (2usize..64, 0usize..64, 0usize..=64, 0u64..1_000_000).prop_map(|(n, start, used, base)| {
+        let start = start % n;
+        let used = used.min(n);
+        let mut keys = vec![None; n];
+        let mut lsn = base;
+        for i in 0..used {
+            keys[(start + i) % n] = Some(lsn);
+            lsn += 1 + (i as u64 * 37) % 1000; // strictly increasing
+        }
+        keys
+    })
 }
 
 proptest! {

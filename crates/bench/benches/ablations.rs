@@ -11,9 +11,10 @@
 use std::sync::Arc;
 
 use vedb_astore::layout::SegmentClass;
-use vedb_bench::{print_table, Deployment};
+use vedb_astore::{AppendOpts, SegmentOpts};
+use vedb_bench::print_table;
 use vedb_blobstore::{BlobGroup, BlobGroupConfig};
-use vedb_core::db::{DbConfig, LogBackendKind, StorageFabric};
+use vedb_core::db::StorageFabric;
 use vedb_core::ebp::{Ebp, EbpConfig, EbpPolicy};
 use vedb_pagestore::page::{Page, PageType};
 use vedb_sim::{ClusterSpec, SimCtx, VTime};
@@ -22,11 +23,7 @@ fn fabric() -> StorageFabric {
     StorageFabric::build(ClusterSpec::paper_default(), 256 << 20, 4 << 20)
 }
 
-fn astore_client(
-    f: &StorageFabric,
-    ctx: &mut SimCtx,
-    id: u64,
-) -> Arc<vedb_astore::AStoreClient> {
+fn astore_client(f: &StorageFabric, ctx: &mut SimCtx, id: u64) -> Arc<vedb_astore::AStoreClient> {
     let ep = vedb_rdma::RdmaEndpoint::new(
         f.env.model.clone(),
         Arc::clone(&f.env.faults),
@@ -59,13 +56,16 @@ fn ablate_write_chain(f: &StorageFabric) {
     );
     // Reserve scratch space straight on the device for the ablation.
     let mut alloc_ctx = SimCtx::new(9, 3);
-    let off = server.handle_alloc(&mut alloc_ctx, 900_001, SegmentClass::Log).unwrap();
+    let off = server
+        .handle_alloc(&mut alloc_ctx, 900_001, SegmentClass::Log)
+        .unwrap();
     let meta_off = server.io_meta_offset(off);
 
     // (a) chained: one doorbell, 2 WRITEs + flush READ.
     let t0 = ctx.now();
     for _ in 0..N {
-        ep.write_chain(&mut ctx, &mr, &[(off, &data), (meta_off, &meta)]).unwrap();
+        ep.write_chain(&mut ctx, &mr, &[(off, &data), (meta_off, &meta)])
+            .unwrap();
     }
     let chained = (ctx.now() - t0) / N as u64;
 
@@ -99,9 +99,18 @@ fn ablate_write_chain(f: &StorageFabric) {
         "Ablation: 4KB persistent write to AStore",
         &["method", "avg latency (us)"],
         &[
-            vec!["chained 2xWRITE + READ (one doorbell)".into(), format!("{:.1}", chained.as_micros_f64())],
-            vec!["separate WRs + flush READ".into(), format!("{:.1}", separate.as_micros_f64())],
-            vec!["two-sided RPC write".into(), format!("{:.1}", rpc.as_micros_f64())],
+            vec![
+                "chained 2xWRITE + READ (one doorbell)".into(),
+                format!("{:.1}", chained.as_micros_f64()),
+            ],
+            vec![
+                "separate WRs + flush READ".into(),
+                format!("{:.1}", separate.as_micros_f64()),
+            ],
+            vec![
+                "two-sided RPC write".into(),
+                format!("{:.1}", rpc.as_micros_f64()),
+            ],
         ],
     );
     assert!(chained < separate && separate < rpc);
@@ -138,8 +147,14 @@ fn ablate_ring_vs_bloggroup(f: &StorageFabric) {
         "Ablation: 8KB log append, SegmentRing vs BlobGroup",
         &["container", "avg latency (us)"],
         &[
-            vec!["SegmentRing (PMem, one-sided)".into(), format!("{:.1}", ring_avg.as_micros_f64())],
-            vec!["BlobGroup (SSD, RPC)".into(), format!("{:.1}", blob_avg.as_micros_f64())],
+            vec![
+                "SegmentRing (PMem, one-sided)".into(),
+                format!("{:.1}", ring_avg.as_micros_f64()),
+            ],
+            vec![
+                "BlobGroup (SSD, RPC)".into(),
+                format!("{:.1}", blob_avg.as_micros_f64()),
+            ],
         ],
     );
     assert!(ring_avg.as_nanos() * 3 < blob_avg.as_nanos());
@@ -164,10 +179,12 @@ fn ablate_ebp_policy(f: &StorageFabric) {
         page.format(PageType::BTreeLeaf, 0);
         // Cache 32 hot push-down pages, then storm 200 cold pages through.
         for i in 0..32 {
-            ebp.write_page(&mut ctx, vedb_astore::PageId::new(7, i), &page, 10).unwrap();
+            ebp.write_page(&mut ctx, vedb_astore::PageId::new(7, i), &page, 10)
+                .unwrap();
         }
         for i in 0..200 {
-            ebp.write_page(&mut ctx, vedb_astore::PageId::new(1, i), &page, 10).unwrap();
+            ebp.write_page(&mut ctx, vedb_astore::PageId::new(1, i), &page, 10)
+                .unwrap();
         }
         let survived = (0..32)
             .filter(|i| ebp.contains(vedb_astore::PageId::new(7, *i)))
@@ -180,7 +197,10 @@ fn ablate_ebp_policy(f: &StorageFabric) {
         &["EBP policy", "hot pages retained"],
         &rows,
     );
-    assert!(survival[1] > survival[0], "priority policy must protect hot pages");
+    assert!(
+        survival[1] > survival[0],
+        "priority policy must protect hot pages"
+    );
 }
 
 /// Ablation 4: log replication factor 3 vs 1 (latency cost of safety).
@@ -193,18 +213,26 @@ fn ablate_replication(f: &StorageFabric) {
     let mut lat = Vec::new();
     for replication in [1usize, 3] {
         let seg = client
-            .create_segment_with_replication(&mut ctx, SegmentClass::Log, replication)
+            .create_segment_with(
+                &mut ctx,
+                SegmentOpts::new(SegmentClass::Log).with_replication(replication),
+            )
             .unwrap();
         let t0 = ctx.now();
         for _ in 0..N {
             if client.segment_len(seg) + payload.len() as u64 > client.segment_capacity(seg) {
                 break;
             }
-            client.append(&mut ctx, seg, &payload).unwrap();
+            client
+                .append_with(&mut ctx, seg, &payload, AppendOpts::new())
+                .unwrap();
         }
         let avg = (ctx.now() - t0) / N as u64;
         lat.push(avg);
-        rows.push(vec![format!("{replication} replica(s)"), format!("{:.1}", avg.as_micros_f64())]);
+        rows.push(vec![
+            format!("{replication} replica(s)"),
+            format!("{:.1}", avg.as_micros_f64()),
+        ]);
     }
     print_table(
         "Ablation: 4KB AStore append latency vs replication factor",

@@ -5,8 +5,8 @@
 //! throughput and 8 AP streams cost ~30% (buffer-pool contention); with
 //! the EBP enabled, TP throughput improves consistently at every AP level.
 
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 use vedb_bench::{fmt_tps, paper_note, print_table, Deployment};
 use vedb_core::db::{DbConfig, LogBackendKind};
@@ -21,14 +21,20 @@ const TP_CLIENTS: usize = 32;
 const AP_SET: [usize; 5] = [1, 4, 6, 12, 22];
 
 fn run_config(ebp: bool, ap_streams: usize, scale: &tpcc::TpccScale) -> f64 {
-    let mut dep = Deployment::open(DbConfig {
-        bp_pages: 96, // small on purpose: AP scans thrash it (the Fig 10 story)
-        bp_shards: 8,
-        log: LogBackendKind::AStore,
-        ring_segments: 12,
-        ebp: ebp.then(|| EbpConfig { capacity_bytes: 256 << 20, ..Default::default() }),
-        ..Default::default()
-    });
+    // bp_pages small on purpose: AP scans thrash it (the Fig 10 story).
+    let mut dep = Deployment::open(
+        DbConfig::builder()
+            .bp_pages(96)
+            .bp_shards(8)
+            .log(LogBackendKind::AStore)
+            .ring_segments(12)
+            .ebp(ebp.then(|| EbpConfig {
+                capacity_bytes: 256 << 20,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
     dep.db.define_schema(|cat| {
         tpcc::define_schema(cat);
         chbench::extend_schema(cat);
@@ -83,7 +89,9 @@ fn main() {
         &["AP streams", "no EBP", "with EBP", "EBP gain"],
         &rows,
     );
-    paper_note("1 AP stream costs ~5%, 8 streams ~30% of TP throughput; EBP improves TP consistently");
+    paper_note(
+        "1 AP stream costs ~5%, 8 streams ~30% of TP throughput; EBP improves TP consistently",
+    );
 
     let (base0, _) = measured[0];
     let (base8, with8) = measured[2];

@@ -32,14 +32,19 @@ fn timed_runs(ctx: &mut SimCtx, db: &Arc<Db>, q: usize) -> VTime {
 }
 
 fn run_config(bp_pages: usize, ebp: bool, scale: &tpcc::TpccScale) -> Vec<(usize, VTime)> {
-    let mut dep = Deployment::open(DbConfig {
-        bp_pages,
-        bp_shards: 8,
-        log: LogBackendKind::AStore,
-        ring_segments: 12,
-        ebp: ebp.then(|| EbpConfig { capacity_bytes: 512 << 20, ..Default::default() }),
-        ..Default::default()
-    });
+    let mut dep = Deployment::open(
+        DbConfig::builder()
+            .bp_pages(bp_pages)
+            .bp_shards(8)
+            .log(LogBackendKind::AStore)
+            .ring_segments(12)
+            .ebp(ebp.then(|| EbpConfig {
+                capacity_bytes: 512 << 20,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
     dep.db.define_schema(|cat| {
         tpcc::define_schema(cat);
         chbench::extend_schema(cat);
@@ -50,7 +55,12 @@ fn run_config(bp_pages: usize, ebp: bool, scale: &tpcc::TpccScale) -> Vec<(usize
     // Prime the EBP: one pass over the big tables pushes evictions into it.
     if ebp {
         for q in [1usize, 12] {
-            let _ = execute(&mut dep.ctx, &dep.db, &QuerySession::default(), &chbench::query(q));
+            let _ = execute(
+                &mut dep.ctx,
+                &dep.db,
+                &QuerySession::default(),
+                &chbench::query(q),
+            );
         }
     }
     QUERIES
@@ -97,7 +107,10 @@ fn main() {
 
     let q7 = speedups_small.iter().find(|(q, _)| *q == 7).unwrap().1;
     let q16 = speedups_small.iter().find(|(q, _)| *q == 16).unwrap().1;
-    assert!(q7 > 1.5, "Q7 (working set > BP) must gain substantially, got {q7:.2}x");
+    assert!(
+        q7 > 1.5,
+        "Q7 (working set > BP) must gain substantially, got {q7:.2}x"
+    );
     assert!(
         q16 < q7,
         "Q16 (tiny working set) must gain less than Q7 ({q16:.2}x vs {q7:.2}x)"

@@ -15,14 +15,18 @@ use vedb_workloads::lookup::{self, LookupScale};
 
 fn run_config(ebp_bytes: Option<u64>, scale: LookupScale) -> (VTime, VTime) {
     let mut dep = Deployment::open_with(
-        DbConfig {
-            bp_pages: 128, // ~5% of the table: mid-90s BP hit rate
-            bp_shards: 8,
-            log: LogBackendKind::AStore,
-            ring_segments: 12,
-            ebp: ebp_bytes.map(|b| EbpConfig { capacity_bytes: b, ..Default::default() }),
-            ..Default::default()
-        },
+        // bp_pages ~5% of the table: mid-90s BP hit rate.
+        DbConfig::builder()
+            .bp_pages(128)
+            .bp_shards(8)
+            .log(LogBackendKind::AStore)
+            .ring_segments(12)
+            .ebp(ebp_bytes.map(|b| EbpConfig {
+                capacity_bytes: b,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
         vedb_sim::ClusterSpec::paper_default(),
         1 << 30,
         2 << 20,
@@ -36,19 +40,31 @@ fn run_config(ebp_bytes: Option<u64>, scale: LookupScale) -> (VTime, VTime) {
         let db = Arc::clone(&dep.db);
         let mut warm_ctx = dep.ctx.fork();
         for i in (1..=scale.rows).step_by(3) {
-            let _ = db.get_by_pk(&mut warm_ctx, None, "operations", &[vedb_core::Value::Int(i)]);
+            let _ = db.get_by_pk(
+                &mut warm_ctx,
+                None,
+                "operations",
+                &[vedb_core::Value::Int(i)],
+            );
         }
         dep.ctx.wait_until(warm_ctx.now());
     }
     let db = Arc::clone(&dep.db);
-    let r = dep.trial(16, VTime::from_millis(30), VTime::from_millis(200), |ctx, _| {
-        lookup::lookup_op(ctx, &db, scale)
-    });
+    let r = dep.trial(
+        16,
+        VTime::from_millis(30),
+        VTime::from_millis(200),
+        |ctx, _| lookup::lookup_op(ctx, &db, scale),
+    );
     (r.latency.mean(), r.latency.p99())
 }
 
 fn main() {
-    let scale = LookupScale { rows: 20_000, hot_fraction: 0.95, hot_region: 0.06 };
+    let scale = LookupScale {
+        rows: 20_000,
+        hot_fraction: 0.95,
+        hot_region: 0.06,
+    };
     // EBP sizes double, as in the figure; 0 = disabled.
     let configs: [(&str, Option<u64>); 5] = [
         ("no EBP", None),

@@ -26,16 +26,23 @@ fn run_config(
     clients: &[usize],
     scale: SysbenchScale,
 ) -> Vec<f64> {
-    let log = if ebp_mb.is_some() { LogBackendKind::AStore } else { LogBackendKind::BlobStore };
+    let log = if ebp_mb.is_some() {
+        LogBackendKind::AStore
+    } else {
+        LogBackendKind::BlobStore
+    };
     let mut dep = Deployment::open_with(
-        DbConfig {
-            bp_pages,
-            bp_shards: 8,
-            log,
-            ring_segments: 12,
-            ebp: ebp_mb.map(|mb| EbpConfig { capacity_bytes: mb << 20, ..Default::default() }),
-            ..Default::default()
-        },
+        DbConfig::builder()
+            .bp_pages(bp_pages)
+            .bp_shards(8)
+            .log(log)
+            .ring_segments(12)
+            .ebp(ebp_mb.map(|mb| EbpConfig {
+                capacity_bytes: mb << 20,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
         ClusterSpec::paper_default().with_engine_cores(cores),
         1 << 30,
         2 << 20,
@@ -47,9 +54,12 @@ fn run_config(
         .iter()
         .map(|&n| {
             let db = Arc::clone(&dep.db);
-            let r = dep.trial(n, VTime::from_millis(15), VTime::from_millis(100), |ctx, _| {
-                sysbench::transaction(ctx, &db, scale)
-            });
+            let r = dep.trial(
+                n,
+                VTime::from_millis(15),
+                VTime::from_millis(100),
+                |ctx, _| sysbench::transaction(ctx, &db, scale),
+            );
             r.throughput()
         })
         .collect()
@@ -91,7 +101,10 @@ fn main() {
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let low = avg(&low_gain);
     let high = avg(&high_gain);
-    assert!(low > 10.0, "low-concurrency improvement should be substantial, got {low:.0}%");
+    assert!(
+        low > 10.0,
+        "low-concurrency improvement should be substantial, got {low:.0}%"
+    );
     assert!(
         high < low,
         "improvement must shrink at high concurrency ({high:.0}% vs {low:.0}%)"

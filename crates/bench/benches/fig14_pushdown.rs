@@ -36,7 +36,7 @@ fn default_plan(q: usize) -> Plan {
                 "supplier",
                 Expr::cmp(vedb_core::query::CmpOp::Gt, Expr::col(3), Expr::dbl(100.0)),
             )),
-            on: Expr::eq(Expr::col(0), Expr::col(3 + 0)),
+            on: Expr::eq(Expr::col(0), Expr::col(3)),
             project: None,
         }
         .agg(vec![4], vec![vedb_core::query::AggExpr::count_star()]),
@@ -46,7 +46,11 @@ fn default_plan(q: usize) -> Plan {
                 "stock",
                 Expr::cmp(vedb_core::query::CmpOp::Gt, Expr::col(2), Expr::int(40)),
             )
-            .project(vec![Expr::col(0), Expr::col(1), Expr::mul(Expr::col(0), Expr::col(1))]);
+            .project(vec![
+                Expr::col(0),
+                Expr::col(1),
+                Expr::mul(Expr::col(0), Expr::col(1)),
+            ]);
             Plan::NestLoopJoin {
                 left: Box::new(filtered),
                 right: Box::new(Plan::scan("supplier")),
@@ -80,14 +84,20 @@ fn main() {
         items: 300,
         initial_orders: 40,
     };
-    let mut dep = Deployment::open(DbConfig {
-        bp_pages: 64, // much smaller than the AP working set
-        bp_shards: 8,
-        log: LogBackendKind::AStore,
-        ring_segments: 12,
-        ebp: Some(EbpConfig { capacity_bytes: 512 << 20, ..Default::default() }),
-        ..Default::default()
-    });
+    // bp_pages much smaller than the AP working set.
+    let mut dep = Deployment::open(
+        DbConfig::builder()
+            .bp_pages(64)
+            .bp_shards(8)
+            .log(LogBackendKind::AStore)
+            .ring_segments(12)
+            .ebp(EbpConfig {
+                capacity_bytes: 512 << 20,
+                ..Default::default()
+            })
+            .build()
+            .unwrap(),
+    );
     dep.db.define_schema(|cat| {
         tpcc::define_schema(cat);
         chbench::extend_schema(cat);
@@ -97,7 +107,12 @@ fn main() {
     chbench::load_extra(&mut dep.ctx, &dep.db).unwrap();
     // Prime the EBP through evictions.
     for q in [1usize, 12, 22] {
-        let _ = execute(&mut dep.ctx, &dep.db, &QuerySession::default(), &chbench::query(q));
+        let _ = execute(
+            &mut dep.ctx,
+            &dep.db,
+            &QuerySession::default(),
+            &chbench::query(q),
+        );
     }
 
     let local = QuerySession::default();
@@ -147,10 +162,19 @@ fn main() {
     ]);
     print_table(
         "Fig 14: CH query elapsed (ms): baseline plan vs plan-change vs PQ+EBP",
-        &["query", "baseline", "plan-only", "PQ+EBP", "plan speedup", "PQ speedup"],
+        &[
+            "query",
+            "baseline",
+            "plan-only",
+            "PQ+EBP",
+            "plan speedup",
+            "PQ speedup",
+        ],
         &rows,
     );
-    paper_note("Q1,6,11,13,15,20,22 gain 4-24x; geomean ~2.8x overall; ~2x of it beyond plan change");
+    paper_note(
+        "Q1,6,11,13,15,20,22 gain 4-24x; geomean ~2.8x overall; ~2x of it beyond plan change",
+    );
 
     let winners_ok = winners.iter().filter(|s| **s > 2.0).count();
     assert!(
@@ -158,7 +182,10 @@ fn main() {
         "most marquee queries must gain >2x from PQ+EBP (got {winners_ok} of {})",
         winners.len()
     );
-    assert!(g_pq > 1.5, "geomean PQ speedup should be well above 1 (got {g_pq:.2}x)");
+    assert!(
+        g_pq > 1.5,
+        "geomean PQ speedup should be well above 1 (got {g_pq:.2}x)"
+    );
     assert!(
         g_vs_plan > 1.2,
         "PQ must win beyond plan change alone (got {g_vs_plan:.2}x)"

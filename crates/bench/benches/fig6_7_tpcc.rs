@@ -26,14 +26,19 @@ fn main() {
     let clients = vec![1usize, 2, 4, 8, 16, 32, 64, 128, 256];
     let mut series: Vec<(String, Vec<(f64, VTime)>)> = Vec::new();
 
-    for (name, log) in [("veDB", LogBackendKind::BlobStore), ("veDB+AStore", LogBackendKind::AStore)] {
-        let mut dep = Deployment::open(DbConfig {
-            bp_pages: 4096,
-            bp_shards: 16,
-            log,
-            ring_segments: 8,
-            ..Default::default()
-        });
+    for (name, log) in [
+        ("veDB", LogBackendKind::BlobStore),
+        ("veDB+AStore", LogBackendKind::AStore),
+    ] {
+        let mut dep = Deployment::open(
+            DbConfig::builder()
+                .bp_pages(4096)
+                .bp_shards(16)
+                .log(log)
+                .ring_segments(8)
+                .build()
+                .unwrap(),
+        );
         dep.db.define_schema(tpcc::define_schema);
         dep.db.create_tables(&mut dep.ctx).unwrap();
         tpcc::load(&mut dep.ctx, &dep.db, &scale).unwrap();
@@ -41,9 +46,12 @@ fn main() {
         let mut points = Vec::new();
         for &n in &clients {
             let db = std::sync::Arc::clone(&dep.db);
-            let r = dep.trial(n, VTime::from_millis(20), VTime::from_millis(150), |ctx, _| {
-                tpcc::run_transaction(ctx, &db, &scale)
-            });
+            let r = dep.trial(
+                n,
+                VTime::from_millis(20),
+                VTime::from_millis(150),
+                |ctx, _| tpcc::run_transaction(ctx, &db, &scale),
+            );
             points.push((r.throughput(), r.latency.p95()));
         }
         series.push((name.to_string(), points));
@@ -57,7 +65,10 @@ fn main() {
                 n.to_string(),
                 fmt_tps(series[0].1[i].0),
                 fmt_tps(series[1].1[i].0),
-                format!("{:+.0}%", (series[1].1[i].0 / series[0].1[i].0 - 1.0) * 100.0),
+                format!(
+                    "{:+.0}%",
+                    (series[1].1[i].0 / series[0].1[i].0 - 1.0) * 100.0
+                ),
             ]
         })
         .collect();
@@ -76,8 +87,12 @@ fn main() {
                 n.to_string(),
                 fmt_ms(series[0].1[i].1),
                 fmt_ms(series[1].1[i].1),
-                format!("{:.0}%", (1.0 - series[1].1[i].1.as_nanos() as f64
-                    / series[0].1[i].1.as_nanos().max(1) as f64) * 100.0),
+                format!(
+                    "{:.0}%",
+                    (1.0 - series[1].1[i].1.as_nanos() as f64
+                        / series[0].1[i].1.as_nanos().max(1) as f64)
+                        * 100.0
+                ),
             ]
         })
         .collect();
@@ -89,9 +104,7 @@ fn main() {
     paper_note("AStore consistently lower; ~50% reduction at 32 clients; gap narrows past 64");
 
     // Shape assertions.
-    let peak = |s: &[(f64, VTime)]| {
-        s.iter().map(|p| p.0).fold(0.0f64, f64::max)
-    };
+    let peak = |s: &[(f64, VTime)]| s.iter().map(|p| p.0).fold(0.0f64, f64::max);
     let peak_vedb = peak(&series[0].1);
     let peak_astore = peak(&series[1].1);
     assert!(

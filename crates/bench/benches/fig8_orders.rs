@@ -20,22 +20,27 @@ fn run_series(
 ) -> Vec<Vec<f64>> {
     let mut out = Vec::new();
     for log in [LogBackendKind::BlobStore, LogBackendKind::AStore] {
-        let mut dep = Deployment::open(DbConfig {
-            bp_pages: 4096,
-            bp_shards: 16,
-            log,
-            ring_segments: 12,
-            ..Default::default()
-        });
+        let mut dep = Deployment::open(
+            DbConfig::builder()
+                .bp_pages(4096)
+                .bp_shards(16)
+                .log(log)
+                .ring_segments(12)
+                .build()
+                .unwrap(),
+        );
         dep.db.define_schema(orders::define_schema);
         dep.db.create_tables(&mut dep.ctx).unwrap();
         orders::load(&mut dep.ctx, &dep.db).unwrap();
         let mut series = Vec::new();
         for &n in clients {
             let db = Arc::clone(&dep.db);
-            let r = dep.trial(n, VTime::from_millis(20), VTime::from_millis(120), |ctx, _| {
-                op(ctx, &db)
-            });
+            let r = dep.trial(
+                n,
+                VTime::from_millis(20),
+                VTime::from_millis(120),
+                |ctx, _| op(ctx, &db),
+            );
             series.push(r.throughput());
         }
         out.push(series);
@@ -62,12 +67,20 @@ fn table(title: &str, clients: &[usize], series: &[Vec<f64>]) {
 fn main() {
     let clients = vec![1usize, 8, 16, 64, 128, 256];
 
-    let single = run_series(&clients, |ctx, db| orders::single_insert(ctx, db));
-    table("Fig 8a: single 2KB insert (TPS) vs clients", &clients, &single);
+    let single = run_series(&clients, orders::single_insert);
+    table(
+        "Fig 8a: single 2KB insert (TPS) vs clients",
+        &clients,
+        &single,
+    );
     paper_note("at 8 clients: veDB 3,339 TPS vs AStore 10,000+ TPS (>3x)");
 
-    let batch = run_series(&clients, |ctx, db| orders::order_batch(ctx, db));
-    table("Fig 8b: full order-processing transaction (TPS) vs clients", &clients, &batch);
+    let batch = run_series(&clients, orders::order_batch);
+    table(
+        "Fig 8b: full order-processing transaction (TPS) vs clients",
+        &clients,
+        &batch,
+    );
     paper_note("AStore hits the 10k-TPS target at 64 clients; stock veDB needs >512");
 
     let idx8 = clients.iter().position(|&c| c == 8).unwrap();

@@ -16,22 +16,30 @@ use vedb_workloads::ads;
 fn main() {
     let mut rows = Vec::new();
     let mut stats = Vec::new();
-    for (name, log) in [("veDB", LogBackendKind::BlobStore), ("veDB+AStore", LogBackendKind::AStore)] {
-        let mut dep = Deployment::open(DbConfig {
-            bp_pages: 4096,
-            bp_shards: 16,
-            log,
-            ring_segments: 12,
-            ..Default::default()
-        });
+    for (name, log) in [
+        ("veDB", LogBackendKind::BlobStore),
+        ("veDB+AStore", LogBackendKind::AStore),
+    ] {
+        let mut dep = Deployment::open(
+            DbConfig::builder()
+                .bp_pages(4096)
+                .bp_shards(16)
+                .log(log)
+                .ring_segments(12)
+                .build()
+                .unwrap(),
+        );
         dep.db.define_schema(ads::define_schema);
         dep.db.create_tables(&mut dep.ctx).unwrap();
         ads::load(&mut dep.ctx, &dep.db).unwrap();
 
         let db = Arc::clone(&dep.db);
-        let r = dep.trial(16, VTime::from_millis(30), VTime::from_millis(250), |ctx, _| {
-            ads::ad_op(ctx, &db)
-        });
+        let r = dep.trial(
+            16,
+            VTime::from_millis(30),
+            VTime::from_millis(250),
+            |ctx, _| ads::ad_op(ctx, &db),
+        );
         rows.push(vec![
             name.to_string(),
             fmt_ms(r.latency.mean()),

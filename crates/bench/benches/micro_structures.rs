@@ -69,7 +69,10 @@ fn bench_codecs(c: &mut Criterion) {
         prev_same_segment: 50,
         txn_id: 7,
         page: vedb_astore::PageId::new(3, 9),
-        op: PageOp::InsertAt { slot: 5, cell: vec![7u8; 80] },
+        op: PageOp::InsertAt {
+            slot: 5,
+            cell: vec![7u8; 80],
+        },
     };
     c.bench_function("codec/encode_redo", |b| {
         b.iter(|| {
@@ -80,13 +83,20 @@ fn bench_codecs(c: &mut Criterion) {
     });
     let mut enc = Vec::new();
     encode_record(&rec, &mut enc);
-    c.bench_function("codec/decode_redo", |b| b.iter(|| decode_record(&enc).unwrap()));
+    c.bench_function("codec/decode_redo", |b| {
+        b.iter(|| decode_record(&enc).unwrap())
+    });
 }
 
 fn engine() -> (Arc<Db>, SimCtx) {
     let fabric = StorageFabric::build(ClusterSpec::paper_default(), 64 << 20, 1 << 20);
     let mut ctx = SimCtx::new(0, 7);
-    let db = Db::open(&mut ctx, &fabric, DbConfig { bp_pages: 2048, ..Default::default() }).unwrap();
+    let db = Db::open(
+        &mut ctx,
+        &fabric,
+        DbConfig::builder().bp_pages(2048).build().unwrap(),
+    )
+    .unwrap();
     db.define_schema(|cat| {
         cat.define("t")
             .col("id", vedb_core::ColumnType::Int)
@@ -97,8 +107,13 @@ fn engine() -> (Arc<Db>, SimCtx) {
     db.create_tables(&mut ctx).unwrap();
     let mut txn = db.begin();
     for i in 0..10_000 {
-        db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(i), Value::Str(format!("v{i}"))])
-            .unwrap();
+        db.insert(
+            &mut ctx,
+            &mut txn,
+            "t",
+            vec![Value::Int(i), Value::Str(format!("v{i}"))],
+        )
+        .unwrap();
         if i % 1000 == 0 {
             db.commit(&mut ctx, &mut txn).unwrap();
             txn = db.begin();
@@ -124,8 +139,13 @@ fn bench_engine_ops(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let mut txn = db.begin();
-            db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(i), Value::Str("x".into())])
-                .unwrap();
+            db.insert(
+                &mut ctx,
+                &mut txn,
+                "t",
+                vec![Value::Int(i), Value::Str("x".into())],
+            )
+            .unwrap();
             db.commit(&mut ctx, &mut txn).unwrap();
         })
     });

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use vedb_astore::layout::SegmentClass;
+use vedb_astore::{AppendOpts, SegmentOpts};
 use vedb_bench::{paper_note, print_table};
 use vedb_blobstore::{BlobGroup, BlobGroupConfig};
 use vedb_core::db::StorageFabric;
@@ -51,22 +52,43 @@ fn main() {
         99,
         vedb_sim::VTime::from_millis(50),
     );
-    let mut seg = client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+    let mut seg = client
+        .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+        .unwrap();
     let t0 = ctx.now();
     for _ in 0..WRITES {
         if client.segment_len(seg) + SIZE as u64 > client.segment_capacity(seg) {
-            seg = client.create_segment(&mut ctx, SegmentClass::Log).unwrap();
+            seg = client
+                .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+                .unwrap();
         }
-        client.append(&mut ctx, seg, &[7u8; SIZE]).unwrap();
+        client
+            .append_with(&mut ctx, seg, &[7u8; SIZE], AppendOpts::new())
+            .unwrap();
     }
     let pmem = summarize(ctx.now() - t0);
 
     print_table(
         "Table II: log writing micro-benchmark (4KB, single thread)",
-        &["config", "avg write latency (ms)", "avg IOPS", "avg bandwidth (MB/s)"],
         &[
-            vec!["W/O PMem".into(), format!("{:.3}", ssd.0), format!("{:.0}", ssd.1), format!("{:.2}", ssd.2)],
-            vec!["W/  PMem".into(), format!("{:.3}", pmem.0), format!("{:.0}", pmem.1), format!("{:.2}", pmem.2)],
+            "config",
+            "avg write latency (ms)",
+            "avg IOPS",
+            "avg bandwidth (MB/s)",
+        ],
+        &[
+            vec![
+                "W/O PMem".into(),
+                format!("{:.3}", ssd.0),
+                format!("{:.0}", ssd.1),
+                format!("{:.2}", ssd.2),
+            ],
+            vec![
+                "W/  PMem".into(),
+                format!("{:.3}", pmem.0),
+                format!("{:.0}", pmem.1),
+                format!("{:.2}", pmem.2),
+            ],
             vec![
                 "speedup".into(),
                 format!("{:.1}x", ssd.0 / pmem.0),

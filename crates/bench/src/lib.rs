@@ -56,7 +56,13 @@ impl Deployment {
         measure: VTime,
         op: impl Fn(&mut SimCtx, usize) -> OpOutcome + Sync,
     ) -> TrialResult {
-        let cfg = DriverConfig { clients, warmup, measure, seed: 7, start: self.ctx.now() };
+        let cfg = DriverConfig {
+            clients,
+            warmup,
+            measure,
+            seed: 7,
+            start: self.ctx.now(),
+        };
         let r = run_trial(&cfg, op);
         self.ctx.wait_until(cfg.start + warmup + measure);
         r
@@ -77,17 +83,16 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:>w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("  {s}");
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }

@@ -67,8 +67,15 @@ impl std::fmt::Display for BlobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BlobError::UnknownBlob(id) => write!(f, "unknown blob {id}"),
-            BlobError::OutOfBounds { offset, len, blob_len } => {
-                write!(f, "blob read out of bounds: offset={offset} len={len} blob_len={blob_len}")
+            BlobError::OutOfBounds {
+                offset,
+                len,
+                blob_len,
+            } => {
+                write!(
+                    f,
+                    "blob read out of bounds: offset={offset} len={len} blob_len={blob_len}"
+                )
             }
             BlobError::Network(e) => write!(f, "network: {e}"),
             BlobError::ReplicaFailed { acked, required } => {
@@ -143,14 +150,24 @@ impl BlobServer {
     }
 
     /// Handler: read `len` bytes at `offset` from `blob`.
-    pub fn handle_read(&self, ctx: &mut SimCtx, blob: BlobId, offset: u64, len: usize) -> Result<Vec<u8>> {
+    pub fn handle_read(
+        &self,
+        ctx: &mut SimCtx,
+        blob: BlobId,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
         let ssd = self.res.ssd.as_ref().expect("blob server node has an SSD");
         let done = ssd.acquire(ctx.now(), self.model.ssd_read_svc(len));
         ctx.wait_until(done);
         let blobs = self.blobs.lock();
         let b = blobs.get(&blob).ok_or(BlobError::UnknownBlob(blob))?;
         if offset as usize + len > b.len() {
-            return Err(BlobError::OutOfBounds { offset, len, blob_len: b.len() });
+            return Err(BlobError::OutOfBounds {
+                offset,
+                len,
+                blob_len: b.len(),
+            });
         }
         Ok(b[offset as usize..offset as usize + len].to_vec())
     }
@@ -174,7 +191,11 @@ pub struct BlobGroupConfig {
 
 impl Default for BlobGroupConfig {
     fn default() -> Self {
-        BlobGroupConfig { blobs_per_group: 4, io_size: 8192, replication: 3 }
+        BlobGroupConfig {
+            blobs_per_group: 4,
+            io_size: 8192,
+            replication: 3,
+        }
     }
 }
 
@@ -286,7 +307,10 @@ impl BlobGroup {
                 }
             }
             if acked < self.cfg.replication {
-                return Err(BlobError::ReplicaFailed { acked, required: self.cfg.replication });
+                return Err(BlobError::ReplicaFailed {
+                    acked,
+                    required: self.cfg.replication,
+                });
             }
             max_done = max_done.max(chunk_done);
             new_extents.push(Extent {
@@ -297,10 +321,13 @@ impl BlobGroup {
             });
         }
         ctx.wait_until(max_done);
-        self.next_stripe
-            .store((start_stripe + chunks.len()) % self.cfg.blobs_per_group, Ordering::Relaxed);
+        self.next_stripe.store(
+            (start_stripe + chunks.len()) % self.cfg.blobs_per_group,
+            Ordering::Relaxed,
+        );
         self.extents.lock().extend(new_extents);
-        self.logical_len.fetch_add(data.len() as u64, Ordering::AcqRel);
+        self.logical_len
+            .fetch_add(data.len() as u64, Ordering::AcqRel);
         Ok(logical_off)
     }
 
@@ -391,7 +418,10 @@ mod tests {
     ) -> BlobGroup {
         BlobGroup::create(
             ctx,
-            BlobGroupConfig { replication, ..Default::default() },
+            BlobGroupConfig {
+                replication,
+                ..Default::default()
+            },
             servers,
             Arc::clone(rpc),
         )
@@ -409,7 +439,10 @@ mod tests {
         let off2 = g.append(&mut ctx, b"tail").unwrap();
         assert_eq!(off2, 20_000);
         assert_eq!(g.read(&mut ctx, 0, 20_000).unwrap(), payload);
-        assert_eq!(g.read(&mut ctx, 19_998, 6).unwrap(), [payload[19_998], payload[19_999], b't', b'a', b'i', b'l']);
+        assert_eq!(
+            g.read(&mut ctx, 19_998, 6).unwrap(),
+            [payload[19_998], payload[19_999], b't', b'a', b'i', b'l']
+        );
     }
 
     #[test]
@@ -475,7 +508,10 @@ mod tests {
         // Appends need every replica.
         assert!(matches!(
             g.append(&mut ctx, b"nope"),
-            Err(BlobError::ReplicaFailed { acked: 2, required: 3 })
+            Err(BlobError::ReplicaFailed {
+                acked: 2,
+                required: 3
+            })
         ));
         // Reads fall back to a live replica.
         assert_eq!(g.read(&mut ctx, 0, 9).unwrap(), b"persisted");
@@ -489,7 +525,10 @@ mod tests {
         let mut ctx = SimCtx::new(1, 7);
         let g = group(&mut ctx, &servers, &rpc, 3);
         g.append(&mut ctx, b"12345678").unwrap();
-        assert!(matches!(g.read(&mut ctx, 4, 8), Err(BlobError::OutOfBounds { .. })));
+        assert!(matches!(
+            g.read(&mut ctx, 4, 8),
+            Err(BlobError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -506,9 +545,17 @@ mod tests {
         let (env, servers, rpc) = setup(3);
         let mut ctx = SimCtx::new(1, 7);
         let g = group(&mut ctx, &servers, &rpc, 3);
-        let busy_before: VTime = env.storage_nodes.iter().map(|n| n.ssd.as_ref().unwrap().total_busy()).sum();
+        let busy_before: VTime = env
+            .storage_nodes
+            .iter()
+            .map(|n| n.ssd.as_ref().unwrap().total_busy())
+            .sum();
         g.append(&mut ctx, &[1u8; 4096]).unwrap();
-        let busy_after: VTime = env.storage_nodes.iter().map(|n| n.ssd.as_ref().unwrap().total_busy()).sum();
+        let busy_after: VTime = env
+            .storage_nodes
+            .iter()
+            .map(|n| n.ssd.as_ref().unwrap().total_busy())
+            .sum();
         assert!(busy_after > busy_before);
     }
 }

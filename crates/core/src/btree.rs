@@ -151,7 +151,10 @@ impl BTree {
                 ctx,
                 txn,
                 self.pid(page_no),
-                PageOp::Format { ty: PageType::BTreeLeaf, level: 0 },
+                PageOp::Format {
+                    ty: PageType::BTreeLeaf,
+                    level: 0,
+                },
                 None,
                 &mut page,
             )?;
@@ -169,7 +172,10 @@ impl BTree {
     ) -> Result<(Vec<u32>, u32)> {
         let (root, mut level) = access.root_of(self.space);
         if root == 0 {
-            return Err(EngineError::Query(format!("tree {} not created", self.space)));
+            return Err(EngineError::Query(format!(
+                "tree {} not created",
+                self.space
+            )));
         }
         let mut path = Vec::new();
         let mut current = root;
@@ -230,7 +236,9 @@ impl BTree {
             let mut page = frame.page.write();
             let slot = match search_cells(&page, key) {
                 Ok(_) => {
-                    return Err(EngineError::DuplicateKey { table: format!("space {}", self.space) })
+                    return Err(EngineError::DuplicateKey {
+                        table: format!("space {}", self.space),
+                    })
                 }
                 Err(s) => s,
             };
@@ -239,7 +247,10 @@ impl BTree {
                     ctx,
                     txn,
                     self.pid(leaf_no),
-                    PageOp::InsertAt { slot: slot as u16, cell: cell.clone() },
+                    PageOp::InsertAt {
+                        slot: slot as u16,
+                        cell: cell.clone(),
+                    },
                     undo,
                     &mut page,
                 )?;
@@ -271,7 +282,12 @@ impl BTree {
 
         let (is_leaf, level, n, next_link) = {
             let p = frame.page.read();
-            (p.page_type() == PageType::BTreeLeaf, p.level(), p.n_slots(), p.next_page())
+            (
+                p.page_type() == PageType::BTreeLeaf,
+                p.level(),
+                p.n_slots(),
+                p.next_page(),
+            )
         };
         assert!(n >= 2, "cannot split a page with {n} cells");
         let mid = n / 2;
@@ -284,7 +300,11 @@ impl BTree {
                 txn,
                 new_pid,
                 PageOp::Format {
-                    ty: if is_leaf { PageType::BTreeLeaf } else { PageType::BTreeInternal },
+                    ty: if is_leaf {
+                        PageType::BTreeLeaf
+                    } else {
+                        PageType::BTreeInternal
+                    },
                     level,
                 },
                 None,
@@ -314,7 +334,10 @@ impl BTree {
                     ctx,
                     txn,
                     new_pid,
-                    PageOp::InsertAt { slot: i as u16, cell: cell.clone() },
+                    PageOp::InsertAt {
+                        slot: i as u16,
+                        cell: cell.clone(),
+                    },
                     None,
                     &mut np,
                 )?;
@@ -371,7 +394,10 @@ impl BTree {
                     ctx,
                     txn,
                     parent_pid,
-                    PageOp::InsertAt { slot: slot as u16, cell: parent_cell },
+                    PageOp::InsertAt {
+                        slot: slot as u16,
+                        cell: parent_cell,
+                    },
                     None,
                     &mut pp,
                 )?;
@@ -387,7 +413,10 @@ impl BTree {
                     ctx,
                     txn,
                     root_pid,
-                    PageOp::Format { ty: PageType::BTreeInternal, level: level + 1 },
+                    PageOp::Format {
+                        ty: PageType::BTreeInternal,
+                        level: level + 1,
+                    },
                     None,
                     &mut rp,
                 )?;
@@ -395,7 +424,10 @@ impl BTree {
                     ctx,
                     txn,
                     root_pid,
-                    PageOp::InsertAt { slot: 0, cell: internal_cell(&[], target_no) },
+                    PageOp::InsertAt {
+                        slot: 0,
+                        cell: internal_cell(&[], target_no),
+                    },
                     None,
                     &mut rp,
                 )?;
@@ -403,7 +435,10 @@ impl BTree {
                     ctx,
                     txn,
                     root_pid,
-                    PageOp::InsertAt { slot: 1, cell: parent_cell },
+                    PageOp::InsertAt {
+                        slot: 1,
+                        cell: parent_cell,
+                    },
                     None,
                     &mut rp,
                 )?;
@@ -447,7 +482,10 @@ impl BTree {
             ctx,
             txn,
             pid,
-            PageOp::InsertAt { slot: slot as u16, cell },
+            PageOp::InsertAt {
+                slot: slot as u16,
+                cell,
+            },
             None,
             &mut page,
         )?;
@@ -477,14 +515,17 @@ impl BTree {
         };
         let cell = leaf_cell(key, payload);
         let old_len = page.get(slot)?.len();
-        let fits = cell.len() <= old_len
-            || cell.len() <= page.free_space_after_compaction() + old_len;
+        let fits =
+            cell.len() <= old_len || cell.len() <= page.free_space_after_compaction() + old_len;
         if fits {
             access.log_and_apply(
                 ctx,
                 txn,
                 self.pid(leaf_no),
-                PageOp::Update { slot: slot as u16, cell },
+                PageOp::Update {
+                    slot: slot as u16,
+                    cell,
+                },
                 undo,
                 &mut page,
             )?;
@@ -558,7 +599,7 @@ impl BTree {
         }
         let seek = start.unwrap_or(&[]);
         let (_, leaf_no) = self.descend(ctx, access, seek)?;
-        loop {
+        {
             let frame = access.get_frame(ctx, self.pid(leaf_no))?;
             let page = frame.page.read();
             let from = match start {
@@ -585,7 +626,7 @@ impl BTree {
                 return Ok(());
             }
             // After the first leaf the start bound no longer matters.
-            return self.scan_rest(ctx, access, next, end, &mut f);
+            self.scan_rest(ctx, access, next, end, &mut f)
         }
     }
 

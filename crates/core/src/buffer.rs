@@ -37,7 +37,10 @@ pub struct Frame {
 
 impl Frame {
     fn new(page: Page) -> Arc<Frame> {
-        Arc::new(Frame { page: RwLock::new(page), dirty: AtomicBool::new(false) })
+        Arc::new(Frame {
+            page: RwLock::new(page),
+            dirty: AtomicBool::new(false),
+        })
     }
 
     /// Mark the frame dirty (its REDO has been logged).
@@ -81,7 +84,10 @@ impl BufferPool {
         BufferPool {
             shards: (0..shards)
                 .map(|_| {
-                    Mutex::new(Shard { frames: HashMap::new(), recency: BTreeMap::new() })
+                    Mutex::new(Shard {
+                        frames: HashMap::new(),
+                        recency: BTreeMap::new(),
+                    })
                 })
                 .collect(),
             capacity_per_shard: capacity_pages / shards,
@@ -169,17 +175,13 @@ impl BufferPool {
             shard.recency.insert(t, page_id);
             while shard.frames.len() > self.capacity_per_shard {
                 // Oldest unpinned frame.
-                let victim = shard
-                    .recency
-                    .iter()
-                    .map(|(t, p)| (*t, *p))
-                    .find(|(_, p)| {
-                        shard
-                            .frames
-                            .get(p)
-                            .map(|(f, _)| Arc::strong_count(f) == 1)
-                            .unwrap_or(false)
-                    });
+                let victim = shard.recency.iter().map(|(t, p)| (*t, *p)).find(|(_, p)| {
+                    shard
+                        .frames
+                        .get(p)
+                        .map(|(f, _)| Arc::strong_count(f) == 1)
+                        .unwrap_or(false)
+                });
                 match victim {
                     Some((vt, vp)) => {
                         shard.recency.remove(&vt);
@@ -255,9 +257,11 @@ mod tests {
     #[test]
     fn lru_eviction_at_capacity() {
         let (bp, mut ctx) = pool(4); // 2 per shard
-        // Fill far past capacity; pool must stay bounded.
+                                     // Fill far past capacity; pool must stay bounded.
         for i in 0..20 {
-            let f = bp.get(&mut ctx, PageId::new(1, i), None, loader(i as u8)).unwrap();
+            let f = bp
+                .get(&mut ctx, PageId::new(1, i), None, loader(i as u8))
+                .unwrap();
             drop(f);
         }
         assert!(bp.len() <= 4, "pool exceeded capacity: {}", bp.len());
@@ -269,10 +273,15 @@ mod tests {
         let pid = PageId::new(1, 0);
         let pinned = bp.get(&mut ctx, pid, None, loader(9)).unwrap();
         for i in 1..30 {
-            drop(bp.get(&mut ctx, PageId::new(1, i), None, loader(i as u8)).unwrap());
+            drop(
+                bp.get(&mut ctx, PageId::new(1, i), None, loader(i as u8))
+                    .unwrap(),
+            );
         }
         // Still present because we hold a pin.
-        let again = bp.get(&mut ctx, pid, None, |_| panic!("pinned page reloaded")).unwrap();
+        let again = bp
+            .get(&mut ctx, pid, None, |_| panic!("pinned page reloaded"))
+            .unwrap();
         assert_eq!(again.page.read().get(0).unwrap(), &[9]);
         drop(pinned);
     }
@@ -288,7 +297,10 @@ mod tests {
         let (bp, mut ctx) = pool(4);
         let sink = Sink(Mutex::new(Vec::new()));
         for i in 0..12 {
-            drop(bp.get(&mut ctx, PageId::new(1, i), Some(&sink), loader(0)).unwrap());
+            drop(
+                bp.get(&mut ctx, PageId::new(1, i), Some(&sink), loader(0))
+                    .unwrap(),
+            );
         }
         let evicted = sink.0.lock();
         assert!(!evicted.is_empty());
@@ -298,7 +310,9 @@ mod tests {
     #[test]
     fn dirty_flag() {
         let (bp, mut ctx) = pool(4);
-        let f = bp.get(&mut ctx, PageId::new(1, 1), None, loader(0)).unwrap();
+        let f = bp
+            .get(&mut ctx, PageId::new(1, 1), None, loader(0))
+            .unwrap();
         assert!(!f.is_dirty());
         f.mark_dirty();
         assert!(f.is_dirty());
@@ -307,7 +321,10 @@ mod tests {
     #[test]
     fn clear_empties_pool() {
         let (bp, mut ctx) = pool(4);
-        drop(bp.get(&mut ctx, PageId::new(1, 1), None, loader(0)).unwrap());
+        drop(
+            bp.get(&mut ctx, PageId::new(1, 1), None, loader(0))
+                .unwrap(),
+        );
         assert!(!bp.is_empty());
         bp.clear();
         assert!(bp.is_empty());

@@ -81,7 +81,11 @@ pub struct Catalog {
 impl Catalog {
     /// An empty catalog; spaces start at 1 (0 is the meta space).
     pub fn new() -> Catalog {
-        Catalog { tables: Vec::new(), by_name: HashMap::new(), next_space: 1 }
+        Catalog {
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+            next_space: 1,
+        }
     }
 
     /// Start defining a table.
@@ -140,7 +144,10 @@ pub struct TableBuilder<'a> {
 impl TableBuilder<'_> {
     /// Add a column.
     pub fn col(mut self, name: &str, ty: ColumnType) -> Self {
-        self.columns.push(ColumnDef { name: name.to_string(), ty });
+        self.columns.push(ColumnDef {
+            name: name.to_string(),
+            ty,
+        });
         self
     }
 
@@ -152,15 +159,21 @@ impl TableBuilder<'_> {
 
     /// Add a non-unique secondary index.
     pub fn index(mut self, name: &str, cols: &[&str]) -> Self {
-        self.secondary
-            .push((name.to_string(), cols.iter().map(|c| c.to_string()).collect(), false));
+        self.secondary.push((
+            name.to_string(),
+            cols.iter().map(|c| c.to_string()).collect(),
+            false,
+        ));
         self
     }
 
     /// Add a unique secondary index.
     pub fn unique_index(mut self, name: &str, cols: &[&str]) -> Self {
-        self.secondary
-            .push((name.to_string(), cols.iter().map(|c| c.to_string()).collect(), true));
+        self.secondary.push((
+            name.to_string(),
+            cols.iter().map(|c| c.to_string()).collect(),
+            true,
+        ));
         self
     }
 
@@ -169,7 +182,11 @@ impl TableBuilder<'_> {
     /// # Panics
     /// Panics on empty/unknown PK columns or duplicate table names.
     pub fn build(self) -> u32 {
-        assert!(!self.pk.is_empty(), "table {} needs a primary key", self.name);
+        assert!(
+            !self.pk.is_empty(),
+            "table {} needs a primary key",
+            self.name
+        );
         assert!(
             !self.catalog.by_name.contains_key(&self.name),
             "duplicate table {}",
@@ -189,7 +206,12 @@ impl TableBuilder<'_> {
             let key_cols: Vec<usize> = cols.iter().map(|c| col_pos(c)).collect();
             let ix_space = self.catalog.next_space;
             self.catalog.next_space += 1;
-            secondary.push(IndexDef { space_no: ix_space, name: name.clone(), key_cols, unique: *unique });
+            secondary.push(IndexDef {
+                space_no: ix_space,
+                name: name.clone(),
+                key_cols,
+                unique: *unique,
+            });
         }
         let def = TableDef {
             space_no,
@@ -198,7 +220,9 @@ impl TableBuilder<'_> {
             pk_cols,
             secondary,
         };
-        self.catalog.by_name.insert(self.name, self.catalog.tables.len());
+        self.catalog
+            .by_name
+            .insert(self.name, self.catalog.tables.len());
         self.catalog.tables.push(def);
         space_no
     }

@@ -9,11 +9,13 @@
 //!
 //! Data-plane flow for one mutation:
 //!
-//! 1. row lock (S2PL) → 2. B+Tree locates the page via the buffer pool
-//! (BP → EBP → PageStore) → 3. the mutation is WAL-logged (this is the
-//! latency AStore attacks) and applied to the in-pool page → 4. the REDO
-//! record joins the ship buffer, delivered to PageStore off the commit
-//! path → 5. commit = one more WAL record, then locks release.
+//! 1. row lock (S2PL) →
+//! 2. B+Tree locates the page via the buffer pool (BP → EBP → PageStore) →
+//! 3. the mutation is WAL-logged (this is the latency AStore attacks) and
+//!    applied to the in-pool page →
+//! 4. the REDO record joins the ship buffer, delivered to PageStore off the
+//!    commit path →
+//! 5. commit = one more WAL record, then locks release.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,7 +25,7 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 use vedb_astore::client::AStoreClient;
 use vedb_astore::cm::ClusterManager;
-use vedb_astore::{AStoreServer, Lsn, PageId, SegmentId, SegmentRing};
+use vedb_astore::{AStoreServer, Lsn, PageId, RetryPolicy, SegmentId, SegmentRing};
 use vedb_blobstore::{BlobGroup, BlobGroupConfig, BlobServer};
 use vedb_pagestore::page::{Page, PageType};
 use vedb_pagestore::redo::{PageOp, RedoRecord};
@@ -52,6 +54,13 @@ pub enum LogBackendKind {
 }
 
 /// Engine configuration.
+///
+/// Construct through [`DbConfig::builder`] — the struct is
+/// `#[non_exhaustive]`, so field-by-field literal construction is only
+/// possible inside `vedb-core`. The builder validates the combination in
+/// [`DbConfigBuilder::build`], which is where configuration mistakes
+/// surface instead of deep inside `Db::open`.
+#[non_exhaustive]
 #[derive(Clone)]
 pub struct DbConfig {
     /// Buffer pool capacity in pages.
@@ -72,6 +81,9 @@ pub struct DbConfig {
     /// window stays small (§IV: "the capacity reserved for REDO logs in
     /// AStore for each database instance is ... limited to GB level").
     pub auto_checkpoint_bytes: u64,
+    /// Fault-recovery policy for the engine's AStore client: retries,
+    /// backoff, lease renewal and replica failover all run under this.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DbConfig {
@@ -84,7 +96,108 @@ impl Default for DbConfig {
             ebp: None,
             lock_timeout: Duration::from_millis(200),
             auto_checkpoint_bytes: 2 << 20,
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+impl DbConfig {
+    /// Start building a configuration from the paper defaults.
+    pub fn builder() -> DbConfigBuilder {
+        DbConfigBuilder {
+            cfg: DbConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`DbConfig`] — see [`DbConfig::builder`].
+#[derive(Clone)]
+pub struct DbConfigBuilder {
+    cfg: DbConfig,
+}
+
+impl DbConfigBuilder {
+    /// Buffer pool capacity in pages.
+    pub fn bp_pages(mut self, pages: usize) -> Self {
+        self.cfg.bp_pages = pages;
+        self
+    }
+
+    /// Buffer pool shard count.
+    pub fn bp_shards(mut self, shards: usize) -> Self {
+        self.cfg.bp_shards = shards;
+        self
+    }
+
+    /// Which log backend the engine writes REDO to.
+    pub fn log(mut self, log: LogBackendKind) -> Self {
+        self.cfg.log = log;
+        self
+    }
+
+    /// Number of segments in the AStore SegmentRing.
+    pub fn ring_segments(mut self, n: usize) -> Self {
+        self.cfg.ring_segments = n;
+        self
+    }
+
+    /// Enable the Extended Buffer Pool (accepts an `EbpConfig` or an
+    /// `Option<EbpConfig>`; `None` disables it).
+    pub fn ebp(mut self, ebp: impl Into<Option<EbpConfig>>) -> Self {
+        self.cfg.ebp = ebp.into();
+        self
+    }
+
+    /// Real-time lock wait budget.
+    pub fn lock_timeout(mut self, t: Duration) -> Self {
+        self.cfg.lock_timeout = t;
+        self
+    }
+
+    /// Auto-checkpoint threshold in log bytes.
+    pub fn auto_checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.auto_checkpoint_bytes = bytes;
+        self
+    }
+
+    /// Fault-recovery policy for the AStore client.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.retry = policy;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<DbConfig> {
+        let c = &self.cfg;
+        if c.bp_pages == 0 {
+            return Err(EngineError::Config("bp_pages must be at least 1".into()));
+        }
+        if c.bp_shards == 0 {
+            return Err(EngineError::Config("bp_shards must be at least 1".into()));
+        }
+        if c.bp_shards > c.bp_pages {
+            return Err(EngineError::Config(format!(
+                "bp_shards ({}) cannot exceed bp_pages ({})",
+                c.bp_shards, c.bp_pages
+            )));
+        }
+        if c.log == LogBackendKind::AStore && c.ring_segments < 2 {
+            return Err(EngineError::Config(format!(
+                "ring_segments must be at least 2, got {}",
+                c.ring_segments
+            )));
+        }
+        if c.lock_timeout.is_zero() {
+            return Err(EngineError::Config("lock_timeout must be non-zero".into()));
+        }
+        if let Some(ebp) = &c.ebp {
+            if ebp.capacity_bytes == 0 {
+                return Err(EngineError::Config(
+                    "ebp capacity_bytes must be at least 1".into(),
+                ));
+            }
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -110,7 +223,11 @@ impl StorageFabric {
     ///
     /// `astore_slot_bytes` is the AStore segment (slot) size; rings and the
     /// EBP both allocate slots of this size.
-    pub fn build(spec: ClusterSpec, astore_capacity: usize, astore_slot_bytes: u64) -> StorageFabric {
+    pub fn build(
+        spec: ClusterSpec,
+        astore_capacity: usize,
+        astore_slot_bytes: u64,
+    ) -> StorageFabric {
         let env = spec.build();
         let cm = ClusterManager::new(
             Arc::clone(&env.faults),
@@ -142,7 +259,12 @@ impl StorageFabric {
             .iter()
             .enumerate()
             .map(|(i, n)| {
-                Arc::new(BlobServer::new(100 + i as NodeId, Arc::clone(n), env.model.clone(), 8192))
+                Arc::new(BlobServer::new(
+                    100 + i as NodeId,
+                    Arc::clone(n),
+                    env.model.clone(),
+                    8192,
+                ))
             })
             .collect();
         let rpc = Arc::new(RpcFabric::new(env.model.clone(), Arc::clone(&env.faults)));
@@ -153,7 +275,14 @@ impl StorageFabric {
             .map(|(i, n)| PageStoreServer::new(200 + i as NodeId, Arc::clone(n), env.model.clone()))
             .collect();
         let pagestore = PageStore::new(PageStoreConfig::default(), Arc::clone(&rpc), ps_servers);
-        StorageFabric { env, cm, astore_servers, blob_servers, pagestore, rpc }
+        StorageFabric {
+            env,
+            cm,
+            astore_servers,
+            blob_servers,
+            pagestore,
+            rpc,
+        }
     }
 }
 
@@ -167,7 +296,10 @@ struct MetaState {
 }
 
 /// The meta page's identity.
-pub const META_PAGE: PageId = PageId { space_no: 0, page_no: 1 };
+pub const META_PAGE: PageId = PageId {
+    space_no: 0,
+    page_no: 1,
+};
 
 fn encode_meta(m: &MetaState) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + m.next_page.len() * 8 + m.roots.len() * 9);
@@ -189,7 +321,11 @@ fn encode_meta(m: &MetaState) -> Vec<u8> {
     out
 }
 
-pub(crate) fn decode_meta_blob(buf: &[u8]) -> Result<(HashMap<u32, u32>, HashMap<u32, (u32, u8)>)> {
+/// Decoded meta page: per-space next-page allocation marks and per-space
+/// `(root page, height)` entries.
+pub(crate) type MetaBlob = (HashMap<u32, u32>, HashMap<u32, (u32, u8)>);
+
+pub(crate) fn decode_meta_blob(buf: &[u8]) -> Result<MetaBlob> {
     let m = decode_meta(buf)?;
     Ok((m.next_page, m.roots))
 }
@@ -201,7 +337,12 @@ fn decode_meta(buf: &[u8]) -> Result<MetaState> {
     let mut pos = 4;
     for _ in 0..n {
         let s = u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap());
-        let v = u32::from_le_bytes(buf.get(pos + 4..pos + 8).ok_or_else(err)?.try_into().unwrap());
+        let v = u32::from_le_bytes(
+            buf.get(pos + 4..pos + 8)
+                .ok_or_else(err)?
+                .try_into()
+                .unwrap(),
+        );
         m.next_page.insert(s, v);
         pos += 8;
     }
@@ -209,7 +350,12 @@ fn decode_meta(buf: &[u8]) -> Result<MetaState> {
     pos += 4;
     for _ in 0..r {
         let s = u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap());
-        let root = u32::from_le_bytes(buf.get(pos + 4..pos + 8).ok_or_else(err)?.try_into().unwrap());
+        let root = u32::from_le_bytes(
+            buf.get(pos + 4..pos + 8)
+                .ok_or_else(err)?
+                .try_into()
+                .unwrap(),
+        );
         let level = *buf.get(pos + 8).ok_or_else(err)?;
         m.roots.insert(s, (root, level));
         pos += 9;
@@ -250,7 +396,7 @@ impl Db {
                 Arc::clone(&fabric.env.faults),
                 Arc::clone(&fabric.env.engine_nic),
             );
-            Some(AStoreClient::connect(
+            Some(AStoreClient::connect_with_policy(
                 ctx,
                 Arc::clone(&fabric.cm),
                 ep,
@@ -258,6 +404,7 @@ impl Db {
                 fabric.env.model.clone(),
                 ctx.client_id,
                 VTime::from_millis(50),
+                cfg.retry,
             ))
         } else {
             None
@@ -284,14 +431,20 @@ impl Db {
                 ))
             }
         };
-        let ebp = match &cfg.ebp {
-            Some(ecfg) => Some(Ebp::new(
+        let ebp = cfg.ebp.as_ref().map(|ecfg| {
+            Ebp::new(
                 Arc::clone(astore_client.as_ref().expect("astore client")),
                 ecfg.clone(),
-            )),
-            None => None,
-        };
-        let db = Db::assemble(fabric, cfg, Wal::new(backend), astore_client, ebp, log_segments);
+            )
+        });
+        let db = Db::assemble(
+            fabric,
+            cfg,
+            Wal::new(backend),
+            astore_client,
+            ebp,
+            log_segments,
+        );
         db.bootstrap_meta(ctx)?;
         db.wal.flush(ctx, db.wal.next_lsn())?;
         Ok(db)
@@ -342,7 +495,10 @@ impl Db {
             ctx,
             0,
             META_PAGE,
-            PageOp::Format { ty: PageType::BTreeLeaf, level: 0 },
+            PageOp::Format {
+                ty: PageType::BTreeLeaf,
+                level: 0,
+            },
             None,
             &mut page,
         )?;
@@ -351,7 +507,10 @@ impl Db {
             ctx,
             0,
             META_PAGE,
-            PageOp::InsertAt { slot: 0, cell: blob },
+            PageOp::InsertAt {
+                slot: 0,
+                cell: blob,
+            },
             None,
             &mut page,
         )?;
@@ -447,7 +606,13 @@ impl Db {
     }
 
     /// Insert a row.
-    pub fn insert(&self, ctx: &mut SimCtx, txn: &mut TxnHandle, table: &str, row: Row) -> Result<()> {
+    pub fn insert(
+        &self,
+        ctx: &mut SimCtx,
+        txn: &mut TxnHandle,
+        table: &str,
+        row: Row,
+    ) -> Result<()> {
         if !txn.is_active() {
             return Err(EngineError::TxnFinished);
         }
@@ -456,17 +621,25 @@ impl Db {
         self.lock_row(ctx, txn, t.space_no, key.clone(), LockMode::Exclusive)?;
         let mut payload = Vec::with_capacity(64);
         encode_row(&row, &mut payload);
-        let undo = UndoInfo { index_space: t.space_no, op: UndoOp::Remove { key: key.clone() } };
+        let undo = UndoInfo {
+            index_space: t.space_no,
+            op: UndoOp::Remove { key: key.clone() },
+        };
         BTree::new(t.space_no)
             .insert(ctx, self, txn.id, &key, &payload, Some(undo.clone()))
             .map_err(|e| match e {
-                EngineError::DuplicateKey { .. } => EngineError::DuplicateKey { table: t.name.clone() },
+                EngineError::DuplicateKey { .. } => EngineError::DuplicateKey {
+                    table: t.name.clone(),
+                },
                 e => e,
             })?;
         txn.undo.push(undo);
         for ix in &t.secondary {
             let skey = Self::sec_key(&t, ix, &row);
-            let undo = UndoInfo { index_space: ix.space_no, op: UndoOp::Remove { key: skey.clone() } };
+            let undo = UndoInfo {
+                index_space: ix.space_no,
+                op: UndoOp::Remove { key: skey.clone() },
+            };
             BTree::new(ix.space_no).insert(ctx, self, txn.id, &skey, &key, Some(undo.clone()))?;
             txn.undo.push(undo);
         }
@@ -517,7 +690,10 @@ impl Db {
         encode_row(&new_row, &mut new_payload);
         let undo = UndoInfo {
             index_space: t.space_no,
-            op: UndoOp::Revert { key: key.clone(), old_cell: old_payload.clone() },
+            op: UndoOp::Revert {
+                key: key.clone(),
+                old_cell: old_payload.clone(),
+            },
         };
         tree.update(ctx, self, txn.id, &key, &new_payload, Some(undo.clone()))?;
         txn.undo.push(undo);
@@ -528,7 +704,10 @@ impl Db {
             if old_k != new_k {
                 let u1 = UndoInfo {
                     index_space: ix.space_no,
-                    op: UndoOp::ReInsert { key: old_k.clone(), old_cell: key.clone() },
+                    op: UndoOp::ReInsert {
+                        key: old_k.clone(),
+                        old_cell: key.clone(),
+                    },
                 };
                 BTree::new(ix.space_no).delete(ctx, self, txn.id, &old_k, Some(u1.clone()))?;
                 txn.undo.push(u1);
@@ -536,7 +715,14 @@ impl Db {
                     index_space: ix.space_no,
                     op: UndoOp::Remove { key: new_k.clone() },
                 };
-                BTree::new(ix.space_no).insert(ctx, self, txn.id, &new_k, &key, Some(u2.clone()))?;
+                BTree::new(ix.space_no).insert(
+                    ctx,
+                    self,
+                    txn.id,
+                    &new_k,
+                    &key,
+                    Some(u2.clone()),
+                )?;
                 txn.undo.push(u2);
             }
         }
@@ -562,7 +748,10 @@ impl Db {
         let old_row = decode_row(&old_payload)?;
         let undo = UndoInfo {
             index_space: t.space_no,
-            op: UndoOp::ReInsert { key: key.clone(), old_cell: old_payload.clone() },
+            op: UndoOp::ReInsert {
+                key: key.clone(),
+                old_cell: old_payload.clone(),
+            },
         };
         tree.delete(ctx, self, txn.id, &key, Some(undo.clone()))?;
         txn.undo.push(undo);
@@ -570,7 +759,10 @@ impl Db {
             let skey = Self::sec_key(&t, ix, &old_row);
             let u = UndoInfo {
                 index_space: ix.space_no,
-                op: UndoOp::ReInsert { key: skey.clone(), old_cell: key.clone() },
+                op: UndoOp::ReInsert {
+                    key: skey.clone(),
+                    old_cell: key.clone(),
+                },
             };
             BTree::new(ix.space_no).delete(ctx, self, txn.id, &skey, Some(u.clone()))?;
             txn.undo.push(u);
@@ -660,10 +852,10 @@ impl Db {
         if !txn.is_active() {
             return Err(EngineError::TxnFinished);
         }
-        let done = self
-            .env
-            .engine_cpu
-            .acquire(ctx.now(), VTime::from_nanos(self.env.model.cpu_txn_overhead_ns));
+        let done = self.env.engine_cpu.acquire(
+            ctx.now(),
+            VTime::from_nanos(self.env.model.cpu_txn_overhead_ns),
+        );
         ctx.wait_until(done);
         let commit_lsn = self.wal.log(ctx, &WalRecord::Commit { txn_id: txn.id })?;
         // The commit latency: flush the global log buffer (group commit).
@@ -738,8 +930,11 @@ impl Db {
             }
             let mut records = std::mem::take(&mut *buf);
             records.sort_by_key(|r| r.lsn);
-            let keep: Vec<RedoRecord> =
-                records.iter().filter(|r| r.lsn >= durable).cloned().collect();
+            let keep: Vec<RedoRecord> = records
+                .iter()
+                .filter(|r| r.lsn >= durable)
+                .cloned()
+                .collect();
             records.retain(|r| r.lsn < durable);
             *buf = keep;
             records
@@ -775,7 +970,10 @@ impl Db {
     /// Checkpoint when the log's working window exceeds the configured
     /// budget (invoked on the commit path; cheap when nothing to do).
     fn maybe_auto_checkpoint(&self, ctx: &mut SimCtx) -> Result<()> {
-        let used = self.wal.next_lsn().saturating_sub(self.last_truncate.load(Ordering::Acquire));
+        let used = self
+            .wal
+            .next_lsn()
+            .saturating_sub(self.last_truncate.load(Ordering::Acquire));
         if used > self.cfg.auto_checkpoint_bytes {
             self.checkpoint(ctx)?;
         }
@@ -827,7 +1025,11 @@ impl Db {
         self.ship_buf.lock().push(redo);
     }
 
-    pub(crate) fn install_meta(&self, next_page: HashMap<u32, u32>, roots: HashMap<u32, (u32, u8)>) {
+    pub(crate) fn install_meta(
+        &self,
+        next_page: HashMap<u32, u32>,
+        roots: HashMap<u32, (u32, u8)>,
+    ) {
         let mut m = self.meta.lock();
         m.next_page = next_page;
         m.roots = roots;
@@ -850,7 +1052,10 @@ impl Db {
             ctx,
             txn,
             META_PAGE,
-            PageOp::Update { slot: 0, cell: blob },
+            PageOp::Update {
+                slot: 0,
+                cell: blob,
+            },
             None,
             &mut page,
         )?;
@@ -894,7 +1099,7 @@ impl TreeAccess for Db {
             // Make sure PageStore has everything we logged for this page:
             // force the log (WAL rule), then ship.
             if min_lsn > self.shipped_lsn.load(Ordering::Acquire) {
-                self.wal.flush(ctx, min_lsn).map_err(|e| e)?;
+                self.wal.flush(ctx, min_lsn)?;
                 self.flush_ship(ctx, true);
             }
             match self.pagestore.read_page(ctx, pid, min_lsn) {
@@ -920,7 +1125,12 @@ impl TreeAccess for Db {
     }
 
     fn root_of(&self, space: u32) -> (u32, u8) {
-        self.meta.lock().roots.get(&space).copied().unwrap_or((0, 0))
+        self.meta
+            .lock()
+            .roots
+            .get(&space)
+            .copied()
+            .unwrap_or((0, 0))
     }
 
     fn set_root(&self, ctx: &mut SimCtx, txn: u64, space: u32, root: u32, level: u8) -> Result<()> {
@@ -937,7 +1147,13 @@ impl TreeAccess for Db {
         undo: Option<UndoInfo>,
         page: &mut Page,
     ) -> Result<Lsn> {
-        let proto = RedoRecord { lsn: 0, prev_same_segment: 0, txn_id: txn, page: pid, op };
+        let proto = RedoRecord {
+            lsn: 0,
+            prev_same_segment: 0,
+            txn_id: txn,
+            page: pid,
+            op,
+        };
         let (lsn, redo) = self.wal.log_page(ctx, proto, undo)?;
         redo.apply(page)?;
         self.ship_buf.lock().push(redo);
@@ -955,12 +1171,19 @@ impl TreeAccess for Db {
     }
 
     fn charge_cpu(&self, ctx: &mut SimCtx, ns: u64) {
-        let done = self.env.engine_cpu.acquire(ctx.now(), VTime::from_nanos(ns));
+        let done = self
+            .env
+            .engine_cpu
+            .acquire(ctx.now(), VTime::from_nanos(ns));
         ctx.wait_until(done);
     }
 
     fn space_latch(&self, space: u32) -> Arc<RwLock<()>> {
         let mut latches = self.space_latches.lock();
-        Arc::clone(latches.entry(space).or_insert_with(|| Arc::new(RwLock::new(()))))
+        Arc::clone(
+            latches
+                .entry(space)
+                .or_insert_with(|| Arc::new(RwLock::new(()))),
+        )
     }
 }

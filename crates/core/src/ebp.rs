@@ -30,7 +30,7 @@ use parking_lot::Mutex;
 use vedb_astore::client::{AStoreClient, SegmentHandle};
 use vedb_astore::ebp_format::{encode_header, EbpRecordHeader, RECORD_HDR_SIZE};
 use vedb_astore::layout::SegmentClass;
-use vedb_astore::{AStoreError, Lsn, PageId, SegmentId};
+use vedb_astore::{AppendOpts, Lsn, PageId, SegmentId, SegmentOpts};
 use vedb_pagestore::Page;
 use vedb_sim::fault::NodeId;
 use vedb_sim::{SimCtx, VTime};
@@ -140,13 +140,21 @@ impl Ebp {
     pub fn new(client: Arc<AStoreClient>, cfg: EbpConfig) -> Ebp {
         assert!(cfg.shards > 0);
         let shards = (0..cfg.shards)
-            .map(|_| Mutex::new(Shard { entries: HashMap::new(), recency: BTreeMap::new() }))
+            .map(|_| {
+                Mutex::new(Shard {
+                    entries: HashMap::new(),
+                    recency: BTreeMap::new(),
+                })
+            })
             .collect();
         Ebp {
             client,
             cfg,
             shards,
-            segs: Mutex::new(SegTable { active: None, info: HashMap::new() }),
+            segs: Mutex::new(SegTable {
+                active: None,
+                info: HashMap::new(),
+            }),
             live_bytes: AtomicU64::new(0),
             touch: AtomicU64::new(1),
             hits: AtomicU64::new(0),
@@ -202,14 +210,23 @@ impl Ebp {
 
     /// Is a page currently cached (any version)?
     pub fn contains(&self, pid: PageId) -> bool {
-        self.shards[self.shard_of(pid)].lock().entries.contains_key(&pid)
+        self.shards[self.shard_of(pid)]
+            .lock()
+            .entries
+            .contains_key(&pid)
     }
 
     /// Physical location of a cached page (push-down routing).
     pub fn locate(&self, pid: PageId) -> Option<EbpLoc> {
         let e = *self.shards[self.shard_of(pid)].lock().entries.get(&pid)?;
         let node = self.client.cached_route(e.seg.id)?.replicas.first()?.node;
-        Some(EbpLoc { node, seg: e.seg, offset: e.offset, len: e.len, lsn: e.lsn })
+        Some(EbpLoc {
+            node,
+            seg: e.seg,
+            offset: e.offset,
+            len: e.len,
+            lsn: e.lsn,
+        })
     }
 
     fn active_segment(&self, ctx: &mut SimCtx, need: u64) -> Result<SegmentHandle> {
@@ -222,9 +239,18 @@ impl Ebp {
         }
         // Freeze current (it becomes a compaction candidate) and open a new
         // segment.
-        let h = self.client.create_segment(ctx, SegmentClass::Ebp)?;
+        let h = self
+            .client
+            .create_segment_with(ctx, SegmentOpts::new(SegmentClass::Ebp))?;
         segs.active = Some(h);
-        segs.info.insert(h.id, SegInfo { handle: h, used: 0, garbage: 0 });
+        segs.info.insert(
+            h.id,
+            SegInfo {
+                handle: h,
+                used: 0,
+                garbage: 0,
+            },
+        );
         Ok(h)
     }
 
@@ -255,23 +281,23 @@ impl Ebp {
                 shard.recency.remove(&old.touch);
                 self.drop_entry(pid, &old);
             }
-            let shard_bytes =
-                |s: &Shard| s.entries.values().map(|e| e.len as u64).sum::<u64>();
+            let shard_bytes = |s: &Shard| s.entries.values().map(|e| e.len as u64).sum::<u64>();
             let mut freed_enough = shard_bytes(&shard) + bytes.len() as u64 <= shard_cap;
             while !freed_enough {
-                let victim = shard
-                    .recency
-                    .iter()
-                    .map(|(t, p)| (*t, *p))
-                    .find(|(_, p)| shard.entries.get(p).map(|e| e.prio <= prio).unwrap_or(false));
+                let victim = shard.recency.iter().map(|(t, p)| (*t, *p)).find(|(_, p)| {
+                    shard
+                        .entries
+                        .get(p)
+                        .map(|e| e.prio <= prio)
+                        .unwrap_or(false)
+                });
                 match victim {
                     Some((t, p)) => {
                         shard.recency.remove(&t);
                         if let Some(e) = shard.entries.remove(&p) {
                             self.drop_entry(p, &e);
                         }
-                        freed_enough =
-                            shard_bytes(&shard) + bytes.len() as u64 <= shard_cap;
+                        freed_enough = shard_bytes(&shard) + bytes.len() as u64 <= shard_cap;
                     }
                     None => {
                         // Priority policy: nothing evictable — skip caching.
@@ -282,19 +308,25 @@ impl Ebp {
         }
 
         // Append the record + terminator to the active segment.
-        let hdr = encode_header(&EbpRecordHeader { page: pid, lsn, len: bytes.len() as u32 });
+        let hdr = encode_header(&EbpRecordHeader {
+            page: pid,
+            lsn,
+            len: bytes.len() as u32,
+        });
         let mut record = Vec::with_capacity(RECORD_HDR_SIZE + bytes.len());
         record.extend_from_slice(&hdr);
         record.extend_from_slice(bytes);
         let zero = [0u8; RECORD_HDR_SIZE];
         let need = (record.len() + zero.len()) as u64;
         let mut seg = self.active_segment(ctx, need)?;
-        let offset = match self.client.append_with_tail(ctx, seg, &record, &zero) {
+        let opts = AppendOpts::new().with_tail(&zero);
+        let offset = match self.client.append_with(ctx, seg, &record, opts) {
             Ok(off) => off,
-            Err(AStoreError::SegmentFull { .. }) | Err(AStoreError::SegmentFrozen(_)) => {
+            Err(e) if e.is_segment_unwritable() => {
                 self.segs.lock().active = None;
                 seg = self.active_segment(ctx, need)?;
-                self.client.append_with_tail(ctx, seg, &record, &zero)?
+                self.client
+                    .append_with(ctx, seg, &record, AppendOpts::new().with_tail(&zero))?
             }
             Err(e) => return Err(e.into()),
         };
@@ -320,7 +352,8 @@ impl Ebp {
             );
             shard.recency.insert(t, pid);
         }
-        self.live_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.live_bytes
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.maybe_compact(ctx)?;
         Ok(())
     }
@@ -540,7 +573,8 @@ impl Ebp {
                     },
                 );
                 shard.recency.insert(t, found.page);
-                self.live_bytes.fetch_add(found.len as u64, Ordering::Relaxed);
+                self.live_bytes
+                    .fetch_add(found.len as u64, Ordering::Relaxed);
                 attached += 1;
             }
         }
@@ -565,7 +599,11 @@ impl Ebp {
                         };
                         ebp.segs.lock().info.insert(
                             h.id,
-                            SegInfo { handle: h, used: client.segment_len(h), garbage: 0 },
+                            SegInfo {
+                                handle: h,
+                                used: client.segment_len(h),
+                                garbage: 0,
+                            },
                         );
                         adopted.insert(found.segment, h);
                         h
@@ -597,7 +635,8 @@ impl Ebp {
                         },
                     );
                     shard.recency.insert(t, found.page);
-                    ebp.live_bytes.fetch_add(found.len as u64, Ordering::Relaxed);
+                    ebp.live_bytes
+                        .fetch_add(found.len as u64, Ordering::Relaxed);
                 }
             }
         }
@@ -617,10 +656,7 @@ mod tests {
     use vedb_rdma::RdmaEndpoint;
     use vedb_sim::{ClusterSpec, VTime};
 
-    fn harness(
-        ctx: &mut SimCtx,
-        slot_kb: u64,
-    ) -> (Arc<vedb_sim::SimEnv>, Arc<AStoreClient>) {
+    fn harness(ctx: &mut SimCtx, slot_kb: u64) -> (Arc<vedb_sim::SimEnv>, Arc<AStoreClient>) {
         let env = ClusterSpec::paper_default().build();
         let cm = ClusterManager::new(
             Arc::clone(&env.faults),
@@ -640,7 +676,11 @@ mod tests {
             cm.register_server(Arc::clone(&s));
             cm.heartbeat(VTime::ZERO, s.node(), s.free_slots());
         }
-        let ep = RdmaEndpoint::new(env.model.clone(), Arc::clone(&env.faults), Arc::clone(&env.engine_nic));
+        let ep = RdmaEndpoint::new(
+            env.model.clone(),
+            Arc::clone(&env.faults),
+            Arc::clone(&env.engine_nic),
+        );
         let client = AStoreClient::connect(
             ctx,
             cm,
@@ -705,7 +745,10 @@ mod tests {
         let t0 = ctx.now();
         ebp.read_page(&mut ctx, pid, 10).unwrap();
         let us = (ctx.now() - t0).as_micros_f64();
-        assert!((10.0..=40.0).contains(&us), "EBP page read should be ~20us, got {us:.1}us");
+        assert!(
+            (10.0..=40.0).contains(&us),
+            "EBP page read should be ~20us, got {us:.1}us"
+        );
     }
 
     #[test]
@@ -714,7 +757,8 @@ mod tests {
         let (_env, client) = harness(&mut ctx, 1024);
         let ebp = Ebp::new(client, small_cfg()); // capacity: 8 pages
         for i in 0..30 {
-            ebp.write_page(&mut ctx, PageId::new(1, i), &page_with(i as u8), 10).unwrap();
+            ebp.write_page(&mut ctx, PageId::new(1, i), &page_with(i as u8), 10)
+                .unwrap();
         }
         assert!(ebp.len() <= 8, "EBP exceeded capacity: {} pages", ebp.len());
         assert!(ebp.live_bytes() <= 8 * 16 * 1024);
@@ -733,18 +777,27 @@ mod tests {
         let ebp = Ebp::new(client, cfg);
         // Fill with high-priority pages.
         for i in 0..8 {
-            ebp.write_page(&mut ctx, PageId::new(7, i), &page_with(1), 10).unwrap();
+            ebp.write_page(&mut ctx, PageId::new(7, i), &page_with(1), 10)
+                .unwrap();
         }
         // Low-priority pages cannot displace them: silently skipped.
         for i in 0..8 {
-            ebp.write_page(&mut ctx, PageId::new(1, i), &page_with(2), 10).unwrap();
+            ebp.write_page(&mut ctx, PageId::new(1, i), &page_with(2), 10)
+                .unwrap();
         }
         for i in 0..8 {
-            assert!(ebp.contains(PageId::new(7, i)), "high-prio page {i} evicted");
-            assert!(!ebp.contains(PageId::new(1, i)), "low-prio page {i} admitted");
+            assert!(
+                ebp.contains(PageId::new(7, i)),
+                "high-prio page {i} evicted"
+            );
+            assert!(
+                !ebp.contains(PageId::new(1, i)),
+                "low-prio page {i} admitted"
+            );
         }
         // A high-priority page *can* displace its own kind.
-        ebp.write_page(&mut ctx, PageId::new(7, 100), &page_with(3), 10).unwrap();
+        ebp.write_page(&mut ctx, PageId::new(7, 100), &page_with(3), 10)
+            .unwrap();
         assert!(ebp.contains(PageId::new(7, 100)));
     }
 
@@ -764,14 +817,18 @@ mod tests {
         // Overwrite the same page many times: old images become garbage,
         // segments roll over, and compaction processes the frozen ones.
         for v in 0..20 {
-            ebp.write_page(&mut ctx, pid, &page_with(v), 100 + v as u64).unwrap();
+            ebp.write_page(&mut ctx, pid, &page_with(v), 100 + v as u64)
+                .unwrap();
         }
         // The page is still readable at its latest LSN.
         let got = ebp.read_page(&mut ctx, pid, 119).unwrap();
         assert_eq!(got.get(0).unwrap(), &[19; 64]);
         // Compaction kept the segment table bounded.
         let n_segs = ebp.segs.lock().info.len();
-        assert!(n_segs <= 3, "compaction should bound segments, have {n_segs}");
+        assert!(
+            n_segs <= 3,
+            "compaction should bound segments, have {n_segs}"
+        );
     }
 
     #[test]
@@ -781,8 +838,10 @@ mod tests {
         let ebp = Ebp::new(Arc::clone(&client), small_cfg());
         let keep = PageId::new(1, 1);
         let stale = PageId::new(1, 2);
-        ebp.write_page(&mut ctx, keep, &page_with(0x11), 100).unwrap();
-        ebp.write_page(&mut ctx, stale, &page_with(0x22), 100).unwrap();
+        ebp.write_page(&mut ctx, keep, &page_with(0x11), 100)
+            .unwrap();
+        ebp.write_page(&mut ctx, stale, &page_with(0x22), 100)
+            .unwrap();
         // Engine modifies `stale` afterwards and ships the mapping.
         ebp.note_page_lsn(&mut ctx, stale, 500);
         ebp.flush_lsn_batch(&mut ctx);

@@ -19,8 +19,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod buffer;
 pub mod btree;
+pub mod buffer;
 pub mod catalog;
 pub mod db;
 pub mod ebp;
@@ -32,13 +32,19 @@ pub mod txn;
 pub mod wal;
 
 pub use catalog::{Catalog, ColumnDef, ColumnType, IndexDef, TableDef};
-pub use db::{Db, DbConfig, LogBackendKind};
+pub use db::{Db, DbConfig, DbConfigBuilder, LogBackendKind};
 pub use row::{Row, Value};
 pub use txn::TxnHandle;
 
 use vedb_astore::PageId;
 
 /// Errors surfaced by the engine.
+///
+/// The enum is `#[non_exhaustive]`: callers must not match on variants to
+/// drive recovery decisions — use [`EngineError::is_retryable`] /
+/// [`EngineError::is_fencing`] instead, so new failure modes can be added
+/// without breaking downstream code.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// Storage-layer failure (AStore).
@@ -69,6 +75,34 @@ pub enum EngineError {
     PageUnavailable(PageId),
     /// Query planning/execution error.
     Query(String),
+    /// Invalid engine configuration (rejected by `DbConfigBuilder::build`).
+    Config(String),
+}
+
+impl EngineError {
+    /// Is this a transient storage/network fault that retrying the same
+    /// operation may clear? Delegates to the storage layers' own
+    /// classification (see [`vedb_astore::AStoreError::is_retryable`]).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            EngineError::AStore(e) => e.is_retryable(),
+            EngineError::PageStore(e) => {
+                matches!(e, vedb_pagestore::PageStoreError::Network(_))
+            }
+            EngineError::LockTimeout { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Is this a lease-fencing error — the engine's storage lease was
+    /// superseded by a newer incarnation? Fencing is final once renewal is
+    /// refused; the engine must shut down rather than retry.
+    pub fn is_fencing(&self) -> bool {
+        match self {
+            EngineError::AStore(e) => e.is_fencing(),
+            _ => false,
+        }
+    }
 }
 
 impl From<vedb_astore::AStoreError> for EngineError {
@@ -109,6 +143,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Codec(m) => write!(f, "codec: {m}"),
             EngineError::PageUnavailable(p) => write!(f, "page {p} unavailable"),
             EngineError::Query(m) => write!(f, "query: {m}"),
+            EngineError::Config(m) => write!(f, "config: {m}"),
         }
     }
 }

@@ -64,7 +64,12 @@ impl LockManager {
     pub fn new(shards: usize, timeout: Duration) -> LockManager {
         LockManager {
             shards: (0..shards.max(1))
-                .map(|_| Arc::new(Shard { table: Mutex::new(HashMap::new()), cv: Condvar::new() }))
+                .map(|_| {
+                    Arc::new(Shard {
+                        table: Mutex::new(HashMap::new()),
+                        cv: Condvar::new(),
+                    })
+                })
                 .collect(),
             timeout,
         }
@@ -157,7 +162,13 @@ impl LockManager {
     pub fn held_keys(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.table.lock().values().filter(|st| !st.holders.is_empty()).count())
+            .map(|s| {
+                s.table
+                    .lock()
+                    .values()
+                    .filter(|st| !st.holders.is_empty())
+                    .count()
+            })
             .sum()
     }
 }
@@ -198,7 +209,7 @@ mod tests {
         lm.acquire(&mut c1, 1, key(1), LockMode::Shared).unwrap();
         lm.acquire(&mut c1, 1, key(1), LockMode::Shared).unwrap();
         lm.acquire(&mut c1, 1, key(1), LockMode::Exclusive).unwrap(); // upgrade
-        // Another txn cannot share now.
+                                                                      // Another txn cannot share now.
         let mut c2 = SimCtx::new(2, 7);
         assert!(lm.acquire(&mut c2, 2, key(1), LockMode::Shared).is_err());
     }
@@ -213,7 +224,8 @@ mod tests {
         let waiter = std::thread::spawn(move || {
             let mut c2 = SimCtx::new(2, 7);
             c2.advance(VTime::from_micros(10)); // waiter is "early" in vtime
-            lm2.acquire(&mut c2, 2, key(9), LockMode::Exclusive).unwrap();
+            lm2.acquire(&mut c2, 2, key(9), LockMode::Exclusive)
+                .unwrap();
             c2.now()
         });
         std::thread::sleep(Duration::from_millis(20));
@@ -232,7 +244,8 @@ mod tests {
         let mut c1 = SimCtx::new(1, 7);
         let keys: Vec<LockKey> = (0..5).map(key).collect();
         for k in &keys {
-            lm.acquire(&mut c1, 1, k.clone(), LockMode::Exclusive).unwrap();
+            lm.acquire(&mut c1, 1, k.clone(), LockMode::Exclusive)
+                .unwrap();
         }
         assert_eq!(lm.held_keys(), 5);
         lm.release_all(c1.now(), 1, &keys);

@@ -35,19 +35,30 @@ pub struct QuerySession {
 
 impl Default for QuerySession {
     fn default() -> Self {
-        QuerySession { pushdown: false, pushdown_min_pages: 4, cost_based: false }
+        QuerySession {
+            pushdown: false,
+            pushdown_min_pages: 4,
+            cost_based: false,
+        }
     }
 }
 
 impl QuerySession {
     /// Session with push-down on (threshold rule, as evaluated in §VII-C).
     pub fn with_pushdown() -> QuerySession {
-        QuerySession { pushdown: true, ..Default::default() }
+        QuerySession {
+            pushdown: true,
+            ..Default::default()
+        }
     }
 
     /// Session with the cost-based push-down decision (§VIII extension).
     pub fn with_cost_based_pushdown() -> QuerySession {
-        QuerySession { pushdown: true, cost_based: true, ..Default::default() }
+        QuerySession {
+            pushdown: true,
+            cost_based: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -203,8 +214,18 @@ fn apply_filter_project(
 /// Execute `plan` and materialize its result rows.
 pub fn execute(ctx: &mut SimCtx, db: &Db, session: &QuerySession, plan: &Plan) -> Result<Vec<Row>> {
     match plan {
-        Plan::SeqScan { table, filter, project } => {
-            if pushdown::eligible(db, session, table, filter.is_some() || project.is_some(), false)? {
+        Plan::SeqScan {
+            table,
+            filter,
+            project,
+        } => {
+            if pushdown::eligible(
+                db,
+                session,
+                table,
+                filter.is_some() || project.is_some(),
+                false,
+            )? {
                 return pushdown::pushdown_scan(ctx, db, table, filter, project, None);
             }
             let mut rows = Vec::new();
@@ -215,14 +236,29 @@ pub fn execute(ctx: &mut SimCtx, db: &Db, session: &QuerySession, plan: &Plan) -
             charge_rows(ctx, db, rows.len(), 50);
             apply_filter_project(rows, filter, project)
         }
-        Plan::IndexLookup { table, index, prefix, filter, project } => {
+        Plan::IndexLookup {
+            table,
+            index,
+            prefix,
+            filter,
+            project,
+        } => {
             let rows = db.index_lookup(ctx, table, index, prefix, usize::MAX)?;
             charge_rows(ctx, db, rows.len(), 100);
             apply_filter_project(rows, filter, project)
         }
-        Plan::HashAgg { input, group_by, aggs } => {
+        Plan::HashAgg {
+            input,
+            group_by,
+            aggs,
+        } => {
             // Fully-pushable shape: aggregation directly over a scan.
-            if let Plan::SeqScan { table, filter, project: None } = input.as_ref() {
+            if let Plan::SeqScan {
+                table,
+                filter,
+                project: None,
+            } = input.as_ref()
+            {
                 if pushdown::eligible(db, session, table, filter.is_some(), true)? {
                     return pushdown::pushdown_scan(
                         ctx,
@@ -241,7 +277,10 @@ pub fn execute(ctx: &mut SimCtx, db: &Db, session: &QuerySession, plan: &Plan) -
                 let key_vals: Vec<Value> = group_by.iter().map(|i| row[*i].clone()).collect();
                 let key = group_key(&key_vals);
                 let entry = groups.entry(key).or_insert_with(|| {
-                    (key_vals.clone(), aggs.iter().map(|a| AggState::new(a.func)).collect())
+                    (
+                        key_vals.clone(),
+                        aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    )
                 });
                 for (state, agg) in entry.1.iter_mut().zip(aggs) {
                     state.update(agg.func, agg.expr.eval(row)?);
@@ -255,10 +294,17 @@ pub fn execute(ctx: &mut SimCtx, db: &Db, session: &QuerySession, plan: &Plan) -
                 })
                 .collect();
             // Deterministic output order for tests.
-            out.sort_by(|a, b| group_key(a).cmp(&group_key(b)));
+            out.sort_by_key(|r| group_key(r));
             Ok(out)
         }
-        Plan::HashJoin { left, right, left_keys, right_keys, filter, project } => {
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            filter,
+            project,
+        } => {
             let lrows = execute(ctx, db, session, left)?;
             let rrows = execute(ctx, db, session, right)?;
             charge_rows(ctx, db, lrows.len() + rrows.len(), 100);
@@ -281,7 +327,12 @@ pub fn execute(ctx: &mut SimCtx, db: &Db, session: &QuerySession, plan: &Plan) -
             charge_rows(ctx, db, out.len(), 50);
             apply_filter_project(out, filter, project)
         }
-        Plan::NestLoopJoin { left, right, on, project } => {
+        Plan::NestLoopJoin {
+            left,
+            right,
+            on,
+            project,
+        } => {
             let lrows = execute(ctx, db, session, left)?;
             let rrows = execute(ctx, db, session, right)?;
             charge_rows(ctx, db, lrows.len() * rrows.len().max(1), 20);
@@ -300,7 +351,12 @@ pub fn execute(ctx: &mut SimCtx, db: &Db, session: &QuerySession, plan: &Plan) -
         Plan::Sort { input, by, limit } => {
             let mut rows = execute(ctx, db, session, input)?;
             let n = rows.len();
-            charge_rows(ctx, db, n * (usize::BITS - n.leading_zeros()).max(1) as usize / 8, 50);
+            charge_rows(
+                ctx,
+                db,
+                n * (usize::BITS - n.leading_zeros()).max(1) as usize / 8,
+                50,
+            );
             rows.sort_by(|a, b| {
                 for (col, desc) in by {
                     let ord = a[*col]
@@ -318,7 +374,11 @@ pub fn execute(ctx: &mut SimCtx, db: &Db, session: &QuerySession, plan: &Plan) -
             }
             Ok(rows)
         }
-        Plan::Map { input, filter, project } => {
+        Plan::Map {
+            input,
+            filter,
+            project,
+        } => {
             let rows = execute(ctx, db, session, input)?;
             charge_rows(ctx, db, rows.len(), 50);
             apply_filter_project(rows, filter, project)

@@ -103,10 +103,18 @@ impl Expr {
 
     /// `a BETWEEN lo AND hi` (inclusive).
     pub fn between(a: Expr, lo: Expr, hi: Expr) -> Expr {
-        Self::and(Self::cmp(CmpOp::Ge, a.clone(), lo), Self::cmp(CmpOp::Le, a, hi))
+        Self::and(
+            Self::cmp(CmpOp::Ge, a.clone(), lo),
+            Self::cmp(CmpOp::Le, a, hi),
+        )
     }
 
     /// `a * b`.
+    ///
+    /// A builder constructor taking two operands, not `std::ops::Mul` —
+    /// the std trait would force `Expr * Expr` syntax on plan-building
+    /// code that consistently uses named constructors.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Arith(ArithOp::Mul, Box::new(a), Box::new(b))
     }
@@ -136,9 +144,7 @@ impl Expr {
                 let r = r && !va.is_null() && !vb.is_null();
                 Value::Int(r as i64)
             }
-            Expr::And(a, b) => {
-                Value::Int((a.eval_bool(row)? && b.eval_bool(row)?) as i64)
-            }
+            Expr::And(a, b) => Value::Int((a.eval_bool(row)? && b.eval_bool(row)?) as i64),
             Expr::Or(a, b) => Value::Int((a.eval_bool(row)? || b.eval_bool(row)?) as i64),
             Expr::Not(a) => Value::Int(!a.eval_bool(row)? as i64),
             Expr::Arith(op, a, b) => {
@@ -266,7 +272,8 @@ pub fn decode_expr(buf: &[u8], pos: &mut usize) -> Result<Expr> {
     *pos += 1;
     Ok(match tag {
         0 => {
-            let i = u32::from_le_bytes(buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().unwrap());
+            let i =
+                u32::from_le_bytes(buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().unwrap());
             *pos += 4;
             Expr::Col(i as usize)
         }
@@ -312,8 +319,9 @@ pub fn decode_expr(buf: &[u8], pos: &mut usize) -> Result<Expr> {
         }
         7 => {
             let a = decode_expr(buf, pos)?;
-            let len = u32::from_le_bytes(buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().unwrap())
-                as usize;
+            let len =
+                u32::from_le_bytes(buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().unwrap())
+                    as usize;
             *pos += 4;
             let p = String::from_utf8(buf.get(*pos..*pos + len).ok_or_else(err)?.to_vec())
                 .map_err(|_| EngineError::Codec("bad utf8 in LIKE".into()))?;
@@ -329,20 +337,37 @@ mod tests {
     use super::*;
 
     fn row() -> Row {
-        vec![Value::Int(10), Value::Str("hello".into()), Value::Double(2.5), Value::Null]
+        vec![
+            Value::Int(10),
+            Value::Str("hello".into()),
+            Value::Double(2.5),
+            Value::Null,
+        ]
     }
 
     #[test]
     fn eval_comparisons() {
         let r = row();
-        assert!(Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(10)).eval_bool(&r).unwrap());
-        assert!(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(11)).eval_bool(&r).unwrap());
-        assert!(!Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(10)).eval_bool(&r).unwrap());
-        assert!(Expr::cmp(CmpOp::Ge, Expr::col(2), Expr::dbl(2.5)).eval_bool(&r).unwrap());
+        assert!(Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(10))
+            .eval_bool(&r)
+            .unwrap());
+        assert!(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(11))
+            .eval_bool(&r)
+            .unwrap());
+        assert!(!Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(10))
+            .eval_bool(&r)
+            .unwrap());
+        assert!(Expr::cmp(CmpOp::Ge, Expr::col(2), Expr::dbl(2.5))
+            .eval_bool(&r)
+            .unwrap());
         // NULL comparisons are false.
-        assert!(!Expr::cmp(CmpOp::Eq, Expr::col(3), Expr::col(3)).eval_bool(&r).unwrap());
+        assert!(!Expr::cmp(CmpOp::Eq, Expr::col(3), Expr::col(3))
+            .eval_bool(&r)
+            .unwrap());
         // Int/Double cross comparisons work.
-        assert!(Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::int(3)).eval_bool(&r).unwrap());
+        assert!(Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::int(3))
+            .eval_bool(&r)
+            .unwrap());
     }
 
     #[test]
@@ -359,20 +384,29 @@ mod tests {
             .eval(&r)
             .unwrap();
         assert!(d.is_null());
-        assert_eq!(
-            Expr::between(Expr::col(0), Expr::int(5), Expr::int(15)).eval_bool(&r).unwrap(),
-            true
-        );
+        assert!(Expr::between(Expr::col(0), Expr::int(5), Expr::int(15))
+            .eval_bool(&r)
+            .unwrap());
     }
 
     #[test]
     fn eval_like() {
         let r = row();
-        assert!(Expr::Like(Box::new(Expr::col(1)), "%ell%".into()).eval_bool(&r).unwrap());
-        assert!(Expr::Like(Box::new(Expr::col(1)), "he%".into()).eval_bool(&r).unwrap());
-        assert!(Expr::Like(Box::new(Expr::col(1)), "%lo".into()).eval_bool(&r).unwrap());
-        assert!(!Expr::Like(Box::new(Expr::col(1)), "%xyz%".into()).eval_bool(&r).unwrap());
-        assert!(Expr::Like(Box::new(Expr::col(1)), "hello".into()).eval_bool(&r).unwrap());
+        assert!(Expr::Like(Box::new(Expr::col(1)), "%ell%".into())
+            .eval_bool(&r)
+            .unwrap());
+        assert!(Expr::Like(Box::new(Expr::col(1)), "he%".into())
+            .eval_bool(&r)
+            .unwrap());
+        assert!(Expr::Like(Box::new(Expr::col(1)), "%lo".into())
+            .eval_bool(&r)
+            .unwrap());
+        assert!(!Expr::Like(Box::new(Expr::col(1)), "%xyz%".into())
+            .eval_bool(&r)
+            .unwrap());
+        assert!(Expr::Like(Box::new(Expr::col(1)), "hello".into())
+            .eval_bool(&r)
+            .unwrap());
     }
 
     #[test]

@@ -37,27 +37,42 @@ pub struct AggExpr {
 impl AggExpr {
     /// `COUNT(*)`.
     pub fn count_star() -> AggExpr {
-        AggExpr { func: AggFunc::CountStar, expr: Expr::int(0) }
+        AggExpr {
+            func: AggFunc::CountStar,
+            expr: Expr::int(0),
+        }
     }
 
     /// `SUM(expr)`.
     pub fn sum(expr: Expr) -> AggExpr {
-        AggExpr { func: AggFunc::Sum, expr }
+        AggExpr {
+            func: AggFunc::Sum,
+            expr,
+        }
     }
 
     /// `AVG(expr)`.
     pub fn avg(expr: Expr) -> AggExpr {
-        AggExpr { func: AggFunc::Avg, expr }
+        AggExpr {
+            func: AggFunc::Avg,
+            expr,
+        }
     }
 
     /// `MIN(expr)`.
     pub fn min(expr: Expr) -> AggExpr {
-        AggExpr { func: AggFunc::Min, expr }
+        AggExpr {
+            func: AggFunc::Min,
+            expr,
+        }
     }
 
     /// `MAX(expr)`.
     pub fn max(expr: Expr) -> AggExpr {
-        AggExpr { func: AggFunc::Max, expr }
+        AggExpr {
+            func: AggFunc::Max,
+            expr,
+        }
     }
 }
 
@@ -146,17 +161,29 @@ pub enum Plan {
 impl Plan {
     /// Plain full scan.
     pub fn scan(table: &str) -> Plan {
-        Plan::SeqScan { table: table.to_string(), filter: None, project: None }
+        Plan::SeqScan {
+            table: table.to_string(),
+            filter: None,
+            project: None,
+        }
     }
 
     /// Filtered scan.
     pub fn scan_where(table: &str, filter: Expr) -> Plan {
-        Plan::SeqScan { table: table.to_string(), filter: Some(filter), project: None }
+        Plan::SeqScan {
+            table: table.to_string(),
+            filter: Some(filter),
+            project: None,
+        }
     }
 
     /// Aggregate this plan.
     pub fn agg(self, group_by: Vec<usize>, aggs: Vec<AggExpr>) -> Plan {
-        Plan::HashAgg { input: Box::new(self), group_by, aggs }
+        Plan::HashAgg {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
     }
 
     /// Hash-join with `right`.
@@ -173,21 +200,37 @@ impl Plan {
 
     /// Sort by `(col, desc)` keys.
     pub fn sort(self, by: Vec<(usize, bool)>) -> Plan {
-        Plan::Sort { input: Box::new(self), by, limit: None }
+        Plan::Sort {
+            input: Box::new(self),
+            by,
+            limit: None,
+        }
     }
 
     /// Sort + limit.
     pub fn top_k(self, by: Vec<(usize, bool)>, k: usize) -> Plan {
-        Plan::Sort { input: Box::new(self), by, limit: Some(k) }
+        Plan::Sort {
+            input: Box::new(self),
+            by,
+            limit: Some(k),
+        }
     }
 
     /// Project columns of this plan's output.
     pub fn project(self, exprs: Vec<Expr>) -> Plan {
-        Plan::Map { input: Box::new(self), filter: None, project: Some(exprs) }
+        Plan::Map {
+            input: Box::new(self),
+            filter: None,
+            project: Some(exprs),
+        }
     }
 
     /// Filter this plan's output.
     pub fn filtered(self, filter: Expr) -> Plan {
-        Plan::Map { input: Box::new(self), filter: Some(filter), project: None }
+        Plan::Map {
+            input: Box::new(self),
+            filter: Some(filter),
+            project: None,
+        }
     }
 }

@@ -95,7 +95,11 @@ pub fn decode_fragment(buf: &[u8]) -> Result<Fragment> {
         *pos += 1;
         Ok(b)
     };
-    let filter = if take_u8(&mut pos)? == 1 { Some(decode_expr(buf, &mut pos)?) } else { None };
+    let filter = if take_u8(&mut pos)? == 1 {
+        Some(decode_expr(buf, &mut pos)?)
+    } else {
+        None
+    };
     let project = if take_u8(&mut pos)? == 1 {
         let n = u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap());
         pos += 4;
@@ -112,10 +116,9 @@ pub fn decode_fragment(buf: &[u8]) -> Result<Fragment> {
         pos += 4;
         let mut group_by = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            group_by.push(
-                u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap())
-                    as usize,
-            );
+            group_by.push(u32::from_le_bytes(
+                buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap(),
+            ) as usize);
             pos += 4;
         }
         let m = u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap());
@@ -132,13 +135,21 @@ pub fn decode_fragment(buf: &[u8]) -> Result<Fragment> {
                 t => return Err(EngineError::Codec(format!("bad agg func {t}"))),
             };
             pos += 1;
-            aggs.push(AggExpr { func, expr: decode_expr(buf, &mut pos)? });
+            aggs.push(AggExpr {
+                func,
+                expr: decode_expr(buf, &mut pos)?,
+            });
         }
         Some((group_by, aggs))
     } else {
         None
     };
-    Ok(Fragment { space, filter, project, agg })
+    Ok(Fragment {
+        space,
+        filter,
+        project,
+        agg,
+    })
 }
 
 /// Which server a task runs on and which pages it covers.
@@ -234,7 +245,10 @@ fn split_tasks(db: &Db, space: u32) -> Vec<Task> {
     for page_no in 1..=n_pages {
         let pid = PageId::new(space, page_no);
         let need_lsn = db.page_lsn(pid);
-        let ebp_hit = db.ebp().and_then(|e| e.locate(pid)).filter(|loc| loc.lsn >= need_lsn);
+        let ebp_hit = db
+            .ebp()
+            .and_then(|e| e.locate(pid))
+            .filter(|loc| loc.lsn >= need_lsn);
         match ebp_hit {
             Some(loc) => ebp_groups.entry(loc.node).or_default().push(loc),
             None => {
@@ -246,13 +260,15 @@ fn split_tasks(db: &Db, space: u32) -> Vec<Task> {
     }
     let mut tasks: Vec<Task> = ebp_groups
         .into_iter()
-        .map(|(node, pages)| Task { node, pages: TaskPages::Ebp(pages) })
+        .map(|(node, pages)| Task {
+            node,
+            pages: TaskPages::Ebp(pages),
+        })
         .collect();
-    tasks.extend(
-        ps_groups
-            .into_iter()
-            .map(|(node, pages)| Task { node, pages: TaskPages::PageStore(pages) }),
-    );
+    tasks.extend(ps_groups.into_iter().map(|(node, pages)| Task {
+        node,
+        pages: TaskPages::PageStore(pages),
+    }));
     tasks
 }
 
@@ -281,7 +297,10 @@ fn process_page(
                 let key_vals: Vec<Value> = group_by.iter().map(|i| row[*i].clone()).collect();
                 let key = group_key(&key_vals);
                 let entry = groups.entry(key).or_insert_with(|| {
-                    (key_vals.clone(), aggs.iter().map(|a| AggState::new(a.func)).collect())
+                    (
+                        key_vals.clone(),
+                        aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    )
                 });
                 for (state, agg) in entry.1.iter_mut().zip(aggs) {
                     state.update(agg.func, agg.expr.eval(&row)?);
@@ -360,7 +379,13 @@ fn row_to_states(row: &Row, n_groups: usize, aggs: &[AggExpr]) -> (Vec<Value>, V
 }
 
 /// Execute one task on its server, charging that server's resources.
-fn run_task(ctx: &mut SimCtx, db: &Db, frag: &Fragment, frag_bytes: usize, task: &Task) -> Result<Vec<Row>> {
+fn run_task(
+    ctx: &mut SimCtx,
+    db: &Db,
+    frag: &Fragment,
+    frag_bytes: usize,
+    task: &Task,
+) -> Result<Vec<Row>> {
     let mut rows_out = Vec::new();
     let mut groups = HashMap::new();
     let mut rows_scanned = 0usize;
@@ -380,18 +405,23 @@ fn run_task(ctx: &mut SimCtx, db: &Db, frag: &Fragment, frag_bytes: usize, task:
                 0,
                 |c| {
                     for loc in locs {
-                        let Some(seg_off) = server.segment_offset(loc.seg.id) else { continue };
+                        let Some(seg_off) = server.segment_offset(loc.seg.id) else {
+                            continue;
+                        };
                         // Local PMem read (no network).
                         let pmem = server.res().pmem.as_ref().expect("astore node pmem");
                         let done = c.now();
-                        let done = pmem
-                            .acquire(done, db.env().model.pmem_read_svc(loc.len as usize));
+                        let done =
+                            pmem.acquire(done, db.env().model.pmem_read_svc(loc.len as usize));
                         c.wait_until(done);
-                        let Ok(bytes) = server.device().peek(seg_off + loc.offset, loc.len as usize)
+                        let Ok(bytes) =
+                            server.device().peek(seg_off + loc.offset, loc.len as usize)
                         else {
                             continue;
                         };
-                        let Ok(page) = Page::from_bytes(&bytes) else { continue };
+                        let Ok(page) = Page::from_bytes(&bytes) else {
+                            continue;
+                        };
                         process_page(&page, frag, &mut rows_out, &mut groups, &mut rows_scanned)?;
                     }
                     // Operator work on the AStore server's idle cores.
@@ -445,7 +475,11 @@ fn run_task(ctx: &mut SimCtx, db: &Db, frag: &Fragment, frag_bytes: usize, task:
             result?;
         }
     }
-    let mut partials = if frag.agg.is_some() { states_to_rows(groups) } else { rows_out };
+    let mut partials = if frag.agg.is_some() {
+        states_to_rows(groups)
+    } else {
+        rows_out
+    };
     // Response streaming back to the engine: charge the transfer size.
     let resp_bytes: usize = partials.len() * 48;
     ctx.advance(VTime::from_nanos(
@@ -468,15 +502,19 @@ pub fn pushdown_scan(
     let space = db.with_table(table, |t| t.space_no)?;
     // PageStore must be able to serve every logged page version.
     db.flush_ship(ctx, true);
-    let frag =
-        Fragment { space, filter: clone_opt(filter), project: clone_opt_vec(project), agg };
+    let frag = Fragment {
+        space,
+        filter: clone_opt(filter),
+        project: clone_opt_vec(project),
+        agg,
+    };
     let mut frag_buf = Vec::with_capacity(128);
     encode_fragment(&frag, &mut frag_buf);
     // Serialization cost on the engine.
-    let done = db
-        .env()
-        .engine_cpu
-        .acquire(ctx.now(), VTime::from_nanos(db.env().model.cpu_fragment_codec_ns));
+    let done = db.env().engine_cpu.acquire(
+        ctx.now(),
+        VTime::from_nanos(db.env().model.cpu_fragment_codec_ns),
+    );
     ctx.wait_until(done);
 
     let tasks = split_tasks(db, space);
@@ -516,7 +554,7 @@ pub fn pushdown_scan(
                     vals
                 })
                 .collect();
-            out.sort_by(|a, b| group_key(a).cmp(&group_key(b)));
+            out.sort_by_key(|r| group_key(r));
             Ok(out)
         }
         None => Ok(partial_sets.into_iter().flatten().collect()),
@@ -557,7 +595,12 @@ mod tests {
         encode_fragment(&frag, &mut buf);
         assert_eq!(decode_fragment(&buf).unwrap(), frag);
 
-        let bare = Fragment { space: 1, filter: None, project: None, agg: None };
+        let bare = Fragment {
+            space: 1,
+            filter: None,
+            project: None,
+            agg: None,
+        };
         let mut buf2 = Vec::new();
         encode_fragment(&bare, &mut buf2);
         assert_eq!(decode_fragment(&buf2).unwrap(), bare);

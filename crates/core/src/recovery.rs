@@ -72,7 +72,7 @@ pub fn recover(
         Arc::clone(&fabric.env.faults),
         Arc::clone(&fabric.env.engine_nic),
     );
-    let client = AStoreClient::connect(
+    let client = AStoreClient::connect_with_policy(
         ctx,
         Arc::clone(&fabric.cm),
         ep,
@@ -80,6 +80,7 @@ pub fn recover(
         fabric.env.model.clone(),
         ctx.client_id,
         VTime::from_millis(50),
+        cfg.retry,
     );
     let ring = SegmentRing::recover(ctx, Arc::clone(&client), ring_segment_ids)?;
     let log_segments = ring.segment_ids();
@@ -102,7 +103,10 @@ pub fn recover(
                     .and_modify(|l| *l = (*l).max(redo.lsn))
                     .or_insert(redo.lsn);
                 if let Some(u) = undo {
-                    undo_chains.entry(redo.txn_id).or_default().push((*lsn, u.clone()));
+                    undo_chains
+                        .entry(redo.txn_id)
+                        .or_default()
+                        .push((*lsn, u.clone()));
                 }
                 redo_records.push(redo.clone());
             }
@@ -119,7 +123,11 @@ pub fn recover(
         // Txn id 0 is the system transaction (bootstrap, page allocation,
         // tree creation): redo-only structural work with no commit record
         // and nothing to undo.
-        let mut l: Vec<u64> = touched.difference(&terminal).copied().filter(|t| *t != 0).collect();
+        let mut l: Vec<u64> = touched
+            .difference(&terminal)
+            .copied()
+            .filter(|t| *t != 0)
+            .collect();
         l.sort_unstable();
         l
     };

@@ -234,9 +234,7 @@ mod tests {
 
     #[test]
     fn string_with_nul_bytes_sorts_correctly() {
-        let k = |s: &[u8]| {
-            encode_key(&[Value::Str(String::from_utf8(s.to_vec()).unwrap())])
-        };
+        let k = |s: &[u8]| encode_key(&[Value::Str(String::from_utf8(s.to_vec()).unwrap())]);
         assert!(k(b"a") < k(b"a\x00"));
         assert!(k(b"a\x00") < k(b"a\x01"));
     }

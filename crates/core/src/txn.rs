@@ -34,7 +34,12 @@ pub struct TxnHandle {
 impl TxnHandle {
     /// New active transaction.
     pub(crate) fn new(id: u64) -> TxnHandle {
-        TxnHandle { id, status: TxnStatus::Active, locks: Vec::new(), undo: Vec::new() }
+        TxnHandle {
+            id,
+            status: TxnStatus::Active,
+            locks: Vec::new(),
+            undo: Vec::new(),
+        }
     }
 
     /// Is the transaction still running?

@@ -112,11 +112,23 @@ fn decode_undo(buf: &[u8]) -> Result<(UndoInfo, usize)> {
     pos += clen;
     let op = match tag {
         0 => UndoOp::Remove { key },
-        1 => UndoOp::Revert { key, old_cell: cell },
-        2 => UndoOp::ReInsert { key, old_cell: cell },
+        1 => UndoOp::Revert {
+            key,
+            old_cell: cell,
+        },
+        2 => UndoOp::ReInsert {
+            key,
+            old_cell: cell,
+        },
         t => return Err(EngineError::Codec(format!("bad undo tag {t}"))),
     };
-    Ok((UndoInfo { index_space: space, op }, pos))
+    Ok((
+        UndoInfo {
+            index_space: space,
+            op,
+        },
+        pos,
+    ))
 }
 
 /// Encode a record body (without framing).
@@ -158,8 +170,8 @@ pub fn decode_wal_record(buf: &[u8]) -> Result<WalRecord> {
             } else {
                 None
             };
-            let (redo, _) = decode_record(&buf[pos..])
-                .map_err(|e| EngineError::Codec(format!("redo: {e}")))?;
+            let (redo, _) =
+                decode_record(&buf[pos..]).map_err(|e| EngineError::Codec(format!("redo: {e}")))?;
             Ok(WalRecord::Page { redo, undo })
         }
         1 => Ok(WalRecord::Commit {
@@ -339,7 +351,10 @@ impl Wal {
         let max_io = backend.max_append().min(256 * 1024);
         Wal {
             backend,
-            state: Mutex::new(WalBuffer { buf: Vec::new(), next_lsn: next }),
+            state: Mutex::new(WalBuffer {
+                buf: Vec::new(),
+                next_lsn: next,
+            }),
             flushed: AtomicU64::new(next),
             flush_lock: Mutex::new(()),
             max_io,
@@ -369,7 +384,13 @@ impl Wal {
         let mut state = self.state.lock();
         redo.lsn = state.next_lsn;
         let mut body = Vec::with_capacity(128);
-        encode_wal_record(&WalRecord::Page { redo: redo.clone(), undo }, &mut body);
+        encode_wal_record(
+            &WalRecord::Page {
+                redo: redo.clone(),
+                undo,
+            },
+            &mut body,
+        );
         let lsn = Self::buffer_frame_locked(&mut state, &body);
         drop(state);
         // Log-buffer memcpy cost.
@@ -387,7 +408,9 @@ impl Wal {
 
     fn buffer_frame_locked(state: &mut WalBuffer, body: &[u8]) -> Lsn {
         let lsn = state.next_lsn;
-        state.buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        state
+            .buf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
         state.buf.extend_from_slice(body);
         state.next_lsn += 4 + body.len() as u64;
         lsn
@@ -456,11 +479,17 @@ mod tests {
                 prev_same_segment: 0,
                 txn_id: txn,
                 page: PageId::new(1, 2),
-                op: PageOp::InsertAt { slot: 3, cell: b"cell-bytes".to_vec() },
+                op: PageOp::InsertAt {
+                    slot: 3,
+                    cell: b"cell-bytes".to_vec(),
+                },
             },
             undo: Some(UndoInfo {
                 index_space: 1,
-                op: UndoOp::Revert { key: b"k1".to_vec(), old_cell: b"old".to_vec() },
+                op: UndoOp::Revert {
+                    key: b"k1".to_vec(),
+                    old_cell: b"old".to_vec(),
+                },
             }),
         }
     }
@@ -475,7 +504,10 @@ mod tests {
                     prev_same_segment: 0,
                     txn_id: 1,
                     page: PageId::new(0, 1),
-                    op: PageOp::Format { ty: PageType::BTreeLeaf, level: 0 },
+                    op: PageOp::Format {
+                        ty: PageType::BTreeLeaf,
+                        level: 0,
+                    },
                 },
                 undo: None,
             },
@@ -492,8 +524,14 @@ mod tests {
     fn undo_variants_roundtrip() {
         for op in [
             UndoOp::Remove { key: b"k".to_vec() },
-            UndoOp::Revert { key: b"k".to_vec(), old_cell: b"v1".to_vec() },
-            UndoOp::ReInsert { key: b"k".to_vec(), old_cell: b"v2".to_vec() },
+            UndoOp::Revert {
+                key: b"k".to_vec(),
+                old_cell: b"v1".to_vec(),
+            },
+            UndoOp::ReInsert {
+                key: b"k".to_vec(),
+                old_cell: b"v2".to_vec(),
+            },
         ] {
             let u = UndoInfo { index_space: 9, op };
             let mut buf = Vec::new();

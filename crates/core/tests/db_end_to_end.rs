@@ -32,34 +32,50 @@ fn open_db(ctx: &mut SimCtx, fabric: &StorageFabric, cfg: DbConfig) -> Arc<Db> {
 }
 
 fn row(id: i64, owner: &str, balance: i64) -> Vec<Value> {
-    vec![Value::Int(id), Value::Str(owner.into()), Value::Int(balance)]
+    vec![
+        Value::Int(id),
+        Value::Str(owner.into()),
+        Value::Int(balance),
+    ]
 }
 
 #[test]
 fn insert_commit_read_back() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 42);
-    let db = open_db(&mut ctx, &f, DbConfig::default());
+    let db = open_db(&mut ctx, &f, DbConfig::builder().build().unwrap());
     let mut txn = db.begin();
     for i in 0..50 {
-        db.insert(&mut ctx, &mut txn, "accounts", row(i, &format!("owner-{i}"), 100 * i))
-            .unwrap();
+        db.insert(
+            &mut ctx,
+            &mut txn,
+            "accounts",
+            row(i, &format!("owner-{i}"), 100 * i),
+        )
+        .unwrap();
     }
     db.commit(&mut ctx, &mut txn).unwrap();
 
-    let got = db.get_by_pk(&mut ctx, None, "accounts", &[Value::Int(7)]).unwrap().unwrap();
+    let got = db
+        .get_by_pk(&mut ctx, None, "accounts", &[Value::Int(7)])
+        .unwrap()
+        .unwrap();
     assert_eq!(got[1], Value::Str("owner-7".into()));
     assert_eq!(got[2], Value::Int(700));
-    assert!(db.get_by_pk(&mut ctx, None, "accounts", &[Value::Int(999)]).unwrap().is_none());
+    assert!(db
+        .get_by_pk(&mut ctx, None, "accounts", &[Value::Int(999)])
+        .unwrap()
+        .is_none());
 }
 
 #[test]
 fn duplicate_pk_rejected() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 42);
-    let db = open_db(&mut ctx, &f, DbConfig::default());
+    let db = open_db(&mut ctx, &f, DbConfig::builder().build().unwrap());
     let mut txn = db.begin();
-    db.insert(&mut ctx, &mut txn, "accounts", row(1, "a", 0)).unwrap();
+    db.insert(&mut ctx, &mut txn, "accounts", row(1, "a", 0))
+        .unwrap();
     assert!(matches!(
         db.insert(&mut ctx, &mut txn, "accounts", row(1, "b", 0)),
         Err(EngineError::DuplicateKey { .. })
@@ -70,16 +86,28 @@ fn duplicate_pk_rejected() {
 fn update_delete_and_secondary_index() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 42);
-    let db = open_db(&mut ctx, &f, DbConfig::default());
+    let db = open_db(&mut ctx, &f, DbConfig::builder().build().unwrap());
     let mut txn = db.begin();
     for i in 0..20 {
-        db.insert(&mut ctx, &mut txn, "accounts", row(i, &format!("o{}", i % 4), i)).unwrap();
+        db.insert(
+            &mut ctx,
+            &mut txn,
+            "accounts",
+            row(i, &format!("o{}", i % 4), i),
+        )
+        .unwrap();
     }
     db.commit(&mut ctx, &mut txn).unwrap();
 
     // Secondary lookup before mutation.
     let rows = db
-        .index_lookup(&mut ctx, "accounts", "idx_owner", &[Value::Str("o1".into())], 100)
+        .index_lookup(
+            &mut ctx,
+            "accounts",
+            "idx_owner",
+            &[Value::Str("o1".into())],
+            100,
+        )
         .unwrap();
     assert_eq!(rows.len(), 5); // ids 1,5,9,13,17
 
@@ -89,53 +117,87 @@ fn update_delete_and_secondary_index() {
         r[2] = Value::Int(9999);
     })
     .unwrap();
-    db.delete_by_pk(&mut ctx, &mut txn, "accounts", &[Value::Int(5)]).unwrap();
+    db.delete_by_pk(&mut ctx, &mut txn, "accounts", &[Value::Int(5)])
+        .unwrap();
     db.commit(&mut ctx, &mut txn).unwrap();
 
     let rows = db
-        .index_lookup(&mut ctx, "accounts", "idx_owner", &[Value::Str("o1".into())], 100)
+        .index_lookup(
+            &mut ctx,
+            "accounts",
+            "idx_owner",
+            &[Value::Str("o1".into())],
+            100,
+        )
         .unwrap();
     assert_eq!(rows.len(), 3, "id 1 re-keyed, id 5 deleted");
     let renamed = db
-        .index_lookup(&mut ctx, "accounts", "idx_owner", &[Value::Str("renamed".into())], 100)
+        .index_lookup(
+            &mut ctx,
+            "accounts",
+            "idx_owner",
+            &[Value::Str("renamed".into())],
+            100,
+        )
         .unwrap();
     assert_eq!(renamed.len(), 1);
     assert_eq!(renamed[0][2], Value::Int(9999));
-    assert!(db.get_by_pk(&mut ctx, None, "accounts", &[Value::Int(5)]).unwrap().is_none());
+    assert!(db
+        .get_by_pk(&mut ctx, None, "accounts", &[Value::Int(5)])
+        .unwrap()
+        .is_none());
 }
 
 #[test]
 fn abort_rolls_back_everything() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 42);
-    let db = open_db(&mut ctx, &f, DbConfig::default());
+    let db = open_db(&mut ctx, &f, DbConfig::builder().build().unwrap());
     let mut setup = db.begin();
-    db.insert(&mut ctx, &mut setup, "accounts", row(1, "keep", 100)).unwrap();
+    db.insert(&mut ctx, &mut setup, "accounts", row(1, "keep", 100))
+        .unwrap();
     db.commit(&mut ctx, &mut setup).unwrap();
 
     let mut txn = db.begin();
-    db.insert(&mut ctx, &mut txn, "accounts", row(2, "gone", 0)).unwrap();
+    db.insert(&mut ctx, &mut txn, "accounts", row(2, "gone", 0))
+        .unwrap();
     db.update_by_pk(&mut ctx, &mut txn, "accounts", &[Value::Int(1)], |r| {
         r[2] = Value::Int(-1)
     })
     .unwrap();
-    db.delete_by_pk(&mut ctx, &mut txn, "accounts", &[Value::Int(1)]).unwrap();
+    db.delete_by_pk(&mut ctx, &mut txn, "accounts", &[Value::Int(1)])
+        .unwrap();
     db.abort(&mut ctx, &mut txn).unwrap();
 
-    let r1 = db.get_by_pk(&mut ctx, None, "accounts", &[Value::Int(1)]).unwrap().unwrap();
-    assert_eq!(r1[2], Value::Int(100), "update+delete undone");
-    assert!(db.get_by_pk(&mut ctx, None, "accounts", &[Value::Int(2)]).unwrap().is_none());
-    let idx = db
-        .index_lookup(&mut ctx, "accounts", "idx_owner", &[Value::Str("gone".into())], 10)
+    let r1 = db
+        .get_by_pk(&mut ctx, None, "accounts", &[Value::Int(1)])
+        .unwrap()
         .unwrap();
-    assert!(idx.is_empty(), "secondary entries of the aborted insert removed");
+    assert_eq!(r1[2], Value::Int(100), "update+delete undone");
+    assert!(db
+        .get_by_pk(&mut ctx, None, "accounts", &[Value::Int(2)])
+        .unwrap()
+        .is_none());
+    let idx = db
+        .index_lookup(
+            &mut ctx,
+            "accounts",
+            "idx_owner",
+            &[Value::Str("gone".into())],
+            10,
+        )
+        .unwrap();
+    assert!(
+        idx.is_empty(),
+        "secondary entries of the aborted insert removed"
+    );
 }
 
 #[test]
 fn many_rows_split_pages_and_scan_in_order() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 42);
-    let db = open_db(&mut ctx, &f, DbConfig::default());
+    let db = open_db(&mut ctx, &f, DbConfig::builder().build().unwrap());
     let n = 2000i64;
     let mut txn = db.begin();
     // Insert in shuffled order to exercise splits on both ends.
@@ -145,8 +207,13 @@ fn many_rows_split_pages_and_scan_in_order() {
         ids.swap(i, j);
     }
     for id in &ids {
-        db.insert(&mut ctx, &mut txn, "accounts", row(*id, &format!("o{}", id % 7), *id))
-            .unwrap();
+        db.insert(
+            &mut ctx,
+            &mut txn,
+            "accounts",
+            row(*id, &format!("o{}", id % 7), *id),
+        )
+        .unwrap();
     }
     db.commit(&mut ctx, &mut txn).unwrap();
 
@@ -159,24 +226,36 @@ fn many_rows_split_pages_and_scan_in_order() {
     assert_eq!(seen.len(), n as usize);
     let expected: Vec<i64> = (0..n).collect();
     assert_eq!(seen, expected, "clustered scan must return PK order");
-    assert!(db.space_pages(db.with_table("accounts", |t| t.space_no).unwrap()) > 3,
-        "2000 rows must have split into multiple pages");
+    assert!(
+        db.space_pages(db.with_table("accounts", |t| t.space_no).unwrap()) > 3,
+        "2000 rows must have split into multiple pages"
+    );
 }
 
 #[test]
 fn eviction_through_ebp_and_pagestore_roundtrip() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 42);
-    let cfg = DbConfig {
-        bp_pages: 16, // tiny pool forces eviction
-        bp_shards: 2,
-        ebp: Some(EbpConfig { capacity_bytes: 8 << 20, ..Default::default() }),
-        ..Default::default()
-    };
+    // Tiny pool forces eviction.
+    let cfg = DbConfig::builder()
+        .bp_pages(16)
+        .bp_shards(2)
+        .ebp(EbpConfig {
+            capacity_bytes: 8 << 20,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let db = open_db(&mut ctx, &f, cfg);
     let mut txn = db.begin();
     for i in 0..3000 {
-        db.insert(&mut ctx, &mut txn, "accounts", row(i, &format!("owner-{i}"), i)).unwrap();
+        db.insert(
+            &mut ctx,
+            &mut txn,
+            "accounts",
+            row(i, &format!("owner-{i}"), i),
+        )
+        .unwrap();
     }
     db.commit(&mut ctx, &mut txn).unwrap();
 
@@ -184,7 +263,10 @@ fn eviction_through_ebp_and_pagestore_roundtrip() {
     // keys must come from the EBP or PageStore.
     db.ebp().unwrap().reset_stats();
     for i in (0..3000).step_by(97) {
-        let r = db.get_by_pk(&mut ctx, None, "accounts", &[Value::Int(i)]).unwrap().unwrap();
+        let r = db
+            .get_by_pk(&mut ctx, None, "accounts", &[Value::Int(i)])
+            .unwrap()
+            .unwrap();
         assert_eq!(r[0], Value::Int(i));
     }
     assert!(
@@ -199,16 +281,22 @@ fn eviction_through_ebp_and_pagestore_roundtrip() {
 fn crash_recovery_replays_committed_and_undoes_losers() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 42);
-    let cfg = DbConfig {
-        bp_pages: 64,
-        ebp: Some(EbpConfig::default()),
-        ..Default::default()
-    };
+    let cfg = DbConfig::builder()
+        .bp_pages(64)
+        .ebp(EbpConfig::default())
+        .build()
+        .unwrap();
     let db = open_db(&mut ctx, &f, cfg.clone());
 
     let mut committed = db.begin();
     for i in 0..200 {
-        db.insert(&mut ctx, &mut committed, "accounts", row(i, &format!("c{i}"), i)).unwrap();
+        db.insert(
+            &mut ctx,
+            &mut committed,
+            "accounts",
+            row(i, &format!("c{i}"), i),
+        )
+        .unwrap();
     }
     db.commit(&mut ctx, &mut committed).unwrap();
 
@@ -217,13 +305,20 @@ fn crash_recovery_replays_committed_and_undoes_losers() {
     // must actively undo them (without the flush they would simply vanish
     // with the log buffer — also correct, but a weaker test).
     let mut loser = db.begin();
-    db.insert(&mut ctx, &mut loser, "accounts", row(9000, "loser", 1)).unwrap();
+    db.insert(&mut ctx, &mut loser, "accounts", row(9000, "loser", 1))
+        .unwrap();
     db.update_by_pk(&mut ctx, &mut loser, "accounts", &[Value::Int(3)], |r| {
         r[2] = Value::Int(-777)
     })
     .unwrap();
     let mut bystander = db.begin();
-    db.insert(&mut ctx, &mut bystander, "accounts", row(8000, "bystander", 2)).unwrap();
+    db.insert(
+        &mut ctx,
+        &mut bystander,
+        "accounts",
+        row(8000, "bystander", 2),
+    )
+    .unwrap();
     db.commit(&mut ctx, &mut bystander).unwrap();
 
     let ring_ids = db.log_segment_ids();
@@ -236,37 +331,64 @@ fn crash_recovery_replays_committed_and_undoes_losers() {
     assert!(report.committed >= 1);
 
     // Committed data is back (including the group-commit bystander).
-    let r = db2.get_by_pk(&mut ctx2, None, "accounts", &[Value::Int(199)]).unwrap().unwrap();
+    let r = db2
+        .get_by_pk(&mut ctx2, None, "accounts", &[Value::Int(199)])
+        .unwrap()
+        .unwrap();
     assert_eq!(r[2], Value::Int(199));
-    assert!(db2.get_by_pk(&mut ctx2, None, "accounts", &[Value::Int(8000)]).unwrap().is_some());
+    assert!(db2
+        .get_by_pk(&mut ctx2, None, "accounts", &[Value::Int(8000)])
+        .unwrap()
+        .is_some());
     // Loser's insert is gone; its update reverted.
-    assert!(db2.get_by_pk(&mut ctx2, None, "accounts", &[Value::Int(9000)]).unwrap().is_none());
-    let r3 = db2.get_by_pk(&mut ctx2, None, "accounts", &[Value::Int(3)]).unwrap().unwrap();
+    assert!(db2
+        .get_by_pk(&mut ctx2, None, "accounts", &[Value::Int(9000)])
+        .unwrap()
+        .is_none());
+    let r3 = db2
+        .get_by_pk(&mut ctx2, None, "accounts", &[Value::Int(3)])
+        .unwrap()
+        .unwrap();
     assert_eq!(r3[2], Value::Int(3), "loser's update must be undone");
     // And the recovered engine keeps working.
     let mut txn = db2.begin();
-    db2.insert(&mut ctx2, &mut txn, "accounts", row(5000, "post", 1)).unwrap();
+    db2.insert(&mut ctx2, &mut txn, "accounts", row(5000, "post", 1))
+        .unwrap();
     db2.commit(&mut ctx2, &mut txn).unwrap();
-    assert!(db2.get_by_pk(&mut ctx2, None, "accounts", &[Value::Int(5000)]).unwrap().is_some());
+    assert!(db2
+        .get_by_pk(&mut ctx2, None, "accounts", &[Value::Int(5000)])
+        .unwrap()
+        .is_some());
 }
 
 #[test]
 fn astore_commit_latency_beats_blobstore() {
     let f = fabric();
     let mut ctx_a = SimCtx::new(1, 42);
-    let db_a = open_db(&mut ctx_a, &f, DbConfig { log: LogBackendKind::AStore, ..Default::default() });
+    let db_a = open_db(
+        &mut ctx_a,
+        &f,
+        DbConfig::builder()
+            .log(LogBackendKind::AStore)
+            .build()
+            .unwrap(),
+    );
     let mut ctx_b = SimCtx::new(2, 42);
     let db_b = open_db(
         &mut ctx_b,
         &f,
-        DbConfig { log: LogBackendKind::BlobStore, ..Default::default() },
+        DbConfig::builder()
+            .log(LogBackendKind::BlobStore)
+            .build()
+            .unwrap(),
     );
 
     let measure = |db: &Arc<Db>, ctx: &mut SimCtx, base: i64| {
         let t0 = ctx.now();
         for i in 0..50 {
             let mut txn = db.begin();
-            db.insert(ctx, &mut txn, "accounts", row(base + i, "x", i)).unwrap();
+            db.insert(ctx, &mut txn, "accounts", row(base + i, "x", i))
+                .unwrap();
             db.commit(ctx, &mut txn).unwrap();
         }
         (ctx.now() - t0) / 50
@@ -284,7 +406,7 @@ fn astore_commit_latency_beats_blobstore() {
 fn checkpoint_truncates_and_ring_survives_wraparound() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 42);
-    let cfg = DbConfig { ring_segments: 4, ..Default::default() };
+    let cfg = DbConfig::builder().ring_segments(4).build().unwrap();
     let db = open_db(&mut ctx, &f, cfg);
     // Write far more log than the ring holds, checkpointing as we go.
     for batch in 0..20 {
@@ -303,16 +425,18 @@ fn checkpoint_truncates_and_ring_survives_wraparound() {
     }
     // All data readable afterwards.
     for id in [0i64, 499, 999] {
-        assert!(db.get_by_pk(&mut ctx, None, "accounts", &[Value::Int(id)]).unwrap().is_some());
+        assert!(db
+            .get_by_pk(&mut ctx, None, "accounts", &[Value::Int(id)])
+            .unwrap()
+            .is_some());
     }
 }
-
 
 #[test]
 fn concurrent_commits_produce_a_parseable_log() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 42);
-    let db = open_db(&mut ctx, &f, DbConfig::default());
+    let db = open_db(&mut ctx, &f, DbConfig::builder().build().unwrap());
     let base = ctx.now();
 
     std::thread::scope(|scope| {
@@ -345,7 +469,10 @@ fn concurrent_commits_produce_a_parseable_log() {
         .iter()
         .filter(|(_, r)| matches!(r, vedb_core::wal::WalRecord::Commit { .. }))
         .count();
-    assert!(commits >= 320, "all 320 commits must be durable, found {commits}");
+    assert!(
+        commits >= 320,
+        "all 320 commits must be durable, found {commits}"
+    );
     // Every row readable.
     for t in 0..8i64 {
         for i in (0..40).step_by(13) {

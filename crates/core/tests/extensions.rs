@@ -19,11 +19,14 @@ fn open_big(ctx: &mut SimCtx, f: &StorageFabric, rows: i64) -> Arc<Db> {
     let db = Db::open(
         ctx,
         f,
-        DbConfig {
-            bp_pages: 32,
-            ebp: Some(EbpConfig { capacity_bytes: 128 << 20, ..Default::default() }),
-            ..Default::default()
-        },
+        DbConfig::builder()
+            .bp_pages(32)
+            .ebp(EbpConfig {
+                capacity_bytes: 128 << 20,
+                ..Default::default()
+            })
+            .build()
+            .unwrap(),
     )
     .unwrap();
     db.define_schema(|cat| {
@@ -118,7 +121,7 @@ fn warmup_from_ebp_restores_hit_rate() {
 
     let loaded = db.warmup_from_ebp(&mut ctx, 32);
     assert!(loaded > 0, "warm-up must load pages from the EBP");
-    assert!(db.buffer_pool().len() > 0);
+    assert!(!db.buffer_pool().is_empty());
 }
 
 #[test]
@@ -145,7 +148,11 @@ fn astore_server_restart_reattaches_ebp_pages() {
     let victim_pages: Vec<_> = ebp
         .cached_pages(before)
         .into_iter()
-        .filter(|p| ebp.locate(*p).map(|l| l.node == victim.node()).unwrap_or(false))
+        .filter(|p| {
+            ebp.locate(*p)
+                .map(|l| l.node == victim.node())
+                .unwrap_or(false)
+        })
         .collect();
     assert!(!victim_pages.is_empty());
 
@@ -161,7 +168,10 @@ fn astore_server_restart_reattaches_ebp_pages() {
     f.env.faults.restore(victim.node());
     victim.restart(&mut ctx).unwrap();
     let attached = ebp.reattach_server(&mut ctx, &victim).unwrap();
-    assert!(attached > 0, "restart must re-attach locally persisted EBP pages");
+    assert!(
+        attached > 0,
+        "restart must re-attach locally persisted EBP pages"
+    );
     // The page whose index entry was dropped during the outage is back.
     assert!(
         ebp.read_page(&mut ctx, miss_page, 0).is_some(),

@@ -38,8 +38,16 @@ fn payload(v: u16) -> String {
 
 fn open(ctx: &mut SimCtx) -> (StorageFabric, Arc<Db>) {
     let fabric = StorageFabric::build(ClusterSpec::tiny(), 16 << 20, 256 * 1024);
-    let db = Db::open(ctx, &fabric, DbConfig { bp_pages: 32, bp_shards: 2, ..Default::default() })
-        .unwrap();
+    let db = Db::open(
+        ctx,
+        &fabric,
+        DbConfig::builder()
+            .bp_pages(32)
+            .bp_shards(2)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
     db.define_schema(|cat| {
         cat.define("t")
             .col("id", ColumnType::Int)
@@ -52,7 +60,7 @@ fn open(ctx: &mut SimCtx) -> (StorageFabric, Arc<Db>) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn btree_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {

@@ -79,7 +79,7 @@ fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
 fn filter_and_projection() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 7);
-    let db = setup(&mut ctx, &f, DbConfig::default(), 500);
+    let db = setup(&mut ctx, &f, DbConfig::builder().build().unwrap(), 500);
     let plan = Plan::SeqScan {
         table: "orders".into(),
         filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(10))),
@@ -95,11 +95,15 @@ fn filter_and_projection() {
 fn aggregation_group_by() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 7);
-    let db = setup(&mut ctx, &f, DbConfig::default(), 400);
+    let db = setup(&mut ctx, &f, DbConfig::builder().build().unwrap(), 400);
     // SELECT o_region, COUNT(*), SUM(o_amount) FROM orders GROUP BY o_region
     let plan = Plan::scan("orders").agg(
         vec![3],
-        vec![AggExpr::count_star(), AggExpr::sum(Expr::col(2)), AggExpr::max(Expr::col(0))],
+        vec![
+            AggExpr::count_star(),
+            AggExpr::sum(Expr::col(2)),
+            AggExpr::max(Expr::col(0)),
+        ],
     );
     let rows = execute(&mut ctx, &db, &QuerySession::default(), &plan).unwrap();
     assert_eq!(rows.len(), 4);
@@ -114,7 +118,7 @@ fn aggregation_group_by() {
 fn joins_hash_and_nested_loop_agree() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 7);
-    let db = setup(&mut ctx, &f, DbConfig::default(), 200);
+    let db = setup(&mut ctx, &f, DbConfig::builder().build().unwrap(), 200);
     let hash = Plan::scan("orders").hash_join(Plan::scan("lineitems"), vec![0], vec![1]);
     let nl = Plan::NestLoopJoin {
         left: Box::new(Plan::scan("orders")),
@@ -133,7 +137,7 @@ fn joins_hash_and_nested_loop_agree() {
 fn sort_and_limit() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 7);
-    let db = setup(&mut ctx, &f, DbConfig::default(), 300);
+    let db = setup(&mut ctx, &f, DbConfig::builder().build().unwrap(), 300);
     let plan = Plan::scan("orders").top_k(vec![(2, true), (0, false)], 5);
     let rows = execute(&mut ctx, &db, &QuerySession::default(), &plan).unwrap();
     assert_eq!(rows.len(), 5);
@@ -146,16 +150,19 @@ fn sort_and_limit() {
 fn pushdown_matches_local_execution() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 7);
-    let cfg = DbConfig {
-        bp_pages: 32,
-        ebp: Some(EbpConfig { capacity_bytes: 32 << 20, ..Default::default() }),
-        ..Default::default()
-    };
+    let cfg = DbConfig::builder()
+        .bp_pages(32)
+        .ebp(EbpConfig {
+            capacity_bytes: 32 << 20,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let db = setup(&mut ctx, &f, cfg, 3000);
     let local = QuerySession::default();
     let pq = QuerySession::with_pushdown();
 
-    let plans = vec![
+    let plans = [
         // Plain filtered scan.
         Plan::SeqScan {
             table: "orders".into(),
@@ -180,16 +187,19 @@ fn pushdown_matches_local_execution() {
             ],
         ),
         // Global (no group-by) aggregate.
-        Plan::scan_where(
-            "orders",
-            Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::int(25)),
-        )
-        .agg(vec![], vec![AggExpr::count_star(), AggExpr::sum(Expr::col(2))]),
+        Plan::scan_where("orders", Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::int(25))).agg(
+            vec![],
+            vec![AggExpr::count_star(), AggExpr::sum(Expr::col(2))],
+        ),
     ];
     for (i, plan) in plans.iter().enumerate() {
         let a = execute(&mut ctx, &db, &local, plan).unwrap();
         let b = execute(&mut ctx, &db, &pq, plan).unwrap();
-        assert_eq!(sorted(a), sorted(b), "plan {i} must agree local vs pushdown");
+        assert_eq!(
+            sorted(a),
+            sorted(b),
+            "plan {i} must agree local vs pushdown"
+        );
     }
 }
 
@@ -197,11 +207,15 @@ fn pushdown_matches_local_execution() {
 fn pushdown_is_faster_and_uses_storage_cpu() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 7);
-    let cfg = DbConfig {
-        bp_pages: 16, // tiny pool: engine-local scan must fetch remotely
-        ebp: Some(EbpConfig { capacity_bytes: 64 << 20, ..Default::default() }),
-        ..Default::default()
-    };
+    // Tiny pool: engine-local scan must fetch remotely.
+    let cfg = DbConfig::builder()
+        .bp_pages(16)
+        .ebp(EbpConfig {
+            capacity_bytes: 64 << 20,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let db = setup(&mut ctx, &f, cfg, 6000);
     // Aggregation over everything: the classic push-down win (Q1/Q6-like).
     let plan = Plan::scan("orders").agg(
@@ -216,13 +230,21 @@ fn pushdown_is_faster_and_uses_storage_cpu() {
     execute(&mut ctx, &db, &s, &plan).unwrap();
     let local_time = ctx.now() - t0;
 
-    let astore_cpu_before: VTime =
-        db.env().astore_nodes.iter().map(|n| n.cpu.total_busy()).sum();
+    let astore_cpu_before: VTime = db
+        .env()
+        .astore_nodes
+        .iter()
+        .map(|n| n.cpu.total_busy())
+        .sum();
     let t1 = ctx.now();
     execute(&mut ctx, &db, &QuerySession::with_pushdown(), &plan).unwrap();
     let pq_time = ctx.now() - t1;
-    let astore_cpu_after: VTime =
-        db.env().astore_nodes.iter().map(|n| n.cpu.total_busy()).sum();
+    let astore_cpu_after: VTime = db
+        .env()
+        .astore_nodes
+        .iter()
+        .map(|n| n.cpu.total_busy())
+        .sum();
 
     assert!(
         pq_time.as_nanos() * 2 < local_time.as_nanos(),
@@ -238,7 +260,7 @@ fn pushdown_is_faster_and_uses_storage_cpu() {
 fn index_lookup_plan() {
     let f = fabric();
     let mut ctx = SimCtx::new(1, 7);
-    let db = Db::open(&mut ctx, &f, DbConfig::default()).unwrap();
+    let db = Db::open(&mut ctx, &f, DbConfig::builder().build().unwrap()).unwrap();
     db.define_schema(|cat| {
         cat.define("t")
             .col("id", ColumnType::Int)
@@ -250,7 +272,13 @@ fn index_lookup_plan() {
     db.create_tables(&mut ctx).unwrap();
     let mut txn = db.begin();
     for i in 0..100 {
-        db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(i), Value::Int(i % 10)]).unwrap();
+        db.insert(
+            &mut ctx,
+            &mut txn,
+            "t",
+            vec![Value::Int(i), Value::Int(i % 10)],
+        )
+        .unwrap();
     }
     db.commit(&mut ctx, &mut txn).unwrap();
     let plan = Plan::IndexLookup {
@@ -262,5 +290,7 @@ fn index_lookup_plan() {
     };
     let rows = execute(&mut ctx, &db, &QuerySession::default(), &plan).unwrap();
     assert_eq!(rows.len(), 5); // 53,63,73,83,93
-    assert!(rows.iter().all(|r| r[1] == Value::Int(3) && r[0].as_int() > 50));
+    assert!(rows
+        .iter()
+        .all(|r| r[1] == Value::Int(3) && r[0].as_int() > 50));
 }

@@ -84,7 +84,9 @@ impl Default for Page {
 impl Page {
     /// A zeroed (Free) page.
     pub fn new() -> Page {
-        let mut p = Page { buf: vec![0u8; PAGE_SIZE].into_boxed_slice() };
+        let mut p = Page {
+            buf: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+        };
         p.put_u16(OFF_DATA_TAIL, PAGE_SIZE as u16);
         p
     }
@@ -105,7 +107,9 @@ impl Page {
                 got: bytes.len(),
             });
         }
-        Ok(Page { buf: bytes.to_vec().into_boxed_slice() })
+        Ok(Page {
+            buf: bytes.to_vec().into_boxed_slice(),
+        })
     }
 
     /// The raw page image.
@@ -207,7 +211,10 @@ impl Page {
     /// Cell bytes at slot `idx`.
     pub fn get(&self, idx: usize) -> Result<&[u8]> {
         if idx >= self.n_slots() {
-            return Err(PageStoreError::SlotOutOfRange { idx, n_slots: self.n_slots() });
+            return Err(PageStoreError::SlotOutOfRange {
+                idx,
+                n_slots: self.n_slots(),
+            });
         }
         let (off, len) = self.dir_entry(idx);
         Ok(&self.buf[off..off + len])
@@ -400,7 +407,10 @@ mod tests {
             p.insert_at(n, &cell).unwrap();
             n += 1;
         }
-        assert!(n >= 150, "a 16KB page should hold >150 104-byte cells, got {n}");
+        assert!(
+            n >= 150,
+            "a 16KB page should hold >150 104-byte cells, got {n}"
+        );
         assert!(matches!(
             p.insert_at(0, &cell),
             Err(PageStoreError::PageFull { .. })

@@ -179,16 +179,25 @@ pub fn decode_record(buf: &[u8]) -> Result<(RedoRecord, usize)> {
     let space_no = r.u32()?;
     let page_no = r.u32()?;
     let op = match r.u8()? {
-        0 => PageOp::Format { ty: PageType::from_byte(r.u8()?), level: r.u8()? },
+        0 => PageOp::Format {
+            ty: PageType::from_byte(r.u8()?),
+            level: r.u8()?,
+        },
         1 => {
             let slot = r.u16()?;
             let len = r.u32()? as usize;
-            PageOp::InsertAt { slot, cell: r.take(len)?.to_vec() }
+            PageOp::InsertAt {
+                slot,
+                cell: r.take(len)?.to_vec(),
+            }
         }
         2 => {
             let slot = r.u16()?;
             let len = r.u32()? as usize;
-            PageOp::Update { slot, cell: r.take(len)?.to_vec() }
+            PageOp::Update {
+                slot,
+                cell: r.take(len)?.to_vec(),
+            }
         }
         3 => PageOp::Delete { slot: r.u16()? },
         4 => PageOp::SetNextPage { page_no: r.u32()? },
@@ -217,21 +226,30 @@ mod tests {
                 prev_same_segment: 0,
                 txn_id: 1,
                 page: PageId::new(1, 5),
-                op: PageOp::Format { ty: PageType::BTreeLeaf, level: 0 },
+                op: PageOp::Format {
+                    ty: PageType::BTreeLeaf,
+                    level: 0,
+                },
             },
             RedoRecord {
                 lsn: 20,
                 prev_same_segment: 10,
                 txn_id: 1,
                 page: PageId::new(1, 5),
-                op: PageOp::InsertAt { slot: 0, cell: b"hello".to_vec() },
+                op: PageOp::InsertAt {
+                    slot: 0,
+                    cell: b"hello".to_vec(),
+                },
             },
             RedoRecord {
                 lsn: 30,
                 prev_same_segment: 20,
                 txn_id: 2,
                 page: PageId::new(1, 5),
-                op: PageOp::Update { slot: 0, cell: b"world!".to_vec() },
+                op: PageOp::Update {
+                    slot: 0,
+                    cell: b"world!".to_vec(),
+                },
             },
             RedoRecord {
                 lsn: 40,

@@ -47,14 +47,21 @@ pub struct PageStoreConfig {
 
 impl Default for PageStoreConfig {
     fn default() -> Self {
-        PageStoreConfig { replication: 3, quorum: 2, pages_per_segment: 256 }
+        PageStoreConfig {
+            replication: 3,
+            quorum: 2,
+            pages_per_segment: 256,
+        }
     }
 }
 
 impl PageStoreConfig {
     /// The segment a page belongs to.
     pub fn segment_of(&self, page: PageId) -> PsSegmentKey {
-        PsSegmentKey { space_no: page.space_no, index: page.page_no / self.pages_per_segment }
+        PsSegmentKey {
+            space_no: page.space_no,
+            index: page.page_no / self.pages_per_segment,
+        }
     }
 }
 
@@ -84,7 +91,12 @@ pub struct PageStoreServer {
 impl PageStoreServer {
     /// Create a server on a storage node.
     pub fn new(node: NodeId, res: Arc<NodeRes>, model: LatencyModel) -> Arc<Self> {
-        Arc::new(PageStoreServer { node, res, model, segs: Mutex::new(HashMap::new()) })
+        Arc::new(PageStoreServer {
+            node,
+            res,
+            model,
+            segs: Mutex::new(HashMap::new()),
+        })
     }
 
     /// Node id.
@@ -134,7 +146,12 @@ impl PageStoreServer {
     }
 
     /// Handler: serve retained records after `from_lsn` (gossip peer side).
-    pub fn handle_get_records(&self, key: PsSegmentKey, from_lsn: Lsn, max: usize) -> Vec<RedoRecord> {
+    pub fn handle_get_records(
+        &self,
+        key: PsSegmentKey,
+        from_lsn: Lsn,
+        max: usize,
+    ) -> Vec<RedoRecord> {
         let segs = self.segs.lock();
         match segs.get(&key) {
             Some(seg) => seg
@@ -238,7 +255,11 @@ impl PageStoreServer {
 
     /// LSN replay has reached for `key`.
     pub fn applied_lsn(&self, key: PsSegmentKey) -> Lsn {
-        self.segs.lock().get(&key).map(|s| s.applied_lsn).unwrap_or(0)
+        self.segs
+            .lock()
+            .get(&key)
+            .map(|s| s.applied_lsn)
+            .unwrap_or(0)
     }
 
     /// Handler: read the latest image of `page`, replaying (and gossiping
@@ -259,7 +280,10 @@ impl PageStoreServer {
         }
         let applied = self.applied_lsn(key);
         if applied < min_lsn {
-            return Err(PageStoreError::NotYetApplied { need: min_lsn, applied });
+            return Err(PageStoreError::NotYetApplied {
+                need: min_lsn,
+                applied,
+            });
         }
         // Charge the 16KB media read.
         if let Some(ssd) = &self.res.ssd {
@@ -268,7 +292,10 @@ impl PageStoreServer {
         }
         let segs = self.segs.lock();
         let seg = segs.get(&key).ok_or(PageStoreError::UnknownPage(page))?;
-        let p = seg.pages.get(&page.page_no).ok_or(PageStoreError::UnknownPage(page))?;
+        let p = seg
+            .pages
+            .get(&page.page_no)
+            .ok_or(PageStoreError::UnknownPage(page))?;
         Ok(p.as_bytes().to_vec())
     }
 
@@ -285,7 +312,10 @@ impl PageStoreServer {
         self.apply_pending(ctx, key)?;
         let applied = self.applied_lsn(key);
         if applied < min_lsn {
-            return Err(PageStoreError::NotYetApplied { need: min_lsn, applied });
+            return Err(PageStoreError::NotYetApplied {
+                need: min_lsn,
+                applied,
+            });
         }
         if let Some(ssd) = &self.res.ssd {
             let done = ssd.acquire(ctx.now(), self.model.ssd_read_svc(PAGE_SIZE));
@@ -301,12 +331,20 @@ impl PageStoreServer {
 
     /// Number of distinct pages materialized for a segment (tests).
     pub fn page_count(&self, key: PsSegmentKey) -> usize {
-        self.segs.lock().get(&key).map(|s| s.pages.len()).unwrap_or(0)
+        self.segs
+            .lock()
+            .get(&key)
+            .map(|s| s.pages.len())
+            .unwrap_or(0)
     }
 
     /// Records parked out-of-order for a segment (tests / monitoring).
     pub fn gap_count(&self, key: PsSegmentKey) -> usize {
-        self.segs.lock().get(&key).map(|s| s.out_of_order.len()).unwrap_or(0)
+        self.segs
+            .lock()
+            .get(&key)
+            .map(|s| s.out_of_order.len())
+            .unwrap_or(0)
     }
 }
 
@@ -323,14 +361,23 @@ pub struct PageStore {
 
 impl PageStore {
     /// Create the facade over a set of servers.
-    pub fn new(cfg: PageStoreConfig, rpc: Arc<RpcFabric>, servers: Vec<Arc<PageStoreServer>>) -> Arc<Self> {
+    pub fn new(
+        cfg: PageStoreConfig,
+        rpc: Arc<RpcFabric>,
+        servers: Vec<Arc<PageStoreServer>>,
+    ) -> Arc<Self> {
         assert!(
             servers.len() >= cfg.replication,
             "need >= {} PageStore servers",
             cfg.replication
         );
         assert!(cfg.quorum <= cfg.replication && cfg.quorum >= 1);
-        Arc::new(PageStore { cfg, rpc, servers, ship_state: Mutex::new(HashMap::new()) })
+        Arc::new(PageStore {
+            cfg,
+            rpc,
+            servers,
+            ship_state: Mutex::new(HashMap::new()),
+        })
     }
 
     /// Configuration (segment mapping).
@@ -341,7 +388,9 @@ impl PageStore {
     /// The replica servers of a segment.
     pub fn replicas_of(&self, key: PsSegmentKey) -> Vec<Arc<PageStoreServer>> {
         let n = self.servers.len();
-        let h = (key.space_no as usize).wrapping_mul(31).wrapping_add(key.index as usize);
+        let h = (key.space_no as usize)
+            .wrapping_mul(31)
+            .wrapping_add(key.index as usize);
         (0..self.cfg.replication)
             .map(|i| Arc::clone(&self.servers[(h + i) % n]))
             .collect()
@@ -394,7 +443,10 @@ impl PageStore {
                 }
             }
             if acked < self.cfg.quorum {
-                return Err(PageStoreError::QuorumFailed { acked, quorum: self.cfg.quorum });
+                return Err(PageStoreError::QuorumFailed {
+                    acked,
+                    quorum: self.cfg.quorum,
+                });
             }
             max_done = max_done.max(group_done);
         }
@@ -415,14 +467,11 @@ impl PageStore {
                 .cloned()
                 .collect();
             let rpc = Arc::clone(&self.rpc);
-            let result = self.rpc.call(
-                ctx,
-                server.node(),
-                server.res(),
-                64,
-                PAGE_SIZE,
-                |c| server.handle_read_page(c, &rpc, key, page, min_lsn, &peers),
-            );
+            let result = self
+                .rpc
+                .call(ctx, server.node(), server.res(), 64, PAGE_SIZE, |c| {
+                    server.handle_read_page(c, &rpc, key, page, min_lsn, &peers)
+                });
             match result {
                 Ok(Ok(bytes)) => return Ok(bytes),
                 Ok(Err(e)) => last_err = e,
@@ -459,7 +508,10 @@ mod tests {
             prev_same_segment: 0,
             txn_id: 1,
             page,
-            op: PageOp::Format { ty: PageType::BTreeLeaf, level: 0 },
+            op: PageOp::Format {
+                ty: PageType::BTreeLeaf,
+                level: 0,
+            },
         }];
         for i in 0..n {
             recs.push(RedoRecord {
@@ -467,7 +519,10 @@ mod tests {
                 prev_same_segment: 0,
                 txn_id: 1,
                 page,
-                op: PageOp::InsertAt { slot: i as u16, cell: format!("row-{i:03}").into_bytes() },
+                op: PageOp::InsertAt {
+                    slot: i as u16,
+                    cell: format!("row-{i:03}").into_bytes(),
+                },
             });
         }
         recs
@@ -496,7 +551,8 @@ mod tests {
         let recs = make_records(page, 100, 3);
         ps.ship(&mut ctx, &recs).unwrap();
         let t0 = ctx.now();
-        ps.read_page(&mut ctx, page, recs.last().unwrap().lsn).unwrap();
+        ps.read_page(&mut ctx, page, recs.last().unwrap().lsn)
+            .unwrap();
         let ms = (ctx.now() - t0).as_millis_f64();
         assert!(
             (0.4..=2.0).contains(&ms),
@@ -516,7 +572,9 @@ mod tests {
         ps.ship(&mut ctx, &recs).unwrap(); // 2/3 acks = quorum
         env.faults.restore(replicas[0].node());
         // Read from any replica; the one that missed everything gossips.
-        let bytes = ps.read_page(&mut ctx, page, recs.last().unwrap().lsn).unwrap();
+        let bytes = ps
+            .read_page(&mut ctx, page, recs.last().unwrap().lsn)
+            .unwrap();
         assert_eq!(Page::from_bytes(&bytes).unwrap().n_slots(), 3);
     }
 
@@ -531,7 +589,10 @@ mod tests {
         env.faults.crash(replicas[1].node());
         assert!(matches!(
             ps.ship(&mut ctx, &make_records(page, 100, 1)),
-            Err(PageStoreError::QuorumFailed { acked: 1, quorum: 2 })
+            Err(PageStoreError::QuorumFailed {
+                acked: 1,
+                quorum: 2
+            })
         ));
     }
 
@@ -553,7 +614,10 @@ mod tests {
             prev_same_segment: 0, // facade fills it in
             txn_id: 2,
             page,
-            op: PageOp::InsertAt { slot: 2, cell: b"late".to_vec() },
+            op: PageOp::InsertAt {
+                slot: 2,
+                cell: b"late".to_vec(),
+            },
         }];
         ps.ship(&mut ctx, &batch2).unwrap();
         env.faults.restore(replicas[0].node());
@@ -563,10 +627,17 @@ mod tests {
             prev_same_segment: 0,
             txn_id: 2,
             page,
-            op: PageOp::InsertAt { slot: 3, cell: b"even-later".to_vec() },
+            op: PageOp::InsertAt {
+                slot: 3,
+                cell: b"even-later".to_vec(),
+            },
         }];
         ps.ship(&mut ctx, &batch3).unwrap();
-        assert_eq!(replicas[0].gap_count(key), 1, "replica 0 must park the gapped record");
+        assert_eq!(
+            replicas[0].gap_count(key),
+            1,
+            "replica 0 must park the gapped record"
+        );
 
         // Gossip heals it.
         let peers: Vec<_> = replicas[1..].to_vec();

@@ -45,7 +45,10 @@ fn realize(ops: &[GenOp], page: PageId) -> (Vec<RedoRecord>, Page) {
         prev_same_segment: 0,
         txn_id: 1,
         page,
-        op: PageOp::Format { ty: PageType::BTreeLeaf, level: 0 },
+        op: PageOp::Format {
+            ty: PageType::BTreeLeaf,
+            level: 0,
+        },
     }];
     records[0].apply(&mut model).unwrap();
     let mut lsn = 10;
@@ -58,16 +61,28 @@ fn realize(ops: &[GenOp], page: PageId) -> (Vec<RedoRecord>, Page) {
                 if !model.can_insert(cell.len()) {
                     continue;
                 }
-                PageOp::InsertAt { slot: slot as u16, cell: cell.clone() }
+                PageOp::InsertAt {
+                    slot: slot as u16,
+                    cell: cell.clone(),
+                }
             }
-            GenOp::Update(slot, cell) if n > 0 => {
-                PageOp::Update { slot: (*slot as usize % n) as u16, cell: cell.clone() }
-            }
-            GenOp::Delete(slot) if n > 0 => PageOp::Delete { slot: (*slot as usize % n) as u16 },
+            GenOp::Update(slot, cell) if n > 0 => PageOp::Update {
+                slot: (*slot as usize % n) as u16,
+                cell: cell.clone(),
+            },
+            GenOp::Delete(slot) if n > 0 => PageOp::Delete {
+                slot: (*slot as usize % n) as u16,
+            },
             GenOp::SetNext(p) => PageOp::SetNextPage { page_no: *p },
             _ => continue,
         };
-        let rec = RedoRecord { lsn, prev_same_segment: 0, txn_id: 1, page, op };
+        let rec = RedoRecord {
+            lsn,
+            prev_same_segment: 0,
+            txn_id: 1,
+            page,
+            op,
+        };
         if rec.apply(&mut model).is_err() {
             continue; // page full on update-grow: skip, keep stream valid
         }
@@ -90,7 +105,7 @@ fn store() -> (Arc<vedb_sim::SimEnv>, Arc<PageStore>) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     #[test]
     fn replay_reproduces_direct_application(ops in proptest::collection::vec(gen_op(), 1..80)) {

@@ -54,7 +54,11 @@ pub enum PmemError {
 impl std::fmt::Display for PmemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PmemError::OutOfBounds { offset, len, capacity } => write!(
+            PmemError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "pmem access out of bounds: offset={offset} len={len} capacity={capacity}"
             ),
@@ -168,7 +172,9 @@ impl PmemDevice {
     /// on the device resource).
     pub fn write(&self, now: VTime, offset: u64, data: &[u8]) -> Result<VTime> {
         self.check(offset, data.len())?;
-        let done = self.resource.acquire(now, self.model.pmem_write_svc(data.len()));
+        let done = self
+            .resource
+            .acquire(now, self.model.pmem_write_svc(data.len()));
         let mut inner = self.inner.write();
         inner.live[offset as usize..offset as usize + data.len()].copy_from_slice(data);
         inner.pending.push(PendingRange {
@@ -185,7 +191,10 @@ impl PmemDevice {
         self.check(offset, len)?;
         let done = self.resource.acquire(now, self.model.pmem_read_svc(len));
         let inner = self.inner.read();
-        Ok((inner.live[offset as usize..offset as usize + len].to_vec(), done))
+        Ok((
+            inner.live[offset as usize..offset as usize + len].to_vec(),
+            done,
+        ))
     }
 
     /// Flush everything in flight toward the persistence domain. With DDIO
@@ -352,7 +361,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = PmemError::OutOfBounds { offset: 10, len: 5, capacity: 12 };
+        let e = PmemError::OutOfBounds {
+            offset: 10,
+            len: 5,
+            capacity: 12,
+        };
         assert!(e.to_string().contains("offset=10"));
     }
 }

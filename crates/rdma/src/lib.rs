@@ -57,8 +57,15 @@ impl std::fmt::Display for RdmaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RdmaError::NodeUnreachable(n) => write!(f, "node {n} unreachable"),
-            RdmaError::MrOutOfBounds { offset, len, mr_len } => {
-                write!(f, "MR access out of bounds: offset={offset} len={len} mr_len={mr_len}")
+            RdmaError::MrOutOfBounds {
+                offset,
+                len,
+                mr_len,
+            } => {
+                write!(
+                    f,
+                    "MR access out of bounds: offset={offset} len={len} mr_len={mr_len}"
+                )
             }
             RdmaError::Dropped => write!(f, "message dropped"),
             RdmaError::Device(e) => write!(f, "device error: {e}"),
@@ -96,7 +103,13 @@ impl RemoteMr {
         base: u64,
         len: usize,
     ) -> Self {
-        RemoteMr { node, device, node_res, base, len }
+        RemoteMr {
+            node,
+            device,
+            node_res,
+            base,
+            len,
+        }
     }
 
     /// Registered length in bytes.
@@ -117,7 +130,11 @@ impl RemoteMr {
 
     fn check(&self, offset: u64, len: usize) -> Result<()> {
         if offset as usize + len > self.len {
-            return Err(RdmaError::MrOutOfBounds { offset, len, mr_len: self.len });
+            return Err(RdmaError::MrOutOfBounds {
+                offset,
+                len,
+                mr_len: self.len,
+            });
         }
         Ok(())
     }
@@ -137,12 +154,35 @@ impl RdmaEndpoint {
         faults: Arc<FaultPlan>,
         client_nic: Arc<vedb_sim::Resource>,
     ) -> Self {
-        RdmaEndpoint { model, faults, client_nic }
+        RdmaEndpoint {
+            model,
+            faults,
+            client_nic,
+        }
     }
 
     fn check_alive(&self, node: NodeId) -> Result<()> {
         if self.faults.is_crashed(node) {
             return Err(RdmaError::NodeUnreachable(node));
+        }
+        Ok(())
+    }
+
+    /// Fault-injection gate shared by every verb: crashed targets are
+    /// unreachable immediately; partitioned targets and probabilistic
+    /// message loss surface as [`RdmaError::Dropped`] after the client
+    /// burns a completion-timeout learning nothing (reliable-connection
+    /// QPs retransmit silently, so loss manifests as a timeout).
+    fn check_delivery(&self, ctx: &mut SimCtx, node: NodeId) -> Result<()> {
+        self.check_alive(node)?;
+        if self.faults.is_partitioned(node) {
+            ctx.advance(self.model.rpc_rtt());
+            return Err(RdmaError::Dropped);
+        }
+        let p = self.faults.drop_prob();
+        if p > 0.0 && ctx.rng().gen_bool(p) {
+            ctx.advance(self.model.rpc_rtt());
+            return Err(RdmaError::Dropped);
         }
         Ok(())
     }
@@ -153,8 +193,14 @@ impl RdmaEndpoint {
 
     /// One-sided RDMA READ: fetch `len` bytes at `offset` within `mr`.
     /// No target CPU involved. Advances the client clock to completion.
-    pub fn read(&self, ctx: &mut SimCtx, mr: &RemoteMr, offset: u64, len: usize) -> Result<Vec<u8>> {
-        self.check_alive(mr.node)?;
+    pub fn read(
+        &self,
+        ctx: &mut SimCtx,
+        mr: &RemoteMr,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        self.check_delivery(ctx, mr.node)?;
         mr.check(offset, len)?;
         // Post the WR.
         ctx.advance(self.model.rdma_issue());
@@ -173,12 +219,17 @@ impl RdmaEndpoint {
     /// *visible* at the target when this returns but **not yet persistent**
     /// (see [`write_chain`](Self::write_chain) for the persistent variant).
     pub fn write(&self, ctx: &mut SimCtx, mr: &RemoteMr, offset: u64, data: &[u8]) -> Result<()> {
-        self.check_alive(mr.node)?;
+        self.check_delivery(ctx, mr.node)?;
         mr.check(offset, data.len())?;
         ctx.advance(self.model.rdma_issue());
-        let send_done = self.client_nic.acquire(ctx.now(), self.wire_occupancy(data.len()));
+        let send_done = self
+            .client_nic
+            .acquire(ctx.now(), self.wire_occupancy(data.len()));
         let arrive = send_done + self.model.wire_delay();
-        let nic_done = mr.node_res.nic.acquire(arrive, self.wire_occupancy(data.len()));
+        let nic_done = mr
+            .node_res
+            .nic
+            .acquire(arrive, self.wire_occupancy(data.len()));
         let media_done = mr
             .device
             .write(nic_done, mr.base + offset, data)
@@ -194,15 +245,22 @@ impl RdmaEndpoint {
     ///
     /// Returns only after the data is crash-durable on the target (assuming
     /// the device has DDIO disabled, as AStore requires).
-    pub fn write_chain(&self, ctx: &mut SimCtx, mr: &RemoteMr, writes: &[(u64, &[u8])]) -> Result<()> {
-        self.check_alive(mr.node)?;
+    pub fn write_chain(
+        &self,
+        ctx: &mut SimCtx,
+        mr: &RemoteMr,
+        writes: &[(u64, &[u8])],
+    ) -> Result<()> {
+        self.check_delivery(ctx, mr.node)?;
         for (offset, data) in writes {
             mr.check(*offset, data.len())?;
         }
         // One doorbell for the whole chain.
         ctx.advance(self.model.rdma_issue());
         let total_len: usize = writes.iter().map(|(_, d)| d.len()).sum();
-        let send_done = self.client_nic.acquire(ctx.now(), self.wire_occupancy(total_len));
+        let send_done = self
+            .client_nic
+            .acquire(ctx.now(), self.wire_occupancy(total_len));
         let mut t = send_done + self.model.wire_delay();
         t = mr.node_res.nic.acquire(t, self.wire_occupancy(total_len));
         for (offset, data) in writes {
@@ -261,6 +319,10 @@ impl RpcFabric {
         if self.faults.is_crashed(target) {
             return Err(RdmaError::NodeUnreachable(target));
         }
+        if self.faults.is_partitioned(target) {
+            ctx.advance(self.model.rpc_rtt());
+            return Err(RdmaError::Dropped);
+        }
         let p = self.faults.drop_prob();
         if p > 0.0 && ctx.rng().gen_bool(p) {
             // Model a timeout: the caller burns half an RTT learning nothing.
@@ -268,9 +330,8 @@ impl RpcFabric {
             return Err(RdmaError::Dropped);
         }
         // Outbound half-RTT plus request streaming.
-        let req_stream = VTime::from_nanos(
-            (req_bytes as u64).div_ceil(1024) * self.model.wire_per_kb_ns,
-        );
+        let req_stream =
+            VTime::from_nanos((req_bytes as u64).div_ceil(1024) * self.model.wire_per_kb_ns);
         ctx.advance(self.model.rpc_rtt() / 2 + req_stream);
         // Server-side scheduling: wake a worker thread (jitter) and charge
         // the dispatch CPU on the server's cores.
@@ -282,9 +343,8 @@ impl RpcFabric {
         // Handler work (charges target device/CPU resources itself).
         let result = handler(ctx);
         // Response streams back through the target NIC.
-        let resp_stream = VTime::from_nanos(
-            (resp_bytes as u64).div_ceil(1024) * self.model.wire_per_kb_ns,
-        );
+        let resp_stream =
+            VTime::from_nanos((resp_bytes as u64).div_ceil(1024) * self.model.wire_per_kb_ns);
         let nic_done = target_res.nic.acquire(ctx.now(), resp_stream);
         ctx.wait_until(nic_done + self.model.rpc_rtt() / 2);
         Ok(result)
@@ -296,7 +356,12 @@ mod tests {
     use super::*;
     use vedb_sim::ClusterSpec;
 
-    fn setup() -> (Arc<vedb_sim::SimEnv>, Arc<PmemDevice>, RemoteMr, RdmaEndpoint) {
+    fn setup() -> (
+        Arc<vedb_sim::SimEnv>,
+        Arc<PmemDevice>,
+        RemoteMr,
+        RdmaEndpoint,
+    ) {
         let env = ClusterSpec::tiny().build();
         let node = &env.astore_nodes[0];
         let dev = Arc::new(PmemDevice::new(
@@ -307,7 +372,11 @@ mod tests {
             env.model.clone(),
         ));
         let mr = RemoteMr::register(0, Arc::clone(node), Arc::clone(&dev), 0, 1 << 20);
-        let ep = RdmaEndpoint::new(env.model.clone(), Arc::clone(&env.faults), Arc::clone(&env.engine_nic));
+        let ep = RdmaEndpoint::new(
+            env.model.clone(),
+            Arc::clone(&env.faults),
+            Arc::clone(&env.engine_nic),
+        );
         (env, dev, mr, ep)
     }
 
@@ -328,7 +397,10 @@ mod tests {
         let mut ctx = SimCtx::new(1, 7);
         ep.read(&mut ctx, &mr, 0, 64).unwrap();
         let us = ctx.now().as_micros_f64();
-        assert!((3.0..=15.0).contains(&us), "small read should be ~10us, got {us:.1}us");
+        assert!(
+            (3.0..=15.0).contains(&us),
+            "small read should be ~10us, got {us:.1}us"
+        );
     }
 
     #[test]
@@ -337,18 +409,26 @@ mod tests {
         let mut ctx = SimCtx::new(1, 7);
         ep.read(&mut ctx, &mr, 0, 16 * 1024).unwrap();
         let us = ctx.now().as_micros_f64();
-        assert!((12.0..=30.0).contains(&us), "16KB read should be ~20us, got {us:.1}us");
+        assert!(
+            (12.0..=30.0).contains(&us),
+            "16KB read should be ~20us, got {us:.1}us"
+        );
     }
 
     #[test]
     fn write_chain_is_persistent_plain_write_is_not() {
         let (_env, dev, mr, ep) = setup();
         let mut ctx = SimCtx::new(1, 7);
-        ep.write_chain(&mut ctx, &mr, &[(512, b"durable!"), (1024, b"metadata")]).unwrap();
+        ep.write_chain(&mut ctx, &mr, &[(512, b"durable!"), (1024, b"metadata")])
+            .unwrap();
         // A plain WRITE issued *after* the last flush stays in flight.
         ep.write(&mut ctx, &mr, 0, b"volatile").unwrap();
         dev.crash();
-        assert_eq!(dev.peek(0, 8).unwrap(), vec![0; 8], "plain WRITE must not survive");
+        assert_eq!(
+            dev.peek(0, 8).unwrap(),
+            vec![0; 8],
+            "plain WRITE must not survive"
+        );
         assert_eq!(dev.peek(512, 8).unwrap(), b"durable!");
         assert_eq!(dev.peek(1024, 8).unwrap(), b"metadata");
     }
@@ -357,9 +437,13 @@ mod tests {
     fn write_chain_small_append_near_20us() {
         let (_env, _dev, mr, ep) = setup();
         let mut ctx = SimCtx::new(1, 7);
-        ep.write_chain(&mut ctx, &mr, &[(0, &[7u8; 512]), (4096, &[1u8; 64])]).unwrap();
+        ep.write_chain(&mut ctx, &mr, &[(0, &[7u8; 512]), (4096, &[1u8; 64])])
+            .unwrap();
         let us = ctx.now().as_micros_f64();
-        assert!((15.0..=60.0).contains(&us), "small persistent append ~20-40us, got {us:.1}us");
+        assert!(
+            (15.0..=60.0).contains(&us),
+            "small persistent append ~20-40us, got {us:.1}us"
+        );
     }
 
     #[test]
@@ -372,7 +456,9 @@ mod tests {
             Err(RdmaError::MrOutOfBounds { .. })
         ));
         assert!(ep.write(&mut ctx, &mr, len, b"x").is_err());
-        assert!(ep.write_chain(&mut ctx, &mr, &[(0, b"ok"), (len, b"bad")]).is_err());
+        assert!(ep
+            .write_chain(&mut ctx, &mr, &[(0, b"ok"), (len, b"bad")])
+            .is_err());
     }
 
     #[test]
@@ -380,7 +466,10 @@ mod tests {
         let (env, _dev, mr, ep) = setup();
         let mut ctx = SimCtx::new(1, 7);
         env.faults.crash(0);
-        assert_eq!(ep.read(&mut ctx, &mr, 0, 8), Err(RdmaError::NodeUnreachable(0)));
+        assert_eq!(
+            ep.read(&mut ctx, &mr, 0, 8),
+            Err(RdmaError::NodeUnreachable(0))
+        );
         env.faults.restore(0);
         assert!(ep.read(&mut ctx, &mr, 0, 8).is_ok());
     }
@@ -397,11 +486,12 @@ mod tests {
 
         let cpu_before = node.cpu.total_busy();
         let mut c2 = SimCtx::new(2, 7);
-        let out: u32 = rpc
-            .call(&mut c2, 0, node, 64, 4096, |_ctx| 42u32)
-            .unwrap();
+        let out: u32 = rpc.call(&mut c2, 0, node, 64, 4096, |_ctx| 42u32).unwrap();
         assert_eq!(out, 42);
-        assert!(node.cpu.total_busy() > cpu_before, "RPC must consume server CPU");
+        assert!(
+            node.cpu.total_busy() > cpu_before,
+            "RPC must consume server CPU"
+        );
         assert!(
             c2.now() > one_sided * 3,
             "RPC ({}) should be much slower than one-sided ({})",
@@ -426,13 +516,37 @@ mod tests {
     }
 
     #[test]
+    fn one_sided_drop_and_partition_injection() {
+        let (env, _dev, mr, ep) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        // Probabilistic loss hits every verb at p=1.
+        env.faults.set_drop_prob(1.0);
+        assert_eq!(ep.read(&mut ctx, &mr, 0, 8), Err(RdmaError::Dropped));
+        assert_eq!(ep.write(&mut ctx, &mr, 0, b"x"), Err(RdmaError::Dropped));
+        assert_eq!(
+            ep.write_chain(&mut ctx, &mr, &[(0, b"x")]),
+            Err(RdmaError::Dropped)
+        );
+        env.faults.set_drop_prob(0.0);
+        assert!(ep.read(&mut ctx, &mr, 0, 8).is_ok());
+        // A partitioned node is lossy but not "crashed".
+        env.faults.partition(0);
+        let before = ctx.now();
+        assert_eq!(ep.read(&mut ctx, &mr, 0, 8), Err(RdmaError::Dropped));
+        assert!(ctx.now() > before, "a drop must cost a timeout");
+        env.faults.heal(0);
+        assert!(ep.read(&mut ctx, &mr, 0, 8).is_ok());
+    }
+
+    #[test]
     fn chained_writes_cheaper_than_separate() {
         let (_env, _dev, mr, ep) = setup();
         let payload = [9u8; 1024];
         let meta = [1u8; 64];
 
         let mut chained = SimCtx::new(1, 7);
-        ep.write_chain(&mut chained, &mr, &[(0, &payload), (8192, &meta)]).unwrap();
+        ep.write_chain(&mut chained, &mr, &[(0, &payload), (8192, &meta)])
+            .unwrap();
 
         let mut separate = SimCtx::new(2, 7);
         ep.write(&mut separate, &mr, 0, &payload).unwrap();

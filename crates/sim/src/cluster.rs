@@ -89,7 +89,10 @@ impl ClusterSpec {
                 Arc::new(NodeRes {
                     name: format!("astore-{i}"),
                     cpu: Arc::new(Resource::new(format!("astore-{i}.cpu"), self.astore_cores)),
-                    nic: Arc::new(Resource::new(format!("astore-{i}.nic"), self.astore_nic_ports)),
+                    nic: Arc::new(Resource::new(
+                        format!("astore-{i}.nic"),
+                        self.astore_nic_ports,
+                    )),
                     pmem: Some(Arc::new(Resource::new(
                         format!("astore-{i}.pmem"),
                         self.model.pmem_lanes,
@@ -102,8 +105,14 @@ impl ClusterSpec {
             .map(|i| {
                 Arc::new(NodeRes {
                     name: format!("storage-{i}"),
-                    cpu: Arc::new(Resource::new(format!("storage-{i}.cpu"), self.storage_cores)),
-                    nic: Arc::new(Resource::new(format!("storage-{i}.nic"), self.storage_nic_ports)),
+                    cpu: Arc::new(Resource::new(
+                        format!("storage-{i}.cpu"),
+                        self.storage_cores,
+                    )),
+                    nic: Arc::new(Resource::new(
+                        format!("storage-{i}.nic"),
+                        self.storage_nic_ports,
+                    )),
                     pmem: None,
                     ssd: Some(Arc::new(Resource::new(
                         format!("storage-{i}.ssd"),

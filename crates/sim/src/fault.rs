@@ -19,6 +19,9 @@ pub type NodeId = u32;
 #[derive(Default)]
 pub struct FaultPlan {
     crashed: RwLock<HashSet<NodeId>>,
+    /// Partitioned nodes: alive (state intact, heartbeats may be stale) but
+    /// unreachable over the fabric — every message to them is dropped.
+    partitioned: RwLock<HashSet<NodeId>>,
     /// f64 bits of the message-drop probability.
     drop_prob_bits: AtomicU64,
 }
@@ -51,6 +54,23 @@ impl FaultPlan {
         self.crashed.read().len()
     }
 
+    /// Partition `node` off the network: it stays up (volatile state
+    /// intact, unlike [`FaultPlan::crash`]) but every message to it is
+    /// dropped until [`FaultPlan::heal`].
+    pub fn partition(&self, node: NodeId) {
+        self.partitioned.write().insert(node);
+    }
+
+    /// Heal a network partition injected by [`FaultPlan::partition`].
+    pub fn heal(&self, node: NodeId) {
+        self.partitioned.write().remove(&node);
+    }
+
+    /// Is `node` currently partitioned off the network?
+    pub fn is_partitioned(&self, node: NodeId) -> bool {
+        self.partitioned.read().contains(&node)
+    }
+
     /// Set the probability in `[0,1]` that any single message is dropped.
     pub fn set_drop_prob(&self, p: f64) {
         self.drop_prob_bits
@@ -78,6 +98,17 @@ mod tests {
         f.restore(3);
         assert!(!f.is_crashed(3));
         assert!(f.is_crashed(5));
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        let f = FaultPlan::new();
+        assert!(!f.is_partitioned(2));
+        f.partition(2);
+        assert!(f.is_partitioned(2));
+        assert!(!f.is_crashed(2), "partition must not imply crash");
+        f.heal(2);
+        assert!(!f.is_partitioned(2));
     }
 
     #[test]

@@ -30,7 +30,7 @@ const fn us(n: u64) -> u64 {
 /// are streaming costs per kilobyte. CPU costs are charged on CPU
 /// [`Resource`](crate::resource::Resource)s by the component that performs the
 /// work.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LatencyModel {
     // ---- network fabric ----
     /// One-way propagation + switching delay of the RDMA fabric (pure delay,
@@ -142,13 +142,23 @@ impl LatencyModel {
 
     /// Service time of a PMem read of `len` bytes (media + streamed wire).
     pub fn pmem_read_svc(&self, len: usize) -> VTime {
-        Self::xfer(self.pmem_read_base_ns, self.pmem_read_per_kb_ns, self.wire_per_kb_ns, len)
+        Self::xfer(
+            self.pmem_read_base_ns,
+            self.pmem_read_per_kb_ns,
+            self.wire_per_kb_ns,
+            len,
+        )
     }
 
     /// Service time of a PMem write of `len` bytes into the persistence
     /// domain (media + streamed wire).
     pub fn pmem_write_svc(&self, len: usize) -> VTime {
-        Self::xfer(self.pmem_write_base_ns, self.pmem_write_per_kb_ns, self.wire_per_kb_ns, len)
+        Self::xfer(
+            self.pmem_write_base_ns,
+            self.pmem_write_per_kb_ns,
+            self.wire_per_kb_ns,
+            len,
+        )
     }
 
     /// Service time of an SSD read of `len` bytes.
@@ -209,9 +219,7 @@ mod tests {
     fn anchor_16kb_page_read_near_20us() {
         let m = LatencyModel::paper_default();
         // media read + wire rtt + issue, as composed by the rdma layer
-        let total = m.pmem_read_svc(16 * 1024).as_nanos()
-            + 2 * m.wire_delay_ns
-            + m.rdma_issue_ns;
+        let total = m.pmem_read_svc(16 * 1024).as_nanos() + 2 * m.wire_delay_ns + m.rdma_issue_ns;
         let total_us = total as f64 / 1e3;
         assert!(
             (12.0..=28.0).contains(&total_us),

@@ -33,7 +33,7 @@ pub mod time;
 pub use cluster::{ClusterSpec, SimEnv};
 pub use fault::FaultPlan;
 pub use latency::LatencyModel;
-pub use metrics::{LatencyRecorder, TrialResult};
+pub use metrics::{LatencyRecorder, RecoveryCounters, TrialResult};
 pub use resource::Resource;
 pub use rng::SimRng;
 pub use time::{SimCtx, VTime};

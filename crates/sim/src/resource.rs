@@ -132,7 +132,7 @@ impl Resource {
         let mut st = self.state.lock();
         st.max_seen_now = st.max_seen_now.max(now_ns);
         // Periodic pruning of ancient reservations.
-        if st.ops % 64 == 0 {
+        if st.ops.is_multiple_of(64) {
             let horizon = st.max_seen_now.saturating_sub(HISTORY_NS);
             for lane in &mut st.lanes {
                 lane.prune(horizon);
@@ -211,7 +211,10 @@ mod tests {
     #[test]
     fn zero_service_is_free() {
         let r = Resource::new("cpu", 1);
-        assert_eq!(r.acquire(VTime::from_micros(5), VTime::ZERO), VTime::from_micros(5));
+        assert_eq!(
+            r.acquire(VTime::from_micros(5), VTime::ZERO),
+            VTime::from_micros(5)
+        );
         assert_eq!(r.ops(), 0);
     }
 
@@ -266,7 +269,7 @@ mod tests {
         let r = Resource::new("disk", 1);
         let _ = r.acquire(VTime::ZERO, VTime::from_micros(10)); // 0..10
         let _ = r.acquire(VTime::from_micros(40), VTime::from_micros(10)); // 40..50
-        // Fits in the 10..40 gap.
+                                                                           // Fits in the 10..40 gap.
         let d = r.acquire(VTime::from_micros(5), VTime::from_micros(20));
         assert_eq!(d, VTime::from_micros(30));
     }

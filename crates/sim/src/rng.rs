@@ -1,33 +1,109 @@
 //! Deterministic random number generation for simulations.
 //!
 //! All randomness in the reproduction flows through [`SimRng`] so that a
-//! benchmark run is a pure function of its seed. The implementation wraps
-//! `rand::rngs::SmallRng` (xoshiro-family, fast, non-cryptographic — exactly
-//! right for workload generation and latency jitter).
-
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! benchmark run is a pure function of its seed. The generator is an
+//! in-tree xoshiro256++ (fast, non-cryptographic — exactly right for
+//! workload generation and latency jitter), seeded through SplitMix64, so
+//! the simulation kernel has no external dependency for randomness.
 
 use crate::time::VTime;
 
-/// A seeded, deterministic RNG.
+/// Types that [`SimRng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open(rng: &mut SimRng, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut SimRng, lo: Self, hi: Self) -> Self;
+}
+
+/// Range forms accepted by [`SimRng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from(self, rng: &mut SimRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut SimRng) -> T {
+        assert!(self.start < self.end, "gen_range on empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut SimRng) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range on empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(rng: &mut SimRng, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = rng.next_u64() as u128 % span;
+                (lo as i128 + v as i128) as $t
+            }
+            #[inline]
+            fn sample_inclusive(rng: &mut SimRng, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = rng.next_u64() as u128 % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open(rng: &mut SimRng, lo: Self, hi: Self) -> Self {
+        lo + rng.gen_f64() * (hi - lo)
+    }
+    #[inline]
+    fn sample_inclusive(rng: &mut SimRng, lo: Self, hi: Self) -> Self {
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
+/// A seeded, deterministic RNG (xoshiro256++).
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
-    /// Create from a 64-bit seed.
+    /// Create from a 64-bit seed (state expanded via SplitMix64).
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [next(), next(), next(), next()],
         }
     }
 
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Uniform sample from a range, e.g. `rng.gen_range(0..10)`.
@@ -37,19 +113,24 @@ impl SimRng {
         T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample_from(self)
     }
 
     /// Bernoulli trial with probability `p`.
     #[inline]
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return false;
+        }
+        self.gen_f64() < p
     }
 
     /// Uniform f64 in `[0, 1)`.
     #[inline]
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Exponentially-distributed virtual-time jitter with the given mean.
@@ -61,7 +142,7 @@ impl SimRng {
         if mean == VTime::ZERO {
             return VTime::ZERO;
         }
-        let u: f64 = self.inner.gen_range(1e-12..1.0f64);
+        let u: f64 = self.gen_range(1e-12..1.0f64);
         let sample = -u.ln() * mean.as_nanos() as f64;
         let capped = sample.min(mean.as_nanos() as f64 * 20.0);
         VTime::from_nanos(capped as u64)

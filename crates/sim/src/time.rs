@@ -21,7 +21,7 @@ use crate::rng::SimRng;
 /// arithmetic is identical and the simulation never mixes virtual time with
 /// wall-clock time, so a separate duration type would add noise without
 /// preventing any real bug class here.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VTime(pub u64);
 
 impl VTime {

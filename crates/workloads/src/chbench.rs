@@ -60,14 +60,23 @@ pub fn extend_schema(cat: &mut Catalog) {
 pub fn load_extra(ctx: &mut SimCtx, db: &Arc<Db>) -> vedb_core::Result<()> {
     let mut txn = db.begin();
     for r in 0..REGIONS {
-        db.insert(ctx, &mut txn, "region", vec![Value::Int(r), Value::Str(format!("region-{r}"))])?;
+        db.insert(
+            ctx,
+            &mut txn,
+            "region",
+            vec![Value::Int(r), Value::Str(format!("region-{r}"))],
+        )?;
     }
     for n in 0..NATIONS {
         db.insert(
             ctx,
             &mut txn,
             "nation",
-            vec![Value::Int(n), Value::Str(format!("nation-{n}")), Value::Int(n % REGIONS)],
+            vec![
+                Value::Int(n),
+                Value::Str(format!("nation-{n}")),
+                Value::Int(n % REGIONS),
+            ],
         )?;
     }
     for s in 0..SUPPLIERS {
@@ -206,7 +215,10 @@ pub fn query(n: usize) -> Plan {
         // Q18: large-volume customers.
         18 => Plan::scan("orders")
             .hash_join(Plan::scan("order_line"), vec![0, 1, 2], vec![0, 1, 2])
-            .agg(vec![0, 1, 3], vec![AggExpr::sum(col(14)), AggExpr::count_star()])
+            .agg(
+                vec![0, 1, 3],
+                vec![AggExpr::sum(col(14)), AggExpr::count_star()],
+            )
             .top_k(vec![(3, true)], 100),
         // Q19: discounted revenue — OR-heavy filter.
         19 => Plan::scan_where(
@@ -234,8 +246,11 @@ pub fn query(n: usize) -> Plan {
             .agg(vec![5], vec![AggExpr::count_star()])
             .top_k(vec![(1, true)], 10),
         // Q22: global sales opportunity — pushable customer aggregate.
-        22 => Plan::scan_where("customer", Expr::cmp(CmpOp::Gt, col(4), Expr::dbl(-1_000_000.0)))
-            .agg(vec![0], vec![AggExpr::count_star(), AggExpr::sum(col(4))]),
+        22 => Plan::scan_where(
+            "customer",
+            Expr::cmp(CmpOp::Gt, col(4), Expr::dbl(-1_000_000.0)),
+        )
+        .agg(vec![0], vec![AggExpr::count_star(), AggExpr::sum(col(4))]),
         n => panic!("CH-benCHmark has queries 1..=22, got {n}"),
     }
 }

@@ -84,8 +84,9 @@ where
     let record_from = cfg.start + cfg.warmup;
 
     // Per-client clock board for the conservative sync window.
-    let clocks: Vec<AtomicU64> =
-        (0..cfg.clients).map(|_| AtomicU64::new(cfg.start.as_nanos())).collect();
+    let clocks: Vec<AtomicU64> = (0..cfg.clients)
+        .map(|_| AtomicU64::new(cfg.start.as_nanos()))
+        .collect();
 
     std::thread::scope(|scope| {
         for client in 0..cfg.clients {
@@ -178,7 +179,10 @@ mod tests {
             result.committed
         );
         let tps = result.throughput();
-        assert!((3500.0..=4200.0).contains(&tps), "expected ~4000 ops/s, got {tps}");
+        assert!(
+            (3500.0..=4200.0).contains(&tps),
+            "expected ~4000 ops/s, got {tps}"
+        );
         // Latency histogram reflects the 1ms ops.
         let p50 = result.latency.p50().as_millis_f64();
         assert!((0.9..=1.1).contains(&p50), "p50 should be ~1ms, got {p50}");

@@ -35,12 +35,20 @@ impl LookupScale {
     /// Bench scale: working set ≫ buffer pool, ~95% BP hit rate with the
     /// configurations used by the Figure 12 harness.
     pub fn bench() -> LookupScale {
-        LookupScale { rows: 30_000, hot_fraction: 0.95, hot_region: 0.05 }
+        LookupScale {
+            rows: 30_000,
+            hot_fraction: 0.95,
+            hot_region: 0.05,
+        }
     }
 
     /// Test scale.
     pub fn tiny() -> LookupScale {
-        LookupScale { rows: 1_000, hot_fraction: 0.9, hot_region: 0.1 }
+        LookupScale {
+            rows: 1_000,
+            hot_fraction: 0.9,
+            hot_region: 0.1,
+        }
     }
 }
 
@@ -91,10 +99,12 @@ pub fn lookup_op(ctx: &mut SimCtx, db: &Arc<Db>, scale: LookupScale) -> OpOutcom
         ctx.rng().gen_range(1..=scale.rows)
     };
     let ok = if ctx.rng().gen_bool(0.8) {
-        db.get_by_pk(ctx, None, "operations", &[Value::Int(id)]).is_ok()
+        db.get_by_pk(ctx, None, "operations", &[Value::Int(id)])
+            .is_ok()
     } else {
         let user = id % (scale.rows / 10).max(1);
-        db.index_lookup(ctx, "operations", "idx_ops_user", &[Value::Int(user)], 10).is_ok()
+        db.index_lookup(ctx, "operations", "idx_ops_user", &[Value::Int(user)], 10)
+            .is_ok()
     };
     if ok {
         OpOutcome::Committed

@@ -80,7 +80,12 @@ pub fn single_insert(ctx: &mut SimCtx, db: &Arc<Db>) -> OpOutcome {
         ctx,
         &mut txn,
         "order_flow",
-        vec![Value::Int(flow_id()), Value::Int(vendor), Value::Double(0.0), Value::Str(payload)],
+        vec![
+            Value::Int(flow_id()),
+            Value::Int(vendor),
+            Value::Double(0.0),
+            Value::Str(payload),
+        ],
     );
     finish(ctx, db, txn, r)
 }
@@ -97,11 +102,17 @@ pub fn order_batch(ctx: &mut SimCtx, db: &Arc<Db>) -> OpOutcome {
         for _ in 0..BATCH {
             let amount = ctx.rng().gen_range(1..1000) as f64 / 10.0;
             let mut new_balance = 0.0;
-            db.update_by_pk(ctx, &mut txn, "vendor_account", &[Value::Int(vendor)], |row| {
-                new_balance = row[1].as_f64() + amount;
-                row[1] = Value::Double(new_balance);
-                row[2] = Value::Int(row[2].as_int() + 1);
-            })?;
+            db.update_by_pk(
+                ctx,
+                &mut txn,
+                "vendor_account",
+                &[Value::Int(vendor)],
+                |row| {
+                    new_balance = row[1].as_f64() + amount;
+                    row[1] = Value::Double(new_balance);
+                    row[2] = Value::Int(row[2].as_int() + 1);
+                },
+            )?;
             db.insert(
                 ctx,
                 &mut txn,

@@ -35,12 +35,24 @@ pub struct TpccScale {
 impl TpccScale {
     /// A small scale for tests and calibrated benches.
     pub fn tiny() -> TpccScale {
-        TpccScale { warehouses: 2, districts: 2, customers: 30, items: 100, initial_orders: 10 }
+        TpccScale {
+            warehouses: 2,
+            districts: 2,
+            customers: 30,
+            items: 100,
+            initial_orders: 10,
+        }
     }
 
     /// The bench scale (load in ~seconds, working set ≫ small buffer pools).
     pub fn bench() -> TpccScale {
-        TpccScale { warehouses: 4, districts: 4, customers: 120, items: 400, initial_orders: 30 }
+        TpccScale {
+            warehouses: 4,
+            districts: 4,
+            customers: 120,
+            items: 400,
+            initial_orders: 30,
+        }
     }
 }
 
@@ -131,7 +143,7 @@ pub fn load(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core::Res
     let mut ops = 0usize;
     let mut step = |db: &Arc<Db>, ctx: &mut SimCtx, txn: &mut vedb_core::TxnHandle| {
         ops += 1;
-        if ops % 200 == 0 {
+        if ops.is_multiple_of(200) {
             db.commit(ctx, txn).unwrap();
             *txn = db.begin();
         }
@@ -154,7 +166,11 @@ pub fn load(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core::Res
             ctx,
             &mut txn,
             "warehouse",
-            vec![Value::Int(w), Value::Str(format!("wh-{w}")), Value::Double(0.0)],
+            vec![
+                Value::Int(w),
+                Value::Str(format!("wh-{w}")),
+                Value::Double(0.0),
+            ],
         )?;
         step(db, ctx, &mut txn);
         for i in 1..=scale.items {
@@ -218,7 +234,11 @@ pub fn load(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core::Res
                         Value::Int(o),
                         Value::Int(c),
                         Value::Int(ol_cnt),
-                        Value::Int(if o < scale.initial_orders * 7 / 10 { 1 } else { 0 }),
+                        Value::Int(if o < scale.initial_orders * 7 / 10 {
+                            1
+                        } else {
+                            0
+                        }),
                         Value::Int(o),
                     ],
                 )?;
@@ -246,7 +266,11 @@ pub fn load(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core::Res
                             Value::Int(w),
                             Value::Int(5),
                             Value::Double(((o * 13 + ol * 7) % 100) as f64 + 0.5),
-                            Value::Int(if o < scale.initial_orders * 7 / 10 { o } else { 0 }),
+                            Value::Int(if o < scale.initial_orders * 7 / 10 {
+                                o
+                            } else {
+                                0
+                            }),
                         ],
                     )?;
                     step(db, ctx, &mut txn);
@@ -260,7 +284,10 @@ pub fn load(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core::Res
 }
 
 fn retryable(e: &EngineError) -> bool {
-    matches!(e, EngineError::LockTimeout { .. } | EngineError::DuplicateKey { .. })
+    matches!(
+        e,
+        EngineError::LockTimeout { .. } | EngineError::DuplicateKey { .. }
+    )
 }
 
 /// One TPC-C transaction according to the standard mix. Returns the
@@ -312,15 +339,24 @@ pub fn new_order(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core
         return fail(db, ctx, txn, e);
     }
     let mut o_id = 0i64;
-    if let Err(e) = db.update_by_pk(ctx, &mut txn, "district", &[Value::Int(w), Value::Int(d)], |r| {
-        o_id = r[4].as_int();
-        r[4] = Value::Int(o_id + 1);
-    }) {
+    if let Err(e) = db.update_by_pk(
+        ctx,
+        &mut txn,
+        "district",
+        &[Value::Int(w), Value::Int(d)],
+        |r| {
+            o_id = r[4].as_int();
+            r[4] = Value::Int(o_id + 1);
+        },
+    ) {
         return fail(db, ctx, txn, e);
     }
-    if let Err(e) =
-        db.get_by_pk(ctx, Some(&mut txn), "customer", &[Value::Int(w), Value::Int(d), Value::Int(c)])
-    {
+    if let Err(e) = db.get_by_pk(
+        ctx,
+        Some(&mut txn),
+        "customer",
+        &[Value::Int(w), Value::Int(d), Value::Int(c)],
+    ) {
         return fail(db, ctx, txn, e);
     }
     if let Err(e) = db.insert(
@@ -339,9 +375,12 @@ pub fn new_order(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core
     ) {
         return fail(db, ctx, txn, e);
     }
-    if let Err(e) =
-        db.insert(ctx, &mut txn, "new_order", vec![Value::Int(w), Value::Int(d), Value::Int(o_id)])
-    {
+    if let Err(e) = db.insert(
+        ctx,
+        &mut txn,
+        "new_order",
+        vec![Value::Int(w), Value::Int(d), Value::Int(o_id)],
+    ) {
         return fail(db, ctx, txn, e);
     }
     for ol in 1..=ol_cnt {
@@ -415,9 +454,15 @@ pub fn payment(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core::
         db.update_by_pk(ctx, &mut txn, "warehouse", &[Value::Int(w)], |r| {
             r[2] = Value::Double(r[2].as_f64() + amount);
         })?;
-        db.update_by_pk(ctx, &mut txn, "district", &[Value::Int(w), Value::Int(d)], |r| {
-            r[3] = Value::Double(r[3].as_f64() + amount);
-        })?;
+        db.update_by_pk(
+            ctx,
+            &mut txn,
+            "district",
+            &[Value::Int(w), Value::Int(d)],
+            |r| {
+                r[3] = Value::Double(r[3].as_f64() + amount);
+            },
+        )?;
         db.update_by_pk(
             ctx,
             &mut txn,
@@ -459,7 +504,12 @@ pub fn payment(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core::
 pub fn order_status(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core::Result<bool> {
     let (w, d) = pick_wd(ctx, scale);
     let c = ctx.rng().nurand(1023, 1, scale.customers as u64) as i64;
-    db.get_by_pk(ctx, None, "customer", &[Value::Int(w), Value::Int(d), Value::Int(c)])?;
+    db.get_by_pk(
+        ctx,
+        None,
+        "customer",
+        &[Value::Int(w), Value::Int(d), Value::Int(c)],
+    )?;
     let orders = db.index_lookup(
         ctx,
         "orders",
@@ -475,7 +525,12 @@ pub fn order_status(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_c
                 ctx,
                 None,
                 "order_line",
-                &[Value::Int(w), Value::Int(d), Value::Int(o_id), Value::Int(ol)],
+                &[
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::Int(o_id),
+                    Value::Int(ol),
+                ],
             )?;
         }
     }
@@ -500,7 +555,12 @@ pub fn delivery(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core:
             }
         })?;
         let Some(o_id) = oldest else { return Ok(()) };
-        db.delete_by_pk(ctx, &mut txn, "new_order", &[Value::Int(w), Value::Int(d), Value::Int(o_id)])?;
+        db.delete_by_pk(
+            ctx,
+            &mut txn,
+            "new_order",
+            &[Value::Int(w), Value::Int(d), Value::Int(o_id)],
+        )?;
         let mut c_id = 0;
         let mut ol_cnt = 0;
         db.update_by_pk(
@@ -516,7 +576,12 @@ pub fn delivery(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core:
         )?;
         let mut total = 0.0;
         for ol in 1..=ol_cnt {
-            let key = [Value::Int(w), Value::Int(d), Value::Int(o_id), Value::Int(ol)];
+            let key = [
+                Value::Int(w),
+                Value::Int(d),
+                Value::Int(o_id),
+                Value::Int(ol),
+            ];
             if let Some(line) = db.get_by_pk(ctx, Some(&mut txn), "order_line", &key)? {
                 total += line[7].as_f64();
                 db.update_by_pk(ctx, &mut txn, "order_line", &key, |r| {
@@ -565,7 +630,12 @@ pub fn stock_level(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_co
     let mut low = 0usize;
     for o_id in (next_o - 20).max(1)..next_o {
         for ol in 1..=15i64 {
-            let key = [Value::Int(w), Value::Int(d), Value::Int(o_id), Value::Int(ol)];
+            let key = [
+                Value::Int(w),
+                Value::Int(d),
+                Value::Int(o_id),
+                Value::Int(ol),
+            ];
             match db.get_by_pk(ctx, None, "order_line", &key)? {
                 Some(line) => {
                     let i_id = line[4].as_int();
@@ -587,7 +657,11 @@ pub fn stock_level(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_co
 
 /// Consistency checks (TPC-C clause 3.3.2-ish, adapted): YTD sums line up
 /// and order/new_order/order_line counts agree.
-pub fn check_consistency(ctx: &mut SimCtx, db: &Arc<Db>, scale: &TpccScale) -> vedb_core::Result<()> {
+pub fn check_consistency(
+    ctx: &mut SimCtx,
+    db: &Arc<Db>,
+    scale: &TpccScale,
+) -> vedb_core::Result<()> {
     for w in 1..=scale.warehouses {
         let wh = db
             .get_by_pk(ctx, None, "warehouse", &[Value::Int(w)])?

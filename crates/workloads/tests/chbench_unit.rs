@@ -31,7 +31,12 @@ fn query_zero_panics() {
 fn loader_distributions_feed_the_selective_queries() {
     let f = StorageFabric::build(ClusterSpec::paper_default(), 96 << 20, 1 << 20);
     let mut ctx = SimCtx::new(0, 7);
-    let db = Db::open(&mut ctx, &f, DbConfig { bp_pages: 1024, ..Default::default() }).unwrap();
+    let db = Db::open(
+        &mut ctx,
+        &f,
+        DbConfig::builder().bp_pages(1024).build().unwrap(),
+    )
+    .unwrap();
     db.define_schema(|cat| {
         tpcc::define_schema(cat);
         chbench::extend_schema(cat);
@@ -47,7 +52,10 @@ fn loader_distributions_feed_the_selective_queries() {
         true
     })
     .unwrap();
-    assert!(max_amt > 50.0, "ol_amount must span Q15's filter, max={max_amt}");
+    assert!(
+        max_amt > 50.0,
+        "ol_amount must span Q15's filter, max={max_amt}"
+    );
 
     // s_ytd > 0 for a meaningful share of stock (Q11).
     let mut ytd_pos = 0;
@@ -60,7 +68,10 @@ fn loader_distributions_feed_the_selective_queries() {
         true
     })
     .unwrap();
-    assert!(ytd_pos * 2 > total, "most stock rows should have positive ytd");
+    assert!(
+        ytd_pos * 2 > total,
+        "most stock rows should have positive ytd"
+    );
 
     // Suppliers with acctbal above Q16's threshold exist.
     let mut rich = 0;
@@ -71,7 +82,10 @@ fn loader_distributions_feed_the_selective_queries() {
         true
     })
     .unwrap();
-    assert!(rich > 10, "Q16 needs suppliers above its acctbal filter, got {rich}");
+    assert!(
+        rich > 10,
+        "Q16 needs suppliers above its acctbal filter, got {rich}"
+    );
 
     // The marquee scan/filter queries all return rows at tiny scale.
     let db = Arc::new(db);
@@ -82,6 +96,9 @@ fn loader_distributions_feed_the_selective_queries() {
 
     // Supplier key join (Q20 shape) matches something.
     let rows = execute(&mut ctx, &db, &QuerySession::default(), &chbench::query(20)).unwrap();
-    assert!(!rows.is_empty(), "Q20's stock x supplier join found no matches");
+    assert!(
+        !rows.is_empty(),
+        "Q20's stock x supplier join found no matches"
+    );
     let _ = Value::Int(0);
 }

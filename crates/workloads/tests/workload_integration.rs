@@ -23,7 +23,11 @@ fn open(ctx: &mut SimCtx, f: &StorageFabric, cfg: DbConfig) -> Arc<Db> {
 fn tpcc_loads_and_stays_consistent_under_concurrency() {
     let f = fabric();
     let mut ctx = SimCtx::new(0, 7);
-    let db = open(&mut ctx, &f, DbConfig { bp_pages: 512, ..Default::default() });
+    let db = open(
+        &mut ctx,
+        &f,
+        DbConfig::builder().bp_pages(512).build().unwrap(),
+    );
     let scale = tpcc::TpccScale::tiny();
     db.define_schema(tpcc::define_schema);
     db.create_tables(&mut ctx).unwrap();
@@ -47,7 +51,11 @@ fn tpcc_throughput_with_astore_beats_blobstore() {
         // One fabric per configuration: separate deployments in the paper.
         let f = fabric();
         let mut ctx = SimCtx::new(0, 7);
-        let db = open(&mut ctx, &f, DbConfig { bp_pages: 512, log, ..Default::default() });
+        let db = open(
+            &mut ctx,
+            &f,
+            DbConfig::builder().bp_pages(512).log(log).build().unwrap(),
+        );
         db.define_schema(tpcc::define_schema);
         db.create_tables(&mut ctx).unwrap();
         tpcc::load(&mut ctx, &db, &scale).unwrap();
@@ -68,11 +76,14 @@ fn tpcc_throughput_with_astore_beats_blobstore() {
 fn all_22_ch_queries_execute_and_agree_with_pushdown() {
     let f = fabric();
     let mut ctx = SimCtx::new(0, 7);
-    let cfg = DbConfig {
-        bp_pages: 256,
-        ebp: Some(EbpConfig { capacity_bytes: 48 << 20, ..Default::default() }),
-        ..Default::default()
-    };
+    let cfg = DbConfig::builder()
+        .bp_pages(256)
+        .ebp(EbpConfig {
+            capacity_bytes: 48 << 20,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let db = open(&mut ctx, &f, cfg);
     let scale = tpcc::TpccScale::tiny();
     db.define_schema(|cat| {
@@ -107,12 +118,14 @@ fn all_22_ch_queries_execute_and_agree_with_pushdown() {
 fn order_processing_hot_rows_serialize() {
     let f = fabric();
     let mut ctx = SimCtx::new(0, 7);
-    let db = open(&mut ctx, &f, DbConfig::default());
+    let db = open(&mut ctx, &f, DbConfig::builder().build().unwrap());
     db.define_schema(orders::define_schema);
     db.create_tables(&mut ctx).unwrap();
     orders::load(&mut ctx, &db).unwrap();
 
-    let r = run_trial(&DriverConfig::quick(8).starting_at(ctx.now()), |ctx, _| orders::order_batch(ctx, &db));
+    let r = run_trial(&DriverConfig::quick(8).starting_at(ctx.now()), |ctx, _| {
+        orders::order_batch(ctx, &db)
+    });
     // Hot-row serialization caps throughput near 1/batch-latency; with a
     // 100ms window that is on the order of a dozen commits.
     assert!(r.committed > 8, "committed {}", r.committed);
@@ -131,14 +144,21 @@ fn order_processing_hot_rows_serialize() {
         true
     })
     .unwrap();
-    assert_eq!(updates, flows, "every flow row pairs with one balance update");
+    assert_eq!(
+        updates, flows,
+        "every flow row pairs with one balance update"
+    );
 }
 
 #[test]
 fn ads_lookup_sysbench_smoke() {
     let f = fabric();
     let mut ctx = SimCtx::new(0, 7);
-    let db = open(&mut ctx, &f, DbConfig { bp_pages: 512, ..Default::default() });
+    let db = open(
+        &mut ctx,
+        &f,
+        DbConfig::builder().bp_pages(512).build().unwrap(),
+    );
     db.define_schema(|cat| {
         ads::define_schema(cat);
         lookup::define_schema(cat);
@@ -153,7 +173,9 @@ fn ads_lookup_sysbench_smoke() {
     // where the previous one ended.
     let base = DriverConfig::quick(4);
     let mut cursor = ctx.now();
-    let r_ads = run_trial(&base.clone().starting_at(cursor), |ctx, _| ads::ad_op(ctx, &db));
+    let r_ads = run_trial(&base.clone().starting_at(cursor), |ctx, _| {
+        ads::ad_op(ctx, &db)
+    });
     cursor = cursor + base.warmup + base.measure;
     assert!(r_ads.committed > 100, "ads committed {}", r_ads.committed);
     let r_lk = run_trial(&base.clone().starting_at(cursor), |ctx, _| {
@@ -171,7 +193,7 @@ fn ads_lookup_sysbench_smoke() {
 fn driver_latency_under_contention_grows_with_clients() {
     let f = fabric();
     let mut ctx = SimCtx::new(0, 7);
-    let db = open(&mut ctx, &f, DbConfig::default());
+    let db = open(&mut ctx, &f, DbConfig::builder().build().unwrap());
     db.define_schema(orders::define_schema);
     db.create_tables(&mut ctx).unwrap();
     orders::load(&mut ctx, &db).unwrap();

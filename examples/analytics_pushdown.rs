@@ -15,13 +15,16 @@ fn main() {
     let db = Db::open(
         &mut ctx,
         &fabric,
-        DbConfig {
-            bp_pages: 64,
-            log: LogBackendKind::AStore,
-            ring_segments: 12,
-            ebp: Some(EbpConfig { capacity_bytes: 256 << 20, ..Default::default() }),
-            ..Default::default()
-        },
+        DbConfig::builder()
+            .bp_pages(64)
+            .log(LogBackendKind::AStore)
+            .ring_segments(12)
+            .ebp(EbpConfig {
+                capacity_bytes: 256 << 20,
+                ..Default::default()
+            })
+            .build()
+            .unwrap(),
     )
     .unwrap();
     db.define_schema(|cat| {
@@ -31,7 +34,13 @@ fn main() {
     db.create_tables(&mut ctx).unwrap();
 
     println!("loading TPC-CH data (scaled)...");
-    let scale = tpcc::TpccScale { warehouses: 8, districts: 4, customers: 50, items: 200, initial_orders: 30 };
+    let scale = tpcc::TpccScale {
+        warehouses: 8,
+        districts: 4,
+        customers: 50,
+        items: 200,
+        initial_orders: 30,
+    };
     tpcc::load(&mut ctx, &db, &scale).unwrap();
     chbench::load_extra(&mut ctx, &db).unwrap();
 
@@ -39,7 +48,10 @@ fn main() {
     let warm = QuerySession::default();
     execute(&mut ctx, &db, &warm, &chbench::query(1)).unwrap();
 
-    println!("\n{:>6} {:>14} {:>14} {:>12} {:>10}", "query", "local (ms)", "PQ+EBP (ms)", "speedup", "rows");
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>12} {:>10}",
+        "query", "local (ms)", "PQ+EBP (ms)", "speedup", "rows"
+    );
     let local = QuerySession::default();
     let pq = QuerySession::with_pushdown();
     for q in [1usize, 6, 11, 15, 16, 22] {
@@ -55,7 +67,11 @@ fn main() {
         let rows_pq = execute(&mut ctx, &db, &pq, &plan).unwrap();
         let t_pq = ctx.now() - t0;
 
-        assert_eq!(rows_local.len(), rows_pq.len(), "push-down must not change results");
+        assert_eq!(
+            rows_local.len(),
+            rows_pq.len(),
+            "push-down must not change results"
+        );
         println!(
             "{:>6} {:>14.2} {:>14.2} {:>11.1}x {:>10}",
             format!("Q{q}"),

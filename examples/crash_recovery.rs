@@ -20,13 +20,13 @@ fn schema(cat: &mut Catalog) {
 
 fn main() {
     let fabric = StorageFabric::build(ClusterSpec::paper_default(), 64 << 20, 512 * 1024);
-    let cfg = DbConfig {
-        bp_pages: 64,
-        log: LogBackendKind::AStore,
-        ring_segments: 8,
-        ebp: Some(EbpConfig::default()),
-        ..Default::default()
-    };
+    let cfg = DbConfig::builder()
+        .bp_pages(64)
+        .log(LogBackendKind::AStore)
+        .ring_segments(8)
+        .ebp(EbpConfig::default())
+        .build()
+        .unwrap();
 
     // ---- incarnation 1 -------------------------------------------------
     let mut ctx = SimCtx::new(1, 42);
@@ -40,7 +40,11 @@ fn main() {
             &mut ctx,
             &mut committed,
             "ledger",
-            vec![Value::Int(i), Value::Str(format!("entry-{i}")), Value::Int(i * 10)],
+            vec![
+                Value::Int(i),
+                Value::Str(format!("entry-{i}")),
+                Value::Int(i * 10),
+            ],
         )
         .unwrap();
     }
@@ -49,8 +53,13 @@ fn main() {
 
     // A transaction that will never commit...
     let mut loser = db.begin();
-    db.insert(&mut ctx, &mut loser, "ledger", vec![Value::Int(9999), Value::Str("ghost".into()), Value::Int(-1)])
-        .unwrap();
+    db.insert(
+        &mut ctx,
+        &mut loser,
+        "ledger",
+        vec![Value::Int(9999), Value::Str("ghost".into()), Value::Int(-1)],
+    )
+    .unwrap();
     db.update_by_pk(&mut ctx, &mut loser, "ledger", &[Value::Int(42)], |row| {
         row[2] = Value::Int(-424242);
     })
@@ -58,8 +67,17 @@ fn main() {
     // ...but whose log records become durable via a concurrent committer's
     // group-commit flush:
     let mut bystander = db.begin();
-    db.insert(&mut ctx, &mut bystander, "ledger", vec![Value::Int(1000), Value::Str("bystander".into()), Value::Int(1)])
-        .unwrap();
+    db.insert(
+        &mut ctx,
+        &mut bystander,
+        "ledger",
+        vec![
+            Value::Int(1000),
+            Value::Str("bystander".into()),
+            Value::Int(1),
+        ],
+    )
+    .unwrap();
     db.commit(&mut ctx, &mut bystander).unwrap();
     println!("loser transaction in flight (records durable via group commit)");
 
@@ -82,19 +100,43 @@ fn main() {
     println!("  EBP pages recovered : {}", report.ebp_pages_recovered);
 
     // Committed state is intact.
-    let row = db2.get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(499)]).unwrap().unwrap();
+    let row = db2
+        .get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(499)])
+        .unwrap()
+        .unwrap();
     assert_eq!(row[2], Value::Int(4990));
-    let bystander_row = db2.get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(1000)]).unwrap();
+    let bystander_row = db2
+        .get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(1000)])
+        .unwrap();
     assert!(bystander_row.is_some());
     // The loser's effects are gone.
-    assert!(db2.get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(9999)]).unwrap().is_none());
-    let row42 = db2.get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(42)]).unwrap().unwrap();
-    assert_eq!(row42[2], Value::Int(420), "loser's update must be rolled back");
+    assert!(db2
+        .get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(9999)])
+        .unwrap()
+        .is_none());
+    let row42 = db2
+        .get_by_pk(&mut ctx2, None, "ledger", &[Value::Int(42)])
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        row42[2],
+        Value::Int(420),
+        "loser's update must be rolled back"
+    );
 
     // And the engine keeps serving.
     let mut txn = db2.begin();
-    db2.insert(&mut ctx2, &mut txn, "ledger", vec![Value::Int(2000), Value::Str("post-crash".into()), Value::Int(7)])
-        .unwrap();
+    db2.insert(
+        &mut ctx2,
+        &mut txn,
+        "ledger",
+        vec![
+            Value::Int(2000),
+            Value::Str("post-crash".into()),
+            Value::Int(7),
+        ],
+    )
+    .unwrap();
     db2.commit(&mut ctx2, &mut txn).unwrap();
     println!("\npost-recovery writes OK — all invariants hold");
 }

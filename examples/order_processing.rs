@@ -14,17 +14,32 @@ use vedb::workloads::driver::{run_trial, DriverConfig};
 use vedb::workloads::orders;
 
 fn main() {
-    println!("internal order-processing workload: {}-byte rows, batches of {}, {} vendors\n",
-        orders::ROW_PAYLOAD, orders::BATCH, orders::VENDORS);
-    println!("{:>20} {:>8} {:>10} {:>10} {:>10}", "config", "clients", "TPS", "p50", "p95");
+    println!(
+        "internal order-processing workload: {}-byte rows, batches of {}, {} vendors\n",
+        orders::ROW_PAYLOAD,
+        orders::BATCH,
+        orders::VENDORS
+    );
+    println!(
+        "{:>20} {:>8} {:>10} {:>10} {:>10}",
+        "config", "clients", "TPS", "p50", "p95"
+    );
 
-    for (name, log) in [("veDB", LogBackendKind::BlobStore), ("veDB+AStore", LogBackendKind::AStore)] {
+    for (name, log) in [
+        ("veDB", LogBackendKind::BlobStore),
+        ("veDB+AStore", LogBackendKind::AStore),
+    ] {
         let fabric = StorageFabric::build(ClusterSpec::paper_default(), 128 << 20, 1 << 20);
         let mut ctx = SimCtx::new(0, 7);
         let db = Db::open(
             &mut ctx,
             &fabric,
-            DbConfig { log, bp_pages: 2048, ring_segments: 12, ..Default::default() },
+            DbConfig::builder()
+                .log(log)
+                .bp_pages(2048)
+                .ring_segments(12)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         db.define_schema(orders::define_schema);

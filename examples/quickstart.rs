@@ -10,11 +10,18 @@ fn main() {
     // One "cluster" per deployment, shaped like the paper's Table I:
     // 3 AStore servers with PMem, 3 storage servers with SSD (LogStore +
     // PageStore), and a 20-core DBEngine VM — all in virtual time.
-    for (name, log) in [("SSD LogStore", LogBackendKind::BlobStore), ("AStore (PMem+RDMA)", LogBackendKind::AStore)] {
+    for (name, log) in [
+        ("SSD LogStore", LogBackendKind::BlobStore),
+        ("AStore (PMem+RDMA)", LogBackendKind::AStore),
+    ] {
         let fabric = StorageFabric::build(ClusterSpec::paper_default(), 64 << 20, 1 << 20);
         let mut ctx = SimCtx::new(0, 42);
-        let db = Db::open(&mut ctx, &fabric, DbConfig { log, ..Default::default() })
-            .expect("open engine");
+        let db = Db::open(
+            &mut ctx,
+            &fabric,
+            DbConfig::builder().log(log).build().unwrap(),
+        )
+        .expect("open engine");
 
         db.define_schema(|cat| {
             cat.define("accounts")
@@ -36,7 +43,11 @@ fn main() {
                 &mut ctx,
                 &mut txn,
                 "accounts",
-                vec![Value::Int(i), Value::Str(format!("owner-{}", i % 10)), Value::Int(100)],
+                vec![
+                    Value::Int(i),
+                    Value::Str(format!("owner-{}", i % 10)),
+                    Value::Int(100),
+                ],
             )
             .unwrap();
             db.commit(&mut ctx, &mut txn).unwrap();
@@ -56,10 +67,19 @@ fn main() {
         db.commit(&mut ctx, &mut txn).unwrap();
 
         // Point read + secondary-index lookup.
-        let row = db.get_by_pk(&mut ctx, None, "accounts", &[Value::Int(2)]).unwrap().unwrap();
+        let row = db
+            .get_by_pk(&mut ctx, None, "accounts", &[Value::Int(2)])
+            .unwrap()
+            .unwrap();
         assert_eq!(row[2], Value::Int(130));
         let owned = db
-            .index_lookup(&mut ctx, "accounts", "by_owner", &[Value::Str("owner-3".into())], 100)
+            .index_lookup(
+                &mut ctx,
+                "accounts",
+                "by_owner",
+                &[Value::Str("owner-3".into())],
+                100,
+            )
             .unwrap();
         assert_eq!(owned.len(), 20);
 

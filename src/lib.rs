@@ -16,7 +16,7 @@
 //!
 //! let fabric = StorageFabric::build(ClusterSpec::paper_default(), 64 << 20, 1 << 20);
 //! let mut ctx = SimCtx::new(0, 42);
-//! let db = Db::open(&mut ctx, &fabric, DbConfig::default()).unwrap();
+//! let db = Db::open(&mut ctx, &fabric, DbConfig::builder().build().unwrap()).unwrap();
 //! db.define_schema(|cat| {
 //!     cat.define("users")
 //!         .col("id", ColumnType::Int)
@@ -44,7 +44,8 @@ pub use vedb_workloads as workloads;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use vedb_core::db::{Db, DbConfig, LogBackendKind, StorageFabric};
+    pub use vedb_astore::{AppendOpts, RetryPolicy, SegmentOpts};
+    pub use vedb_core::db::{Db, DbConfig, DbConfigBuilder, LogBackendKind, StorageFabric};
     pub use vedb_core::ebp::{EbpConfig, EbpPolicy};
     pub use vedb_core::query::{execute, AggExpr, AggFunc, CmpOp, Expr, Plan, QuerySession};
     pub use vedb_core::{Catalog, ColumnType, EngineError, Row, TxnHandle, Value};

@@ -18,15 +18,25 @@ fn paper_storyline() {
     for log in [LogBackendKind::BlobStore, LogBackendKind::AStore] {
         let f = fabric();
         let mut ctx = SimCtx::new(0, 7);
-        let db = Db::open(&mut ctx, &f, DbConfig { log, ..Default::default() }).unwrap();
+        let db = Db::open(&mut ctx, &f, DbConfig::builder().log(log).build().unwrap()).unwrap();
         db.define_schema(|cat| {
-            cat.define("t").col("id", ColumnType::Int).col("v", ColumnType::Str).pk(&["id"]).build();
+            cat.define("t")
+                .col("id", ColumnType::Int)
+                .col("v", ColumnType::Str)
+                .pk(&["id"])
+                .build();
         });
         db.create_tables(&mut ctx).unwrap();
         let t0 = ctx.now();
         for i in 0..100 {
             let mut txn = db.begin();
-            db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(i), Value::Str("x".into())]).unwrap();
+            db.insert(
+                &mut ctx,
+                &mut txn,
+                "t",
+                vec![Value::Int(i), Value::Str("x".into())],
+            )
+            .unwrap();
             db.commit(&mut ctx, &mut txn).unwrap();
         }
         lat.push((ctx.now() - t0) / 100);
@@ -44,21 +54,33 @@ fn paper_storyline() {
     let db = Db::open(
         &mut ctx,
         &f,
-        DbConfig {
-            bp_pages: 16,
-            ebp: Some(EbpConfig { capacity_bytes: 64 << 20, ..Default::default() }),
-            ..Default::default()
-        },
+        DbConfig::builder()
+            .bp_pages(16)
+            .ebp(EbpConfig {
+                capacity_bytes: 64 << 20,
+                ..Default::default()
+            })
+            .build()
+            .unwrap(),
     )
     .unwrap();
     db.define_schema(|cat| {
-        cat.define("big").col("id", ColumnType::Int).col("pad", ColumnType::Str).pk(&["id"]).build();
+        cat.define("big")
+            .col("id", ColumnType::Int)
+            .col("pad", ColumnType::Str)
+            .pk(&["id"])
+            .build();
     });
     db.create_tables(&mut ctx).unwrap();
     let mut txn = db.begin();
     for i in 0..2000 {
-        db.insert(&mut ctx, &mut txn, "big", vec![Value::Int(i), Value::Str("p".repeat(200))])
-            .unwrap();
+        db.insert(
+            &mut ctx,
+            &mut txn,
+            "big",
+            vec![Value::Int(i), Value::Str("p".repeat(200))],
+        )
+        .unwrap();
     }
     db.commit(&mut ctx, &mut txn).unwrap();
     // Stream once: evictions fill the EBP.
@@ -66,28 +88,49 @@ fn paper_storyline() {
     db.ebp().unwrap().reset_stats();
     let t0 = ctx.now();
     for i in (0..2000).step_by(53) {
-        db.get_by_pk(&mut ctx, None, "big", &[Value::Int(i)]).unwrap().unwrap();
+        db.get_by_pk(&mut ctx, None, "big", &[Value::Int(i)])
+            .unwrap()
+            .unwrap();
     }
     let warm = ctx.now() - t0;
-    assert!(db.ebp().unwrap().hits() > 10, "EBP must serve the cold lookups");
+    assert!(
+        db.ebp().unwrap().hits() > 10,
+        "EBP must serve the cold lookups"
+    );
     // The same reads through PageStore only (EBP disabled) cost much more.
     let f2 = fabric();
     let mut ctx2 = SimCtx::new(0, 7);
-    let db2 = Db::open(&mut ctx2, &f2, DbConfig { bp_pages: 16, ..Default::default() }).unwrap();
+    let db2 = Db::open(
+        &mut ctx2,
+        &f2,
+        DbConfig::builder().bp_pages(16).build().unwrap(),
+    )
+    .unwrap();
     db2.define_schema(|cat| {
-        cat.define("big").col("id", ColumnType::Int).col("pad", ColumnType::Str).pk(&["id"]).build();
+        cat.define("big")
+            .col("id", ColumnType::Int)
+            .col("pad", ColumnType::Str)
+            .pk(&["id"])
+            .build();
     });
     db2.create_tables(&mut ctx2).unwrap();
     let mut txn2 = db2.begin();
     for i in 0..2000 {
-        db2.insert(&mut ctx2, &mut txn2, "big", vec![Value::Int(i), Value::Str("p".repeat(200))])
-            .unwrap();
+        db2.insert(
+            &mut ctx2,
+            &mut txn2,
+            "big",
+            vec![Value::Int(i), Value::Str("p".repeat(200))],
+        )
+        .unwrap();
     }
     db2.commit(&mut ctx2, &mut txn2).unwrap();
     db2.scan_table(&mut ctx2, "big", |_| true).unwrap();
     let t0 = ctx2.now();
     for i in (0..2000).step_by(53) {
-        db2.get_by_pk(&mut ctx2, None, "big", &[Value::Int(i)]).unwrap().unwrap();
+        db2.get_by_pk(&mut ctx2, None, "big", &[Value::Int(i)])
+            .unwrap()
+            .unwrap();
     }
     let cold = ctx2.now() - t0;
     assert!(
@@ -105,20 +148,25 @@ fn astore_node_failure_is_survivable() {
     let db = Db::open(
         &mut ctx,
         &f,
-        DbConfig {
-            bp_pages: 32,
-            ebp: Some(EbpConfig::default()),
-            ..Default::default()
-        },
+        DbConfig::builder()
+            .bp_pages(32)
+            .ebp(EbpConfig::default())
+            .build()
+            .unwrap(),
     )
     .unwrap();
     db.define_schema(|cat| {
-        cat.define("t").col("id", ColumnType::Int).col("v", ColumnType::Int).pk(&["id"]).build();
+        cat.define("t")
+            .col("id", ColumnType::Int)
+            .col("v", ColumnType::Int)
+            .pk(&["id"])
+            .build();
     });
     db.create_tables(&mut ctx).unwrap();
     let mut txn = db.begin();
     for i in 0..500 {
-        db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(i), Value::Int(i)]).unwrap();
+        db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(i), Value::Int(i)])
+            .unwrap();
     }
     db.commit(&mut ctx, &mut txn).unwrap();
 
@@ -131,18 +179,32 @@ fn astore_node_failure_is_survivable() {
     // needs 3 live servers, so restore the node after the failure is
     // detected (transient failure), then continue.
     let mut txn = db.begin();
-    let r = db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(9001), Value::Int(1)]);
+    let r = db.insert(
+        &mut ctx,
+        &mut txn,
+        "t",
+        vec![Value::Int(9001), Value::Int(1)],
+    );
     let r = r.and_then(|_| db.commit(&mut ctx, &mut txn));
     f.env.faults.restore(victim);
     if r.is_err() {
         // Retry after the node returns.
         let mut txn = db.begin();
-        db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(9002), Value::Int(1)]).unwrap();
+        db.insert(
+            &mut ctx,
+            &mut txn,
+            "t",
+            vec![Value::Int(9002), Value::Int(1)],
+        )
+        .unwrap();
         db.commit(&mut ctx, &mut txn).unwrap();
     }
     // All committed data still readable.
     for i in (0..500).step_by(97) {
-        assert!(db.get_by_pk(&mut ctx, None, "t", &[Value::Int(i)]).unwrap().is_some());
+        assert!(db
+            .get_by_pk(&mut ctx, None, "t", &[Value::Int(i)])
+            .unwrap()
+            .is_some());
     }
 }
 
@@ -152,9 +214,18 @@ fn astore_node_failure_is_survivable() {
 fn pagestore_replica_failure_quorum() {
     let f = fabric();
     let mut ctx = SimCtx::new(0, 7);
-    let db = Db::open(&mut ctx, &f, DbConfig { bp_pages: 16, ..Default::default() }).unwrap();
+    let db = Db::open(
+        &mut ctx,
+        &f,
+        DbConfig::builder().bp_pages(16).build().unwrap(),
+    )
+    .unwrap();
     db.define_schema(|cat| {
-        cat.define("t").col("id", ColumnType::Int).col("v", ColumnType::Int).pk(&["id"]).build();
+        cat.define("t")
+            .col("id", ColumnType::Int)
+            .col("v", ColumnType::Int)
+            .pk(&["id"])
+            .build();
     });
     db.create_tables(&mut ctx).unwrap();
 
@@ -163,7 +234,13 @@ fn pagestore_replica_failure_quorum() {
     f.env.faults.crash(victim);
     let mut txn = db.begin();
     for i in 0..800 {
-        db.insert(&mut ctx, &mut txn, "t", vec![Value::Int(i), Value::Int(i * 2)]).unwrap();
+        db.insert(
+            &mut ctx,
+            &mut txn,
+            "t",
+            vec![Value::Int(i), Value::Int(i * 2)],
+        )
+        .unwrap();
     }
     db.commit(&mut ctx, &mut txn).unwrap();
     db.checkpoint(&mut ctx).unwrap();
@@ -173,7 +250,10 @@ fn pagestore_replica_failure_quorum() {
     // hold whichever replica serves, with gossip filling the dead node's
     // holes.
     for i in (0..800).step_by(61) {
-        let row = db.get_by_pk(&mut ctx, None, "t", &[Value::Int(i)]).unwrap().unwrap();
+        let row = db
+            .get_by_pk(&mut ctx, None, "t", &[Value::Int(i)])
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Int(i * 2));
     }
 }
@@ -188,11 +268,14 @@ fn pushdown_equivalence_after_churn() {
     let db = Db::open(
         &mut ctx,
         &f,
-        DbConfig {
-            bp_pages: 128,
-            ebp: Some(EbpConfig { capacity_bytes: 64 << 20, ..Default::default() }),
-            ..Default::default()
-        },
+        DbConfig::builder()
+            .bp_pages(128)
+            .ebp(EbpConfig {
+                capacity_bytes: 64 << 20,
+                ..Default::default()
+            })
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let scale = tpcc::TpccScale::tiny();

@@ -1,0 +1,139 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! Provides just enough API for the workspace's `harness = false`
+//! micro-benchmarks to build and run hermetically: `Criterion`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Timing is a simple best-of-samples wall-clock measurement printed as
+//! plain text — adequate for relative comparisons, not statistics.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to group target functions.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target measurement time across all samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the closure until the warm-up budget elapses, and
+        // use the iterations it managed as the per-sample iteration count.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            b.iters = 1;
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_sample = (warm_iters / self.sample_size.max(1) as u64).max(1);
+
+        let mut best = Duration::MAX;
+        let mut total_iters: u64 = 0;
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            b.iters = per_sample;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            let per_iter = b.elapsed / per_sample.max(1) as u32;
+            if per_iter < best {
+                best = per_iter;
+            }
+            total_iters += per_sample;
+            if run_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        println!(
+            "bench {name:<40} {:>12.1} ns/iter ({total_iters} iters)",
+            best.as_nanos()
+        );
+        self
+    }
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f` over this sample's iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let v = f();
+            std::hint::black_box(&v);
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(v: T) -> T {
+    std::hint::black_box(v)
+}
+
+/// Define a benchmark group (both plain and configured forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
