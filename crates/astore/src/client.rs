@@ -44,7 +44,11 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use vedb_rdma::{RdmaEndpoint, RemoteMr};
 use vedb_sim::fault::NodeId;
-use vedb_sim::{LatencyModel, RecoveryCounters, Resource, SimCtx, VTime};
+use vedb_sim::trace::TraceLog;
+use vedb_sim::{
+    Counter, LatencyModel, LatencyRecorder, MetricsRegistry, RecoveryCounters, Resource, SimCtx,
+    VTime,
+};
 
 use crate::cm::{ClusterManager, Lease, Route};
 use crate::layout::SegmentClass;
@@ -72,6 +76,34 @@ struct SegMeta {
     frozen: bool,
 }
 
+/// Data-path metric handles (component `"astore"`), cached at connect time
+/// from the CM's registry.
+struct ClientStats {
+    registry: Arc<MetricsRegistry>,
+    appends: Arc<Counter>,
+    append_bytes: Arc<Counter>,
+    reads: Arc<Counter>,
+    read_bytes: Arc<Counter>,
+    append_lat: Arc<LatencyRecorder>,
+    read_lat: Arc<LatencyRecorder>,
+    trace: Arc<TraceLog>,
+}
+
+impl ClientStats {
+    fn register(registry: Arc<MetricsRegistry>) -> Self {
+        ClientStats {
+            appends: registry.counter("astore", "appends"),
+            append_bytes: registry.counter("astore", "append_bytes"),
+            reads: registry.counter("astore", "reads"),
+            read_bytes: registry.counter("astore", "read_bytes"),
+            append_lat: registry.latency("astore", "append"),
+            read_lat: registry.latency("astore", "read"),
+            trace: Arc::clone(registry.trace()),
+            registry,
+        }
+    }
+}
+
 /// The AStore client SDK.
 pub struct AStoreClient {
     cm: Arc<ClusterManager>,
@@ -82,6 +114,7 @@ pub struct AStoreClient {
     refresh_period: VTime,
     policy: RetryPolicy,
     counters: Arc<RecoveryCounters>,
+    stats: ClientStats,
     lease: Mutex<Lease>,
     /// Per-node connection state: registered MR + server reference.
     nodes: Mutex<HashMap<NodeId, (RemoteMr, Arc<AStoreServer>)>>,
@@ -134,6 +167,7 @@ impl AStoreClient {
             .collect();
         let counters = Arc::new(RecoveryCounters::new());
         cm.attach_recovery_counters(Arc::clone(&counters));
+        let stats = ClientStats::register(cm.metrics());
         Arc::new(AStoreClient {
             cm,
             ep,
@@ -143,6 +177,7 @@ impl AStoreClient {
             refresh_period,
             policy,
             counters,
+            stats,
             lease: Mutex::new(lease),
             nodes: Mutex::new(nodes),
             routes: Mutex::new(HashMap::new()),
@@ -173,6 +208,13 @@ impl AStoreClient {
     /// Recovery telemetry: retries, failovers, renewals, repairs.
     pub fn recovery_counters(&self) -> &Arc<RecoveryCounters> {
         &self.counters
+    }
+
+    /// The deployment metric registry this client publishes into (inherited
+    /// from the CM at connect time); engine-side layers built on top of the
+    /// client (EBP) register their own metrics here.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.stats.registry
     }
 
     fn charge_sdk(&self, ctx: &mut SimCtx) {
@@ -555,6 +597,8 @@ impl AStoreClient {
         opts: AppendOpts<'_>,
     ) -> Result<u64> {
         assert!(!data.is_empty(), "empty appends are not meaningful");
+        let t0 = ctx.now();
+        let sp = self.stats.trace.span(ctx, "astore", "append");
         self.charge_sdk(ctx);
         let tail = opts.tail.unwrap_or(&[]);
         // A frozen segment gets one shot at un-freezing — the CM may have
@@ -589,6 +633,10 @@ impl AStoreClient {
         if let Some(m) = self.segs.lock().get_mut(&handle.id) {
             m.len = new_len;
         }
+        self.stats.appends.inc();
+        self.stats.append_bytes.add(data.len() as u64);
+        self.stats.append_lat.record(ctx.now() - t0);
+        sp.finish(ctx);
         Ok(off)
     }
 
@@ -663,6 +711,8 @@ impl AStoreClient {
         offset: u64,
         len: usize,
     ) -> Result<Vec<u8>> {
+        let t0 = ctx.now();
+        let sp = self.stats.trace.span(ctx, "astore", "read");
         let mut retry = 0u32;
         loop {
             let route = self.maybe_refresh_route(ctx, handle.id)?;
@@ -691,6 +741,10 @@ impl AStoreClient {
                         if i > 0 {
                             self.counters.note_read_failover();
                         }
+                        self.stats.reads.inc();
+                        self.stats.read_bytes.add(len as u64);
+                        self.stats.read_lat.record(ctx.now() - t0);
+                        sp.finish(ctx);
                         return Ok(data);
                     }
                     Err(e) => last_err = AStoreError::Network(e),

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use vedb_sim::fault::NodeId;
-use vedb_sim::{FaultPlan, RecoveryCounters, SimCtx, VTime};
+use vedb_sim::{Counter, FaultPlan, MetricsRegistry, RecoveryCounters, SimCtx, VTime};
 
 use crate::layout::SegmentClass;
 use crate::server::AStoreServer;
@@ -65,6 +65,32 @@ struct CmState {
     next_epoch: u64,
 }
 
+/// Control-plane metric handles (component `"astore"`), re-resolved whenever
+/// a deployment registry is attached.
+struct CmMetrics {
+    registry: Arc<MetricsRegistry>,
+    lease_acquires: Arc<Counter>,
+    lease_renewals: Arc<Counter>,
+    segment_creates: Arc<Counter>,
+    segment_deletes: Arc<Counter>,
+    route_lookups: Arc<Counter>,
+    repairs: Arc<Counter>,
+}
+
+impl CmMetrics {
+    fn register(registry: Arc<MetricsRegistry>) -> Self {
+        CmMetrics {
+            lease_acquires: registry.counter("astore", "lease_acquires"),
+            lease_renewals: registry.counter("astore", "lease_renewals"),
+            segment_creates: registry.counter("astore", "cm_segment_creates"),
+            segment_deletes: registry.counter("astore", "cm_segment_deletes"),
+            route_lookups: registry.counter("astore", "cm_route_lookups"),
+            repairs: registry.counter("astore", "cm_repairs"),
+            registry,
+        }
+    }
+}
+
 /// The cluster manager.
 pub struct ClusterManager {
     faults: Arc<FaultPlan>,
@@ -73,6 +99,9 @@ pub struct ClusterManager {
     state: Mutex<CmState>,
     /// Optional recovery telemetry sink (shared with the client SDK).
     counters: Mutex<Option<Arc<RecoveryCounters>>>,
+    /// Deployment metric registry; detached until the assembler attaches the
+    /// cluster-wide one (mirrors `attach_recovery_counters`).
+    metrics: Mutex<CmMetrics>,
 }
 
 impl ClusterManager {
@@ -92,6 +121,7 @@ impl ClusterManager {
                 next_epoch: 1,
             }),
             counters: Mutex::new(None),
+            metrics: Mutex::new(CmMetrics::register(MetricsRegistry::detached())),
         })
     }
 
@@ -100,6 +130,19 @@ impl ClusterManager {
     /// activity alongside the client SDK's retry counters.
     pub fn attach_recovery_counters(&self, counters: Arc<RecoveryCounters>) {
         *self.counters.lock() = Some(counters);
+    }
+
+    /// Attach the deployment-wide [`MetricsRegistry`]. Control-plane
+    /// counters (`astore.lease_*`, `astore.cm_*`) are re-registered there,
+    /// and clients connecting through this CM inherit the registry for their
+    /// data-path metrics — so component constructors keep their signatures.
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        *self.metrics.lock() = CmMetrics::register(registry);
+    }
+
+    /// The registry this CM (and clients connected through it) publish into.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics.lock().registry)
     }
 
     /// Register a storage node.
@@ -142,6 +185,7 @@ impl ClusterManager {
     /// for the same client is superseded.
     pub fn acquire_lease(&self, ctx: &mut SimCtx, client_id: u64) -> Lease {
         ctx.advance(CM_PROC);
+        self.metrics.lock().lease_acquires.inc();
         let mut st = self.state.lock();
         let epoch = st.next_epoch;
         st.next_epoch += 1;
@@ -161,6 +205,7 @@ impl ClusterManager {
     /// client's own in-flight operations).
     pub fn renew_lease(&self, ctx: &mut SimCtx, lease: Lease) -> Result<()> {
         ctx.advance(CM_PROC);
+        self.metrics.lock().lease_renewals.inc();
         let mut st = self.state.lock();
         match st.leases.get(&lease.client_id) {
             Some((epoch, _)) if *epoch != lease.epoch => {
@@ -218,6 +263,7 @@ impl ClusterManager {
         replication: usize,
     ) -> Result<(SegmentId, Route)> {
         ctx.advance(CM_PROC);
+        self.metrics.lock().segment_creates.inc();
         let (seg, targets) = {
             let mut st = self.state.lock();
             self.validate_locked(&st, lease, ctx.now())?;
@@ -275,6 +321,7 @@ impl ClusterManager {
     /// clean the slots up (delayed on the server side, §IV-C).
     pub fn delete_segment(&self, ctx: &mut SimCtx, lease: Lease, seg: SegmentId) -> Result<()> {
         ctx.advance(CM_PROC);
+        self.metrics.lock().segment_deletes.inc();
         let route = {
             let mut st = self.state.lock();
             self.validate_locked(&st, lease, ctx.now())?;
@@ -300,6 +347,7 @@ impl ClusterManager {
     /// period; cost is one CM round trip).
     pub fn get_route(&self, ctx: &mut SimCtx, seg: SegmentId) -> Result<Route> {
         ctx.advance(CM_PROC);
+        self.metrics.lock().route_lookups.inc();
         self.state
             .lock()
             .routes
@@ -482,6 +530,7 @@ impl ClusterManager {
                     if let Some(c) = self.counters.lock().as_ref() {
                         c.note_replica_repaired();
                     }
+                    self.metrics.lock().repairs.inc();
                 }
             }
         }

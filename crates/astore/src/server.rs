@@ -80,7 +80,7 @@ impl AStoreServer {
         cleanup_delay: VTime,
         model: LatencyModel,
     ) -> Arc<Self> {
-        let device = Arc::new(PmemDevice::new(
+        let device = Arc::new(PmemDevice::with_metrics(
             format!("pmem-node-{node}"),
             capacity,
             ddio_enabled,
@@ -88,6 +88,7 @@ impl AStoreServer {
                 .clone()
                 .expect("AStore node must have a PMem resource"),
             model.clone(),
+            &res.metrics,
         ));
         let geo = Geometry::for_capacity(capacity as u64, slot_size);
         assert!(geo.slots > 0, "device too small for even one slot");

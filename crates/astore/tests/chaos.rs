@@ -368,3 +368,97 @@ fn repair_copies_io_meta_so_recovery_sees_full_length() {
         "io-meta must survive repair"
     );
 }
+
+/// Fault-free control run: with no injected faults, the RDMA verb counts
+/// published into the cluster registry must match the workload's ground
+/// truth exactly — `N` appends over a 3-replica route are `3N` chained
+/// WRITEs, `N` reads are `N` one-sided READs off the first replica, and
+/// nothing is dropped or retried.
+#[test]
+fn fault_free_rdma_counts_match_ground_truth() {
+    let c = cluster(VTime::from_secs(3600));
+    c.cm.attach_metrics(Arc::clone(&c.env.metrics));
+    let mut ctx = SimCtx::new(9, 0xFEED);
+    let ep = RdmaEndpoint::with_metrics(
+        c.env.model.clone(),
+        Arc::clone(&c.env.faults),
+        Arc::clone(&c.env.engine_nic),
+        &c.env.metrics,
+    );
+    let client = AStoreClient::connect_with_policy(
+        &mut ctx,
+        Arc::clone(&c.cm),
+        ep,
+        Arc::clone(&c.env.engine_cpu),
+        c.env.model.clone(),
+        9,
+        VTime::from_millis(50),
+        RetryPolicy::default(),
+    );
+    let seg = client
+        .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
+        .unwrap();
+    let replicas = client.cached_route(seg.id).unwrap().replicas.len() as u64;
+    assert_eq!(replicas, 3);
+
+    let chain_writes = c.env.metrics.counter("rdma", "chain_writes");
+    let rdma_reads = c.env.metrics.counter("rdma", "reads");
+    let appends = c.env.metrics.counter("astore", "appends");
+    let astore_reads = c.env.metrics.counter("astore", "reads");
+    let drops = c.env.metrics.counter("rdma", "drops");
+    let pmem_writes = c.env.metrics.counter("pmem", "writes");
+
+    let n = 120u64;
+    let (cw0, rr0, ap0, ar0, pw0) = (
+        chain_writes.get(),
+        rdma_reads.get(),
+        appends.get(),
+        astore_reads.get(),
+        pmem_writes.get(),
+    );
+    let mut committed = Vec::new();
+    for i in 0..n as usize {
+        let data = record(i);
+        let off = client
+            .append_with(&mut ctx, seg, &data, AppendOpts::new())
+            .unwrap();
+        committed.push((off, data));
+    }
+    assert_eq!(
+        chain_writes.get() - cw0,
+        n * replicas,
+        "one chained WRITE per replica per append"
+    );
+    assert_eq!(appends.get() - ap0, n);
+    // Each replica's chained WRITE lands the record and the io-meta stamp
+    // on its PMem device: two device writes per replica per append.
+    assert_eq!(
+        pmem_writes.get() - pw0,
+        n * replicas * 2,
+        "record + io-meta per replica per append"
+    );
+
+    for (off, data) in &committed {
+        let got = client.read(&mut ctx, seg, *off, data.len()).unwrap();
+        assert_eq!(&got, data);
+    }
+    assert_eq!(
+        rdma_reads.get() - rr0,
+        n,
+        "fault-free reads are served by the first replica in one READ"
+    );
+    assert_eq!(astore_reads.get() - ar0, n);
+
+    // Nothing was dropped and the recovery layer never engaged.
+    assert_eq!(drops.get(), 0, "fault-free run must not drop");
+    assert_eq!(client.recovery_counters().retries(), 0);
+    assert_eq!(client.recovery_counters().read_failovers(), 0);
+
+    // The per-op latency histograms saw exactly the ops that ran.
+    assert_eq!(c.env.metrics.latency("astore", "append").count(), n);
+    assert_eq!(c.env.metrics.latency("astore", "read").count(), n);
+    assert_eq!(
+        c.env.metrics.latency("rdma", "write_chain").count() as u64 % n,
+        0
+    );
+}

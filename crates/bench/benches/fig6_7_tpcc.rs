@@ -7,7 +7,7 @@
 //! clients), and the gap narrows beyond 64 clients as the workload turns
 //! CPU-bound.
 
-use vedb_bench::{fmt_ms, fmt_tps, paper_note, print_table, Deployment};
+use vedb_bench::{fmt_ms, fmt_tps, paper_note, print_table, write_bench_report, Deployment};
 use vedb_core::db::{DbConfig, LogBackendKind};
 use vedb_sim::VTime;
 use vedb_workloads::tpcc::{self, TpccScale};
@@ -26,9 +26,9 @@ fn main() {
     let clients = vec![1usize, 2, 4, 8, 16, 32, 64, 128, 256];
     let mut series: Vec<(String, Vec<(f64, VTime)>)> = Vec::new();
 
-    for (name, log) in [
-        ("veDB", LogBackendKind::BlobStore),
-        ("veDB+AStore", LogBackendKind::AStore),
+    for (name, slug, log) in [
+        ("veDB", "fig6_7_tpcc_vedb", LogBackendKind::BlobStore),
+        ("veDB+AStore", "fig6_7_tpcc_astore", LogBackendKind::AStore),
     ] {
         let mut dep = Deployment::open(
             DbConfig::builder()
@@ -44,6 +44,7 @@ fn main() {
         tpcc::load(&mut dep.ctx, &dep.db, &scale).unwrap();
 
         let mut points = Vec::new();
+        let mut peak_trial = None;
         for &n in &clients {
             let db = std::sync::Arc::clone(&dep.db);
             let r = dep.trial(
@@ -53,7 +54,17 @@ fn main() {
                 |ctx, _| tpcc::run_transaction(ctx, &db, &scale),
             );
             points.push((r.throughput(), r.latency.p95()));
+            if peak_trial
+                .as_ref()
+                .map(|t: &vedb_sim::TrialResult| r.throughput() > t.throughput())
+                .unwrap_or(true)
+            {
+                peak_trial = Some(r);
+            }
         }
+        // Export the run's observability snapshot (counters accumulate over
+        // the full sweep; the trial section reflects the peak point).
+        let _ = write_bench_report(&dep.report(slug, peak_trial.as_ref()));
         series.push((name.to_string(), points));
     }
 

@@ -9,10 +9,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use vedb_core::db::{Db, DbConfig, StorageFabric};
-use vedb_sim::{ClusterSpec, SimCtx, TrialResult, VTime};
+use vedb_sim::{ClusterSpec, MetricsRegistry, RunReport, SimCtx, TrialResult, VTime};
 use vedb_workloads::driver::{run_trial, DriverConfig, OpOutcome};
 
 /// One deployed engine + its private storage fabric (one "cluster" per
@@ -67,6 +68,38 @@ impl Deployment {
         self.ctx.wait_until(cfg.start + warmup + measure);
         r
     }
+
+    /// The deployment-wide metrics registry (shared by every subsystem of
+    /// this cluster).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.fabric.env.metrics
+    }
+
+    /// Freeze the registry (and optionally a trial) into a [`RunReport`]
+    /// named `name`.
+    pub fn report(&self, name: &str, trial: Option<&TrialResult>) -> RunReport {
+        RunReport::collect(name, trial, self.metrics())
+    }
+}
+
+/// Directory `BENCH_<name>.json` artifacts are written to: the
+/// `VEDB_BENCH_DIR` environment variable when set, otherwise the workspace
+/// root (bench binaries run from arbitrary cwds under `cargo bench`).
+pub fn bench_report_dir() -> PathBuf {
+    match std::env::var_os("VEDB_BENCH_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    }
+}
+
+/// Write `report` as `BENCH_<name>.json` into [`bench_report_dir`];
+/// returns the path written. Errors are returned, not panicked, so a
+/// read-only checkout degrades to console-only output.
+pub fn write_bench_report(report: &RunReport) -> std::io::Result<PathBuf> {
+    let path = bench_report_dir().join(format!("BENCH_{}.json", report.name));
+    std::fs::write(&path, report.to_json())?;
+    println!("  wrote {}", path.display());
+    Ok(path)
 }
 
 /// Render an aligned table.

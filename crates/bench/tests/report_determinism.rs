@@ -1,0 +1,91 @@
+//! Determinism regression: two fresh, identically-seeded single-client
+//! simulation runs must produce **byte-identical** `RunReport` snapshots.
+//!
+//! This is the property the whole virtual-time methodology rests on — if
+//! two same-seed runs diverge in any counter, latency bucket, or the JSON
+//! encoding itself, figures stop being reproducible and CI artifact diffs
+//! become noise. One client keeps the run single-threaded; multi-client
+//! trials interleave on wall-clock thread scheduling and are exempt from
+//! bit-level reproducibility.
+
+use std::sync::Arc;
+
+use vedb_bench::Deployment;
+use vedb_core::db::{DbConfig, LogBackendKind};
+use vedb_sim::{RunReport, VTime};
+use vedb_workloads::tpcc::{self, TpccScale};
+
+fn run_once(name: &str) -> RunReport {
+    let scale = TpccScale {
+        warehouses: 2,
+        districts: 2,
+        customers: 20,
+        items: 60,
+        initial_orders: 5,
+    };
+    let mut dep = Deployment::open(
+        DbConfig::builder()
+            .bp_pages(512)
+            .bp_shards(4)
+            .log(LogBackendKind::AStore)
+            .ring_segments(8)
+            .build()
+            .unwrap(),
+    );
+    dep.db.define_schema(tpcc::define_schema);
+    dep.db.create_tables(&mut dep.ctx).unwrap();
+    tpcc::load(&mut dep.ctx, &dep.db, &scale).unwrap();
+
+    let db = Arc::clone(&dep.db);
+    let r = dep.trial(
+        1,
+        VTime::from_millis(5),
+        VTime::from_millis(50),
+        |ctx, _| tpcc::run_transaction(ctx, &db, &scale),
+    );
+    dep.report(name, Some(&r))
+}
+
+#[test]
+fn seeded_single_client_runs_are_byte_identical() {
+    let a = run_once("det");
+    let b = run_once("det");
+
+    // Sanity: the run actually did work — an empty report being equal to
+    // another empty report would prove nothing.
+    assert!(a.throughput() > 0.0, "trial committed nothing");
+    assert!(a.counter("core.txn_commits") > 0);
+    assert!(a.counter("pmem.writes") > 0);
+    assert!(a.counter("rdma.chain_writes") > 0);
+
+    let ja = a.to_json();
+    let jb = b.to_json();
+    if ja != jb {
+        // Byte-level mismatch: show the first differing line for triage.
+        for (la, lb) in ja.lines().zip(jb.lines()) {
+            if la != lb {
+                panic!("reports diverge:\n  run A: {la}\n  run B: {lb}");
+            }
+        }
+        panic!(
+            "reports differ in length: {} vs {} bytes",
+            ja.len(),
+            jb.len()
+        );
+    }
+}
+
+#[test]
+fn report_json_round_trips_expected_fields() {
+    let rep = run_once("fields");
+    let json = rep.to_json();
+    // Spot-check the schema the EXPERIMENTS.md tooling greps for.
+    assert!(json.contains("\"schema\": \"vedb-bench-report/v1\""));
+    assert!(json.contains("\"throughput_per_s\""));
+    assert!(json.contains("\"p50_ns\""));
+    assert!(json.contains("\"p95_ns\""));
+    assert!(json.contains("\"p99_ns\""));
+    assert!(json.contains("\"core.txn_commits\""));
+    assert!(json.contains("\"pmem.bytes_persisted\""));
+    assert!(json.contains("\"rdma.chain_writes\""));
+}

@@ -27,6 +27,7 @@ use parking_lot::Mutex;
 use vedb_rdma::{RdmaError, RpcFabric};
 use vedb_sim::cluster::NodeRes;
 use vedb_sim::fault::NodeId;
+use vedb_sim::metrics::Counter;
 use vedb_sim::{LatencyModel, SimCtx};
 
 /// Identifier of a blob within one server.
@@ -100,13 +101,22 @@ pub struct BlobServer {
     io_size: usize,
     blobs: Mutex<HashMap<BlobId, Vec<u8>>>,
     next_id: AtomicU64,
+    appends: Arc<Counter>,
+    append_bytes: Arc<Counter>,
+    reads: Arc<Counter>,
+    read_bytes: Arc<Counter>,
 }
 
 impl BlobServer {
     /// Create a server on `node` with the given fixed physical I/O size.
     pub fn new(node: NodeId, res: Arc<NodeRes>, model: LatencyModel, io_size: usize) -> Self {
+        let reg = &res.metrics;
         BlobServer {
             node,
+            appends: reg.counter("blobstore", "appends"),
+            append_bytes: reg.counter("blobstore", "append_bytes"),
+            reads: reg.counter("blobstore", "reads"),
+            read_bytes: reg.counter("blobstore", "read_bytes"),
             res,
             model,
             io_size,
@@ -146,6 +156,8 @@ impl BlobServer {
         let b = blobs.get_mut(&blob).ok_or(BlobError::UnknownBlob(blob))?;
         let off = b.len() as u64;
         b.extend_from_slice(data);
+        self.appends.inc();
+        self.append_bytes.add(data.len() as u64);
         Ok(off)
     }
 
@@ -169,6 +181,8 @@ impl BlobServer {
                 blob_len: b.len(),
             });
         }
+        self.reads.inc();
+        self.read_bytes.add(len as u64);
         Ok(b[offset as usize..offset as usize + len].to_vec())
     }
 

@@ -18,7 +18,8 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use vedb_astore::{Lsn, PageId};
 use vedb_pagestore::Page;
-use vedb_sim::{LatencyModel, Resource, SimCtx, VTime};
+use vedb_sim::metrics::Counter;
+use vedb_sim::{LatencyModel, MetricsRegistry, Resource, SimCtx, VTime};
 
 use crate::Result;
 
@@ -69,6 +70,9 @@ pub struct BufferPool {
     model: LatencyModel,
     hits: AtomicU64,
     misses: AtomicU64,
+    m_hits: Arc<Counter>,
+    m_misses: Arc<Counter>,
+    m_evictions: Arc<Counter>,
 }
 
 impl BufferPool {
@@ -79,6 +83,25 @@ impl BufferPool {
         shards: usize,
         engine_cpu: Arc<Resource>,
         model: LatencyModel,
+    ) -> BufferPool {
+        Self::with_metrics(
+            capacity_pages,
+            shards,
+            engine_cpu,
+            model,
+            &MetricsRegistry::detached(),
+        )
+    }
+
+    /// Like [`new`](Self::new), mirroring hit/miss/eviction counts into
+    /// `registry` (component `core`: `bp_hits`, `bp_misses`,
+    /// `bp_evictions`).
+    pub fn with_metrics(
+        capacity_pages: usize,
+        shards: usize,
+        engine_cpu: Arc<Resource>,
+        model: LatencyModel,
+        registry: &MetricsRegistry,
     ) -> BufferPool {
         assert!(shards > 0 && capacity_pages >= shards);
         BufferPool {
@@ -96,6 +119,9 @@ impl BufferPool {
             model,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            m_hits: registry.counter("core", "bp_hits"),
+            m_misses: registry.counter("core", "bp_misses"),
+            m_evictions: registry.counter("core", "bp_evictions"),
         }
     }
 
@@ -156,10 +182,12 @@ impl BufferPool {
                 shard.recency.insert(t, page_id);
                 shard.frames.insert(page_id, (Arc::clone(&frame), t));
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.m_hits.inc();
                 return Ok(frame);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.m_misses.inc();
         // Load outside the shard lock (the loader does remote I/O).
         let page = loader(ctx)?;
         let frame = Frame::new(page);
@@ -186,6 +214,7 @@ impl BufferPool {
                     Some((vt, vp)) => {
                         shard.recency.remove(&vt);
                         let (vf, _) = shard.frames.remove(&vp).expect("present");
+                        self.m_evictions.inc();
                         evicted.push((vp, vf));
                     }
                     None => break, // everything pinned; allow temporary overflow

@@ -32,7 +32,9 @@ use vedb_pagestore::redo::{PageOp, RedoRecord};
 use vedb_pagestore::{PageStore, PageStoreConfig, PageStoreError, PageStoreServer};
 use vedb_rdma::{RdmaEndpoint, RpcFabric};
 use vedb_sim::fault::NodeId;
-use vedb_sim::{ClusterSpec, SimCtx, SimEnv, VTime};
+use vedb_sim::metrics::{Counter, LatencyRecorder};
+use vedb_sim::trace::TraceLog;
+use vedb_sim::{ClusterSpec, MetricsRegistry, SimCtx, SimEnv, VTime};
 
 use crate::btree::{BTree, TreeAccess};
 use crate::buffer::{BufferPool, EvictionSink, Frame};
@@ -234,6 +236,7 @@ impl StorageFabric {
             VTime::from_secs(3600),
             VTime::from_secs(60),
         );
+        cm.attach_metrics(Arc::clone(&env.metrics));
         let astore_servers: Vec<Arc<AStoreServer>> = env
             .astore_nodes
             .iter()
@@ -267,7 +270,11 @@ impl StorageFabric {
                 ))
             })
             .collect();
-        let rpc = Arc::new(RpcFabric::new(env.model.clone(), Arc::clone(&env.faults)));
+        let rpc = Arc::new(RpcFabric::with_metrics(
+            env.model.clone(),
+            Arc::clone(&env.faults),
+            &env.metrics,
+        ));
         let ps_servers: Vec<Arc<PageStoreServer>> = env
             .storage_nodes
             .iter()
@@ -363,6 +370,25 @@ fn decode_meta(buf: &[u8]) -> Result<MetaState> {
     Ok(m)
 }
 
+/// Engine-level transaction counters + trace handle (component `core`).
+struct DbStats {
+    commits: Arc<Counter>,
+    aborts: Arc<Counter>,
+    commit_lat: Arc<LatencyRecorder>,
+    trace: Arc<TraceLog>,
+}
+
+impl DbStats {
+    fn register(registry: &MetricsRegistry) -> Self {
+        DbStats {
+            commits: registry.counter("core", "txn_commits"),
+            aborts: registry.counter("core", "txn_aborts"),
+            commit_lat: registry.latency("core", "txn_commit"),
+            trace: Arc::clone(registry.trace()),
+        }
+    }
+}
+
 /// The engine.
 pub struct Db {
     cfg: DbConfig,
@@ -384,6 +410,7 @@ pub struct Db {
     rpc: Arc<RpcFabric>,
     last_truncate: AtomicU64,
     checkpoint_lock: Mutex<()>,
+    stats: DbStats,
 }
 
 impl Db {
@@ -391,10 +418,11 @@ impl Db {
     pub fn open(ctx: &mut SimCtx, fabric: &StorageFabric, cfg: DbConfig) -> Result<Arc<Db>> {
         let needs_astore = cfg.log == LogBackendKind::AStore || cfg.ebp.is_some();
         let astore_client = if needs_astore {
-            let ep = RdmaEndpoint::new(
+            let ep = RdmaEndpoint::with_metrics(
                 fabric.env.model.clone(),
                 Arc::clone(&fabric.env.faults),
                 Arc::clone(&fabric.env.engine_nic),
+                &fabric.env.metrics,
             );
             Some(AStoreClient::connect_with_policy(
                 ctx,
@@ -440,7 +468,7 @@ impl Db {
         let db = Db::assemble(
             fabric,
             cfg,
-            Wal::new(backend),
+            Wal::with_metrics(backend, &fabric.env.metrics),
             astore_client,
             ebp,
             log_segments,
@@ -461,16 +489,18 @@ impl Db {
         log_segments: Vec<SegmentId>,
     ) -> Arc<Db> {
         Arc::new(Db {
-            bp: BufferPool::new(
+            bp: BufferPool::with_metrics(
                 cfg.bp_pages,
                 cfg.bp_shards,
                 Arc::clone(&fabric.env.engine_cpu),
                 fabric.env.model.clone(),
+                &fabric.env.metrics,
             ),
             ebp,
             wal,
             pagestore: Arc::clone(&fabric.pagestore),
-            locks: LockManager::new(64, cfg.lock_timeout),
+            locks: LockManager::with_metrics(64, cfg.lock_timeout, &fabric.env.metrics),
+            stats: DbStats::register(&fabric.env.metrics),
             astore_client,
             catalog: RwLock::new(Catalog::new()),
             meta: Mutex::new(MetaState::default()),
@@ -526,6 +556,11 @@ impl Db {
     /// The simulated environment (resource/utilization inspection).
     pub fn env(&self) -> &Arc<SimEnv> {
         &self.env
+    }
+
+    /// The deployment-wide metrics registry every subsystem publishes into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.env.metrics
     }
 
     /// The buffer pool (hit-rate stats in benches).
@@ -852,6 +887,8 @@ impl Db {
         if !txn.is_active() {
             return Err(EngineError::TxnFinished);
         }
+        let t0 = ctx.now();
+        let sp = self.stats.trace.span(ctx, "core", "commit");
         let done = self.env.engine_cpu.acquire(
             ctx.now(),
             VTime::from_nanos(self.env.model.cpu_txn_overhead_ns),
@@ -866,6 +903,9 @@ impl Db {
         txn.locks.clear();
         txn.undo.clear();
         txn.status = TxnStatus::Committed;
+        self.stats.commits.inc();
+        self.stats.commit_lat.record(ctx.now() - t0);
+        sp.finish(ctx);
         Ok(())
     }
 
@@ -883,6 +923,7 @@ impl Db {
         self.locks.release_all(ctx.now(), txn.id, &txn.locks);
         txn.locks.clear();
         txn.status = TxnStatus::Aborted;
+        self.stats.aborts.inc();
         Ok(())
     }
 

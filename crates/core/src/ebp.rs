@@ -33,7 +33,8 @@ use vedb_astore::layout::SegmentClass;
 use vedb_astore::{AppendOpts, Lsn, PageId, SegmentId, SegmentOpts};
 use vedb_pagestore::Page;
 use vedb_sim::fault::NodeId;
-use vedb_sim::{SimCtx, VTime};
+use vedb_sim::metrics::Counter;
+use vedb_sim::{MetricsRegistry, SimCtx, VTime};
 
 use crate::Result;
 
@@ -122,6 +123,29 @@ pub struct EbpLoc {
     pub lsn: Lsn,
 }
 
+/// Registry-mirrored EBP counters (component `core`). The registry comes
+/// from the AStore client, so EBP activity lands in the same deployment
+/// report as the subsystems underneath it.
+struct EbpStats {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    writes: Arc<Counter>,
+    evictions: Arc<Counter>,
+    compactions: Arc<Counter>,
+}
+
+impl EbpStats {
+    fn register(registry: &MetricsRegistry) -> Self {
+        EbpStats {
+            hits: registry.counter("core", "ebp_hits"),
+            misses: registry.counter("core", "ebp_misses"),
+            writes: registry.counter("core", "ebp_writes"),
+            evictions: registry.counter("core", "ebp_evictions"),
+            compactions: registry.counter("core", "ebp_compactions"),
+        }
+    }
+}
+
 /// The Extended Buffer Pool manager (engine side).
 pub struct Ebp {
     client: Arc<AStoreClient>,
@@ -133,10 +157,12 @@ pub struct Ebp {
     hits: AtomicU64,
     misses: AtomicU64,
     lsn_batch: Mutex<Vec<(PageId, Lsn)>>,
+    stats: EbpStats,
 }
 
 impl Ebp {
-    /// Create an empty EBP over `client`.
+    /// Create an empty EBP over `client`. Counters publish into the
+    /// client's metrics registry.
     pub fn new(client: Arc<AStoreClient>, cfg: EbpConfig) -> Ebp {
         assert!(cfg.shards > 0);
         let shards = (0..cfg.shards)
@@ -147,6 +173,7 @@ impl Ebp {
                 })
             })
             .collect();
+        let stats = EbpStats::register(client.metrics());
         Ebp {
             client,
             cfg,
@@ -160,6 +187,7 @@ impl Ebp {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             lsn_batch: Mutex::new(Vec::new()),
+            stats,
         }
     }
 
@@ -296,6 +324,7 @@ impl Ebp {
                         shard.recency.remove(&t);
                         if let Some(e) = shard.entries.remove(&p) {
                             self.drop_entry(p, &e);
+                            self.stats.evictions.inc();
                         }
                         freed_enough = shard_bytes(&shard) + bytes.len() as u64 <= shard_cap;
                     }
@@ -354,6 +383,7 @@ impl Ebp {
         }
         self.live_bytes
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.stats.writes.inc();
         self.maybe_compact(ctx)?;
         Ok(())
     }
@@ -385,12 +415,14 @@ impl Ebp {
         };
         let Some(e) = entry else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.stats.misses.inc();
             return None;
         };
         match self.client.read(ctx, e.seg, e.offset, e.len as usize) {
             Ok(bytes) => match Page::from_bytes(&bytes) {
                 Ok(p) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.hits.inc();
                     Some(p)
                 }
                 Err(_) => None,
@@ -404,6 +436,7 @@ impl Ebp {
                     self.drop_entry(pid, &e);
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.inc();
                 None
             }
         }
@@ -497,6 +530,7 @@ impl Ebp {
             }
             let _ = self.client.delete_segment(ctx, handle);
             self.segs.lock().info.remove(&seg_id);
+            self.stats.compactions.inc();
             processed += 1;
         }
         Ok(processed)

@@ -17,7 +17,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use vedb_sim::{SimCtx, VTime};
+use vedb_sim::metrics::{Counter, LatencyRecorder};
+use vedb_sim::{MetricsRegistry, SimCtx, VTime};
 
 use crate::{EngineError, Result};
 
@@ -56,12 +57,25 @@ pub struct LockManager {
     shards: Vec<Arc<Shard>>,
     /// Real-time wait budget before declaring a deadlock victim.
     timeout: Duration,
+    acquires: Arc<Counter>,
+    waits: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    wait_lat: Arc<LatencyRecorder>,
 }
 
 impl LockManager {
     /// Create a manager with `shards` hash shards and the given deadlock
     /// timeout (real time).
     pub fn new(shards: usize, timeout: Duration) -> LockManager {
+        Self::with_metrics(shards, timeout, &MetricsRegistry::detached())
+    }
+
+    /// Like [`new`](Self::new), publishing lock counters into `registry`.
+    pub fn with_metrics(
+        shards: usize,
+        timeout: Duration,
+        registry: &MetricsRegistry,
+    ) -> LockManager {
         LockManager {
             shards: (0..shards.max(1))
                 .map(|_| {
@@ -72,6 +86,10 @@ impl LockManager {
                 })
                 .collect(),
             timeout,
+            acquires: registry.counter("core", "lock_acquires"),
+            waits: registry.counter("core", "lock_waits"),
+            timeouts: registry.counter("core", "lock_timeouts"),
+            wait_lat: registry.latency("core", "lock_wait"),
         }
     }
 
@@ -118,12 +136,18 @@ impl LockManager {
                     None => state.holders.push((txn, mode)),
                 }
                 drop(table);
+                self.acquires.inc();
+                if release > ctx.now() {
+                    self.waits.inc();
+                    self.wait_lat.record(release - ctx.now());
+                }
                 // Account the virtual wait: we run after the conflicting
                 // holder's release.
                 ctx.wait_until(release);
                 return Ok(());
             }
             if shard.cv.wait_until(&mut table, deadline).timed_out() {
+                self.timeouts.inc();
                 return Err(EngineError::LockTimeout {
                     context: format!("space {} key {:02x?}", key.0, &key.1[..key.1.len().min(8)]),
                 });

@@ -67,10 +67,11 @@ pub fn recover(
 
     // 1. New incarnation: fresh lease (fences the dead engine), ring
     //    recovery from segment headers + io-meta.
-    let ep = RdmaEndpoint::new(
+    let ep = RdmaEndpoint::with_metrics(
         fabric.env.model.clone(),
         Arc::clone(&fabric.env.faults),
         Arc::clone(&fabric.env.engine_nic),
+        &fabric.env.metrics,
     );
     let client = AStoreClient::connect_with_policy(
         ctx,
@@ -84,7 +85,7 @@ pub fn recover(
     );
     let ring = SegmentRing::recover(ctx, Arc::clone(&client), ring_segment_ids)?;
     let log_segments = ring.segment_ids();
-    let wal = Wal::new(Box::new(RingLog::new(ring)));
+    let wal = Wal::with_metrics(Box::new(RingLog::new(ring)), &fabric.env.metrics);
 
     // 2. Analysis.
     let records = wal.records_from(ctx, 0)?;

@@ -24,7 +24,8 @@ use parking_lot::Mutex;
 use vedb_astore::{Lsn, SegmentRing};
 use vedb_blobstore::BlobGroup;
 use vedb_pagestore::redo::{decode_record, encode_record, RedoRecord};
-use vedb_sim::{LatencyModel, Resource, SimCtx, VTime};
+use vedb_sim::metrics::{Counter, LatencyRecorder};
+use vedb_sim::{LatencyModel, MetricsRegistry, Resource, SimCtx, VTime};
 
 use crate::{EngineError, Result};
 
@@ -342,11 +343,20 @@ pub struct Wal {
     /// Largest single backend write (matches the paper's observation that
     /// a 256 KB one-sided write costs ~0.1 ms; bigger flushes are split).
     max_io: usize,
+    bytes_logged: Arc<Counter>,
+    flushes: Arc<Counter>,
+    bytes_flushed: Arc<Counter>,
+    flush_lat: Arc<LatencyRecorder>,
 }
 
 impl Wal {
-    /// Wrap a backend.
+    /// Wrap a backend with a detached metrics registry.
     pub fn new(backend: Box<dyn LogBackend>) -> Self {
+        Self::with_metrics(backend, &MetricsRegistry::detached())
+    }
+
+    /// Wrap a backend, publishing WAL counters/latencies into `registry`.
+    pub fn with_metrics(backend: Box<dyn LogBackend>, registry: &MetricsRegistry) -> Self {
         let next = backend.next_lsn();
         let max_io = backend.max_append().min(256 * 1024);
         Wal {
@@ -358,6 +368,10 @@ impl Wal {
             flushed: AtomicU64::new(next),
             flush_lock: Mutex::new(()),
             max_io,
+            bytes_logged: registry.counter("core", "wal_bytes_logged"),
+            flushes: registry.counter("core", "wal_flushes"),
+            bytes_flushed: registry.counter("core", "wal_bytes_flushed"),
+            flush_lat: registry.latency("core", "wal_flush"),
         }
     }
 
@@ -393,6 +407,7 @@ impl Wal {
         );
         let lsn = Self::buffer_frame_locked(&mut state, &body);
         drop(state);
+        self.bytes_logged.add(4 + body.len() as u64);
         // Log-buffer memcpy cost.
         ctx.advance(VTime::from_nanos(200 + body.len() as u64 / 16));
         Ok((lsn, redo))
@@ -402,6 +417,7 @@ impl Wal {
         let mut state = self.state.lock();
         let lsn = Self::buffer_frame_locked(&mut state, body);
         drop(state);
+        self.bytes_logged.add(4 + body.len() as u64);
         ctx.advance(VTime::from_nanos(200 + body.len() as u64 / 16));
         lsn
     }
@@ -436,10 +452,14 @@ impl Wal {
             }
             (std::mem::take(&mut state.buf), state.next_lsn)
         };
+        let t0 = ctx.now();
         for chunk in bytes.chunks(self.max_io) {
             self.backend.append(ctx, chunk)?;
         }
         self.flushed.fetch_max(end, Ordering::AcqRel);
+        self.flushes.inc();
+        self.bytes_flushed.add(bytes.len() as u64);
+        self.flush_lat.record(ctx.now() - t0);
         Ok(())
     }
 

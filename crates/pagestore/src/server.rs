@@ -19,7 +19,7 @@ use vedb_astore::{Lsn, PageId};
 use vedb_rdma::RpcFabric;
 use vedb_sim::cluster::NodeRes;
 use vedb_sim::fault::NodeId;
-use vedb_sim::{LatencyModel, SimCtx, VTime};
+use vedb_sim::{Counter, Gauge, LatencyModel, LatencyRecorder, SimCtx, VTime};
 
 use crate::page::{Page, PAGE_SIZE};
 use crate::redo::RedoRecord;
@@ -80,22 +80,56 @@ struct ReplicaSeg {
     retained: BTreeMap<Lsn, RedoRecord>,
 }
 
+/// Replay/read metric handles (component `"pagestore"`), registered into the
+/// node's deployment registry. The `apply_lag_records` gauge is shared by
+/// every server, tracking accepted-but-unapplied records cluster-wide: +1
+/// when a record is accepted (in order or parked), -1 when replay applies it.
+struct PsStats {
+    ships: Arc<Counter>,
+    records_accepted: Arc<Counter>,
+    records_applied: Arc<Counter>,
+    page_materializations: Arc<Counter>,
+    page_reads: Arc<Counter>,
+    gossip_recoveries: Arc<Counter>,
+    apply_lag: Arc<Gauge>,
+    read_lat: Arc<LatencyRecorder>,
+}
+
+impl PsStats {
+    fn register(res: &NodeRes) -> Self {
+        let reg = &res.metrics;
+        PsStats {
+            ships: reg.counter("pagestore", "ships"),
+            records_accepted: reg.counter("pagestore", "records_accepted"),
+            records_applied: reg.counter("pagestore", "records_applied"),
+            page_materializations: reg.counter("pagestore", "page_materializations"),
+            page_reads: reg.counter("pagestore", "page_reads"),
+            gossip_recoveries: reg.counter("pagestore", "gossip_recoveries"),
+            apply_lag: reg.gauge("pagestore", "apply_lag_records"),
+            read_lat: reg.latency("pagestore", "read_page"),
+        }
+    }
+}
+
 /// One PageStore server process (one per storage node).
 pub struct PageStoreServer {
     node: NodeId,
     res: Arc<NodeRes>,
     model: LatencyModel,
     segs: Mutex<HashMap<PsSegmentKey, ReplicaSeg>>,
+    stats: PsStats,
 }
 
 impl PageStoreServer {
     /// Create a server on a storage node.
     pub fn new(node: NodeId, res: Arc<NodeRes>, model: LatencyModel) -> Arc<Self> {
+        let stats = PsStats::register(&res);
         Arc::new(PageStoreServer {
             node,
             res,
             model,
             segs: Mutex::new(HashMap::new()),
+            stats,
         })
     }
 
@@ -118,12 +152,15 @@ impl PageStoreServer {
             .cpu
             .acquire(ctx.now(), VTime::from_nanos(records.len() as u64 * 800));
         ctx.wait_until(cpu);
+        self.stats.ships.inc();
         let mut segs = self.segs.lock();
         let seg = segs.entry(key).or_default();
         for rec in records {
             if rec.lsn <= seg.last_lsn {
                 continue; // duplicate delivery
             }
+            self.stats.records_accepted.inc();
+            self.stats.apply_lag.add(1);
             if rec.prev_same_segment == seg.last_lsn {
                 seg.last_lsn = rec.lsn;
                 seg.retained.insert(rec.lsn, rec.clone());
@@ -212,6 +249,7 @@ impl PageStoreServer {
                 break; // peers cannot help (records truly lost)
             }
         }
+        self.stats.gossip_recoveries.add(recovered as u64);
         recovered
     }
 
@@ -239,12 +277,17 @@ impl PageStoreServer {
             let mut segs = self.segs.lock();
             let seg = segs.get_mut(&key).expect("created by ship");
             for rec in &to_apply {
+                if !seg.pages.contains_key(&rec.page.page_no) {
+                    self.stats.page_materializations.inc();
+                }
                 let page = seg.pages.entry(rec.page.page_no).or_default();
                 rec.apply(page)?;
                 seg.applied_lsn = seg.applied_lsn.max(rec.lsn);
                 touched += 1;
             }
         }
+        self.stats.records_applied.add(touched as u64);
+        self.stats.apply_lag.sub(touched as i64);
         if let Some(ssd) = &self.res.ssd {
             let batches = touched.div_ceil(16).max(1);
             let done = ssd.acquire(ctx.now(), self.model.ssd_write_svc(batches * PAGE_SIZE) / 4);
@@ -273,6 +316,7 @@ impl PageStoreServer {
         min_lsn: Lsn,
         peers: &[Arc<PageStoreServer>],
     ) -> Result<Vec<u8>> {
+        let t0 = ctx.now();
         self.apply_pending(ctx, key)?;
         if self.applied_lsn(key) < min_lsn {
             self.gossip_fill(ctx, rpc, key, peers);
@@ -296,6 +340,8 @@ impl PageStoreServer {
             .pages
             .get(&page.page_no)
             .ok_or(PageStoreError::UnknownPage(page))?;
+        self.stats.page_reads.inc();
+        self.stats.read_lat.record(ctx.now() - t0);
         Ok(p.as_bytes().to_vec())
     }
 

@@ -35,7 +35,7 @@
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use vedb_sim::{LatencyModel, Resource, VTime};
+use vedb_sim::{Counter, Gauge, LatencyModel, MetricsRegistry, Resource, VTime};
 
 /// Errors returned by the device.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +96,37 @@ struct Inner {
     pending: Vec<PendingRange>,
 }
 
+/// Cached handles into the deployment's [`MetricsRegistry`] (component
+/// `"pmem"`). Several devices in one deployment share the same handles, so
+/// the registry reports subsystem totals.
+struct PmemStats {
+    writes: Arc<Counter>,
+    reads: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    flushes: Arc<Counter>,
+    bytes_persisted: Arc<Counter>,
+    crashes: Arc<Counter>,
+    bytes_lost_on_crash: Arc<Counter>,
+    unpersisted_bytes: Arc<Gauge>,
+}
+
+impl PmemStats {
+    fn register(reg: &MetricsRegistry) -> Self {
+        PmemStats {
+            writes: reg.counter("pmem", "writes"),
+            reads: reg.counter("pmem", "reads"),
+            bytes_written: reg.counter("pmem", "bytes_written"),
+            bytes_read: reg.counter("pmem", "bytes_read"),
+            flushes: reg.counter("pmem", "flushes"),
+            bytes_persisted: reg.counter("pmem", "bytes_persisted"),
+            crashes: reg.counter("pmem", "crashes"),
+            bytes_lost_on_crash: reg.counter("pmem", "bytes_lost_on_crash"),
+            unpersisted_bytes: reg.gauge("pmem", "unpersisted_bytes"),
+        }
+    }
+}
+
 /// A simulated PMem DIMM attached to one AStore server.
 pub struct PmemDevice {
     name: String,
@@ -104,6 +135,7 @@ pub struct PmemDevice {
     inner: RwLock<Inner>,
     resource: Arc<Resource>,
     model: LatencyModel,
+    stats: PmemStats,
 }
 
 impl PmemDevice {
@@ -112,12 +144,37 @@ impl PmemDevice {
     ///
     /// `ddio_enabled = false` reproduces the paper's deployment; `true`
     /// exists to demonstrate (and test) the data-loss mode the paper avoids.
+    ///
+    /// Metrics go to a detached registry; production assembly uses
+    /// [`with_metrics`](Self::with_metrics) so device counters land in the
+    /// deployment report.
     pub fn new(
         name: impl Into<String>,
         capacity: usize,
         ddio_enabled: bool,
         resource: Arc<Resource>,
         model: LatencyModel,
+    ) -> Self {
+        Self::with_metrics(
+            name,
+            capacity,
+            ddio_enabled,
+            resource,
+            model,
+            &MetricsRegistry::detached(),
+        )
+    }
+
+    /// Like [`new`](Self::new), but publishing device counters (`pmem.writes`,
+    /// `pmem.flushes`, `pmem.bytes_persisted`, the `pmem.unpersisted_bytes`
+    /// gauge, …) into `registry`.
+    pub fn with_metrics(
+        name: impl Into<String>,
+        capacity: usize,
+        ddio_enabled: bool,
+        resource: Arc<Resource>,
+        model: LatencyModel,
+        registry: &MetricsRegistry,
     ) -> Self {
         PmemDevice {
             name: name.into(),
@@ -130,6 +187,7 @@ impl PmemDevice {
             }),
             resource,
             model,
+            stats: PmemStats::register(registry),
         }
     }
 
@@ -182,6 +240,9 @@ impl PmemDevice {
             data: data.to_vec(),
             stage: Stage::InFlight,
         });
+        self.stats.writes.inc();
+        self.stats.bytes_written.add(data.len() as u64);
+        self.stats.unpersisted_bytes.add(data.len() as i64);
         Ok(done)
     }
 
@@ -191,6 +252,8 @@ impl PmemDevice {
         self.check(offset, len)?;
         let done = self.resource.acquire(now, self.model.pmem_read_svc(len));
         let inner = self.inner.read();
+        self.stats.reads.inc();
+        self.stats.bytes_read.add(len as u64);
         Ok((
             inner.live[offset as usize..offset as usize + len].to_vec(),
             done,
@@ -204,6 +267,7 @@ impl PmemDevice {
     /// own media time is charged by the caller as a small read.
     pub fn flush(&self, now: VTime) -> VTime {
         let mut inner = self.inner.write();
+        self.stats.flushes.inc();
         if self.ddio_enabled {
             for p in &mut inner.pending {
                 if p.stage == Stage::InFlight {
@@ -212,12 +276,42 @@ impl PmemDevice {
             }
         } else {
             let pending = std::mem::take(&mut inner.pending);
+            let persisted: usize = pending.iter().map(|p| p.data.len()).sum();
             for p in pending {
                 let start = p.offset as usize;
                 inner.durable[start..start + p.data.len()].copy_from_slice(&p.data);
             }
+            self.stats.bytes_persisted.add(persisted as u64);
+            self.stats.unpersisted_bytes.sub(persisted as i64);
         }
         now
+    }
+
+    /// Atomic compare-and-swap of the little-endian `u64` at `offset`:
+    /// if the current value equals `expected`, `new` is written (visible
+    /// immediately, durable only after [`flush`](Self::flush), like any
+    /// write). Returns the value observed *before* the swap and the virtual
+    /// completion time. Backs the RDMA CAS verb — the NIC performs the
+    /// compare at the target, so compare+write are one atomic step here too.
+    pub fn cas64(&self, now: VTime, offset: u64, expected: u64, new: u64) -> Result<(u64, VTime)> {
+        self.check(offset, 8)?;
+        let done = self.resource.acquire(now, self.model.pmem_write_svc(8));
+        let mut inner = self.inner.write();
+        let at = offset as usize;
+        let cur = u64::from_le_bytes(inner.live[at..at + 8].try_into().unwrap());
+        if cur == expected {
+            let bytes = new.to_le_bytes();
+            inner.live[at..at + 8].copy_from_slice(&bytes);
+            inner.pending.push(PendingRange {
+                offset,
+                data: bytes.to_vec(),
+                stage: Stage::InFlight,
+            });
+            self.stats.writes.inc();
+            self.stats.bytes_written.add(8);
+            self.stats.unpersisted_bytes.add(8);
+        }
+        Ok((cur, done))
     }
 
     /// Bytes written but not yet crash-durable (in flight or in cache).
@@ -229,9 +323,13 @@ impl PmemDevice {
     /// (ADR-protected) contents; everything in flight or in cache is lost.
     pub fn crash(&self) {
         let mut inner = self.inner.write();
+        let lost: usize = inner.pending.iter().map(|p| p.data.len()).sum();
         inner.pending.clear();
         let durable = inner.durable.clone();
         inner.live = durable;
+        self.stats.crashes.inc();
+        self.stats.bytes_lost_on_crash.add(lost as u64);
+        self.stats.unpersisted_bytes.sub(lost as i64);
     }
 
     /// Read without charging any virtual time (server-local access during
@@ -357,6 +455,54 @@ mod tests {
         d.flush(VTime::ZERO);
         d.crash();
         assert_eq!(d.peek(0, 8).unwrap(), b"XXXXYYYY");
+    }
+
+    #[test]
+    fn cas64_swaps_only_on_match_and_is_volatile_until_flush() {
+        let d = device(false);
+        let (old, _) = d.cas64(VTime::ZERO, 64, 0, 7).unwrap();
+        assert_eq!(old, 0);
+        assert_eq!(d.peek(64, 8).unwrap(), 7u64.to_le_bytes());
+        // Mismatched expectation leaves the value untouched.
+        let (old, _) = d.cas64(VTime::ZERO, 64, 0, 9).unwrap();
+        assert_eq!(old, 7);
+        assert_eq!(d.peek(64, 8).unwrap(), 7u64.to_le_bytes());
+        // Like any write, the swap is volatile until flushed.
+        d.crash();
+        assert_eq!(d.peek(64, 8).unwrap(), [0u8; 8]);
+        d.cas64(VTime::ZERO, 64, 0, 7).unwrap();
+        d.flush(VTime::ZERO);
+        d.crash();
+        assert_eq!(d.peek(64, 8).unwrap(), 7u64.to_le_bytes());
+    }
+
+    #[test]
+    fn metrics_track_persistence_lifecycle() {
+        let reg = MetricsRegistry::detached();
+        let d = PmemDevice::with_metrics(
+            "p",
+            4096,
+            false,
+            Arc::new(Resource::new("pmem", 7)),
+            LatencyModel::paper_default(),
+            &reg,
+        );
+        d.write(VTime::ZERO, 0, &[1u8; 100]).unwrap();
+        d.write(VTime::ZERO, 200, &[2u8; 50]).unwrap();
+        assert_eq!(reg.counter("pmem", "writes").get(), 2);
+        assert_eq!(reg.counter("pmem", "bytes_written").get(), 150);
+        assert_eq!(reg.gauge("pmem", "unpersisted_bytes").get(), 150);
+        d.flush(VTime::ZERO);
+        assert_eq!(reg.counter("pmem", "flushes").get(), 1);
+        assert_eq!(reg.counter("pmem", "bytes_persisted").get(), 150);
+        assert_eq!(reg.gauge("pmem", "unpersisted_bytes").get(), 0);
+        d.write(VTime::ZERO, 0, &[3u8; 30]).unwrap();
+        d.crash();
+        assert_eq!(reg.counter("pmem", "bytes_lost_on_crash").get(), 30);
+        assert_eq!(reg.gauge("pmem", "unpersisted_bytes").get(), 0);
+        d.read(VTime::ZERO, 0, 64).unwrap();
+        assert_eq!(reg.counter("pmem", "reads").get(), 1);
+        assert_eq!(reg.counter("pmem", "bytes_read").get(), 64);
     }
 
     #[test]

@@ -31,7 +31,11 @@ use std::sync::Arc;
 
 use vedb_pmem::PmemDevice;
 use vedb_sim::fault::NodeId;
-use vedb_sim::{cluster::NodeRes, FaultPlan, LatencyModel, SimCtx, VTime};
+use vedb_sim::trace::TraceLog;
+use vedb_sim::{
+    cluster::NodeRes, Counter, FaultPlan, LatencyModel, LatencyRecorder, MetricsRegistry, SimCtx,
+    VTime,
+};
 
 /// Errors surfaced by fabric operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,24 +144,76 @@ impl RemoteMr {
     }
 }
 
+/// Cached metric handles for the one-sided verbs (component `"rdma"`).
+struct VerbStats {
+    reads: Arc<Counter>,
+    read_bytes: Arc<Counter>,
+    writes: Arc<Counter>,
+    write_bytes: Arc<Counter>,
+    chain_writes: Arc<Counter>,
+    chain_bytes: Arc<Counter>,
+    cas_ops: Arc<Counter>,
+    drops: Arc<Counter>,
+    read_lat: Arc<LatencyRecorder>,
+    write_lat: Arc<LatencyRecorder>,
+    chain_lat: Arc<LatencyRecorder>,
+    cas_lat: Arc<LatencyRecorder>,
+}
+
+impl VerbStats {
+    fn register(reg: &MetricsRegistry) -> Self {
+        VerbStats {
+            reads: reg.counter("rdma", "reads"),
+            read_bytes: reg.counter("rdma", "read_bytes"),
+            writes: reg.counter("rdma", "writes"),
+            write_bytes: reg.counter("rdma", "write_bytes"),
+            chain_writes: reg.counter("rdma", "chain_writes"),
+            chain_bytes: reg.counter("rdma", "chain_bytes"),
+            cas_ops: reg.counter("rdma", "cas_ops"),
+            drops: reg.counter("rdma", "drops"),
+            read_lat: reg.latency("rdma", "read"),
+            write_lat: reg.latency("rdma", "write"),
+            chain_lat: reg.latency("rdma", "write_chain"),
+            cas_lat: reg.latency("rdma", "cas"),
+        }
+    }
+}
+
 /// A client-side RDMA endpoint: the DBEngine's NIC plus fabric-wide state.
 pub struct RdmaEndpoint {
     model: LatencyModel,
     faults: Arc<FaultPlan>,
     client_nic: Arc<vedb_sim::Resource>,
+    stats: VerbStats,
+    trace: Arc<TraceLog>,
 }
 
 impl RdmaEndpoint {
-    /// Create an endpoint that issues verbs from `client_nic`.
+    /// Create an endpoint that issues verbs from `client_nic`. Metrics go to
+    /// a detached registry; production assembly uses
+    /// [`with_metrics`](Self::with_metrics).
     pub fn new(
         model: LatencyModel,
         faults: Arc<FaultPlan>,
         client_nic: Arc<vedb_sim::Resource>,
     ) -> Self {
+        Self::with_metrics(model, faults, client_nic, &MetricsRegistry::detached())
+    }
+
+    /// Like [`new`](Self::new), but publishing per-verb counts, bytes, drops
+    /// and latency histograms into `registry`.
+    pub fn with_metrics(
+        model: LatencyModel,
+        faults: Arc<FaultPlan>,
+        client_nic: Arc<vedb_sim::Resource>,
+        registry: &MetricsRegistry,
+    ) -> Self {
         RdmaEndpoint {
             model,
             faults,
             client_nic,
+            stats: VerbStats::register(registry),
+            trace: Arc::clone(registry.trace()),
         }
     }
 
@@ -177,11 +233,13 @@ impl RdmaEndpoint {
         self.check_alive(node)?;
         if self.faults.is_partitioned(node) {
             ctx.advance(self.model.rpc_rtt());
+            self.stats.drops.inc();
             return Err(RdmaError::Dropped);
         }
         let p = self.faults.drop_prob();
         if p > 0.0 && ctx.rng().gen_bool(p) {
             ctx.advance(self.model.rpc_rtt());
+            self.stats.drops.inc();
             return Err(RdmaError::Dropped);
         }
         Ok(())
@@ -200,6 +258,8 @@ impl RdmaEndpoint {
         offset: u64,
         len: usize,
     ) -> Result<Vec<u8>> {
+        let t0 = ctx.now();
+        let sp = self.trace.span(ctx, "rdma", "read");
         self.check_delivery(ctx, mr.node)?;
         mr.check(offset, len)?;
         // Post the WR.
@@ -212,6 +272,10 @@ impl RdmaEndpoint {
             .read(nic_done, mr.base + offset, len)
             .map_err(|e| RdmaError::Device(e.to_string()))?;
         ctx.wait_until(media_done + self.model.wire_delay());
+        self.stats.reads.inc();
+        self.stats.read_bytes.add(len as u64);
+        self.stats.read_lat.record(ctx.now() - t0);
+        sp.finish(ctx);
         Ok(data)
     }
 
@@ -219,6 +283,8 @@ impl RdmaEndpoint {
     /// *visible* at the target when this returns but **not yet persistent**
     /// (see [`write_chain`](Self::write_chain) for the persistent variant).
     pub fn write(&self, ctx: &mut SimCtx, mr: &RemoteMr, offset: u64, data: &[u8]) -> Result<()> {
+        let t0 = ctx.now();
+        let sp = self.trace.span(ctx, "rdma", "write");
         self.check_delivery(ctx, mr.node)?;
         mr.check(offset, data.len())?;
         ctx.advance(self.model.rdma_issue());
@@ -235,6 +301,10 @@ impl RdmaEndpoint {
             .write(nic_done, mr.base + offset, data)
             .map_err(|e| RdmaError::Device(e.to_string()))?;
         ctx.wait_until(media_done + self.model.wire_delay());
+        self.stats.writes.inc();
+        self.stats.write_bytes.add(data.len() as u64);
+        self.stats.write_lat.record(ctx.now() - t0);
+        sp.finish(ctx);
         Ok(())
     }
 
@@ -251,6 +321,8 @@ impl RdmaEndpoint {
         mr: &RemoteMr,
         writes: &[(u64, &[u8])],
     ) -> Result<()> {
+        let t0 = ctx.now();
+        let sp = self.trace.span(ctx, "rdma", "write_chain");
         self.check_delivery(ctx, mr.node)?;
         for (offset, data) in writes {
             mr.check(*offset, data.len())?;
@@ -277,7 +349,43 @@ impl RdmaEndpoint {
             .read(t, mr.base + writes[0].0, 64.min(mr.len))
             .map_err(|e| RdmaError::Device(e.to_string()))?;
         ctx.wait_until(read_done + self.model.wire_delay());
+        self.stats.chain_writes.inc();
+        self.stats.chain_bytes.add(total_len as u64);
+        self.stats.chain_lat.record(ctx.now() - t0);
+        sp.finish(ctx);
         Ok(())
+    }
+
+    /// One-sided RDMA COMPARE-AND-SWAP on the little-endian `u64` at
+    /// `offset` within `mr`: the target NIC compares against `expected` and
+    /// writes `new` on a match, returning the value observed before the
+    /// swap. No target CPU involved. Like a plain WRITE, a successful swap
+    /// is visible but not yet persistent.
+    pub fn cas64(
+        &self,
+        ctx: &mut SimCtx,
+        mr: &RemoteMr,
+        offset: u64,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64> {
+        let t0 = ctx.now();
+        let sp = self.trace.span(ctx, "rdma", "cas");
+        self.check_delivery(ctx, mr.node)?;
+        mr.check(offset, 8)?;
+        ctx.advance(self.model.rdma_issue());
+        // The 8-byte compare value travels out; the prior value returns.
+        let arrive = ctx.now() + self.model.wire_delay();
+        let nic_done = mr.node_res.nic.acquire(arrive, self.wire_occupancy(8));
+        let (old, media_done) = mr
+            .device
+            .cas64(nic_done, mr.base + offset, expected, new)
+            .map_err(|e| RdmaError::Device(e.to_string()))?;
+        ctx.wait_until(media_done + self.model.wire_delay());
+        self.stats.cas_ops.inc();
+        self.stats.cas_lat.record(ctx.now() - t0);
+        sp.finish(ctx);
+        Ok(old)
     }
 }
 
@@ -286,12 +394,34 @@ impl RdmaEndpoint {
 pub struct RpcFabric {
     model: LatencyModel,
     faults: Arc<FaultPlan>,
+    calls: Arc<Counter>,
+    drops: Arc<Counter>,
+    call_lat: Arc<LatencyRecorder>,
+    trace: Arc<TraceLog>,
 }
 
 impl RpcFabric {
-    /// Create an RPC fabric over the shared fault plan.
+    /// Create an RPC fabric over the shared fault plan (detached metrics;
+    /// production assembly uses [`with_metrics`](Self::with_metrics)).
     pub fn new(model: LatencyModel, faults: Arc<FaultPlan>) -> Self {
-        RpcFabric { model, faults }
+        Self::with_metrics(model, faults, &MetricsRegistry::detached())
+    }
+
+    /// Like [`new`](Self::new), but publishing `rdma.rpc_calls`,
+    /// `rdma.rpc_drops` and the `rdma.rpc` latency histogram into `registry`.
+    pub fn with_metrics(
+        model: LatencyModel,
+        faults: Arc<FaultPlan>,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        RpcFabric {
+            model,
+            faults,
+            calls: registry.counter("rdma", "rpc_calls"),
+            drops: registry.counter("rdma", "rpc_drops"),
+            call_lat: registry.latency("rdma", "rpc"),
+            trace: Arc::clone(registry.trace()),
+        }
     }
 
     /// Shared fault plan (for tests to inject failures).
@@ -316,17 +446,21 @@ impl RpcFabric {
         resp_bytes: usize,
         handler: impl FnOnce(&mut SimCtx) -> R,
     ) -> Result<R> {
+        let t0 = ctx.now();
+        let sp = self.trace.span(ctx, "rdma", "rpc");
         if self.faults.is_crashed(target) {
             return Err(RdmaError::NodeUnreachable(target));
         }
         if self.faults.is_partitioned(target) {
             ctx.advance(self.model.rpc_rtt());
+            self.drops.inc();
             return Err(RdmaError::Dropped);
         }
         let p = self.faults.drop_prob();
         if p > 0.0 && ctx.rng().gen_bool(p) {
             // Model a timeout: the caller burns half an RTT learning nothing.
             ctx.advance(self.model.rpc_rtt());
+            self.drops.inc();
             return Err(RdmaError::Dropped);
         }
         // Outbound half-RTT plus request streaming.
@@ -347,6 +481,9 @@ impl RpcFabric {
             VTime::from_nanos((resp_bytes as u64).div_ceil(1024) * self.model.wire_per_kb_ns);
         let nic_done = target_res.nic.acquire(ctx.now(), resp_stream);
         ctx.wait_until(nic_done + self.model.rpc_rtt() / 2);
+        self.calls.inc();
+        self.call_lat.record(ctx.now() - t0);
+        sp.finish(ctx);
         Ok(result)
     }
 }
@@ -560,6 +697,98 @@ mod tests {
             chained.now(),
             separate.now()
         );
+    }
+
+    #[test]
+    fn cas64_verb_swaps_remotely() {
+        let (_env, dev, mr, ep) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        let before = ctx.now();
+        let old = ep.cas64(&mut ctx, &mr, 256, 0, 41).unwrap();
+        assert_eq!(old, 0);
+        assert!(ctx.now() > before, "CAS must cost wire + media time");
+        assert_eq!(dev.peek(256, 8).unwrap(), 41u64.to_le_bytes());
+        // A losing CAS observes the winner's value and changes nothing.
+        let old = ep.cas64(&mut ctx, &mr, 256, 0, 99).unwrap();
+        assert_eq!(old, 41);
+        assert_eq!(dev.peek(256, 8).unwrap(), 41u64.to_le_bytes());
+    }
+
+    #[test]
+    fn metrics_count_verbs_drops_and_latency() {
+        let env = ClusterSpec::tiny().build();
+        let node = &env.astore_nodes[0];
+        let dev = Arc::new(PmemDevice::new(
+            "pmem",
+            1 << 20,
+            false,
+            node.pmem.clone().unwrap(),
+            env.model.clone(),
+        ));
+        let mr = RemoteMr::register(0, Arc::clone(node), Arc::clone(&dev), 0, 1 << 20);
+        let ep = RdmaEndpoint::with_metrics(
+            env.model.clone(),
+            Arc::clone(&env.faults),
+            Arc::clone(&env.engine_nic),
+            &env.metrics,
+        );
+        let mut ctx = SimCtx::new(1, 7);
+        ep.write(&mut ctx, &mr, 0, &[1u8; 100]).unwrap();
+        ep.read(&mut ctx, &mr, 0, 64).unwrap();
+        ep.write_chain(&mut ctx, &mr, &[(0, &[2u8; 50]), (128, &[3u8; 30])])
+            .unwrap();
+        ep.cas64(&mut ctx, &mr, 512, 0, 1).unwrap();
+        assert_eq!(env.metrics.counter("rdma", "writes").get(), 1);
+        assert_eq!(env.metrics.counter("rdma", "write_bytes").get(), 100);
+        assert_eq!(env.metrics.counter("rdma", "reads").get(), 1);
+        assert_eq!(env.metrics.counter("rdma", "read_bytes").get(), 64);
+        assert_eq!(env.metrics.counter("rdma", "chain_writes").get(), 1);
+        assert_eq!(env.metrics.counter("rdma", "chain_bytes").get(), 80);
+        assert_eq!(env.metrics.counter("rdma", "cas_ops").get(), 1);
+        assert_eq!(env.metrics.latency("rdma", "read").count(), 1);
+        assert!(env.metrics.latency("rdma", "write_chain").mean() > VTime::ZERO);
+
+        env.faults.set_drop_prob(1.0);
+        assert!(ep.read(&mut ctx, &mr, 0, 8).is_err());
+        assert_eq!(env.metrics.counter("rdma", "drops").get(), 1);
+        env.faults.set_drop_prob(0.0);
+
+        let rpc = RpcFabric::with_metrics(env.model.clone(), Arc::clone(&env.faults), &env.metrics);
+        rpc.call(&mut ctx, 0, node, 64, 64, |_| ()).unwrap();
+        assert_eq!(env.metrics.counter("rdma", "rpc_calls").get(), 1);
+        env.faults.partition(0);
+        assert!(rpc.call(&mut ctx, 0, node, 64, 64, |_| ()).is_err());
+        assert_eq!(env.metrics.counter("rdma", "rpc_drops").get(), 1);
+    }
+
+    #[test]
+    fn spans_record_causal_chain_when_enabled() {
+        let env = ClusterSpec::tiny().build();
+        let node = &env.astore_nodes[0];
+        let dev = Arc::new(PmemDevice::new(
+            "pmem",
+            1 << 20,
+            false,
+            node.pmem.clone().unwrap(),
+            env.model.clone(),
+        ));
+        let mr = RemoteMr::register(0, Arc::clone(node), Arc::clone(&dev), 0, 1 << 20);
+        let ep = RdmaEndpoint::with_metrics(
+            env.model.clone(),
+            Arc::clone(&env.faults),
+            Arc::clone(&env.engine_nic),
+            &env.metrics,
+        );
+        env.metrics.trace().enable();
+        let mut ctx = SimCtx::new(1, 7);
+        let outer = vedb_sim::span!(env.metrics, &mut ctx, "test", "op");
+        ep.write_chain(&mut ctx, &mr, &[(0, b"x")]).unwrap();
+        outer.finish(&ctx);
+        let evs = env.metrics.trace().events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].component, "rdma");
+        assert_eq!(evs[0].parent, evs[1].id, "verb span nests under caller");
+        assert!(evs[0].end > evs[0].start);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
+use crate::metrics::MetricsRegistry;
 use crate::resource::Resource;
 use crate::time::VTime;
 
@@ -24,6 +25,10 @@ pub struct NodeRes {
     pub pmem: Option<Arc<Resource>>,
     /// SSD array, present on Page/LogStore servers.
     pub ssd: Option<Arc<Resource>>,
+    /// Deployment-wide metric registry (the same instance as
+    /// [`SimEnv::metrics`]), so server-side components built from a node
+    /// handle publish into the cluster's report.
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 /// Shape of the simulated cluster (defaults mirror Table I).
@@ -84,6 +89,7 @@ impl ClusterSpec {
 
     /// Instantiate the cluster into live resources.
     pub fn build(self) -> Arc<SimEnv> {
+        let metrics = Arc::new(MetricsRegistry::new());
         let astore_nodes = (0..self.astore_servers)
             .map(|i| {
                 Arc::new(NodeRes {
@@ -98,6 +104,7 @@ impl ClusterSpec {
                         self.model.pmem_lanes,
                     ))),
                     ssd: None,
+                    metrics: Arc::clone(&metrics),
                 })
             })
             .collect();
@@ -118,6 +125,7 @@ impl ClusterSpec {
                         format!("storage-{i}.ssd"),
                         self.model.ssd_lanes,
                     ))),
+                    metrics: Arc::clone(&metrics),
                 })
             })
             .collect();
@@ -128,6 +136,7 @@ impl ClusterSpec {
             storage_nodes,
             faults: Arc::new(FaultPlan::new()),
             model: self.model,
+            metrics,
         })
     }
 }
@@ -146,6 +155,8 @@ pub struct SimEnv {
     pub faults: Arc<FaultPlan>,
     /// Latency calibration.
     pub model: LatencyModel,
+    /// Deployment-wide metric registry every subsystem publishes into.
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 impl SimEnv {

@@ -17,7 +17,11 @@
 //! * [`LatencyModel`] — calibrated device/network service times,
 //! * [`LatencyRecorder`] — log-bucketed latency histograms (P50/P95/P99/max),
 //! * [`ClusterSpec`] — the Table I cluster encoded as resources,
-//! * [`FaultPlan`] — failure-injection switches shared across components.
+//! * [`FaultPlan`] — failure-injection switches shared across components,
+//! * [`MetricsRegistry`] — per-subsystem counters/gauges/histograms plus the
+//!   causal [`TraceLog`](trace::TraceLog) of [`span!`]-recorded operations,
+//! * [`RunReport`] — deterministic JSON snapshots written by the bench
+//!   harness as `BENCH_<figure>.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,14 +30,20 @@ pub mod cluster;
 pub mod fault;
 pub mod latency;
 pub mod metrics;
+pub mod report;
 pub mod resource;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use cluster::{ClusterSpec, SimEnv};
 pub use fault::FaultPlan;
 pub use latency::LatencyModel;
-pub use metrics::{LatencyRecorder, RecoveryCounters, TrialResult};
+pub use metrics::{
+    Counter, Gauge, LatencyRecorder, MetricsRegistry, RecoveryCounters, TrialResult,
+};
+pub use report::{LatencySummary, RunReport};
 pub use resource::Resource;
 pub use rng::SimRng;
 pub use time::{SimCtx, VTime};
+pub use trace::{SpanGuard, TraceEvent, TraceLog};

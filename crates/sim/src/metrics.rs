@@ -1,13 +1,25 @@
-//! Latency histograms and benchmark trial results.
+//! Latency histograms, subsystem metric registry, and benchmark trial results.
 //!
 //! [`LatencyRecorder`] is a log-bucketed concurrent histogram (HdrHistogram
 //! style, ~3% relative error): 64 power-of-two magnitude groups × 32 linear
 //! sub-buckets, all atomic, so hundreds of driver threads can record without
 //! locks. Percentiles, mean and max are derived from the buckets.
+//!
+//! [`MetricsRegistry`] is the repo-wide observability hub: every subsystem
+//! (pmem, rdma, astore, core, pagestore, …) registers [`Counter`]s,
+//! [`Gauge`]s and `LatencyRecorder`s keyed by static `(component, name)`
+//! pairs. Registration takes a short lock once per handle; the hot path is a
+//! single relaxed atomic op on the returned `Arc` handle, so instrumentation
+//! stays cheap enough to leave on unconditionally.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::time::VTime;
+use crate::trace::TraceLog;
 
 const SUB_BITS: u32 = 5; // 32 sub-buckets per magnitude
 const SUB: usize = 1 << SUB_BITS;
@@ -146,6 +158,269 @@ impl LatencyRecorder {
         self.sum_ns.store(0, Ordering::Relaxed);
         self.max_ns.store(0, Ordering::Relaxed);
     }
+
+    /// Atomically move this recorder's samples into `dst`, leaving this
+    /// recorder empty. Unlike [`merge`](Self::merge)` + `[`reset`](Self::reset)
+    /// (which loses increments that race between the read and the store),
+    /// every field is transferred with `swap(0)`, so the *total* across
+    /// source + destination is conserved even under concurrent `record`s.
+    ///
+    /// A sample caught mid-`record` (bucket already bumped, `count` not yet)
+    /// may be split across one drain, but the straggler fields land on the
+    /// source and are picked up by the next drain — nothing is lost or
+    /// double-counted. `max` is transferred with `fetch_max`, which is the
+    /// correct merge for a running maximum.
+    pub fn drain_into(&self, dst: &LatencyRecorder) {
+        for (src, d) in self.buckets.iter().zip(dst.buckets.iter()) {
+            let v = src.swap(0, Ordering::Relaxed);
+            if v > 0 {
+                d.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        dst.count
+            .fetch_add(self.count.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+        dst.sum_ns
+            .fetch_add(self.sum_ns.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+        dst.max_ns
+            .fetch_max(self.max_ns.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// A monotonically increasing event counter. Handles are shared via `Arc`
+/// from the [`MetricsRegistry`]; incrementing is one relaxed atomic add.
+#[derive(Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Fresh zero counter (detached from any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Atomically read the value and reset it to zero. Racing `add`s land
+    /// either in the returned value or in the post-take counter, never both
+    /// and never neither.
+    #[inline]
+    pub fn take(&self) -> u64 {
+        self.v.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (bytes outstanding, queue depth, lag).
+#[derive(Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// Fresh zero gauge (detached from any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increase by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrease by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.v.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with `n`.
+    #[inline]
+    pub fn set(&self, n: i64) {
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+type MetricKey = (&'static str, &'static str);
+
+/// Repo-wide metric registry: counters, gauges and latency histograms keyed
+/// by static `(component, name)` pairs, plus the causal [`TraceLog`].
+///
+/// One registry is created per [`SimEnv`](crate::cluster::SimEnv) and shared
+/// (via `Arc`) by every subsystem of that deployment; components that are
+/// built outside a cluster (unit-test harnesses) get a
+/// [`detached`](Self::detached) registry so instrumentation code never has to
+/// branch. Lookup locks a short [`parking_lot::Mutex`]; components do it once
+/// at construction and cache the `Arc` handles, so steady-state recording is
+/// lock-free.
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<MetricKey, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<MetricKey, Arc<Gauge>>>,
+    latencies: Mutex<BTreeMap<MetricKey, Arc<LatencyRecorder>>>,
+    trace: Arc<TraceLog>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            latencies: Mutex::new(BTreeMap::new()),
+            trace: Arc::new(TraceLog::new(TraceLog::DEFAULT_CAPACITY)),
+        }
+    }
+
+    /// A private registry for components constructed without a cluster
+    /// (harness code, unit tests). Metrics still work; they are just not
+    /// visible in any deployment-wide report.
+    pub fn detached() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Get-or-register the counter `component/name`.
+    pub fn counter(&self, component: &'static str, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .entry((component, name))
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get-or-register the gauge `component/name`.
+    pub fn gauge(&self, component: &'static str, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .entry((component, name))
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get-or-register the latency histogram `component/name`.
+    pub fn latency(&self, component: &'static str, name: &'static str) -> Arc<LatencyRecorder> {
+        Arc::clone(
+            self.latencies
+                .lock()
+                .entry((component, name))
+                .or_insert_with(|| Arc::new(LatencyRecorder::new())),
+        )
+    }
+
+    /// The causal trace log shared by every span in this deployment.
+    pub fn trace(&self) -> &Arc<TraceLog> {
+        &self.trace
+    }
+
+    /// Snapshot every counter as `"component.name" -> value`, sorted by key
+    /// (BTreeMap order makes snapshots deterministic).
+    pub fn counter_values(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|((c, n), v)| (format!("{c}.{n}"), v.get()))
+            .collect()
+    }
+
+    /// Snapshot every gauge as `"component.name" -> value`, sorted by key.
+    pub fn gauge_values(&self) -> BTreeMap<String, i64> {
+        self.gauges
+            .lock()
+            .iter()
+            .map(|((c, n), v)| (format!("{c}.{n}"), v.get()))
+            .collect()
+    }
+
+    /// Handles to every registered latency histogram, sorted by key.
+    pub fn latency_handles(&self) -> Vec<(String, Arc<LatencyRecorder>)> {
+        self.latencies
+            .lock()
+            .iter()
+            .map(|((c, n), v)| (format!("{c}.{n}"), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Atomically drain every metric into `dst`, registering missing keys
+    /// there on the fly. Values are moved with `swap(0)` (see
+    /// [`Counter::take`] / [`LatencyRecorder::drain_into`]), so concurrent
+    /// writers lose nothing: each increment ends up in exactly one of
+    /// (drained total, source residue). Gauges are instantaneous values, not
+    /// totals — they are copied, not moved.
+    pub fn drain_into(&self, dst: &MetricsRegistry) {
+        let counters: Vec<(MetricKey, Arc<Counter>)> = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect();
+        for ((c, n), src) in counters {
+            dst.counter(c, n).add(src.take());
+        }
+        let gauges: Vec<(MetricKey, Arc<Gauge>)> = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect();
+        for ((c, n), src) in gauges {
+            dst.gauge(c, n).set(src.get());
+        }
+        let lats: Vec<(MetricKey, Arc<LatencyRecorder>)> = self
+            .latencies
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect();
+        for ((c, n), src) in lats {
+            src.drain_into(&dst.latency(c, n));
+        }
+    }
+
+    /// Zero every registered metric (between benchmark phases). Handles stay
+    /// registered and cached `Arc`s remain valid.
+    pub fn reset(&self) {
+        for v in self.counters.lock().values() {
+            v.take();
+        }
+        for v in self.gauges.lock().values() {
+            v.set(0);
+        }
+        for v in self.latencies.lock().values() {
+            v.reset();
+        }
+        self.trace.clear();
+    }
 }
 
 /// Counters published by fault-recovery layers (AStore client retries,
@@ -249,6 +524,69 @@ impl RecoveryCounters {
         self.route_refreshes.store(0, Ordering::Relaxed);
         self.segments_replaced.store(0, Ordering::Relaxed);
         self.replicas_repaired.store(0, Ordering::Relaxed);
+    }
+
+    /// Add `other`'s totals into this instance (aggregating per-client
+    /// counters into a deployment-wide view). `other` is left untouched; use
+    /// [`drain_into`](Self::drain_into) when `other` keeps receiving writes.
+    pub fn merge(&self, other: &RecoveryCounters) {
+        self.retries
+            .fetch_add(other.retries.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.backoff_ns
+            .fetch_add(other.backoff_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.read_failovers.fetch_add(
+            other.read_failovers.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.lease_renewals.fetch_add(
+            other.lease_renewals.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.route_refreshes.fetch_add(
+            other.route_refreshes.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.segments_replaced.fetch_add(
+            other.segments_replaced.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.replicas_repaired.fetch_add(
+            other.replicas_repaired.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Atomically move this instance's totals into `dst`, zeroing this one.
+    /// Each field is transferred with `swap(0)`, so increments racing with
+    /// the drain land in exactly one of (dst, residue) — `merge` followed by
+    /// `reset` would silently drop them.
+    pub fn drain_into(&self, dst: &RecoveryCounters) {
+        dst.retries
+            .fetch_add(self.retries.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+        dst.backoff_ns.fetch_add(
+            self.backoff_ns.swap(0, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        dst.read_failovers.fetch_add(
+            self.read_failovers.swap(0, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        dst.lease_renewals.fetch_add(
+            self.lease_renewals.swap(0, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        dst.route_refreshes.fetch_add(
+            self.route_refreshes.swap(0, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        dst.segments_replaced.fetch_add(
+            self.segments_replaced.swap(0, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        dst.replicas_repaired.fetch_add(
+            self.replicas_repaired.swap(0, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
     }
 }
 

@@ -1,0 +1,326 @@
+//! Causal trace spans over virtual time.
+//!
+//! A [`TraceLog`] is a bounded ring buffer of [`TraceEvent`]s shared by every
+//! subsystem of a deployment (it lives inside the
+//! [`MetricsRegistry`](crate::metrics::MetricsRegistry)). Instrumented code
+//! opens a span around an operation:
+//!
+//! ```
+//! use vedb_sim::{MetricsRegistry, SimCtx, VTime};
+//!
+//! let reg = MetricsRegistry::detached();
+//! reg.trace().enable();
+//! let mut ctx = SimCtx::new(0, 42);
+//! let sp = vedb_sim::span!(reg, &mut ctx, "astore", "append");
+//! ctx.advance(VTime::from_micros(3)); // ... the operation ...
+//! sp.finish(&mut ctx);
+//! ```
+//!
+//! Spans opened while another span of the same client is active record that
+//! span as their parent, so a dump reconstructs the causal tree
+//! (`core/commit` → `wal/flush` → `astore/append` → `rdma/chain`). Tracing is
+//! **off by default**: a disabled log hands out inert guards without taking
+//! any lock, so the only per-span cost is one relaxed atomic load — the
+//! zero-cost-when-disabled half of the observability policy (counters, by
+//! contrast, are always on).
+//!
+//! Chaos tests enable the log at deployment start and call
+//! [`TraceLog::dump`] from failure paths, so a red assertion comes with the
+//! last N spans of virtual-time history attached.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::{SimCtx, VTime};
+
+/// One completed (or abandoned) span: an operation on a component, with the
+/// virtual-time interval it covered and the span it was causally nested in.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Unique span id (1-based; ids are assigned at span open).
+    pub id: u64,
+    /// Id of the enclosing span of the same client, or 0 for a root span.
+    pub parent: u64,
+    /// Simulated client the span ran on.
+    pub client: u64,
+    /// Subsystem, e.g. `"rdma"`.
+    pub component: &'static str,
+    /// Operation, e.g. `"write_chain"`.
+    pub op: &'static str,
+    /// Virtual time the span opened.
+    pub start: VTime,
+    /// Virtual time the span finished (== `start` if the guard was dropped
+    /// without an explicit finish).
+    pub end: VTime,
+}
+
+struct TraceBuf {
+    events: VecDeque<TraceEvent>,
+    /// Stack of open span ids per client, for parent attribution.
+    open: HashMap<u64, Vec<u64>>,
+}
+
+/// Bounded ring buffer of causal trace spans (see module docs).
+pub struct TraceLog {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    cap: usize,
+    buf: Mutex<TraceBuf>,
+}
+
+impl TraceLog {
+    /// Default ring capacity: enough for the tail of a chaos run without
+    /// letting a long benchmark grow without bound.
+    pub const DEFAULT_CAPACITY: usize = 16 * 1024;
+
+    /// New, disabled log holding at most `cap` events (oldest evicted first).
+    pub fn new(cap: usize) -> Self {
+        TraceLog {
+            enabled: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            cap: cap.max(1),
+            buf: Mutex::new(TraceBuf {
+                events: VecDeque::new(),
+                open: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Turn span recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turn span recording off; open guards become no-ops on finish.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether spans are currently recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a span for `component`/`op` on `ctx`'s client. Returns an inert
+    /// guard (no lock taken, no id burned) when the log is disabled.
+    pub fn span(
+        self: &Arc<Self>,
+        ctx: &SimCtx,
+        component: &'static str,
+        op: &'static str,
+    ) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard { inner: None };
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let client = ctx.client_id;
+        let parent = {
+            let mut buf = self.buf.lock();
+            let stack = buf.open.entry(client).or_default();
+            let parent = stack.last().copied().unwrap_or(0);
+            stack.push(id);
+            parent
+        };
+        SpanGuard {
+            inner: Some(SpanInner {
+                log: Arc::clone(self),
+                id,
+                parent,
+                client,
+                component,
+                op,
+                start: ctx.now(),
+            }),
+        }
+    }
+
+    fn close(&self, inner: SpanInner, end: VTime) {
+        let mut buf = self.buf.lock();
+        if let Some(stack) = buf.open.get_mut(&inner.client) {
+            // Spans are strictly nested per client, so the id is at (or, if
+            // an intermediate guard was leaked, near) the top of the stack.
+            if let Some(pos) = stack.iter().rposition(|&x| x == inner.id) {
+                stack.truncate(pos);
+            }
+        }
+        if buf.events.len() == self.cap {
+            buf.events.pop_front();
+        }
+        buf.events.push_back(TraceEvent {
+            id: inner.id,
+            parent: inner.parent,
+            client: inner.client,
+            component: inner.component,
+            op: inner.op,
+            start: inner.start,
+            end,
+        });
+    }
+
+    /// Copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.lock().events.iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all buffered events and open-span bookkeeping.
+    pub fn clear(&self) {
+        let mut buf = self.buf.lock();
+        buf.events.clear();
+        buf.open.clear();
+    }
+
+    /// Render the buffer as one line per span, indented by causal depth —
+    /// what chaos tests print when an assertion trips.
+    pub fn dump(&self) -> String {
+        let events = self.events();
+        let mut depth: HashMap<u64, usize> = HashMap::new();
+        let mut out = String::new();
+        for ev in &events {
+            let d = depth.get(&ev.parent).map_or(0, |p| p + 1);
+            depth.insert(ev.id, d);
+            out.push_str(&format!(
+                "{:>12} .. {:>12}  c{:<3} {}{}/{} (#{} <- #{})\n",
+                format!("{}", ev.start),
+                format!("{}", ev.end),
+                ev.client,
+                "  ".repeat(d),
+                ev.component,
+                ev.op,
+                ev.id,
+                ev.parent,
+            ));
+        }
+        out
+    }
+}
+
+struct SpanInner {
+    log: Arc<TraceLog>,
+    id: u64,
+    parent: u64,
+    client: u64,
+    component: &'static str,
+    op: &'static str,
+    start: VTime,
+}
+
+/// RAII guard for an open span. Call [`finish`](Self::finish) with the
+/// client's context to record the span's end time; a guard dropped without
+/// finishing records `end == start` (the span is not lost, but carries no
+/// duration — typically an early-return error path).
+#[must_use = "a span guard should be finished with the client's SimCtx"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// Close the span at `ctx`'s current virtual time.
+    pub fn finish(mut self, ctx: &SimCtx) {
+        if let Some(inner) = self.inner.take() {
+            let log = Arc::clone(&inner.log);
+            log.close(inner, ctx.now());
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let log = Arc::clone(&inner.log);
+            let start = inner.start;
+            log.close(inner, start);
+        }
+    }
+}
+
+/// Open a trace span on a registry: `span!(registry, ctx, "rdma", "read")`.
+///
+/// Expands to [`TraceLog::span`] on the registry's trace log; the result is a
+/// [`SpanGuard`] to `finish(ctx)` when the operation completes.
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $ctx:expr, $component:expr, $op:expr) => {
+        $registry.trace().span(&*$ctx, $component, $op)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = Arc::new(TraceLog::new(16));
+        let ctx = SimCtx::new(1, 7);
+        let sp = log.span(&ctx, "x", "y");
+        sp.finish(&ctx);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn nesting_records_parent_edges() {
+        let log = Arc::new(TraceLog::new(16));
+        log.enable();
+        let mut ctx = SimCtx::new(1, 7);
+        let outer = log.span(&ctx, "core", "commit");
+        ctx.advance(VTime::from_micros(1));
+        let inner = log.span(&ctx, "wal", "flush");
+        ctx.advance(VTime::from_micros(2));
+        inner.finish(&ctx);
+        ctx.advance(VTime::from_micros(1));
+        outer.finish(&ctx);
+
+        let evs = log.events();
+        assert_eq!(evs.len(), 2);
+        // Inner finishes first.
+        assert_eq!(evs[0].component, "wal");
+        assert_eq!(evs[0].parent, evs[1].id);
+        assert_eq!(evs[1].parent, 0);
+        assert_eq!(evs[1].end - evs[1].start, VTime::from_micros(4));
+        assert!(log.dump().contains("wal/flush"));
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest() {
+        let log = Arc::new(TraceLog::new(2));
+        log.enable();
+        let ctx = SimCtx::new(1, 7);
+        for _ in 0..3 {
+            log.span(&ctx, "a", "b").finish(&ctx);
+        }
+        let evs = log.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].id, 2);
+    }
+
+    #[test]
+    fn dropped_guard_still_closes_stack() {
+        let log = Arc::new(TraceLog::new(16));
+        log.enable();
+        let ctx = SimCtx::new(1, 7);
+        {
+            let _sp = log.span(&ctx, "a", "dropped");
+        }
+        let sp2 = log.span(&ctx, "a", "next");
+        sp2.finish(&ctx);
+        let evs = log.events();
+        assert_eq!(evs.len(), 2);
+        // The dropped span must not become a dangling parent of `next`.
+        assert_eq!(evs[1].parent, 0);
+    }
+}

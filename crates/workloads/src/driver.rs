@@ -96,6 +96,16 @@ where
             let latency = &latency;
             let clocks = &clocks;
             scope.spawn(move || {
+                // Publish MAX on every exit path, including a panicking
+                // `op`: a client that dies with a stale clock would pin the
+                // fleet minimum and leave every survivor throttling forever.
+                struct ClockOut<'a>(&'a AtomicU64);
+                impl Drop for ClockOut<'_> {
+                    fn drop(&mut self) {
+                        self.0.store(u64::MAX, Ordering::Release);
+                    }
+                }
+                let _clock_out = ClockOut(&clocks[client]);
                 let mut ctx = SimCtx::new(client as u64 + 1, cfg.seed);
                 ctx.wait_until(cfg.start);
                 while ctx.now() < end {
@@ -141,7 +151,6 @@ where
                         OpOutcome::Skip => {}
                     }
                 }
-                clocks[client].store(u64::MAX, Ordering::Release);
             });
         }
     });
@@ -208,5 +217,23 @@ mod tests {
         let cfg = DriverConfig::quick(1);
         let result = run_trial(&cfg, |_ctx, _| OpOutcome::Skip);
         assert_eq!(result.committed, 0);
+    }
+
+    #[test]
+    fn panicking_client_does_not_hang_the_fleet() {
+        // A client whose op panics must not strand the survivors in the
+        // sync-window throttle: its clock reads MAX, the fleet drains, and
+        // the panic resurfaces from the scope join instead of a deadlock.
+        let cfg = DriverConfig::quick(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_trial(&cfg, |ctx, client| {
+                ctx.advance(VTime::from_millis(1));
+                if client == 0 && ctx.now() > VTime::from_millis(20) {
+                    panic!("injected client fault");
+                }
+                OpOutcome::Committed
+            })
+        }));
+        assert!(result.is_err(), "the injected panic must propagate");
     }
 }
