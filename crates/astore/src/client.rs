@@ -241,12 +241,17 @@ impl AStoreClient {
         ctx: &mut SimCtx,
         mut op: impl FnMut(&mut SimCtx, Lease) -> Result<T>,
     ) -> Result<T> {
+        // Failure paths drop the guard → the span records as abandoned.
+        let sp = self.stats.trace.span(ctx, "astore", "cm_rpc");
         let mut retry = 0u32;
         let mut renewed = false;
         loop {
             let lease = *self.lease.lock();
             match op(ctx, lease) {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    sp.finish(ctx);
+                    return Ok(v);
+                }
                 Err(e) if e.is_fencing() && !renewed => {
                     // Renew the *same* epoch; never re-acquire (that would
                     // mint a new epoch and bypass the §IV-C fence).

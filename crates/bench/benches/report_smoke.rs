@@ -33,6 +33,12 @@ fn main() {
     dep.db.create_tables(&mut dep.ctx).unwrap();
     tpcc::load(&mut dep.ctx, &dep.db, &scale).unwrap();
 
+    // Trace the trial (not the load) so the report's `profile` section
+    // carries commit-phase attribution. The ring must hold the whole
+    // measurement window: ~1K commits x ~50 spans fits in 2^18.
+    dep.metrics().trace().set_capacity(1 << 18);
+    dep.metrics().trace().enable();
+
     // Single client: the smoke run doubles as the determinism fixture (a
     // one-client virtual-time trial is reproducible bit for bit), and it
     // sidesteps the engine's known EBP-under-concurrent-writers races.
@@ -70,5 +76,24 @@ fn main() {
         );
     }
     assert!(report.throughput() > 0.0, "smoke run committed nothing");
+
+    // Phase accounting must close the loop: the commit_phases breakdown
+    // sums to the end-to-end commit time (within 1% for ring-eviction
+    // slack; by construction it is exact when nothing was evicted).
+    let profile = &report.profile;
+    assert!(profile.spans > 0, "trace captured no spans");
+    let commit_total = profile.ops["core/commit"].total_ns;
+    let phase_sum: u64 = profile.commit_phases.values().map(|p| p.total_ns).sum();
+    assert!(commit_total > 0, "no commit spans in profile");
+    let drift = commit_total.abs_diff(phase_sum);
+    assert!(
+        drift * 100 <= commit_total,
+        "commit_phases sum {phase_sum} deviates >1% from commit total {commit_total}"
+    );
+    assert!(
+        profile.commit_phases.contains_key("wal/flush"),
+        "commit path must attribute a wal/flush phase"
+    );
+
     write_bench_report(&report).expect("write BENCH_tpcc_smoke.json");
 }

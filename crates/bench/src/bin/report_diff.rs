@@ -1,0 +1,98 @@
+//! Perf-regression gate: compare two `BENCH_<figure>.json` reports.
+//!
+//! ```text
+//! report_diff <baseline.json> <new.json> [options]
+//!
+//!   --max-tput-drop <frac>      throughput drop budget   (default 0.10)
+//!   --max-p50-rise <frac>       p50 latency rise budget  (default 0.20)
+//!   --max-p99-rise <frac>       p99 latency rise budget  (default 0.20)
+//!   --max-phase-shift-pp <pp>   gate commit-phase share drift (default: report only)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 a gated metric regressed, 2 usage/parse error.
+
+use std::process::ExitCode;
+
+use vedb_bench::diff::{diff, parse_json, ReportSummary, Thresholds};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: report_diff <baseline.json> <new.json> \
+         [--max-tput-drop F] [--max-p50-rise F] [--max-p99-rise F] \
+         [--max-phase-shift-pp PP]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<ReportSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    ReportSummary::from_json(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut th = Thresholds::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut frac = |dst: &mut f64| -> bool {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => {
+                    *dst = v;
+                    true
+                }
+                _ => false,
+            }
+        };
+        match arg.as_str() {
+            "--max-tput-drop" => {
+                if !frac(&mut th.max_tput_drop) {
+                    return usage();
+                }
+            }
+            "--max-p50-rise" => {
+                if !frac(&mut th.max_p50_rise) {
+                    return usage();
+                }
+            }
+            "--max-p99-rise" => {
+                if !frac(&mut th.max_p99_rise) {
+                    return usage();
+                }
+            }
+            "--max-phase-shift-pp" => {
+                let mut pp = 0.0;
+                if !frac(&mut pp) {
+                    return usage();
+                }
+                th.max_phase_shift_pp = Some(pp);
+            }
+            "--help" | "-h" => return usage(),
+            p if !p.starts_with('-') => paths.push(p.to_string()),
+            _ => return usage(),
+        }
+    }
+    if paths.len() != 2 {
+        return usage();
+    }
+    let (base, new) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("report_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let out = diff(&base, &new, &th);
+    print!("{}", out.table);
+    if out.regressed() {
+        eprintln!("\nperf regression gate FAILED:");
+        for r in &out.regressions {
+            eprintln!("  - {r}");
+        }
+        ExitCode::from(1)
+    } else {
+        println!("\nperf regression gate passed.");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,600 @@
+//! Perf-regression diffing of two `BENCH_<figure>.json` reports.
+//!
+//! The bench reports are byte-deterministic JSON written by
+//! [`vedb_sim::RunReport::to_json`]; this module reads two of them (a
+//! committed baseline and a freshly generated artifact), compares
+//! throughput, latency percentiles, key counters and commit-phase shares
+//! against relative thresholds, and renders a readable table. The
+//! `report_diff` binary wires this into CI: exit 1 when a gated metric
+//! regressed beyond its threshold.
+//!
+//! The workspace deliberately has no serde; the parser below is a minimal
+//! recursive-descent JSON reader sufficient for the report schema (objects,
+//! arrays, strings with the escapes our writer emits, f64 numbers).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (the report only emits integers and fixed-decimal floats,
+    /// all exactly representable in f64).
+    Num(f64),
+    /// String
+    Str(String),
+    /// Array
+    Arr(Vec<Json>),
+    /// Object, key-sorted (insertion order is irrelevant for diffing).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, `None` otherwise.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object map, `None` otherwise.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry a byte offset for context.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("truncated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        *pos += 4;
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("unsupported escape at byte {pos}")),
+                }
+            }
+            c => {
+                // Multi-byte UTF-8 passes through unchanged.
+                let start = *pos - 1;
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b.get(start..start + len).ok_or("truncated utf-8")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| "bad utf-8")?);
+                *pos = start + len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(&c) = b.get(*pos) {
+        if matches!(c, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+/// The comparable slice of one bench report.
+#[derive(Debug, Clone)]
+pub struct ReportSummary {
+    /// Report name (the `<figure>` of `BENCH_<figure>.json`).
+    pub name: String,
+    /// Committed operations per virtual second.
+    pub throughput_per_s: f64,
+    /// Committed-op latency median, ns.
+    pub p50_ns: f64,
+    /// Committed-op latency 99th percentile, ns.
+    pub p99_ns: f64,
+    /// Every counter, keyed `"component.name"`.
+    pub counters: BTreeMap<String, f64>,
+    /// Commit-phase share of total commit time, keyed phase name, in
+    /// percent. Empty when the run was not traced.
+    pub phase_share_pct: BTreeMap<String, f64>,
+}
+
+impl ReportSummary {
+    /// Extract the comparable fields from a parsed report.
+    pub fn from_json(doc: &Json) -> Result<ReportSummary, String> {
+        let need = |k: &str| doc.get(k).ok_or_else(|| format!("report missing `{k}`"));
+        let num = |k: &str| {
+            need(k)?
+                .as_f64()
+                .ok_or_else(|| format!("`{k}` is not a number"))
+        };
+        let schema = need("schema")?.as_str().unwrap_or("");
+        if !schema.starts_with("vedb-bench-report/") {
+            return Err(format!("not a vedb bench report (schema `{schema}`)"));
+        }
+        let latency = need("latency")?;
+        let counters = need("counters")?
+            .as_obj()
+            .ok_or("`counters` is not an object")?
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+            .collect();
+        // Phase shares recomputed from integer totals rather than trusting
+        // the serialized fixed-point strings.
+        let mut phase_share_pct = BTreeMap::new();
+        if let Some(phases) = doc.get("profile").and_then(|p| p.get("commit_phases")) {
+            if let Some(m) = phases.as_obj() {
+                let total: f64 = m
+                    .values()
+                    .filter_map(|v| v.get("total_ns").and_then(Json::as_f64))
+                    .sum();
+                if total > 0.0 {
+                    for (k, v) in m {
+                        if let Some(ns) = v.get("total_ns").and_then(Json::as_f64) {
+                            phase_share_pct.insert(k.clone(), ns * 100.0 / total);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ReportSummary {
+            name: need("name")?.as_str().unwrap_or("?").to_string(),
+            throughput_per_s: num("throughput_per_s")?,
+            p50_ns: latency
+                .get("p50_ns")
+                .and_then(Json::as_f64)
+                .ok_or("`latency.p50_ns` missing")?,
+            p99_ns: latency
+                .get("p99_ns")
+                .and_then(Json::as_f64)
+                .ok_or("`latency.p99_ns` missing")?,
+            counters,
+            phase_share_pct,
+        })
+    }
+}
+
+/// Relative regression thresholds. A metric regresses when it moves in its
+/// bad direction by more than the given fraction of the baseline.
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// Max tolerated throughput drop (fraction; 0.10 = -10%).
+    pub max_tput_drop: f64,
+    /// Max tolerated p50 latency rise (fraction).
+    pub max_p50_rise: f64,
+    /// Max tolerated p99 latency rise (fraction).
+    pub max_p99_rise: f64,
+    /// Max tolerated commit-phase share drift, percentage points; `None`
+    /// reports the drift without gating on it.
+    pub max_phase_shift_pp: Option<f64>,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            max_tput_drop: 0.10,
+            max_p50_rise: 0.20,
+            max_p99_rise: 0.20,
+            max_phase_shift_pp: None,
+        }
+    }
+}
+
+/// Outcome of one diff: the rendered table plus the regressions found.
+#[derive(Debug)]
+pub struct DiffOutcome {
+    /// Human-readable comparison table.
+    pub table: String,
+    /// One line per gated metric that exceeded its threshold.
+    pub regressions: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// Whether any gated metric regressed.
+    pub fn regressed(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+fn rel_delta(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new - base) / base
+    }
+}
+
+fn fmt_delta(d: f64) -> String {
+    if d.is_infinite() {
+        "new".to_string()
+    } else {
+        format!("{:+.1}%", d * 100.0)
+    }
+}
+
+/// Compare `new` against `base` under `th`.
+pub fn diff(base: &ReportSummary, new: &ReportSummary, th: &Thresholds) -> DiffOutcome {
+    let mut table = String::new();
+    let mut regressions = Vec::new();
+    let _ = writeln!(
+        table,
+        "report_diff: {} (baseline) vs {} (new)",
+        base.name, new.name
+    );
+    let _ = writeln!(
+        table,
+        "{:<28} {:>14} {:>14} {:>9}  gate",
+        "metric", "baseline", "new", "delta"
+    );
+
+    let mut row = |name: &str, b: f64, n: f64, gate: Option<(f64, bool)>| {
+        let d = rel_delta(b, n);
+        // `worse_when_up`: latency-style metrics regress on a rise.
+        let (verdict, is_reg) = match gate {
+            None => ("", false),
+            Some((limit, worse_when_up)) => {
+                let bad = if worse_when_up { d } else { -d };
+                if bad > limit {
+                    ("REGRESSED", true)
+                } else {
+                    ("ok", false)
+                }
+            }
+        };
+        let _ = writeln!(
+            table,
+            "{:<28} {:>14.1} {:>14.1} {:>9}  {}",
+            name,
+            b,
+            n,
+            fmt_delta(d),
+            verdict
+        );
+        if is_reg {
+            regressions.push(format!(
+                "{name}: {b:.1} -> {n:.1} ({}) exceeds threshold {:.0}%",
+                fmt_delta(d),
+                gate.unwrap().0 * 100.0
+            ));
+        }
+    };
+
+    row(
+        "throughput_per_s",
+        base.throughput_per_s,
+        new.throughput_per_s,
+        Some((th.max_tput_drop, false)),
+    );
+    row(
+        "latency.p50_ns",
+        base.p50_ns,
+        new.p50_ns,
+        Some((th.max_p50_rise, true)),
+    );
+    row(
+        "latency.p99_ns",
+        base.p99_ns,
+        new.p99_ns,
+        Some((th.max_p99_rise, true)),
+    );
+
+    // Key counters: informational (the virtual-time smoke run is seeded, so
+    // any drift here is a behaviour change worth seeing, not gating).
+    for key in [
+        "core.txn_commits",
+        "core.txn_aborts",
+        "astore.appends",
+        "pagestore.records_applied",
+        "rdma.chain_writes",
+    ] {
+        let b = base.counters.get(key).copied().unwrap_or(0.0);
+        let n = new.counters.get(key).copied().unwrap_or(0.0);
+        if b != 0.0 || n != 0.0 {
+            row(key, b, n, None);
+        }
+    }
+
+    // Commit-phase shares: drift in percentage points.
+    let mut phases: Vec<&String> = base
+        .phase_share_pct
+        .keys()
+        .chain(new.phase_share_pct.keys())
+        .collect();
+    phases.sort();
+    phases.dedup();
+    for phase in phases {
+        let b = base.phase_share_pct.get(phase).copied().unwrap_or(0.0);
+        let n = new.phase_share_pct.get(phase).copied().unwrap_or(0.0);
+        let drift = n - b;
+        let gated = th
+            .max_phase_shift_pp
+            .map(|limit| drift.abs() > limit)
+            .unwrap_or(false);
+        let _ = writeln!(
+            table,
+            "{:<28} {:>13.2}% {:>13.2}% {:>+8.2}pp  {}",
+            format!("phase.{phase}"),
+            b,
+            n,
+            drift,
+            if gated {
+                "REGRESSED"
+            } else if th.max_phase_shift_pp.is_some() {
+                "ok"
+            } else {
+                ""
+            }
+        );
+        if gated {
+            regressions.push(format!(
+                "phase.{phase}: share {b:.2}% -> {n:.2}% drifts {:+.2}pp beyond {:.1}pp",
+                drift,
+                th.max_phase_shift_pp.unwrap()
+            ));
+        }
+    }
+
+    DiffOutcome { table, regressions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_json(tput: f64, p50: u64, p99: u64, flush_ns: u64, self_ns: u64) -> String {
+        format!(
+            r#"{{
+  "schema": "vedb-bench-report/v2",
+  "name": "unit",
+  "committed": 100,
+  "aborted": 1,
+  "window_ns": 1000000,
+  "throughput_per_s": {tput},
+  "latency": {{"count": 100, "mean_ns": 10, "p50_ns": {p50}, "p95_ns": 50, "p99_ns": {p99}, "max_ns": 99}},
+  "counters": {{"core.commits": 100, "astore.appends": 40}},
+  "gauges": {{}},
+  "op_latencies": {{}},
+  "profile": {{
+    "spans": 3, "abandoned": 0, "orphans": 0, "root_total_ns": 100,
+    "ops": {{}},
+    "commit_phases": {{
+      "wal/flush": {{"count": 1, "total_ns": {flush_ns}, "share_pct": 0.00}},
+      "self": {{"count": 1, "total_ns": {self_ns}, "share_pct": 0.00}}
+    }},
+    "timelines": {{}}
+  }}
+}}"#
+        )
+    }
+
+    fn summary(tput: f64, p50: u64, p99: u64, flush_ns: u64, self_ns: u64) -> ReportSummary {
+        let doc = parse_json(&report_json(tput, p50, p99, flush_ns, self_ns)).unwrap();
+        ReportSummary::from_json(&doc).unwrap()
+    }
+
+    #[test]
+    fn parser_handles_report_shapes() {
+        let doc = parse_json(&report_json(5000.0, 20, 80, 40, 60)).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("vedb-bench-report/v2")
+        );
+        assert_eq!(
+            doc.get("latency")
+                .and_then(|l| l.get("p99_ns"))
+                .and_then(Json::as_f64),
+            Some(80.0)
+        );
+        let esc = parse_json(r#"{"a": "x\"y\n", "b": [1, -2.5e1, true, null]}"#).unwrap();
+        assert_eq!(esc.get("a").and_then(Json::as_str), Some("x\"y\n"));
+        assert_eq!(
+            esc.get("b"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-25.0),
+                Json::Bool(true),
+                Json::Null
+            ]))
+        );
+        assert!(parse_json("{\"unterminated\": ").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn summary_recomputes_phase_shares() {
+        let s = summary(5000.0, 20, 80, 40, 60);
+        assert!((s.phase_share_pct["wal/flush"] - 40.0).abs() < 1e-9);
+        assert!((s.phase_share_pct["self"] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let s = summary(5000.0, 20, 80, 40, 60);
+        let out = diff(&s, &s, &Thresholds::default());
+        assert!(!out.regressed(), "{}", out.table);
+    }
+
+    #[test]
+    fn throughput_drop_beyond_threshold_regresses() {
+        let base = summary(5000.0, 20, 80, 40, 60);
+        let new = summary(4000.0, 20, 80, 40, 60); // -20% < -10% budget
+        let out = diff(&base, &new, &Thresholds::default());
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("throughput_per_s"));
+        // A drop within budget passes.
+        let ok = summary(4600.0, 20, 80, 40, 60); // -8%
+        assert!(!diff(&base, &ok, &Thresholds::default()).regressed());
+    }
+
+    #[test]
+    fn p99_rise_beyond_threshold_regresses() {
+        let base = summary(5000.0, 20, 80, 40, 60);
+        let new = summary(5000.0, 20, 120, 40, 60); // +50% > +20% budget
+        let out = diff(&base, &new, &Thresholds::default());
+        assert!(out.regressed());
+        assert!(out.regressions.iter().any(|r| r.contains("p99_ns")));
+        // Throughput *gains* never regress.
+        let faster = summary(9000.0, 10, 40, 40, 60);
+        assert!(!diff(&base, &faster, &Thresholds::default()).regressed());
+    }
+
+    #[test]
+    fn phase_drift_gates_only_when_asked() {
+        let base = summary(5000.0, 20, 80, 40, 60); // flush 40%
+        let new = summary(5000.0, 20, 80, 80, 20); // flush 80%
+        assert!(!diff(&base, &new, &Thresholds::default()).regressed());
+        let strict = Thresholds {
+            max_phase_shift_pp: Some(10.0),
+            ..Thresholds::default()
+        };
+        let out = diff(&base, &new, &strict);
+        assert!(out.regressed());
+        assert!(out.regressions.iter().any(|r| r.contains("wal/flush")));
+    }
+}

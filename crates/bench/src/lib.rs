@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod diff;
+
 use std::path::PathBuf;
 use std::sync::Arc;
 

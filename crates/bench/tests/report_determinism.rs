@@ -36,6 +36,11 @@ fn run_once(name: &str) -> RunReport {
     dep.db.create_tables(&mut dep.ctx).unwrap();
     tpcc::load(&mut dep.ctx, &dep.db, &scale).unwrap();
 
+    // Trace the trial so determinism also covers the profile section
+    // (span ids, phase sums, timeline buckets).
+    dep.metrics().trace().set_capacity(1 << 18);
+    dep.metrics().trace().enable();
+
     let db = Arc::clone(&dep.db);
     let r = dep.trial(
         1,
@@ -80,7 +85,7 @@ fn report_json_round_trips_expected_fields() {
     let rep = run_once("fields");
     let json = rep.to_json();
     // Spot-check the schema the EXPERIMENTS.md tooling greps for.
-    assert!(json.contains("\"schema\": \"vedb-bench-report/v1\""));
+    assert!(json.contains("\"schema\": \"vedb-bench-report/v2\""));
     assert!(json.contains("\"throughput_per_s\""));
     assert!(json.contains("\"p50_ns\""));
     assert!(json.contains("\"p95_ns\""));
@@ -88,4 +93,16 @@ fn report_json_round_trips_expected_fields() {
     assert!(json.contains("\"core.txn_commits\""));
     assert!(json.contains("\"pmem.bytes_persisted\""));
     assert!(json.contains("\"rdma.chain_writes\""));
+    // The profile section: per-op attribution and the commit-phase split.
+    assert!(json.contains("\"profile\""));
+    assert!(json.contains("\"commit_phases\""));
+    assert!(json.contains("\"core/commit\""));
+    assert!(json.contains("\"wal/flush\""));
+    assert!(rep.profile.spans > 0, "trial ran with tracing off");
+    let commit_total = rep.profile.ops["core/commit"].total_ns;
+    let phase_sum: u64 = rep.profile.commit_phases.values().map(|p| p.total_ns).sum();
+    assert!(
+        commit_total.abs_diff(phase_sum) * 100 <= commit_total,
+        "commit_phases sum {phase_sum} vs commit total {commit_total}"
+    );
 }

@@ -28,6 +28,7 @@ use vedb_rdma::{RdmaError, RpcFabric};
 use vedb_sim::cluster::NodeRes;
 use vedb_sim::fault::NodeId;
 use vedb_sim::metrics::Counter;
+use vedb_sim::trace::TraceLog;
 use vedb_sim::{LatencyModel, SimCtx};
 
 /// Identifier of a blob within one server.
@@ -232,6 +233,8 @@ pub struct BlobGroup {
     next_stripe: AtomicUsize,
     extents: Mutex<Vec<Extent>>,
     logical_len: AtomicU64,
+    /// Shared deployment trace (all servers register into one registry).
+    trace: Arc<TraceLog>,
 }
 
 impl BlobGroup {
@@ -264,6 +267,7 @@ impl BlobGroup {
             }
             stripes.push(replicas);
         }
+        let trace = Arc::clone(servers[0].res().metrics.trace());
         Ok(BlobGroup {
             cfg,
             rpc,
@@ -271,6 +275,7 @@ impl BlobGroup {
             next_stripe: AtomicUsize::new(0),
             extents: Mutex::new(Vec::new()),
             logical_len: AtomicU64::new(0),
+            trace,
         })
     }
 
@@ -289,6 +294,8 @@ impl BlobGroup {
     /// replica of every chunk has persisted. Returns the logical offset.
     pub fn append(&self, ctx: &mut SimCtx, data: &[u8]) -> Result<u64> {
         assert!(!data.is_empty(), "empty appends are not meaningful");
+        // Replica-failure paths drop the guard → abandoned span.
+        let sp = self.trace.span(ctx, "blobstore", "append");
         let logical_off = self.logical_len.load(Ordering::Acquire);
         let start_stripe = self.next_stripe.load(Ordering::Relaxed);
         let chunks: Vec<&[u8]> = data.chunks(self.cfg.io_size).collect();
@@ -342,6 +349,7 @@ impl BlobGroup {
         self.extents.lock().extend(new_extents);
         self.logical_len
             .fetch_add(data.len() as u64, Ordering::AcqRel);
+        sp.finish(ctx);
         Ok(logical_off)
     }
 
@@ -355,6 +363,7 @@ impl BlobGroup {
                 blob_len: self.len() as usize,
             });
         }
+        let sp = self.trace.span(ctx, "blobstore", "read");
         let extents = self.extents.lock().clone();
         let mut out = vec![0u8; len];
         let mut max_done = ctx.now();
@@ -395,6 +404,7 @@ impl BlobGroup {
             max_done = max_done.max(chunk_ctx.now());
         }
         ctx.wait_until(max_done);
+        sp.finish(ctx);
         Ok(out)
     }
 }

@@ -651,6 +651,8 @@ impl Db {
         if !txn.is_active() {
             return Err(EngineError::TxnFinished);
         }
+        // Error paths drop the guard → the span records as abandoned.
+        let sp = self.stats.trace.span(ctx, "core", "insert");
         let t = self.catalog.read().table(table)?.clone();
         let key = Self::pk_key(&t, &row);
         self.lock_row(ctx, txn, t.space_no, key.clone(), LockMode::Exclusive)?;
@@ -678,6 +680,7 @@ impl Db {
             BTree::new(ix.space_no).insert(ctx, self, txn.id, &skey, &key, Some(undo.clone()))?;
             txn.undo.push(undo);
         }
+        sp.finish(ctx);
         Ok(())
     }
 
@@ -690,15 +693,18 @@ impl Db {
         table: &str,
         key_vals: &[Value],
     ) -> Result<Option<Row>> {
+        let sp = self.stats.trace.span(ctx, "core", "get");
         let t = self.catalog.read().table(table)?.clone();
         let key = encode_key(key_vals);
         if let Some(txn) = txn {
             self.lock_row(ctx, txn, t.space_no, key.clone(), LockMode::Shared)?;
         }
-        match BTree::new(t.space_no).get(ctx, self, &key)? {
-            Some(payload) => Ok(Some(decode_row(&payload)?)),
-            None => Ok(None),
-        }
+        let row = match BTree::new(t.space_no).get(ctx, self, &key)? {
+            Some(payload) => Some(decode_row(&payload)?),
+            None => None,
+        };
+        sp.finish(ctx);
+        Ok(row)
     }
 
     /// Update a row by primary key through a mutator closure.
@@ -713,6 +719,7 @@ impl Db {
         if !txn.is_active() {
             return Err(EngineError::TxnFinished);
         }
+        let sp = self.stats.trace.span(ctx, "core", "update");
         let t = self.catalog.read().table(table)?.clone();
         let key = encode_key(key_vals);
         self.lock_row(ctx, txn, t.space_no, key.clone(), LockMode::Exclusive)?;
@@ -761,6 +768,7 @@ impl Db {
                 txn.undo.push(u2);
             }
         }
+        sp.finish(ctx);
         Ok(())
     }
 
@@ -775,6 +783,7 @@ impl Db {
         if !txn.is_active() {
             return Err(EngineError::TxnFinished);
         }
+        let sp = self.stats.trace.span(ctx, "core", "delete");
         let t = self.catalog.read().table(table)?.clone();
         let key = encode_key(key_vals);
         self.lock_row(ctx, txn, t.space_no, key.clone(), LockMode::Exclusive)?;
@@ -802,6 +811,7 @@ impl Db {
             BTree::new(ix.space_no).delete(ctx, self, txn.id, &skey, Some(u.clone()))?;
             txn.undo.push(u);
         }
+        sp.finish(ctx);
         Ok(())
     }
 
@@ -814,6 +824,7 @@ impl Db {
         prefix_vals: &[Value],
         limit: usize,
     ) -> Result<Vec<Row>> {
+        let sp = self.stats.trace.span(ctx, "core", "index_lookup");
         let t = self.catalog.read().table(table)?.clone();
         let ix = t
             .secondary
@@ -836,6 +847,7 @@ impl Db {
                 rows.push(decode_row(&payload)?);
             }
         }
+        sp.finish(ctx);
         Ok(rows)
     }
 
@@ -914,6 +926,7 @@ impl Db {
         if !txn.is_active() {
             return Err(EngineError::TxnFinished);
         }
+        let sp = self.stats.trace.span(ctx, "core", "abort");
         let undo: Vec<UndoInfo> = txn.undo.drain(..).collect();
         for u in undo.iter().rev() {
             self.apply_undo(ctx, txn.id, u)?;
@@ -924,6 +937,7 @@ impl Db {
         txn.locks.clear();
         txn.status = TxnStatus::Aborted;
         self.stats.aborts.inc();
+        sp.finish(ctx);
         Ok(())
     }
 

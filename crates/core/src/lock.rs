@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use vedb_sim::metrics::{Counter, LatencyRecorder};
+use vedb_sim::trace::TraceLog;
 use vedb_sim::{MetricsRegistry, SimCtx, VTime};
 
 use crate::{EngineError, Result};
@@ -61,6 +62,7 @@ pub struct LockManager {
     waits: Arc<Counter>,
     timeouts: Arc<Counter>,
     wait_lat: Arc<LatencyRecorder>,
+    trace: Arc<TraceLog>,
 }
 
 impl LockManager {
@@ -90,6 +92,7 @@ impl LockManager {
             waits: registry.counter("core", "lock_waits"),
             timeouts: registry.counter("core", "lock_timeouts"),
             wait_lat: registry.latency("core", "lock_wait"),
+            trace: Arc::clone(registry.trace()),
         }
     }
 
@@ -117,6 +120,8 @@ impl LockManager {
     /// release. Returns `LockTimeout` if the wait exceeds the deadlock
     /// budget.
     pub fn acquire(&self, ctx: &mut SimCtx, txn: u64, key: LockKey, mode: LockMode) -> Result<()> {
+        // Timeout (deadlock-victim) paths drop the guard → abandoned span.
+        let sp = self.trace.span(ctx, "lock", "wait");
         let shard = Arc::clone(self.shard_of(&key));
         let deadline = std::time::Instant::now() + self.timeout;
         let mut table = shard.table.lock();
@@ -144,6 +149,7 @@ impl LockManager {
                 // Account the virtual wait: we run after the conflicting
                 // holder's release.
                 ctx.wait_until(release);
+                sp.finish(ctx);
                 return Ok(());
             }
             if shard.cv.wait_until(&mut table, deadline).timed_out() {

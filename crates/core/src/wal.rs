@@ -25,6 +25,7 @@ use vedb_astore::{Lsn, SegmentRing};
 use vedb_blobstore::BlobGroup;
 use vedb_pagestore::redo::{decode_record, encode_record, RedoRecord};
 use vedb_sim::metrics::{Counter, LatencyRecorder};
+use vedb_sim::trace::TraceLog;
 use vedb_sim::{LatencyModel, MetricsRegistry, Resource, SimCtx, VTime};
 
 use crate::{EngineError, Result};
@@ -347,6 +348,7 @@ pub struct Wal {
     flushes: Arc<Counter>,
     bytes_flushed: Arc<Counter>,
     flush_lat: Arc<LatencyRecorder>,
+    trace: Arc<TraceLog>,
 }
 
 impl Wal {
@@ -372,6 +374,7 @@ impl Wal {
             flushes: registry.counter("core", "wal_flushes"),
             bytes_flushed: registry.counter("core", "wal_bytes_flushed"),
             flush_lat: registry.latency("core", "wal_flush"),
+            trace: Arc::clone(registry.trace()),
         }
     }
 
@@ -382,9 +385,12 @@ impl Wal {
 
     /// Log a non-page record (commit/abort). Buffered; not yet durable.
     pub fn log(&self, ctx: &mut SimCtx, rec: &WalRecord) -> Result<Lsn> {
+        let sp = self.trace.span(ctx, "wal", "serialize");
         let mut body = Vec::with_capacity(64);
         encode_wal_record(rec, &mut body);
-        Ok(self.buffer_frame(ctx, &body))
+        let lsn = self.buffer_frame(ctx, &body);
+        sp.finish(ctx);
+        Ok(lsn)
     }
 
     /// Log a page mutation: assigns the record's LSN (fixing up the REDO
@@ -395,6 +401,7 @@ impl Wal {
         mut redo: RedoRecord,
         undo: Option<UndoInfo>,
     ) -> Result<(Lsn, RedoRecord)> {
+        let sp = self.trace.span(ctx, "wal", "serialize");
         let mut state = self.state.lock();
         redo.lsn = state.next_lsn;
         let mut body = Vec::with_capacity(128);
@@ -410,6 +417,7 @@ impl Wal {
         self.bytes_logged.add(4 + body.len() as u64);
         // Log-buffer memcpy cost.
         ctx.advance(VTime::from_nanos(200 + body.len() as u64 / 16));
+        sp.finish(ctx);
         Ok((lsn, redo))
     }
 
@@ -439,15 +447,19 @@ impl Wal {
         if self.flushed.load(Ordering::Acquire) > upto {
             return Ok(());
         }
+        let sp = self.trace.span(ctx, "wal", "flush");
         let _serialize = self.flush_lock.lock();
         // A racing flush may have carried our bytes while we waited.
         if self.flushed.load(Ordering::Acquire) > upto {
+            sp.finish(ctx);
             return Ok(());
         }
         // Take the whole buffer (group commit).
         let (bytes, end) = {
             let mut state = self.state.lock();
             if state.buf.is_empty() {
+                drop(state);
+                sp.finish(ctx);
                 return Ok(());
             }
             (std::mem::take(&mut state.buf), state.next_lsn)
@@ -460,6 +472,7 @@ impl Wal {
         self.flushes.inc();
         self.bytes_flushed.add(bytes.len() as u64);
         self.flush_lat.record(ctx.now() - t0);
+        sp.finish(ctx);
         Ok(())
     }
 

@@ -19,7 +19,8 @@ use vedb_astore::{Lsn, PageId};
 use vedb_rdma::RpcFabric;
 use vedb_sim::cluster::NodeRes;
 use vedb_sim::fault::NodeId;
-use vedb_sim::{Counter, Gauge, LatencyModel, LatencyRecorder, SimCtx, VTime};
+use vedb_sim::trace::TraceLog;
+use vedb_sim::{Counter, Gauge, LatencyModel, LatencyRecorder, SimCtx, Timeline, VTime};
 
 use crate::page::{Page, PAGE_SIZE};
 use crate::redo::RedoRecord;
@@ -92,7 +93,12 @@ struct PsStats {
     page_reads: Arc<Counter>,
     gossip_recoveries: Arc<Counter>,
     apply_lag: Arc<Gauge>,
+    /// Virtual-time-bucketed samples of `apply_lag_records`, recorded on
+    /// every accept/apply transition — the replication-lag timeline in the
+    /// bench report's `profile` section.
+    apply_lag_tl: Arc<Timeline>,
     read_lat: Arc<LatencyRecorder>,
+    trace: Arc<TraceLog>,
 }
 
 impl PsStats {
@@ -106,7 +112,9 @@ impl PsStats {
             page_reads: reg.counter("pagestore", "page_reads"),
             gossip_recoveries: reg.counter("pagestore", "gossip_recoveries"),
             apply_lag: reg.gauge("pagestore", "apply_lag_records"),
+            apply_lag_tl: reg.timeline("pagestore", "apply_lag_records"),
             read_lat: reg.latency("pagestore", "read_page"),
+            trace: Arc::clone(reg.trace()),
         }
     }
 }
@@ -147,6 +155,7 @@ impl PageStoreServer {
     /// back-link matches extend the in-order stream; the rest wait in the
     /// out-of-order buffer. Charges per-record CPU.
     pub fn handle_ship(&self, ctx: &mut SimCtx, key: PsSegmentKey, records: &[RedoRecord]) {
+        let sp = self.stats.trace.span(ctx, "pagestore", "redo_accept");
         let cpu = self
             .res
             .cpu
@@ -180,6 +189,11 @@ impl PageStoreServer {
                 seg.out_of_order.insert(rec.lsn, rec.clone());
             }
         }
+        drop(segs);
+        self.stats
+            .apply_lag_tl
+            .record(ctx.now(), self.stats.apply_lag.get());
+        sp.finish(ctx);
     }
 
     /// Handler: serve retained records after `from_lsn` (gossip peer side).
@@ -266,6 +280,8 @@ impl PageStoreServer {
         if to_apply.is_empty() {
             return Ok(());
         }
+        // Span opens only when there is work: an idle replay poll is free.
+        let sp = self.stats.trace.span(ctx, "pagestore", "apply");
         // CPU per record + an amortized SSD write per batch of pages.
         let cpu = self
             .res
@@ -293,6 +309,10 @@ impl PageStoreServer {
             let done = ssd.acquire(ctx.now(), self.model.ssd_write_svc(batches * PAGE_SIZE) / 4);
             ctx.wait_until(done);
         }
+        self.stats
+            .apply_lag_tl
+            .record(ctx.now(), self.stats.apply_lag.get());
+        sp.finish(ctx);
         Ok(())
     }
 
@@ -317,6 +337,8 @@ impl PageStoreServer {
         peers: &[Arc<PageStoreServer>],
     ) -> Result<Vec<u8>> {
         let t0 = ctx.now();
+        // Error paths drop the guard → the span records as abandoned.
+        let sp = self.stats.trace.span(ctx, "pagestore", "read_page");
         self.apply_pending(ctx, key)?;
         if self.applied_lsn(key) < min_lsn {
             self.gossip_fill(ctx, rpc, key, peers);
@@ -342,7 +364,10 @@ impl PageStoreServer {
             .ok_or(PageStoreError::UnknownPage(page))?;
         self.stats.page_reads.inc();
         self.stats.read_lat.record(ctx.now() - t0);
-        Ok(p.as_bytes().to_vec())
+        let bytes = p.as_bytes().to_vec();
+        drop(segs);
+        sp.finish(ctx);
+        Ok(bytes)
     }
 
     /// Local (no-RPC) page access for push-down execution on this server;
@@ -403,6 +428,8 @@ pub struct PageStore {
     servers: Vec<Arc<PageStoreServer>>,
     /// Last LSN shipped per segment — the source of each record's back-link.
     ship_state: Mutex<HashMap<PsSegmentKey, Lsn>>,
+    /// Shared deployment trace (all servers register into one registry).
+    trace: Arc<TraceLog>,
 }
 
 impl PageStore {
@@ -418,11 +445,13 @@ impl PageStore {
             cfg.replication
         );
         assert!(cfg.quorum <= cfg.replication && cfg.quorum >= 1);
+        let trace = Arc::clone(servers[0].res().metrics.trace());
         Arc::new(PageStore {
             cfg,
             rpc,
             servers,
             ship_state: Mutex::new(HashMap::new()),
+            trace,
         })
     }
 
@@ -454,6 +483,8 @@ impl PageStore {
         if records.is_empty() {
             return Ok(());
         }
+        // Quorum-failure paths drop the guard → abandoned span.
+        let sp = self.trace.span(ctx, "pagestore", "ship");
         // Group by segment, preserving order, and attach back-links.
         let mut groups: Vec<(PsSegmentKey, Vec<RedoRecord>)> = Vec::new();
         {
@@ -497,12 +528,15 @@ impl PageStore {
             max_done = max_done.max(group_done);
         }
         ctx.wait_until(max_done);
+        sp.finish(ctx);
         Ok(())
     }
 
     /// Read the latest image of `page` at or beyond `min_lsn`, trying
     /// replicas in order.
     pub fn read_page(&self, ctx: &mut SimCtx, page: PageId, min_lsn: Lsn) -> Result<Vec<u8>> {
+        // All-replicas-failed paths drop the guard → abandoned span.
+        let sp = self.trace.span(ctx, "pagestore", "read");
         let key = self.cfg.segment_of(page);
         let replicas = self.replicas_of(key);
         let mut last_err = PageStoreError::UnknownPage(page);
@@ -519,7 +553,10 @@ impl PageStore {
                     server.handle_read_page(c, &rpc, key, page, min_lsn, &peers)
                 });
             match result {
-                Ok(Ok(bytes)) => return Ok(bytes),
+                Ok(Ok(bytes)) => {
+                    sp.finish(ctx);
+                    return Ok(bytes);
+                }
                 Ok(Err(e)) => last_err = e,
                 Err(e) => last_err = PageStoreError::Network(e),
             }

@@ -30,6 +30,7 @@ pub mod cluster;
 pub mod fault;
 pub mod latency;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod resource;
 pub mod rng;
@@ -40,8 +41,9 @@ pub use cluster::{ClusterSpec, SimEnv};
 pub use fault::FaultPlan;
 pub use latency::LatencyModel;
 pub use metrics::{
-    Counter, Gauge, LatencyRecorder, MetricsRegistry, RecoveryCounters, TrialResult,
+    Counter, Gauge, LatencyRecorder, MetricsRegistry, RecoveryCounters, Timeline, TrialResult,
 };
+pub use profile::{OpStat, PhaseStat, Profile, TimelineSnapshot};
 pub use report::{LatencySummary, RunReport};
 pub use resource::Resource;
 pub use rng::SimRng;

@@ -265,6 +265,60 @@ impl Gauge {
     }
 }
 
+/// A virtual-time-bucketed sample series: the trend behind a [`Gauge`].
+///
+/// A gauge only answers "what is the backlog *now*"; a timeline remembers
+/// the value per virtual-time bucket (last write in a bucket wins), so a
+/// report can show how PageStore's apply lag built up and drained over the
+/// measurement window, not just where it ended. Buckets are keyed by
+/// integer bucket index (`t / bucket_ns`) in a `BTreeMap`, so snapshots are
+/// deterministic and serialise in time order.
+pub struct Timeline {
+    bucket_ns: u64,
+    samples: Mutex<BTreeMap<u64, i64>>,
+}
+
+impl Timeline {
+    /// Default bucket width: 1 ms of virtual time.
+    pub const DEFAULT_BUCKET_NS: u64 = 1_000_000;
+
+    /// New empty timeline with `bucket_ns`-wide buckets.
+    pub fn new(bucket_ns: u64) -> Self {
+        Timeline {
+            bucket_ns: bucket_ns.max(1),
+            samples: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Bucket width in virtual nanoseconds.
+    pub fn bucket_ns(&self) -> u64 {
+        self.bucket_ns
+    }
+
+    /// Record `value` at virtual time `at`; the last record within one
+    /// bucket wins.
+    pub fn record(&self, at: VTime, value: i64) {
+        self.samples
+            .lock()
+            .insert(at.as_nanos() / self.bucket_ns, value);
+    }
+
+    /// Copy of the samples, keyed by bucket index, in time order.
+    pub fn snapshot(&self) -> BTreeMap<u64, i64> {
+        self.samples.lock().clone()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.lock().is_empty()
+    }
+
+    /// Drop all samples (between benchmark phases).
+    pub fn reset(&self) {
+        self.samples.lock().clear();
+    }
+}
+
 type MetricKey = (&'static str, &'static str);
 
 /// Repo-wide metric registry: counters, gauges and latency histograms keyed
@@ -281,6 +335,7 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<MetricKey, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<MetricKey, Arc<Gauge>>>,
     latencies: Mutex<BTreeMap<MetricKey, Arc<LatencyRecorder>>>,
+    timelines: Mutex<BTreeMap<MetricKey, Arc<Timeline>>>,
     trace: Arc<TraceLog>,
 }
 
@@ -297,6 +352,7 @@ impl MetricsRegistry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             latencies: Mutex::new(BTreeMap::new()),
+            timelines: Mutex::new(BTreeMap::new()),
             trace: Arc::new(TraceLog::new(TraceLog::DEFAULT_CAPACITY)),
         }
     }
@@ -336,6 +392,26 @@ impl MetricsRegistry {
                 .entry((component, name))
                 .or_insert_with(|| Arc::new(LatencyRecorder::new())),
         )
+    }
+
+    /// Get-or-register the timeline `component/name` with the default 1 ms
+    /// bucket width.
+    pub fn timeline(&self, component: &'static str, name: &'static str) -> Arc<Timeline> {
+        Arc::clone(
+            self.timelines
+                .lock()
+                .entry((component, name))
+                .or_insert_with(|| Arc::new(Timeline::new(Timeline::DEFAULT_BUCKET_NS))),
+        )
+    }
+
+    /// Handles to every registered timeline, sorted by key.
+    pub fn timeline_handles(&self) -> Vec<(String, Arc<Timeline>)> {
+        self.timelines
+            .lock()
+            .iter()
+            .map(|((c, n), v)| (format!("{c}.{n}"), Arc::clone(v)))
+            .collect()
     }
 
     /// The causal trace log shared by every span in this deployment.
@@ -417,6 +493,9 @@ impl MetricsRegistry {
             v.set(0);
         }
         for v in self.latencies.lock().values() {
+            v.reset();
+        }
+        for v in self.timelines.lock().values() {
             v.reset();
         }
         self.trace.clear();
@@ -717,6 +796,33 @@ mod tests {
         assert!((t.throughput() - 500.0).abs() < 1e-9);
         let empty = TrialResult::new(VTime::ZERO);
         assert_eq!(empty.throughput(), 0.0);
+    }
+
+    #[test]
+    fn timeline_buckets_last_write_wins() {
+        let tl = Timeline::new(1_000); // 1us buckets
+        tl.record(VTime::from_nanos(100), 3);
+        tl.record(VTime::from_nanos(900), 5); // same bucket, overwrites
+        tl.record(VTime::from_micros(2), -1);
+        let snap = tl.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[&0], 5);
+        assert_eq!(snap[&2], -1);
+        tl.reset();
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn registry_timelines_register_and_reset() {
+        let reg = MetricsRegistry::new();
+        reg.timeline("pagestore", "apply_lag_records")
+            .record(VTime::from_millis(3), 7);
+        let handles = reg.timeline_handles();
+        assert_eq!(handles.len(), 1);
+        assert_eq!(handles[0].0, "pagestore.apply_lag_records");
+        assert_eq!(handles[0].1.snapshot()[&3], 7);
+        reg.reset();
+        assert!(handles[0].1.is_empty());
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Deterministic latency attribution: fold the [`TraceLog`] into a
+//! component/op profile.
+//!
+//! A raw span dump answers "what happened"; this module answers "where did
+//! the time go". [`Profile::from_registry`] aggregates every completed span
+//! into a per-`component/op` table of *inclusive* virtual time (the span's
+//! own interval) and *self* time (inclusive minus the intervals of its
+//! direct children), computes a per-phase breakdown of the commit path
+//! ([`Profile::commit_phases`]) from span parentage, and snapshots every
+//! registered [`Timeline`](crate::metrics::Timeline) (the `apply_lag`
+//! trend). Everything is integer nanoseconds aggregated in `BTreeMap`s, so
+//! the result — and its JSON encoding in
+//! [`RunReport`](crate::report::RunReport) — is byte-deterministic for a
+//! seeded single-client run.
+//!
+//! Three span populations are deliberately excluded or fenced:
+//!
+//! * **abandoned** spans (guard dropped without `finish`, i.e. early-return
+//!   error paths) carry no duration and are counted but never aggregated;
+//! * **orphans** (spans whose parent was evicted from the ring) still
+//!   aggregate into `ops`, but their lost parentage is surfaced as a count
+//!   so a truncated profile is visibly truncated;
+//! * spans on forked contexts (replica fan-out, async REDO shipping) live
+//!   in their own trace lanes and therefore aggregate as root spans — they
+//!   are real work, but never inflate the commit critical path.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsRegistry;
+use crate::trace::TraceEvent;
+
+/// Aggregate of every completed span of one `component/op`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpStat {
+    /// Completed (non-abandoned) spans.
+    pub count: u64,
+    /// Inclusive virtual time: sum of span intervals, ns.
+    pub total_ns: u64,
+    /// Self virtual time: inclusive minus direct children's intervals, ns.
+    pub self_ns: u64,
+}
+
+/// One phase of the commit path: a direct child of a `core/commit` span
+/// (or the commit's own remainder, keyed `"self"`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Child spans folded into this phase.
+    pub count: u64,
+    /// Virtual time attributed to the phase, ns.
+    pub total_ns: u64,
+}
+
+/// Snapshot of one registered [`Timeline`](crate::metrics::Timeline).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimelineSnapshot {
+    /// Bucket width, virtual ns.
+    pub bucket_ns: u64,
+    /// Bucket index (`t / bucket_ns`) → last recorded value.
+    pub samples: BTreeMap<u64, i64>,
+}
+
+/// The folded trace: per-op aggregates, commit-phase accounting, and
+/// timeline snapshots (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Spans in the ring when the profile was taken (incl. abandoned).
+    pub spans: u64,
+    /// Spans recorded with no explicit finish (excluded from aggregates).
+    pub abandoned: u64,
+    /// Spans whose parent id was already evicted from the ring.
+    pub orphans: u64,
+    /// Sum of root-span intervals, ns — the denominator of self-time
+    /// shares (roots cover all traced virtual time exactly once).
+    pub root_total_ns: u64,
+    /// Per-`component/op` aggregates, sorted by key.
+    pub ops: BTreeMap<String, OpStat>,
+    /// Commit latency split by direct children of `core/commit` spans,
+    /// plus the `"self"` remainder. By construction the phase totals sum
+    /// exactly to `ops["core/commit"].total_ns`, even when children were
+    /// evicted from the ring (evicted time folds into `"self"`).
+    pub commit_phases: BTreeMap<String, PhaseStat>,
+    /// Every registered timeline, keyed `"component.name"`.
+    pub timelines: BTreeMap<String, TimelineSnapshot>,
+}
+
+impl Profile {
+    /// Fold `registry`'s trace log and timelines into a profile.
+    pub fn from_registry(registry: &MetricsRegistry) -> Profile {
+        let mut p = Self::from_events(&registry.trace().events());
+        p.timelines = registry
+            .timeline_handles()
+            .into_iter()
+            .map(|(k, tl)| {
+                (
+                    k,
+                    TimelineSnapshot {
+                        bucket_ns: tl.bucket_ns(),
+                        samples: tl.snapshot(),
+                    },
+                )
+            })
+            .collect();
+        p
+    }
+
+    /// Fold a span dump into a profile (no timelines).
+    pub fn from_events(events: &[TraceEvent]) -> Profile {
+        let mut p = Profile {
+            spans: events.len() as u64,
+            ..Profile::default()
+        };
+        // Index live (non-abandoned) spans and the inclusive time of each
+        // span's direct children, in one pass each.
+        let mut dur_of: HashMap<u64, u64> = HashMap::with_capacity(events.len());
+        for ev in events {
+            if ev.abandoned {
+                p.abandoned += 1;
+            } else {
+                dur_of.insert(ev.id, (ev.end - ev.start).as_nanos());
+            }
+        }
+        let mut child_ns: HashMap<u64, u64> = HashMap::new();
+        let mut children: HashMap<u64, Vec<&TraceEvent>> = HashMap::new();
+        for ev in events {
+            if ev.abandoned {
+                continue;
+            }
+            if ev.parent != 0 {
+                if dur_of.contains_key(&ev.parent) {
+                    let d = (ev.end - ev.start).as_nanos();
+                    *child_ns.entry(ev.parent).or_default() += d;
+                    children.entry(ev.parent).or_default().push(ev);
+                } else {
+                    p.orphans += 1;
+                }
+            }
+        }
+        for ev in events {
+            if ev.abandoned {
+                continue;
+            }
+            let dur = (ev.end - ev.start).as_nanos();
+            let kids = child_ns.get(&ev.id).copied().unwrap_or(0);
+            let stat = p.ops.entry(op_key(ev)).or_default();
+            stat.count += 1;
+            stat.total_ns += dur;
+            stat.self_ns += dur.saturating_sub(kids);
+            if ev.parent == 0 || !dur_of.contains_key(&ev.parent) {
+                p.root_total_ns += dur;
+            }
+            if ev.component == "core" && ev.op == "commit" {
+                let mut accounted = 0u64;
+                if let Some(kids) = children.get(&ev.id) {
+                    for child in kids {
+                        let d = (child.end - child.start).as_nanos();
+                        let ph = p.commit_phases.entry(op_key(child)).or_default();
+                        ph.count += 1;
+                        ph.total_ns += d;
+                        accounted += d;
+                    }
+                }
+                let own = p.commit_phases.entry("self".to_string()).or_default();
+                own.count += 1;
+                own.total_ns += dur.saturating_sub(accounted);
+            }
+        }
+        p
+    }
+
+    /// Whether no spans and no timeline samples were captured (tracing was
+    /// off — the report's `profile` section will say so, not vanish).
+    pub fn is_empty(&self) -> bool {
+        self.spans == 0 && self.timelines.values().all(|t| t.samples.is_empty())
+    }
+
+    /// Deterministic JSON encoding, appended to `out` (no trailing
+    /// newline). Shares are fixed-point percentages derived from integer
+    /// ns, so the bytes stay reproducible.
+    pub fn write_json(&self, out: &mut String, indent: &str) {
+        let pct = |part: u64, whole: u64| -> String {
+            if whole == 0 {
+                "0.00".to_string()
+            } else {
+                // Two fixed decimals via integer math: no float formatting.
+                let scaled = part as u128 * 10_000 / whole as u128;
+                format!("{}.{:02}", scaled / 100, scaled % 100)
+            }
+        };
+        let _ = write!(out, "{{\n{indent}  \"spans\": {},", self.spans);
+        let _ = write!(out, "\n{indent}  \"abandoned\": {},", self.abandoned);
+        let _ = write!(out, "\n{indent}  \"orphans\": {},", self.orphans);
+        let _ = write!(
+            out,
+            "\n{indent}  \"root_total_ns\": {},",
+            self.root_total_ns
+        );
+        let _ = write!(out, "\n{indent}  \"ops\": {{");
+        let mut first = true;
+        for (k, v) in &self.ops {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{indent}    \"{k}\": {{\"count\": {}, \"total_ns\": {}, \"self_ns\": {}, \"self_share_pct\": {}}}",
+                v.count,
+                v.total_ns,
+                v.self_ns,
+                pct(v.self_ns, self.root_total_ns),
+            );
+        }
+        let commit_total = self.ops.get("core/commit").map(|s| s.total_ns).unwrap_or(0);
+        let _ = write!(out, "\n{indent}  }},\n{indent}  \"commit_phases\": {{");
+        first = true;
+        for (k, v) in &self.commit_phases {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{indent}    \"{k}\": {{\"count\": {}, \"total_ns\": {}, \"share_pct\": {}}}",
+                v.count,
+                v.total_ns,
+                pct(v.total_ns, commit_total),
+            );
+        }
+        let _ = write!(out, "\n{indent}  }},\n{indent}  \"timelines\": {{");
+        first = true;
+        for (k, tl) in &self.timelines {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{indent}    \"{k}\": {{\"bucket_ns\": {}, \"samples\": {{",
+                tl.bucket_ns
+            );
+            let mut first_s = true;
+            for (b, v) in &tl.samples {
+                if !first_s {
+                    out.push_str(", ");
+                }
+                first_s = false;
+                let _ = write!(out, "\"{b}\": {v}");
+            }
+            out.push_str("}}");
+        }
+        let _ = write!(out, "\n{indent}  }}\n{indent}}}");
+    }
+}
+
+fn op_key(ev: &TraceEvent) -> String {
+    format!("{}/{}", ev.component, ev.op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimCtx, VTime};
+    use crate::trace::TraceLog;
+    use std::sync::Arc;
+
+    /// Build: commit(10us) -> { wal/flush(4us) -> astore/append(3us),
+    /// lock/wait(1us) }, plus one abandoned span and one foreign root.
+    fn sample_events() -> Vec<TraceEvent> {
+        let log = Arc::new(TraceLog::new(64));
+        log.enable();
+        let mut ctx = SimCtx::new(1, 7);
+        let commit = log.span(&ctx, "core", "commit");
+        let lock = log.span(&ctx, "lock", "wait");
+        ctx.advance(VTime::from_micros(1));
+        lock.finish(&ctx);
+        let flush = log.span(&ctx, "wal", "flush");
+        ctx.advance(VTime::from_micros(1));
+        let app = log.span(&ctx, "astore", "append");
+        ctx.advance(VTime::from_micros(3));
+        app.finish(&ctx);
+        flush.finish(&ctx);
+        {
+            let _dead = log.span(&ctx, "astore", "append"); // error path
+        }
+        ctx.advance(VTime::from_micros(5));
+        commit.finish(&ctx);
+        let root = log.span(&ctx, "pagestore", "ship");
+        ctx.advance(VTime::from_micros(2));
+        root.finish(&ctx);
+        log.events()
+    }
+
+    #[test]
+    fn inclusive_and_self_time() {
+        let p = Profile::from_events(&sample_events());
+        assert_eq!(p.spans, 6);
+        assert_eq!(p.abandoned, 1);
+        assert_eq!(p.orphans, 0);
+        let commit = &p.ops["core/commit"];
+        assert_eq!(commit.count, 1);
+        assert_eq!(commit.total_ns, 10_000);
+        // Commit self = 10us - (1us lock + 4us flush).
+        assert_eq!(commit.self_ns, 5_000);
+        let flush = &p.ops["wal/flush"];
+        assert_eq!(flush.total_ns, 4_000);
+        assert_eq!(flush.self_ns, 1_000);
+        // Abandoned append excluded: one completed append only.
+        assert_eq!(p.ops["astore/append"].count, 1);
+        // Roots: commit (10us) + pagestore/ship (2us).
+        assert_eq!(p.root_total_ns, 12_000);
+    }
+
+    #[test]
+    fn commit_phases_sum_to_commit_total() {
+        let p = Profile::from_events(&sample_events());
+        assert_eq!(p.commit_phases["lock/wait"].total_ns, 1_000);
+        assert_eq!(p.commit_phases["wal/flush"].total_ns, 4_000);
+        assert_eq!(p.commit_phases["self"].total_ns, 5_000);
+        let sum: u64 = p.commit_phases.values().map(|s| s.total_ns).sum();
+        assert_eq!(sum, p.ops["core/commit"].total_ns);
+    }
+
+    #[test]
+    fn evicted_children_fold_into_self_preserving_sum() {
+        // Tiny ring: the early (child) spans are evicted, the commit stays.
+        let log = Arc::new(TraceLog::new(1));
+        log.enable();
+        let mut ctx = SimCtx::new(1, 7);
+        let commit = log.span(&ctx, "core", "commit");
+        let flush = log.span(&ctx, "wal", "flush");
+        ctx.advance(VTime::from_micros(4));
+        flush.finish(&ctx);
+        ctx.advance(VTime::from_micros(6));
+        commit.finish(&ctx);
+        let p = Profile::from_events(&log.events());
+        // Only the commit survived; its full interval lands in "self".
+        assert_eq!(p.spans, 1);
+        let sum: u64 = p.commit_phases.values().map(|s| s.total_ns).sum();
+        assert_eq!(sum, p.ops["core/commit"].total_ns);
+        assert_eq!(p.commit_phases["self"].total_ns, 10_000);
+    }
+
+    #[test]
+    fn orphans_counted_and_become_roots() {
+        // A child whose parent id never closed into the ring.
+        let evs = vec![TraceEvent {
+            id: 9,
+            parent: 4,
+            client: 1,
+            component: "wal",
+            op: "flush",
+            start: VTime::ZERO,
+            end: VTime::from_micros(2),
+            abandoned: false,
+        }];
+        let p = Profile::from_events(&evs);
+        assert_eq!(p.orphans, 1);
+        assert_eq!(p.root_total_ns, 2_000);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_shares_are_fixed_point() {
+        let p = Profile::from_events(&sample_events());
+        let mut a = String::new();
+        p.write_json(&mut a, "  ");
+        let mut b = String::new();
+        p.write_json(&mut b, "  ");
+        assert_eq!(a, b);
+        assert!(a.contains("\"core/commit\""));
+        assert!(a.contains("\"commit_phases\""));
+        // flush share of commit: 4us / 10us = 40.00%.
+        assert!(
+            a.contains("\"wal/flush\": {\"count\": 1, \"total_ns\": 4000, \"share_pct\": 40.00}")
+        );
+    }
+
+    #[test]
+    fn registry_profile_includes_timelines() {
+        let reg = MetricsRegistry::new();
+        reg.timeline("pagestore", "apply_lag_records")
+            .record(VTime::from_millis(2), 9);
+        let p = Profile::from_registry(&reg);
+        assert!(!p.is_empty());
+        let tl = &p.timelines["pagestore.apply_lag_records"];
+        assert_eq!(tl.samples[&2], 9);
+        let mut s = String::new();
+        p.write_json(&mut s, "  ");
+        assert!(s.contains("\"pagestore.apply_lag_records\""));
+        assert!(s.contains("\"2\": 9"));
+    }
+}

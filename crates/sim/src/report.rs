@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::metrics::{LatencyRecorder, MetricsRegistry, TrialResult};
+use crate::profile::Profile;
 
 /// Five-number summary of a latency histogram, in integer nanoseconds.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -74,6 +75,10 @@ pub struct RunReport {
     /// Every registry latency histogram, summarised, keyed
     /// `"component.name"`.
     pub op_latencies: BTreeMap<String, LatencySummary>,
+    /// Folded trace profile: per-op inclusive/self time, commit-phase
+    /// accounting, timeline snapshots. Empty (but present in the JSON) when
+    /// tracing was off for the run.
+    pub profile: Profile,
 }
 
 impl RunReport {
@@ -107,6 +112,7 @@ impl RunReport {
                 .into_iter()
                 .map(|(k, r)| (k, LatencySummary::from_recorder(&r)))
                 .collect(),
+            profile: Profile::from_registry(registry),
         }
     }
 
@@ -129,7 +135,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"vedb-bench-report/v1\",");
+        let _ = writeln!(out, "  \"schema\": \"vedb-bench-report/v2\",");
         let _ = writeln!(out, "  \"name\": \"{}\",", escape(&self.name));
         let _ = writeln!(out, "  \"committed\": {},", self.committed);
         let _ = writeln!(out, "  \"aborted\": {},", self.aborted);
@@ -165,7 +171,9 @@ impl RunReport {
             let _ = write!(out, "\n    \"{}\": ", escape(k));
             v.write_json(&mut out);
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  },\n  \"profile\": ");
+        self.profile.write_json(&mut out, "  ");
+        out.push_str("\n}\n");
         out
     }
 }
@@ -226,7 +234,8 @@ mod tests {
         let a = rep.to_json();
         let b = rep.to_json();
         assert_eq!(a, b);
-        assert!(a.contains("\"schema\": \"vedb-bench-report/v1\""));
+        assert!(a.contains("\"schema\": \"vedb-bench-report/v2\""));
+        assert!(a.contains("\"profile\""));
         assert!(a.contains("\"fig\\\"x\\\"\""));
         assert!(a.contains("\"pmem.flushes\": 3"));
         assert!(a.contains("\"rdma.reads\": 7"));
@@ -241,5 +250,24 @@ mod tests {
         let a = RunReport::collect("same", None, &sample_registry()).to_json();
         let b = RunReport::collect("same", None, &sample_registry()).to_json();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profile_section_reflects_trace_spans() {
+        use crate::time::SimCtx;
+        let reg = sample_registry();
+        reg.trace().enable();
+        let mut ctx = SimCtx::new(1, 7);
+        let commit = reg.trace().span(&ctx, "core", "commit");
+        let flush = reg.trace().span(&ctx, "wal", "flush");
+        ctx.advance(VTime::from_micros(4));
+        flush.finish(&ctx);
+        ctx.advance(VTime::from_micros(6));
+        commit.finish(&ctx);
+        let rep = RunReport::collect("traced", None, &reg);
+        assert_eq!(rep.profile.ops["core/commit"].total_ns, 10_000);
+        let json = rep.to_json();
+        assert!(json.contains("\"commit_phases\""));
+        assert!(json.contains("\"wal/flush\""));
     }
 }

@@ -173,6 +173,12 @@ pub struct SimCtx {
     /// Identifier of the simulated client; used for lease ownership, LRU
     /// shard selection in drivers, and debugging.
     pub client_id: u64,
+    /// Trace lane this context's spans record under. Equal to `client_id`
+    /// for a driver-created context; a [`fork`](Self::fork)ed child gets a
+    /// fresh deterministic lane so spans opened on parallel work (replica
+    /// fan-out, async REDO shipping) never interleave with — and never
+    /// falsely parent under — the forking client's open span stack.
+    trace_client: u64,
 }
 
 impl SimCtx {
@@ -183,6 +189,7 @@ impl SimCtx {
             now: VTime::ZERO,
             rng: SimRng::new(seed ^ client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             client_id,
+            trace_client: client_id,
         }
     }
 
@@ -212,6 +219,13 @@ impl SimCtx {
         &mut self.rng
     }
 
+    /// The trace lane spans opened on this context record under (see the
+    /// field docs; forked contexts get their own lane).
+    #[inline]
+    pub fn trace_client(&self) -> u64 {
+        self.trace_client
+    }
+
     /// Reset the clock to zero (used between benchmark phases so warm-up time
     /// does not pollute measurement windows).
     pub fn reset_clock(&mut self) {
@@ -225,10 +239,15 @@ impl SimCtx {
     /// [`wait_until`](Self::wait_until)`(child.now())` — typically the max
     /// over all children.
     pub fn fork(&mut self) -> SimCtx {
+        let seed = self.rng.next_u64();
         SimCtx {
             now: self.now,
-            rng: SimRng::new(self.rng.next_u64()),
+            rng: SimRng::new(seed),
             client_id: self.client_id,
+            // Deterministic private trace lane (derived from the RNG draw
+            // that already individualizes the child); the high bit keeps it
+            // clear of the small integers real client ids use.
+            trace_client: seed | (1 << 63),
         }
     }
 }
@@ -288,6 +307,21 @@ mod tests {
         let y: u64 = b.rng().next_u64();
         assert_eq!(x1, x2);
         assert_ne!(x1, y);
+    }
+
+    #[test]
+    fn fork_gets_private_deterministic_trace_lane() {
+        let mut a1 = SimCtx::new(3, 11);
+        let mut a2 = SimCtx::new(3, 11);
+        assert_eq!(a1.trace_client(), 3);
+        let f1 = a1.fork();
+        let f2 = a2.fork();
+        // Same seed, same fork order => same lane; never the parent's lane.
+        assert_eq!(f1.trace_client(), f2.trace_client());
+        assert_ne!(f1.trace_client(), a1.trace_client());
+        // Successive forks get distinct lanes.
+        let g1 = a1.fork();
+        assert_ne!(f1.trace_client(), g1.trace_client());
     }
 
     #[test]

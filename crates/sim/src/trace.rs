@@ -30,7 +30,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -56,6 +56,11 @@ pub struct TraceEvent {
     /// Virtual time the span finished (== `start` if the guard was dropped
     /// without an explicit finish).
     pub end: VTime,
+    /// `true` when the guard was dropped without [`SpanGuard::finish`] —
+    /// typically an early-return error path. Abandoned spans carry no
+    /// duration; profile aggregation excludes them instead of counting
+    /// phantom zero-length operations.
+    pub abandoned: bool,
 }
 
 struct TraceBuf {
@@ -68,7 +73,7 @@ struct TraceBuf {
 pub struct TraceLog {
     enabled: AtomicBool,
     next_id: AtomicU64,
-    cap: usize,
+    cap: AtomicUsize,
     buf: Mutex<TraceBuf>,
 }
 
@@ -82,11 +87,22 @@ impl TraceLog {
         TraceLog {
             enabled: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
-            cap: cap.max(1),
+            cap: AtomicUsize::new(cap.max(1)),
             buf: Mutex::new(TraceBuf {
                 events: VecDeque::new(),
                 open: HashMap::new(),
             }),
+        }
+    }
+
+    /// Change the ring capacity (profiling runs need more history than the
+    /// chaos-tail default). Shrinking evicts the oldest events immediately.
+    pub fn set_capacity(&self, cap: usize) {
+        let cap = cap.max(1);
+        let mut buf = self.buf.lock();
+        self.cap.store(cap, Ordering::Relaxed);
+        while buf.events.len() > cap {
+            buf.events.pop_front();
         }
     }
 
@@ -118,7 +134,10 @@ impl TraceLog {
             return SpanGuard { inner: None };
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let client = ctx.client_id;
+        // Spans stack per *trace lane*, not per driver client id: a forked
+        // context (replica fan-out, async shipping) runs causally parallel
+        // work and must not nest under — or pop — the parent's open spans.
+        let client = ctx.trace_client();
         let parent = {
             let mut buf = self.buf.lock();
             let stack = buf.open.entry(client).or_default();
@@ -139,7 +158,7 @@ impl TraceLog {
         }
     }
 
-    fn close(&self, inner: SpanInner, end: VTime) {
+    fn close(&self, inner: SpanInner, end: VTime, abandoned: bool) {
         let mut buf = self.buf.lock();
         if let Some(stack) = buf.open.get_mut(&inner.client) {
             // Spans are strictly nested per client, so the id is at (or, if
@@ -148,7 +167,7 @@ impl TraceLog {
                 stack.truncate(pos);
             }
         }
-        if buf.events.len() == self.cap {
+        if buf.events.len() >= self.cap.load(Ordering::Relaxed) {
             buf.events.pop_front();
         }
         buf.events.push_back(TraceEvent {
@@ -159,6 +178,7 @@ impl TraceLog {
             op: inner.op,
             start: inner.start,
             end,
+            abandoned,
         });
     }
 
@@ -194,13 +214,14 @@ impl TraceLog {
             let d = depth.get(&ev.parent).map_or(0, |p| p + 1);
             depth.insert(ev.id, d);
             out.push_str(&format!(
-                "{:>12} .. {:>12}  c{:<3} {}{}/{} (#{} <- #{})\n",
+                "{:>12} .. {:>12}  c{:<3} {}{}/{}{} (#{} <- #{})\n",
                 format!("{}", ev.start),
                 format!("{}", ev.end),
                 ev.client,
                 "  ".repeat(d),
                 ev.component,
                 ev.op,
+                if ev.abandoned { " [abandoned]" } else { "" },
                 ev.id,
                 ev.parent,
             ));
@@ -233,7 +254,7 @@ impl SpanGuard {
     pub fn finish(mut self, ctx: &SimCtx) {
         if let Some(inner) = self.inner.take() {
             let log = Arc::clone(&inner.log);
-            log.close(inner, ctx.now());
+            log.close(inner, ctx.now(), false);
         }
     }
 }
@@ -243,7 +264,7 @@ impl Drop for SpanGuard {
         if let Some(inner) = self.inner.take() {
             let log = Arc::clone(&inner.log);
             let start = inner.start;
-            log.close(inner, start);
+            log.close(inner, start, true);
         }
     }
 }
@@ -322,5 +343,80 @@ mod tests {
         assert_eq!(evs.len(), 2);
         // The dropped span must not become a dangling parent of `next`.
         assert_eq!(evs[1].parent, 0);
+    }
+
+    #[test]
+    fn abandoned_spans_carry_the_flag() {
+        // Regression: a guard dropped without `finish` used to be
+        // indistinguishable from a genuine zero-length span; the flag is
+        // what lets profile aggregation exclude it.
+        let log = Arc::new(TraceLog::new(16));
+        log.enable();
+        let mut ctx = SimCtx::new(1, 7);
+        {
+            let _sp = log.span(&ctx, "astore", "append"); // early-return path
+        }
+        let sp = log.span(&ctx, "astore", "append");
+        sp.finish(&ctx); // finished at the open time: zero-length but real
+        ctx.advance(VTime::from_micros(2));
+        let sp = log.span(&ctx, "astore", "append");
+        ctx.advance(VTime::from_micros(3));
+        sp.finish(&ctx);
+
+        let evs = log.events();
+        assert_eq!(evs.len(), 3);
+        assert!(evs[0].abandoned);
+        assert_eq!(evs[0].end, evs[0].start);
+        assert!(
+            !evs[1].abandoned,
+            "explicit zero-length finish is not abandoned"
+        );
+        assert!(!evs[2].abandoned);
+        assert!(log.dump().contains("[abandoned]"));
+    }
+
+    #[test]
+    fn set_capacity_grows_and_shrinks() {
+        let log = Arc::new(TraceLog::new(2));
+        log.enable();
+        let ctx = SimCtx::new(1, 7);
+        for _ in 0..3 {
+            log.span(&ctx, "a", "b").finish(&ctx);
+        }
+        assert_eq!(log.len(), 2);
+        log.set_capacity(8);
+        for _ in 0..4 {
+            log.span(&ctx, "a", "b").finish(&ctx);
+        }
+        assert_eq!(log.len(), 6);
+        // Shrinking evicts the oldest immediately.
+        log.set_capacity(3);
+        assert_eq!(log.len(), 3);
+        let evs = log.events();
+        assert_eq!(evs[0].id, 5);
+    }
+
+    #[test]
+    fn forked_context_spans_do_not_nest_under_parent() {
+        let log = Arc::new(TraceLog::new(16));
+        log.enable();
+        let mut ctx = SimCtx::new(1, 7);
+        let outer = log.span(&ctx, "core", "commit");
+        // Off-critical-path work in a forked lane: must be a root span, and
+        // closing it must not pop the parent's open stack.
+        let fork = ctx.fork();
+        let shipped = log.span(&fork, "pagestore", "ship");
+        shipped.finish(&fork);
+        let inner = log.span(&ctx, "wal", "flush");
+        inner.finish(&ctx);
+        outer.finish(&ctx);
+
+        let evs = log.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].component, "pagestore");
+        assert_eq!(evs[0].parent, 0, "forked span must be a root");
+        assert_ne!(evs[0].client, 1, "forked span records its own lane");
+        assert_eq!(evs[1].component, "wal");
+        assert_eq!(evs[1].parent, evs[2].id, "same-lane nesting still works");
     }
 }

@@ -1,0 +1,142 @@
+//! `TraceLog` parent attribution under interleaved spans from multiple
+//! concurrent clients.
+//!
+//! The per-client open-span stack in `trace.rs` is what keeps one client's
+//! nesting from bleeding into another's when span opens/closes interleave —
+//! both logically (two clients alternating in one thread) and physically
+//! (driver threads racing on the shared ring). These tests pin both down,
+//! plus the forked-lane property the commit-path profile relies on: a span
+//! opened on a forked context never parents under the forking client's
+//! open spans.
+
+use std::sync::Arc;
+
+use vedb_sim::{SimCtx, TraceEvent, TraceLog, VTime};
+
+fn by_id(events: &[TraceEvent], id: u64) -> &TraceEvent {
+    events.iter().find(|e| e.id == id).expect("span recorded")
+}
+
+#[test]
+fn interleaved_clients_keep_separate_parent_stacks() {
+    let log = Arc::new(TraceLog::new(64));
+    log.enable();
+    let mut c1 = SimCtx::new(1, 7);
+    let mut c2 = SimCtx::new(2, 7);
+
+    // Open order: c1-outer, c2-outer, c1-inner, c2-inner.
+    let a = log.span(&c1, "core", "commit");
+    let b = log.span(&c2, "core", "commit");
+    c1.advance(VTime::from_micros(1));
+    c2.advance(VTime::from_micros(2));
+    let a_in = log.span(&c1, "wal", "flush");
+    let b_in = log.span(&c2, "wal", "flush");
+    // Close order scrambled across clients: c2-inner, c1-inner, c1, c2.
+    c2.advance(VTime::from_micros(1));
+    b_in.finish(&c2);
+    c1.advance(VTime::from_micros(1));
+    a_in.finish(&c1);
+    a.finish(&c1);
+    b.finish(&c2);
+
+    let evs = log.events();
+    assert_eq!(evs.len(), 4);
+    let roots: Vec<&TraceEvent> = evs.iter().filter(|e| e.parent == 0).collect();
+    assert_eq!(roots.len(), 2, "one root per client");
+    for ev in &evs {
+        if ev.parent != 0 {
+            let parent = by_id(&evs, ev.parent);
+            assert_eq!(
+                parent.client, ev.client,
+                "a span must parent under its own client's stack, never a \
+                 concurrent client's: {}/{} (c{}) under {}/{} (c{})",
+                ev.component, ev.op, ev.client, parent.component, parent.op, parent.client
+            );
+            assert_eq!(parent.component, "core");
+        }
+    }
+}
+
+#[test]
+fn concurrent_driver_threads_never_cross_attribute() {
+    // Physical interleaving: N clients on N threads, each opening a
+    // three-deep nest per iteration against the one shared ring.
+    const CLIENTS: u64 = 4;
+    const ITERS: usize = 200;
+    let log = Arc::new(TraceLog::new((CLIENTS as usize) * ITERS * 3 + 16));
+    log.enable();
+    std::thread::scope(|scope| {
+        for client in 1..=CLIENTS {
+            let log = Arc::clone(&log);
+            scope.spawn(move || {
+                let mut ctx = SimCtx::new(client, 42);
+                for _ in 0..ITERS {
+                    let outer = log.span(&ctx, "core", "commit");
+                    ctx.advance(VTime::from_nanos(50));
+                    let mid = log.span(&ctx, "wal", "flush");
+                    ctx.advance(VTime::from_nanos(50));
+                    let inner = log.span(&ctx, "astore", "append");
+                    ctx.advance(VTime::from_nanos(50));
+                    inner.finish(&ctx);
+                    mid.finish(&ctx);
+                    outer.finish(&ctx);
+                }
+            });
+        }
+    });
+
+    let evs = log.events();
+    assert_eq!(evs.len(), (CLIENTS as usize) * ITERS * 3);
+    for ev in &evs {
+        match ev.component {
+            "core" => assert_eq!(ev.parent, 0, "commit is always a root"),
+            _ => {
+                let parent = by_id(&evs, ev.parent);
+                assert_eq!(
+                    parent.client, ev.client,
+                    "cross-client parent edge: #{} (c{}) -> #{} (c{})",
+                    ev.id, ev.client, parent.id, parent.client
+                );
+                // And the nesting shape survives: append under flush,
+                // flush under commit.
+                match ev.component {
+                    "wal" => assert_eq!(parent.component, "core"),
+                    "astore" => assert_eq!(parent.component, "wal"),
+                    c => panic!("unexpected component {c}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn forked_lane_spans_stay_roots_under_concurrency() {
+    let log = Arc::new(TraceLog::new(256));
+    log.enable();
+    let mut ctx = SimCtx::new(1, 7);
+    let commit = log.span(&ctx, "core", "commit");
+    // Replica fan-out: three forked contexts, spans interleaved with the
+    // parent's still-open commit.
+    for _ in 0..3 {
+        let mut rep = ctx.fork();
+        let sp = log.span(&rep, "rdma", "write_chain");
+        rep.advance(VTime::from_micros(2));
+        sp.finish(&rep);
+    }
+    let flush = log.span(&ctx, "wal", "flush");
+    ctx.advance(VTime::from_micros(1));
+    flush.finish(&ctx);
+    commit.finish(&ctx);
+
+    let evs = log.events();
+    let chain: Vec<&TraceEvent> = evs.iter().filter(|e| e.component == "rdma").collect();
+    assert_eq!(chain.len(), 3);
+    for ev in chain {
+        assert_eq!(ev.parent, 0, "forked-lane span must not nest under commit");
+        assert_ne!(ev.client, 1);
+    }
+    // The same-lane child still nests correctly despite the interleaving.
+    let flush = evs.iter().find(|e| e.component == "wal").unwrap();
+    let commit = evs.iter().find(|e| e.component == "core").unwrap();
+    assert_eq!(flush.parent, commit.id);
+}
