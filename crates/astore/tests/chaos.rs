@@ -99,13 +99,13 @@ fn crash_one_replica_with_drops_loses_nothing() {
     let route = client.cached_route(seg.id).unwrap();
     assert_eq!(route.replicas.len(), 3);
 
-    c.env.faults.set_drop_prob(0.01);
+    c.env.faults.set_drop_prob_at(ctx.now(), 0.01);
     let n = 200;
     let mut committed: Vec<(u64, Vec<u8>)> = Vec::new();
     for i in 0..n {
         if i == n / 2 {
             // Kill one replica mid-append-stream.
-            c.env.faults.crash(route.replicas[0].node);
+            c.env.faults.crash_at(ctx.now(), route.replicas[0].node);
         }
         let data = record(i);
         let off = client
@@ -113,7 +113,7 @@ fn crash_one_replica_with_drops_loses_nothing() {
             .unwrap_or_else(|e| panic!("append {i} must not surface an error, got {e}"));
         committed.push((off, data));
     }
-    c.env.faults.set_drop_prob(0.0);
+    c.env.faults.set_drop_prob_at(ctx.now(), 0.0);
 
     // Zero lost committed writes: every acked byte reads back.
     for (off, data) in &committed {
@@ -162,7 +162,7 @@ fn ring_traffic_rides_through_replica_crash() {
     let mut expected = Vec::new();
     for i in 0..150 {
         if i == 40 {
-            c.env.faults.crash(victim);
+            c.env.faults.crash_at(ctx.now(), victim);
         }
         let data = record(i);
         let lsn = ring.append(&mut ctx, &data).unwrap();
@@ -193,7 +193,7 @@ fn one_percent_drops_bounded_retries() {
     let seg = client
         .create_segment_with(&mut ctx, SegmentOpts::new(SegmentClass::Log))
         .unwrap();
-    c.env.faults.set_drop_prob(0.01);
+    c.env.faults.set_drop_prob_at(ctx.now(), 0.01);
     let n = 300;
     let mut offs = Vec::new();
     for i in 0..n {
@@ -207,7 +207,7 @@ fn one_percent_drops_bounded_retries() {
         let got = client.read(&mut ctx, seg, *off, *len).unwrap();
         assert_eq!(got, record(i));
     }
-    c.env.faults.set_drop_prob(0.0);
+    c.env.faults.set_drop_prob_at(ctx.now(), 0.0);
     let counters = client.recovery_counters();
     // ~1% of ~900 one-sided messages + ~300 reads → a handful of retries;
     // 10× the expectation still catches a retry storm.
@@ -233,13 +233,29 @@ fn reads_survive_partition_of_primary_replica() {
         .unwrap();
 
     let route = client.cached_route(seg.id).unwrap();
-    c.env.faults.partition(route.replicas[0].node);
+    c.env.metrics.trace().enable();
+    c.env.faults.partition_at(ctx.now(), route.replicas[0].node);
     for _ in 0..10 {
         let got = client.read(&mut ctx, seg, off, data.len()).unwrap();
         assert_eq!(got, data);
     }
     assert!(client.recovery_counters().read_failovers() >= 10);
-    c.env.faults.heal(route.replicas[0].node);
+    c.env.faults.heal_at(ctx.now(), route.replicas[0].node);
+    // Timestamped injections land in the deployment trace, so the chaos
+    // window is reconstructable from the exported report.
+    let faults: Vec<_> = c
+        .env
+        .metrics
+        .trace()
+        .events()
+        .into_iter()
+        .filter(|e| e.component == "fault")
+        .collect();
+    assert_eq!(faults.len(), 2);
+    assert_eq!(faults[0].op, "partition");
+    assert_eq!(faults[1].op, "heal");
+    assert_eq!(faults[0].client, route.replicas[0].node as u64);
+    c.env.metrics.trace().disable();
 }
 
 /// Lease TTL expires repeatedly while traffic runs: control-plane calls
@@ -341,7 +357,7 @@ fn repair_copies_io_meta_so_recovery_sees_full_length() {
     // the segment (slot data AND io-meta) onto the spare third node.
     let route = client.cached_route(seg.id).unwrap();
     let dead = route.replicas[0].node;
-    c.env.faults.crash(dead);
+    c.env.faults.crash_at(ctx.now(), dead);
     ctx.advance(VTime::from_secs(5));
     for s in &c.servers {
         if s.node() != dead {
@@ -457,8 +473,5 @@ fn fault_free_rdma_counts_match_ground_truth() {
     // The per-op latency histograms saw exactly the ops that ran.
     assert_eq!(c.env.metrics.latency("astore", "append").count(), n);
     assert_eq!(c.env.metrics.latency("astore", "read").count(), n);
-    assert_eq!(
-        c.env.metrics.latency("rdma", "write_chain").count() as u64 % n,
-        0
-    );
+    assert_eq!(c.env.metrics.latency("rdma", "write_chain").count() % n, 0);
 }

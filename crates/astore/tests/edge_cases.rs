@@ -183,7 +183,7 @@ fn repair_then_reintegrate_cleans_only_stale_copies() {
     let route = client.cached_route(seg.id).unwrap();
     let dead = route.replicas[0].node;
 
-    c.env.faults.crash(dead);
+    c.env.faults.crash_at(ctx.now(), dead);
     ctx.advance(VTime::from_secs(60));
     for s in &c.servers {
         if s.node() != dead {
@@ -195,7 +195,7 @@ fn repair_then_reintegrate_cleans_only_stale_copies() {
     assert_eq!(new_route.replicas.len(), 2);
 
     // Node returns: only its (stale) copy is scheduled for cleanup.
-    c.env.faults.restore(dead);
+    c.env.faults.restore_at(ctx.now(), dead);
     let cleaned = c.cm.reintegrate_server(&mut ctx, dead);
     assert_eq!(cleaned, 1);
     // Reads still served from the repaired replica set.

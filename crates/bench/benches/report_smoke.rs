@@ -95,5 +95,36 @@ fn main() {
         "commit path must attribute a wal/flush phase"
     );
 
+    // Saturation attribution (schema v3): every cluster device must have
+    // been discovered via its `.lanes` gauge and seen traffic, lock
+    // acquisition must attribute to labelled tables, and the traced window
+    // must fold into flamegraph stacks.
+    assert!(
+        !report.resources.is_empty(),
+        "no resources discovered in smoke report"
+    );
+    for dev in ["engine.nic", "astore-0.pmem", "astore-0.nic"] {
+        let r = report
+            .resources
+            .get(dev)
+            .unwrap_or_else(|| panic!("resource {dev} missing from report"));
+        assert!(r.ops > 0, "resource {dev} saw no traffic");
+        assert_eq!(r.wait.count, r.ops, "{dev} wait samples != ops");
+        assert_eq!(r.service.count, r.ops, "{dev} service samples != ops");
+    }
+    assert!(
+        !profile.locks.tables.is_empty(),
+        "lock contention profile attributed no tables"
+    );
+    assert!(
+        profile.locks.tables.contains_key("warehouse"),
+        "TPC-C lock profile must name the warehouse table"
+    );
+    assert!(
+        !profile.folded.is_empty(),
+        "traced run produced no folded stacks"
+    );
+
     write_bench_report(&report).expect("write BENCH_tpcc_smoke.json");
+    print!("{}", report.top_summary());
 }

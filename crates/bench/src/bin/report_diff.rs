@@ -7,6 +7,9 @@
 //!   --max-p50-rise <frac>       p50 latency rise budget  (default 0.20)
 //!   --max-p99-rise <frac>       p99 latency rise budget  (default 0.20)
 //!   --max-phase-shift-pp <pp>   gate commit-phase share drift (default: report only)
+//!   --max-util-drift <pp>       gate steady-state resource-utilization drift,
+//!                               percentage points either direction
+//!                               (default: report only)
 //! ```
 //!
 //! Exit codes: 0 clean, 1 a gated metric regressed, 2 usage/parse error.
@@ -19,7 +22,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: report_diff <baseline.json> <new.json> \
          [--max-tput-drop F] [--max-p50-rise F] [--max-p99-rise F] \
-         [--max-phase-shift-pp PP]"
+         [--max-phase-shift-pp PP] [--max-util-drift PP]"
     );
     ExitCode::from(2)
 }
@@ -67,6 +70,13 @@ fn main() -> ExitCode {
                     return usage();
                 }
                 th.max_phase_shift_pp = Some(pp);
+            }
+            "--max-util-drift" => {
+                let mut pp = 0.0;
+                if !frac(&mut pp) {
+                    return usage();
+                }
+                th.max_util_drift_pp = Some(pp);
             }
             "--help" | "-h" => return usage(),
             p if !p.starts_with('-') => paths.push(p.to_string()),

@@ -239,6 +239,9 @@ pub struct ReportSummary {
     /// Commit-phase share of total commit time, keyed phase name, in
     /// percent. Empty when the run was not traced.
     pub phase_share_pct: BTreeMap<String, f64>,
+    /// Steady-state utilization per resource, keyed `"node.device"`, in
+    /// percent. Empty for pre-v3 reports (no `resources` section).
+    pub resource_util_pct: BTreeMap<String, f64>,
 }
 
 impl ReportSummary {
@@ -279,6 +282,17 @@ impl ReportSummary {
                 }
             }
         }
+        // Steady-state utilization per resource (schema v3+). Older
+        // baselines simply have no section; the diff then reports every
+        // resource as "new" without gating, so a v2 baseline still works.
+        let mut resource_util_pct = BTreeMap::new();
+        if let Some(m) = doc.get("resources").and_then(Json::as_obj) {
+            for (k, v) in m {
+                if let Some(u) = v.get("steady_util_pct").and_then(Json::as_f64) {
+                    resource_util_pct.insert(k.clone(), u);
+                }
+            }
+        }
         Ok(ReportSummary {
             name: need("name")?.as_str().unwrap_or("?").to_string(),
             throughput_per_s: num("throughput_per_s")?,
@@ -292,6 +306,7 @@ impl ReportSummary {
                 .ok_or("`latency.p99_ns` missing")?,
             counters,
             phase_share_pct,
+            resource_util_pct,
         })
     }
 }
@@ -309,6 +324,10 @@ pub struct Thresholds {
     /// Max tolerated commit-phase share drift, percentage points; `None`
     /// reports the drift without gating on it.
     pub max_phase_shift_pp: Option<f64>,
+    /// Max tolerated steady-state resource-utilization drift, percentage
+    /// points (either direction — a device suddenly idling flags a broken
+    /// path as surely as one saturating); `None` reports without gating.
+    pub max_util_drift_pp: Option<f64>,
 }
 
 impl Default for Thresholds {
@@ -318,6 +337,7 @@ impl Default for Thresholds {
             max_p50_rise: 0.20,
             max_p99_rise: 0.20,
             max_phase_shift_pp: None,
+            max_util_drift_pp: None,
         }
     }
 }
@@ -480,6 +500,48 @@ pub fn diff(base: &ReportSummary, new: &ReportSummary, th: &Thresholds) -> DiffO
         }
     }
 
+    // Resource steady-state utilization: drift in percentage points. A
+    // baseline with no `resources` section (pre-v3) cannot anchor a drift,
+    // so those rows render as informational and the gate stays quiet until
+    // the baseline is regenerated.
+    let anchored = !base.resource_util_pct.is_empty();
+    let mut resources: Vec<&String> = base
+        .resource_util_pct
+        .keys()
+        .chain(new.resource_util_pct.keys())
+        .collect();
+    resources.sort();
+    resources.dedup();
+    for res in resources {
+        let b = base.resource_util_pct.get(res).copied().unwrap_or(0.0);
+        let n = new.resource_util_pct.get(res).copied().unwrap_or(0.0);
+        let drift = n - b;
+        let gate = th.max_util_drift_pp.filter(|_| anchored);
+        let gated = gate.map(|limit| drift.abs() > limit).unwrap_or(false);
+        let _ = writeln!(
+            table,
+            "{:<28} {:>13.2}% {:>13.2}% {:>+8.2}pp  {}",
+            format!("util.{res}"),
+            b,
+            n,
+            drift,
+            if gated {
+                "REGRESSED"
+            } else if gate.is_some() {
+                "ok"
+            } else {
+                ""
+            }
+        );
+        if gated {
+            regressions.push(format!(
+                "util.{res}: {b:.2}% -> {n:.2}% drifts {:+.2}pp beyond {:.1}pp",
+                drift,
+                th.max_util_drift_pp.unwrap()
+            ));
+        }
+    }
+
     DiffOutcome { table, regressions }
 }
 
@@ -488,9 +550,20 @@ mod tests {
     use super::*;
 
     fn report_json(tput: f64, p50: u64, p99: u64, flush_ns: u64, self_ns: u64) -> String {
+        report_json_util(tput, p50, p99, flush_ns, self_ns, 42.17)
+    }
+
+    fn report_json_util(
+        tput: f64,
+        p50: u64,
+        p99: u64,
+        flush_ns: u64,
+        self_ns: u64,
+        util_pct: f64,
+    ) -> String {
         format!(
             r#"{{
-  "schema": "vedb-bench-report/v2",
+  "schema": "vedb-bench-report/v3",
   "name": "unit",
   "committed": 100,
   "aborted": 1,
@@ -500,6 +573,9 @@ mod tests {
   "counters": {{"core.commits": 100, "astore.appends": 40}},
   "gauges": {{}},
   "op_latencies": {{}},
+  "resources": {{
+    "astore-0.pmem": {{"lanes": 4, "ops": 40, "busy_ns": 400, "steady_util_pct": {util_pct}, "wait": {{"count": 40, "mean_ns": 5, "p50_ns": 4, "p95_ns": 9, "p99_ns": 9, "max_ns": 9}}, "service": {{"count": 40, "mean_ns": 10, "p50_ns": 10, "p95_ns": 10, "p99_ns": 10, "max_ns": 10}}}}
+  }},
   "profile": {{
     "spans": 3, "abandoned": 0, "orphans": 0, "root_total_ns": 100,
     "ops": {{}},
@@ -518,12 +594,17 @@ mod tests {
         ReportSummary::from_json(&doc).unwrap()
     }
 
+    fn summary_util(util_pct: f64) -> ReportSummary {
+        let doc = parse_json(&report_json_util(5000.0, 20, 80, 40, 60, util_pct)).unwrap();
+        ReportSummary::from_json(&doc).unwrap()
+    }
+
     #[test]
     fn parser_handles_report_shapes() {
         let doc = parse_json(&report_json(5000.0, 20, 80, 40, 60)).unwrap();
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("vedb-bench-report/v2")
+            Some("vedb-bench-report/v3")
         );
         assert_eq!(
             doc.get("latency")
@@ -596,5 +677,60 @@ mod tests {
         let out = diff(&base, &new, &strict);
         assert!(out.regressed());
         assert!(out.regressions.iter().any(|r| r.contains("wal/flush")));
+    }
+
+    #[test]
+    fn summary_extracts_resource_utilization() {
+        let s = summary_util(42.17);
+        assert_eq!(s.resource_util_pct.len(), 1);
+        assert!((s.resource_util_pct["astore-0.pmem"] - 42.17).abs() < 1e-9);
+    }
+
+    #[test]
+    fn util_drift_gates_only_when_asked() {
+        let base = summary_util(40.0);
+        let new = summary_util(55.0); // +15pp
+        assert!(!diff(&base, &new, &Thresholds::default()).regressed());
+        let strict = Thresholds {
+            max_util_drift_pp: Some(5.0),
+            ..Thresholds::default()
+        };
+        let out = diff(&base, &new, &strict);
+        assert!(out.regressed());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.contains("util.astore-0.pmem")));
+        // The gate is symmetric: a device going idle drifts just as far.
+        let idle = summary_util(25.0); // -15pp
+        assert!(diff(&base, &idle, &strict).regressed());
+        // Within budget passes.
+        let near = summary_util(43.0); // +3pp
+        assert!(!diff(&base, &near, &strict).regressed());
+    }
+
+    #[test]
+    fn util_gate_stays_quiet_against_pre_v3_baseline() {
+        // A v2 baseline has no `resources` section; stripping it from the
+        // fixture models that. The new report's rows render informationally
+        // but must not trip the gate (there is nothing to anchor drift to).
+        let raw = report_json_util(5000.0, 20, 80, 40, 60, 40.0);
+        let start = raw.find("  \"resources\"").unwrap();
+        let end = raw[start..]
+            .find("\n  },\n")
+            .map(|e| start + e + 6)
+            .unwrap();
+        let stripped = format!("{}{}", &raw[..start], &raw[end..]);
+        let doc = parse_json(&stripped).unwrap();
+        let base = ReportSummary::from_json(&doc).unwrap();
+        assert!(base.resource_util_pct.is_empty());
+        let new = summary_util(40.0);
+        let strict = Thresholds {
+            max_util_drift_pp: Some(5.0),
+            ..Thresholds::default()
+        };
+        let out = diff(&base, &new, &strict);
+        assert!(!out.regressed(), "{}", out.table);
+        assert!(out.table.contains("util.astore-0.pmem"));
     }
 }

@@ -10,6 +10,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod diff;
+pub mod flame;
 
 use std::path::PathBuf;
 use std::sync::Arc;

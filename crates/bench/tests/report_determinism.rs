@@ -85,7 +85,7 @@ fn report_json_round_trips_expected_fields() {
     let rep = run_once("fields");
     let json = rep.to_json();
     // Spot-check the schema the EXPERIMENTS.md tooling greps for.
-    assert!(json.contains("\"schema\": \"vedb-bench-report/v2\""));
+    assert!(json.contains("\"schema\": \"vedb-bench-report/v3\""));
     assert!(json.contains("\"throughput_per_s\""));
     assert!(json.contains("\"p50_ns\""));
     assert!(json.contains("\"p95_ns\""));
@@ -98,6 +98,19 @@ fn report_json_round_trips_expected_fields() {
     assert!(json.contains("\"commit_phases\""));
     assert!(json.contains("\"core/commit\""));
     assert!(json.contains("\"wal/flush\""));
+    // Schema v3 additions: resource saturation, lock contention, folded
+    // flamegraph stacks.
+    assert!(json.contains("\"resources\""));
+    assert!(json.contains("\"steady_util_pct\""));
+    assert!(json.contains("\"astore-0.pmem\""));
+    assert!(json.contains("\"locks\""));
+    assert!(json.contains("\"folded\""));
+    assert!(!rep.resources.is_empty(), "no resources discovered");
+    assert!(
+        rep.resources.values().all(|r| r.wait.count == r.ops),
+        "wait histogram must sample once per acquisition"
+    );
+    assert!(!rep.profile.folded.is_empty(), "no folded stacks");
     assert!(rep.profile.spans > 0, "trial ran with tracing off");
     let commit_total = rep.profile.ops["core/commit"].total_ns;
     let phase_sum: u64 = rep.profile.commit_phases.values().map(|p| p.total_ns).sum();

@@ -23,7 +23,7 @@
 //! which [`Ebp::recover`] rebuilds the index.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -130,6 +130,9 @@ struct EbpStats {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     writes: Arc<Counter>,
+    /// Write offers satisfied by an already-cached image at the same or a
+    /// newer LSN (touch only, no append).
+    dedups: Arc<Counter>,
     evictions: Arc<Counter>,
     compactions: Arc<Counter>,
 }
@@ -140,6 +143,7 @@ impl EbpStats {
             hits: registry.counter("core", "ebp_hits"),
             misses: registry.counter("core", "ebp_misses"),
             writes: registry.counter("core", "ebp_writes"),
+            dedups: registry.counter("core", "ebp_dedups"),
             evictions: registry.counter("core", "ebp_evictions"),
             compactions: registry.counter("core", "ebp_compactions"),
         }
@@ -157,6 +161,10 @@ pub struct Ebp {
     hits: AtomicU64,
     misses: AtomicU64,
     lsn_batch: Mutex<Vec<(PageId, Lsn)>>,
+    /// Set while a compaction pass runs: re-admission writes go through
+    /// [`Ebp::write_page`], whose trailing `maybe_compact` must not recurse
+    /// into another pass over the same (still-registered) segment.
+    compacting: AtomicBool,
     stats: EbpStats,
 }
 
@@ -187,6 +195,7 @@ impl Ebp {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             lsn_batch: Mutex::new(Vec::new()),
+            compacting: AtomicBool::new(false),
             stats,
         }
     }
@@ -296,6 +305,25 @@ impl Ebp {
     /// admitted (Priority policy, nothing evictable) is silently skipped —
     /// the EBP is a cache, not a store.
     pub fn write_page(&self, ctx: &mut SimCtx, pid: PageId, page: &Page, lsn: Lsn) -> Result<()> {
+        // Eviction of an unmodified page whose image the cache already holds
+        // (same or newer LSN) is a touch, not a new append — otherwise a
+        // read-only workload turns every eviction into garbage and
+        // compaction churn. Compaction passes are exempt: their
+        // re-admissions must move the record out of the dying segment even
+        // at an unchanged LSN.
+        if !self.compacting.load(Ordering::Relaxed) {
+            let mut shard = self.shards[self.shard_of(pid)].lock();
+            if let Some(e) = shard.entries.get(&pid).copied() {
+                if e.lsn >= lsn {
+                    let t = self.touch.fetch_add(1, Ordering::Relaxed);
+                    shard.recency.remove(&e.touch);
+                    shard.recency.insert(t, pid);
+                    shard.entries.get_mut(&pid).expect("present").touch = t;
+                    self.stats.dedups.inc();
+                    return Ok(());
+                }
+            }
+        }
         let bytes = page.as_bytes();
         let prio = self.prio_of(pid);
         let shard_idx = self.shard_of(pid);
@@ -472,6 +500,19 @@ impl Ebp {
     /// Compact (or release) frozen segments whose garbage ratio crossed the
     /// threshold (§V-D). Returns the number of segments processed.
     pub fn maybe_compact(&self, ctx: &mut SimCtx) -> Result<usize> {
+        // Re-admission below routes through `write_page`, which ends with a
+        // `maybe_compact` call of its own; without this guard one segment
+        // crossing the ratio triggers nested passes over the same segment
+        // (repeated CM delete_segment + route churn — a compaction storm).
+        if self.compacting.swap(true, Ordering::Acquire) {
+            return Ok(0);
+        }
+        let result = self.compact_locked(ctx);
+        self.compacting.store(false, Ordering::Release);
+        result
+    }
+
+    fn compact_locked(&self, ctx: &mut SimCtx) -> Result<usize> {
         let candidates: Vec<(SegmentId, SegmentHandle)> = {
             let segs = self.segs.lock();
             segs.info
@@ -534,6 +575,16 @@ impl Ebp {
             processed += 1;
         }
         Ok(processed)
+    }
+
+    /// Per-segment `(used, garbage)` bytes, active segment first absent —
+    /// the compaction pressure view (tests / monitoring).
+    pub fn segment_stats(&self) -> Vec<(u64, u64)> {
+        let segs = self.segs.lock();
+        segs.info
+            .values()
+            .map(|info| (info.used, info.garbage))
+            .collect()
     }
 
     /// The first `limit` cached page ids (buffer-pool warm-up, §VIII).

@@ -19,7 +19,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 use vedb_sim::metrics::{Counter, LatencyRecorder};
 use vedb_sim::trace::TraceLog;
-use vedb_sim::{MetricsRegistry, SimCtx, VTime};
+use vedb_sim::{LockContention, MetricsRegistry, SimCtx, VTime};
 
 use crate::{EngineError, Result};
 
@@ -37,9 +37,11 @@ pub enum LockMode {
 
 #[derive(Default)]
 struct LockState {
-    /// (txn id, mode) for each holder. Multiple Shared holders, or exactly
-    /// one Exclusive holder.
-    holders: Vec<(u64, LockMode)>,
+    /// (txn id, mode, grant vtime) for each holder. Multiple Shared
+    /// holders, or exactly one Exclusive holder. The grant stamp is the
+    /// holder's virtual clock at acquisition, so release can attribute the
+    /// hold interval to the contention profile.
+    holders: Vec<(u64, LockMode, VTime)>,
     /// Virtual time of the most recent release of *any* mode (an exclusive
     /// acquirer runs after every prior holder).
     last_any_release: VTime,
@@ -63,6 +65,9 @@ pub struct LockManager {
     timeouts: Arc<Counter>,
     wait_lat: Arc<LatencyRecorder>,
     trace: Arc<TraceLog>,
+    /// Per-space (table/index) contention profile: wait-for counts, hold
+    /// histograms, and the hot-key table surfaced in run reports.
+    contention: Arc<LockContention>,
 }
 
 impl LockManager {
@@ -93,7 +98,15 @@ impl LockManager {
             timeouts: registry.counter("core", "lock_timeouts"),
             wait_lat: registry.latency("core", "lock_wait"),
             trace: Arc::clone(registry.trace()),
+            contention: Arc::clone(registry.lock_contention()),
         }
+    }
+
+    /// Label `space` in the contention profile (reports render the label
+    /// instead of a bare space number). Called by the catalog when tables
+    /// and indexes are defined.
+    pub fn set_space_label(&self, space: u32, label: impl Into<String>) {
+        self.contention.set_label(space, label);
     }
 
     fn shard_of(&self, key: &LockKey) -> &Arc<Shard> {
@@ -108,11 +121,11 @@ impl LockManager {
         if state.holders.is_empty() {
             return true;
         }
-        if state.holders.iter().all(|(t, _)| *t == txn) {
+        if state.holders.iter().all(|(t, _, _)| *t == txn) {
             // Re-entrant (covers upgrade by the sole holder).
             return true;
         }
-        mode == LockMode::Shared && state.holders.iter().all(|(_, m)| *m == LockMode::Shared)
+        mode == LockMode::Shared && state.holders.iter().all(|(_, m, _)| *m == LockMode::Shared)
     }
 
     /// Acquire `key` in `mode` for `txn`. Blocks (real time) until granted;
@@ -132,19 +145,26 @@ impl LockManager {
                     LockMode::Shared => state.last_x_release,
                     LockMode::Exclusive => state.last_any_release,
                 };
-                match state.holders.iter_mut().find(|(t, _)| *t == txn) {
+                // Grant stamp == the acquirer's clock after the virtual
+                // wait below; an upgrade keeps the original grant (the
+                // hold started at the first acquisition).
+                let grant = ctx.now().max(release);
+                match state.holders.iter_mut().find(|(t, _, _)| *t == txn) {
                     Some(h) => {
                         if mode == LockMode::Exclusive {
                             h.1 = LockMode::Exclusive; // upgrade
                         }
                     }
-                    None => state.holders.push((txn, mode)),
+                    None => state.holders.push((txn, mode, grant)),
                 }
                 drop(table);
                 self.acquires.inc();
+                self.contention.note_acquire(key.0);
                 if release > ctx.now() {
                     self.waits.inc();
                     self.wait_lat.record(release - ctx.now());
+                    self.contention
+                        .note_wait(key.0, &key.1, release - ctx.now());
                 }
                 // Account the virtual wait: we run after the conflicting
                 // holder's release.
@@ -166,19 +186,29 @@ impl LockManager {
     pub fn release(&self, now: VTime, txn: u64, key: &LockKey) {
         let shard = self.shard_of(key);
         let mut table = shard.table.lock();
+        let mut held = None;
         if let Some(state) = table.get_mut(key) {
-            let mode = state
+            held = state
                 .holders
                 .iter()
-                .find(|(t, _)| *t == txn)
-                .map(|(_, m)| *m);
-            state.holders.retain(|(t, _)| *t != txn);
+                .find(|(t, _, _)| *t == txn)
+                .map(|(_, m, g)| (*m, *g));
+            state.holders.retain(|(t, _, _)| *t != txn);
             state.last_any_release = state.last_any_release.max(now);
-            if mode == Some(LockMode::Exclusive) {
+            if matches!(held, Some((LockMode::Exclusive, _))) {
                 state.last_x_release = state.last_x_release.max(now);
             }
         }
         shard.cv.notify_all();
+        drop(table);
+        if let Some((_, grant)) = held {
+            let hold = if now > grant {
+                now - grant
+            } else {
+                VTime::ZERO
+            };
+            self.contention.note_hold(key.0, hold);
+        }
     }
 
     /// Release every lock in `keys` (commit/abort path).
@@ -266,6 +296,35 @@ mod tests {
             waiter_now >= VTime::from_millis(5),
             "waiter must be pushed past the release vtime, got {waiter_now}"
         );
+    }
+
+    #[test]
+    fn contention_profile_records_waits_and_holds() {
+        let reg = MetricsRegistry::new();
+        let lm = LockManager::with_metrics(4, Duration::from_secs(5), &reg);
+        lm.set_space_label(1, "orders");
+        let mut c1 = SimCtx::new(1, 7);
+        lm.acquire(&mut c1, 1, key(3), LockMode::Exclusive).unwrap();
+        c1.advance(VTime::from_micros(30));
+        lm.release(c1.now(), 1, &key(3));
+        // Second txn starts "early": its grant waits on the release stamp.
+        let mut c2 = SimCtx::new(2, 7);
+        lm.acquire(&mut c2, 2, key(3), LockMode::Exclusive).unwrap();
+        assert_eq!(c2.now(), c1.now());
+        lm.release(c2.now(), 2, &key(3));
+
+        let prof = reg.lock_contention().snapshot(4);
+        let t = &prof.tables["orders"];
+        assert_eq!(t.acquires, 2);
+        assert_eq!(t.waits, 1);
+        assert_eq!(t.wait_total_ns, 30_000);
+        // Both holds recorded; the second hold is zero-length (released at
+        // its own grant time).
+        assert_eq!(t.holds, 2);
+        assert_eq!(t.hold_total_ns, 30_000);
+        assert_eq!(prof.top.len(), 1);
+        assert_eq!(prof.top[0].key_hex, "03");
+        assert_eq!(prof.top[0].table, "orders");
     }
 
     #[test]

@@ -404,16 +404,23 @@ fn run_task(
                 frag_bytes + locs.len() * 16,
                 0,
                 |c| {
+                    // The storage-side scan pipelines: reads stream across
+                    // the PMem lanes (issued back-to-back, the device queue
+                    // models the parallelism) while the idle cores process
+                    // pages as they arrive (§VI-B). The task finishes when
+                    // both the last read and the operator work complete.
+                    let pmem = server.res().pmem.as_ref().expect("astore node pmem");
+                    let issue = c.now();
+                    let mut io_done = issue;
+                    let mut cpu_done = issue;
                     for loc in locs {
                         let Some(seg_off) = server.segment_offset(loc.seg.id) else {
                             continue;
                         };
                         // Local PMem read (no network).
-                        let pmem = server.res().pmem.as_ref().expect("astore node pmem");
-                        let done = c.now();
                         let done =
-                            pmem.acquire(done, db.env().model.pmem_read_svc(loc.len as usize));
-                        c.wait_until(done);
+                            pmem.acquire(issue, db.env().model.pmem_read_svc(loc.len as usize));
+                        io_done = io_done.max(done);
                         let Ok(bytes) =
                             server.device().peek(seg_off + loc.offset, loc.len as usize)
                         else {
@@ -422,14 +429,20 @@ fn run_task(
                         let Ok(page) = Page::from_bytes(&bytes) else {
                             continue;
                         };
+                        let before = rows_scanned;
                         process_page(&page, frag, &mut rows_out, &mut groups, &mut rows_scanned)?;
+                        // Operator work on the idle cores: each page is
+                        // handed to a core as its read completes.
+                        let page_rows = (rows_scanned - before) as u64;
+                        if page_rows > 0 {
+                            let cpu = server
+                                .res()
+                                .cpu
+                                .acquire(done, VTime::from_nanos(page_rows * 200));
+                            cpu_done = cpu_done.max(cpu);
+                        }
                     }
-                    // Operator work on the AStore server's idle cores.
-                    let cpu = server
-                        .res()
-                        .cpu
-                        .acquire(c.now(), VTime::from_nanos(rows_scanned as u64 * 200));
-                    c.wait_until(cpu);
+                    c.wait_until(io_done.max(cpu_done));
                     Ok(())
                 },
             )?;
@@ -451,24 +464,35 @@ fn run_task(
                 frag_bytes + pages.len() * 12,
                 0,
                 |c| {
+                    let mut cpu_done = c.now();
                     for (pid, min_lsn) in pages {
                         match server.local_page(c, &cfg, *pid, *min_lsn) {
-                            Ok(page) => process_page(
-                                &page,
-                                frag,
-                                &mut rows_out,
-                                &mut groups,
-                                &mut rows_scanned,
-                            )?,
+                            Ok(page) => {
+                                let before = rows_scanned;
+                                process_page(
+                                    &page,
+                                    frag,
+                                    &mut rows_out,
+                                    &mut groups,
+                                    &mut rows_scanned,
+                                )?;
+                                // Pages are handed to idle cores as they
+                                // come off the SSD, overlapping the
+                                // remaining reads.
+                                let page_rows = (rows_scanned - before) as u64;
+                                if page_rows > 0 {
+                                    let cpu = server
+                                        .res()
+                                        .cpu
+                                        .acquire(c.now(), VTime::from_nanos(page_rows * 250));
+                                    cpu_done = cpu_done.max(cpu);
+                                }
+                            }
                             Err(vedb_pagestore::PageStoreError::UnknownPage(_)) => continue,
                             Err(e) => return Err(e.into()),
                         }
                     }
-                    let cpu = server
-                        .res()
-                        .cpu
-                        .acquire(c.now(), VTime::from_nanos(rows_scanned as u64 * 250));
-                    c.wait_until(cpu);
+                    c.wait_until(cpu_done);
                     Ok(())
                 },
             )?;

@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use vedb_astore::{Lsn, SegmentRing};
 use vedb_blobstore::BlobGroup;
 use vedb_pagestore::redo::{decode_record, encode_record, RedoRecord};
-use vedb_sim::metrics::{Counter, LatencyRecorder};
+use vedb_sim::metrics::{Counter, LatencyRecorder, Timeline};
 use vedb_sim::trace::TraceLog;
 use vedb_sim::{LatencyModel, MetricsRegistry, Resource, SimCtx, VTime};
 
@@ -348,6 +348,11 @@ pub struct Wal {
     flushes: Arc<Counter>,
     bytes_flushed: Arc<Counter>,
     flush_lat: Arc<LatencyRecorder>,
+    /// Buffered-but-unflushed bytes over virtual time: rises as committers
+    /// append, drops to zero when a group commit takes the buffer. The
+    /// sawtooth amplitude in the report timeline is the group-commit batch
+    /// size.
+    backlog: Arc<Timeline>,
     trace: Arc<TraceLog>,
 }
 
@@ -374,6 +379,7 @@ impl Wal {
             flushes: registry.counter("core", "wal_flushes"),
             bytes_flushed: registry.counter("core", "wal_bytes_flushed"),
             flush_lat: registry.latency("core", "wal_flush"),
+            backlog: registry.timeline("core", "wal_backlog_bytes"),
             trace: Arc::clone(registry.trace()),
         }
     }
@@ -413,8 +419,10 @@ impl Wal {
             &mut body,
         );
         let lsn = Self::buffer_frame_locked(&mut state, &body);
+        let backlog = state.buf.len() as i64;
         drop(state);
         self.bytes_logged.add(4 + body.len() as u64);
+        self.backlog.record(ctx.now(), backlog);
         // Log-buffer memcpy cost.
         ctx.advance(VTime::from_nanos(200 + body.len() as u64 / 16));
         sp.finish(ctx);
@@ -424,8 +432,10 @@ impl Wal {
     fn buffer_frame(&self, ctx: &mut SimCtx, body: &[u8]) -> Lsn {
         let mut state = self.state.lock();
         let lsn = Self::buffer_frame_locked(&mut state, body);
+        let backlog = state.buf.len() as i64;
         drop(state);
         self.bytes_logged.add(4 + body.len() as u64);
+        self.backlog.record(ctx.now(), backlog);
         ctx.advance(VTime::from_nanos(200 + body.len() as u64 / 16));
         lsn
     }
@@ -472,6 +482,8 @@ impl Wal {
         self.flushes.inc();
         self.bytes_flushed.add(bytes.len() as u64);
         self.flush_lat.record(ctx.now() - t0);
+        // The group commit drained the buffer at take time.
+        self.backlog.record(t0, 0);
         sp.finish(ctx);
         Ok(())
     }

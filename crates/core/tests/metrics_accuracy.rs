@@ -127,6 +127,8 @@ fn cold_scans_conserve_ebp_lookups() {
     let ebp_hits = f.env.metrics.counter("core", "ebp_hits");
     let ebp_misses = f.env.metrics.counter("core", "ebp_misses");
     let ebp_writes = f.env.metrics.counter("core", "ebp_writes");
+    let ebp_dedups = f.env.metrics.counter("core", "ebp_dedups");
+    let ebp_skips = f.env.metrics.counter("core", "ebp_skips");
 
     let pass = |ctx: &mut SimCtx| {
         for i in 0..2000 {
@@ -139,11 +141,13 @@ fn cold_scans_conserve_ebp_lookups() {
     };
 
     // Pass 1: misses go through the EBP lookup exactly once each.
-    let (m0, h0, s0, w0, e0) = (
+    let (m0, h0, s0, w0, d0, k0, e0) = (
         bp_misses.get(),
         ebp_hits.get(),
         ebp_misses.get(),
         ebp_writes.get(),
+        ebp_dedups.get(),
+        ebp_skips.get(),
         bp_evictions.get(),
     );
     pass(&mut ctx);
@@ -154,12 +158,17 @@ fn cold_scans_conserve_ebp_lookups() {
         dm,
         "every buffer-pool miss consults the EBP exactly once"
     );
-    // Every eviction is offered to the EBP exactly once; compaction may
-    // re-admit live pages on top (also counted as writes), never fewer.
+    // Every eviction is accounted exactly once — appended as a write,
+    // deduplicated against an already-cached identical image, or skipped
+    // by the sink (meta page, WAL rule). Compaction may re-admit live
+    // pages on top (also counted as writes), never fewer.
     assert!(
-        ebp_writes.get() - w0 >= bp_evictions.get() - e0,
-        "fewer EBP writes ({}) than evictions ({})",
+        (ebp_writes.get() - w0) + (ebp_dedups.get() - d0) + (ebp_skips.get() - k0)
+            >= bp_evictions.get() - e0,
+        "fewer EBP writes+dedups+skips ({}+{}+{}) than evictions ({})",
         ebp_writes.get() - w0,
+        ebp_dedups.get() - d0,
+        ebp_skips.get() - k0,
         bp_evictions.get() - e0
     );
 

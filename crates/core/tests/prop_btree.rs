@@ -37,7 +37,8 @@ fn payload(v: u16) -> String {
 }
 
 fn open(ctx: &mut SimCtx) -> (StorageFabric, Arc<Db>) {
-    let fabric = StorageFabric::build(ClusterSpec::tiny(), 16 << 20, 256 * 1024);
+    // Three servers per tier: AStore/PageStore replication needs them.
+    let fabric = StorageFabric::build(ClusterSpec::paper_default(), 16 << 20, 256 * 1024);
     let db = Db::open(
         ctx,
         &fabric,

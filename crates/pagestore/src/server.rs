@@ -196,7 +196,10 @@ impl PageStoreServer {
         sp.finish(ctx);
     }
 
-    /// Handler: serve retained records after `from_lsn` (gossip peer side).
+    /// Handler: serve records after `from_lsn` (gossip peer side). Serves
+    /// the in-order retained stream *and* parked out-of-order records — a
+    /// record every quorum member parked would otherwise be unreachable;
+    /// the puller's back-link check decides what actually chains on.
     pub fn handle_get_records(
         &self,
         key: PsSegmentKey,
@@ -205,12 +208,16 @@ impl PageStoreServer {
     ) -> Vec<RedoRecord> {
         let segs = self.segs.lock();
         match segs.get(&key) {
-            Some(seg) => seg
-                .retained
-                .range(from_lsn + 1..)
-                .take(max)
-                .map(|(_, r)| r.clone())
-                .collect(),
+            Some(seg) => {
+                let mut have: BTreeMap<Lsn, RedoRecord> = BTreeMap::new();
+                for (l, r) in seg.retained.range(from_lsn + 1..) {
+                    have.insert(*l, r.clone());
+                }
+                for (l, r) in seg.out_of_order.range(from_lsn + 1..) {
+                    have.insert(*l, r.clone());
+                }
+                have.into_values().take(max).collect()
+            }
             None => Vec::new(),
         }
     }
@@ -226,6 +233,22 @@ impl PageStoreServer {
         key: PsSegmentKey,
         peers: &[Arc<PageStoreServer>],
     ) -> usize {
+        self.gossip_fill_until(ctx, rpc, key, peers, 0)
+    }
+
+    /// [`gossip_fill`](Self::gossip_fill), additionally pulling the *tail*
+    /// of the stream until `need` is covered. Back-links only reveal holes
+    /// once a later record arrives; a replica that missed the end of the
+    /// stream has no gap evidence, so a reader demanding `need` passes it
+    /// here as the target to chase.
+    pub fn gossip_fill_until(
+        &self,
+        ctx: &mut SimCtx,
+        rpc: &RpcFabric,
+        key: PsSegmentKey,
+        peers: &[Arc<PageStoreServer>],
+        need: Lsn,
+    ) -> usize {
         let mut recovered = 0;
         loop {
             let (last, has_gap) = {
@@ -235,7 +258,7 @@ impl PageStoreServer {
                     None => (0, false),
                 }
             };
-            if !has_gap {
+            if !has_gap && last >= need {
                 break;
             }
             let mut progressed = false;
@@ -341,7 +364,7 @@ impl PageStoreServer {
         let sp = self.stats.trace.span(ctx, "pagestore", "read_page");
         self.apply_pending(ctx, key)?;
         if self.applied_lsn(key) < min_lsn {
-            self.gossip_fill(ctx, rpc, key, peers);
+            self.gossip_fill_until(ctx, rpc, key, peers, min_lsn);
             self.apply_pending(ctx, key)?;
         }
         let applied = self.applied_lsn(key);
@@ -540,6 +563,11 @@ impl PageStore {
         let key = self.cfg.segment_of(page);
         let replicas = self.replicas_of(key);
         let mut last_err = PageStoreError::UnknownPage(page);
+        // An unreachable replica says nothing about the data; a replica
+        // that answered (even with an error such as UnknownPage, which
+        // callers treat as authoritative for fresh pages) must win over a
+        // dead node tried later in the fail-over order.
+        let mut saw_server_err = false;
         for server in &replicas {
             let peers: Vec<Arc<PageStoreServer>> = replicas
                 .iter()
@@ -557,8 +585,15 @@ impl PageStore {
                     sp.finish(ctx);
                     return Ok(bytes);
                 }
-                Ok(Err(e)) => last_err = e,
-                Err(e) => last_err = PageStoreError::Network(e),
+                Ok(Err(e)) => {
+                    last_err = e;
+                    saw_server_err = true;
+                }
+                Err(e) => {
+                    if !saw_server_err {
+                        last_err = PageStoreError::Network(e);
+                    }
+                }
             }
         }
         Err(last_err)

@@ -134,9 +134,9 @@ proptest! {
         // replica (never two — quorum must hold).
         for (i, rec) in records.iter().enumerate() {
             let victim = replicas[(drops[i % drops.len()] as usize) % replicas.len()].node();
-            env.faults.crash(victim);
+            env.faults.crash_at(ctx.now(), victim);
             ps.ship(&mut ctx, std::slice::from_ref(rec)).unwrap();
-            env.faults.restore(victim);
+            env.faults.restore_at(ctx.now(), victim);
         }
         // Any replica can now serve the latest version (gossip heals).
         let last = records.last().unwrap().lsn;

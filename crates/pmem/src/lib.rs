@@ -438,6 +438,33 @@ mod tests {
     }
 
     #[test]
+    fn attached_device_resource_publishes_saturation_metrics() {
+        use vedb_sim::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let r = Arc::new(Resource::with_metrics("astore-0.pmem", 1, &reg));
+        let d = PmemDevice::new("p", 4096, false, r, LatencyModel::paper_default());
+        d.write(VTime::ZERO, 0, &[1u8; 1024]).unwrap();
+        d.write(VTime::ZERO, 1024, &[2u8; 1024]).unwrap(); // queues
+        assert_eq!(reg.gauge_values()["astore-0.pmem.lanes"], 1);
+        assert_eq!(reg.counter_values()["astore-0.pmem.ops"], 2);
+        let lats = reg.latency_handles();
+        let (_, wait) = lats
+            .iter()
+            .find(|(k, _)| k == "astore-0.pmem.wait")
+            .unwrap();
+        let (_, svc) = lats
+            .iter()
+            .find(|(k, _)| k == "astore-0.pmem.service")
+            .unwrap();
+        assert_eq!(wait.count(), 2);
+        assert_eq!(svc.count(), 2);
+        // The second write queues behind the first on the single lane, so
+        // its wait equals one full service interval.
+        assert!(wait.max() > VTime::ZERO);
+        assert_eq!(wait.max(), svc.max());
+    }
+
+    #[test]
     fn read_is_cheaper_than_write() {
         let d = device(false);
         let w = d.write(VTime::ZERO, 0, &[0u8; 4096]).unwrap();

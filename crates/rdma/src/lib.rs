@@ -529,6 +529,30 @@ mod tests {
     }
 
     #[test]
+    fn rdma_ops_charge_cluster_resource_metrics() {
+        let (env, _dev, mr, ep) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        ep.write(&mut ctx, &mr, 0, b"payload").unwrap();
+        ep.read(&mut ctx, &mr, 0, 7).unwrap();
+        // The cluster builds every resource with metrics attached, so the
+        // verbs above must leave saturation samples in the registry: the
+        // engine NIC carries both verbs, the target PMem both accesses.
+        let counters = env.metrics.counter_values();
+        // WRITE occupies the client (engine) NIC; both verbs occupy the
+        // target NIC and media.
+        assert!(counters["engine.nic.ops"] >= 1);
+        assert!(counters["astore-0.nic.ops"] >= 2);
+        assert!(counters["astore-0.pmem.ops"] >= 2);
+        assert!(counters["engine.nic.busy_ns"] > 0);
+        let lats = env.metrics.latency_handles();
+        let (_, svc) = lats
+            .iter()
+            .find(|(k, _)| k == "astore-0.nic.service")
+            .unwrap();
+        assert!(svc.count() >= 2);
+    }
+
+    #[test]
     fn small_read_latency_near_10us() {
         let (_env, _dev, mr, ep) = setup();
         let mut ctx = SimCtx::new(1, 7);

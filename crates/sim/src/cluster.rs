@@ -87,21 +87,31 @@ impl ClusterSpec {
         self
     }
 
-    /// Instantiate the cluster into live resources.
+    /// Instantiate the cluster into live resources. Every resource is
+    /// built with [`Resource::with_metrics`], so per-resource wait/service
+    /// histograms and utilization timelines land in the deployment
+    /// registry; the fault plan gets the deployment trace log, so
+    /// timestamped injections show up as `fault/*` events in reports.
     pub fn build(self) -> Arc<SimEnv> {
         let metrics = Arc::new(MetricsRegistry::new());
         let astore_nodes = (0..self.astore_servers)
             .map(|i| {
                 Arc::new(NodeRes {
                     name: format!("astore-{i}"),
-                    cpu: Arc::new(Resource::new(format!("astore-{i}.cpu"), self.astore_cores)),
-                    nic: Arc::new(Resource::new(
+                    cpu: Arc::new(Resource::with_metrics(
+                        format!("astore-{i}.cpu"),
+                        self.astore_cores,
+                        &metrics,
+                    )),
+                    nic: Arc::new(Resource::with_metrics(
                         format!("astore-{i}.nic"),
                         self.astore_nic_ports,
+                        &metrics,
                     )),
-                    pmem: Some(Arc::new(Resource::new(
+                    pmem: Some(Arc::new(Resource::with_metrics(
                         format!("astore-{i}.pmem"),
                         self.model.pmem_lanes,
+                        &metrics,
                     ))),
                     ssd: None,
                     metrics: Arc::clone(&metrics),
@@ -112,29 +122,38 @@ impl ClusterSpec {
             .map(|i| {
                 Arc::new(NodeRes {
                     name: format!("storage-{i}"),
-                    cpu: Arc::new(Resource::new(
+                    cpu: Arc::new(Resource::with_metrics(
                         format!("storage-{i}.cpu"),
                         self.storage_cores,
+                        &metrics,
                     )),
-                    nic: Arc::new(Resource::new(
+                    nic: Arc::new(Resource::with_metrics(
                         format!("storage-{i}.nic"),
                         self.storage_nic_ports,
+                        &metrics,
                     )),
                     pmem: None,
-                    ssd: Some(Arc::new(Resource::new(
+                    ssd: Some(Arc::new(Resource::with_metrics(
                         format!("storage-{i}.ssd"),
                         self.model.ssd_lanes,
+                        &metrics,
                     ))),
                     metrics: Arc::clone(&metrics),
                 })
             })
             .collect();
+        let faults = Arc::new(FaultPlan::new());
+        faults.attach_trace(Arc::clone(metrics.trace()));
         Arc::new(SimEnv {
-            engine_cpu: Arc::new(Resource::new("engine.cpu", self.engine_cores)),
-            engine_nic: Arc::new(Resource::new("engine.nic", 1)),
+            engine_cpu: Arc::new(Resource::with_metrics(
+                "engine.cpu",
+                self.engine_cores,
+                &metrics,
+            )),
+            engine_nic: Arc::new(Resource::with_metrics("engine.nic", 1, &metrics)),
             astore_nodes,
             storage_nodes,
-            faults: Arc::new(FaultPlan::new()),
+            faults,
             model: self.model,
             metrics,
         })
@@ -203,6 +222,37 @@ mod tests {
     fn engine_cores_override() {
         let env = ClusterSpec::paper_default().with_engine_cores(8).build();
         assert_eq!(env.engine_cpu.lanes(), 8);
+    }
+
+    #[test]
+    fn build_attaches_resource_metrics_and_fault_trace() {
+        let env = ClusterSpec::tiny().build();
+        let gauges = env.metrics.gauge_values();
+        // Every resource advertises its parallelism under <name>.lanes.
+        for key in [
+            "engine.cpu.lanes",
+            "engine.nic.lanes",
+            "astore-0.cpu.lanes",
+            "astore-0.nic.lanes",
+            "astore-0.pmem.lanes",
+            "storage-0.cpu.lanes",
+            "storage-0.nic.lanes",
+            "storage-0.ssd.lanes",
+        ] {
+            assert!(gauges.get(key).is_some_and(|v| *v > 0), "missing {key}");
+        }
+        // Acquisitions split into wait/service histograms on the registry.
+        env.engine_cpu.acquire(VTime::ZERO, VTime::from_micros(5));
+        let lats = env.metrics.latency_handles();
+        let wait = lats.iter().find(|(k, _)| k == "engine.cpu.wait").unwrap();
+        assert_eq!(wait.1.count(), 1);
+        // Fault injections with timestamps reach the deployment trace log.
+        env.metrics.trace().enable();
+        env.faults.crash_at(VTime::from_millis(1), 0);
+        let evs = env.metrics.trace().events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].component, "fault");
+        env.metrics.trace().disable();
     }
 
     #[test]

@@ -6,11 +6,24 @@
 //! tests). Components hold an `Arc<FaultPlan>` and check it on every
 //! operation, so tests can kill an AStore server mid-write or partition a
 //! replica without any special hooks in the code under test.
+//!
+//! When a [`TraceLog`] is attached (done by
+//! [`ClusterSpec::build`](crate::cluster::ClusterSpec::build)), the
+//! timestamped injection variants ([`crash_at`](FaultPlan::crash_at),
+//! [`partition_at`](FaultPlan::partition_at), …) additionally record each
+//! injection as an instantaneous `fault/<op>` trace event carrying the
+//! node id, so chaos runs can correlate failures with latency spikes in
+//! the exported report. The un-timestamped originals stay silent — they
+//! have no virtual clock to stamp.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
+
+use crate::time::VTime;
+use crate::trace::TraceLog;
 
 /// Identifier of a simulated node (assigned by the node registry).
 pub type NodeId = u32;
@@ -24,6 +37,8 @@ pub struct FaultPlan {
     partitioned: RwLock<HashSet<NodeId>>,
     /// f64 bits of the message-drop probability.
     drop_prob_bits: AtomicU64,
+    /// Trace log fault events are recorded into, when attached.
+    trace: RwLock<Option<Arc<TraceLog>>>,
 }
 
 impl FaultPlan {
@@ -81,6 +96,54 @@ impl FaultPlan {
     pub fn drop_prob(&self) -> f64 {
         f64::from_bits(self.drop_prob_bits.load(Ordering::Relaxed))
     }
+
+    /// Attach the trace log the timestamped injection variants record
+    /// into. [`ClusterSpec::build`](crate::cluster::ClusterSpec::build)
+    /// wires the deployment's log here so chaos suites get fault events in
+    /// their exported reports for free.
+    pub fn attach_trace(&self, trace: Arc<TraceLog>) {
+        *self.trace.write() = Some(trace);
+    }
+
+    fn note(&self, at: VTime, op: &'static str, node: NodeId) {
+        if let Some(t) = self.trace.read().as_ref() {
+            t.instant(at, "fault", op, node as u64);
+        }
+    }
+
+    /// [`crash`](Self::crash) plus a `fault/crash` trace event at virtual
+    /// time `at`.
+    pub fn crash_at(&self, at: VTime, node: NodeId) {
+        self.crash(node);
+        self.note(at, "crash", node);
+    }
+
+    /// [`restore`](Self::restore) plus a `fault/restore` trace event.
+    pub fn restore_at(&self, at: VTime, node: NodeId) {
+        self.restore(node);
+        self.note(at, "restore", node);
+    }
+
+    /// [`partition`](Self::partition) plus a `fault/partition` trace event.
+    pub fn partition_at(&self, at: VTime, node: NodeId) {
+        self.partition(node);
+        self.note(at, "partition", node);
+    }
+
+    /// [`heal`](Self::heal) plus a `fault/heal` trace event.
+    pub fn heal_at(&self, at: VTime, node: NodeId) {
+        self.heal(node);
+        self.note(at, "heal", node);
+    }
+
+    /// [`set_drop_prob`](Self::set_drop_prob) plus a trace event:
+    /// `fault/drops_on` when `p > 0`, `fault/drops_off` when the
+    /// probability returns to zero. The node field is unused (drops are
+    /// fabric-wide) and recorded as 0.
+    pub fn set_drop_prob_at(&self, at: VTime, p: f64) {
+        self.set_drop_prob(p);
+        self.note(at, if p > 0.0 { "drops_on" } else { "drops_off" }, 0);
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +172,36 @@ mod tests {
         assert!(!f.is_crashed(2), "partition must not imply crash");
         f.heal(2);
         assert!(!f.is_partitioned(2));
+    }
+
+    #[test]
+    fn timestamped_injections_record_trace_instants() {
+        let f = FaultPlan::new();
+        // Without an attached trace, the *_at variants still inject.
+        f.crash_at(VTime::from_millis(1), 4);
+        assert!(f.is_crashed(4));
+
+        let log = Arc::new(TraceLog::new(16));
+        log.enable();
+        f.attach_trace(Arc::clone(&log));
+        f.restore_at(VTime::from_millis(2), 4);
+        f.partition_at(VTime::from_millis(3), 5);
+        f.heal_at(VTime::from_millis(4), 5);
+        f.set_drop_prob_at(VTime::from_millis(5), 0.3);
+        f.set_drop_prob_at(VTime::from_millis(6), 0.0);
+        assert!(!f.is_crashed(4));
+        assert!(!f.is_partitioned(5));
+        assert_eq!(f.drop_prob(), 0.0);
+
+        let evs = log.events();
+        let ops: Vec<&str> = evs.iter().map(|e| e.op).collect();
+        assert_eq!(
+            ops,
+            ["restore", "partition", "heal", "drops_on", "drops_off"]
+        );
+        assert!(evs.iter().all(|e| e.component == "fault"));
+        assert_eq!(evs[0].client, 4);
+        assert_eq!(evs[1].start, VTime::from_millis(3));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod contention;
 pub mod fault;
 pub mod latency;
 pub mod metrics;
@@ -38,13 +39,14 @@ pub mod time;
 pub mod trace;
 
 pub use cluster::{ClusterSpec, SimEnv};
+pub use contention::{HotKeyStat, LockContention, LockProfile, TableLockStat};
 pub use fault::FaultPlan;
 pub use latency::LatencyModel;
 pub use metrics::{
     Counter, Gauge, LatencyRecorder, MetricsRegistry, RecoveryCounters, Timeline, TrialResult,
 };
-pub use profile::{OpStat, PhaseStat, Profile, TimelineSnapshot};
-pub use report::{LatencySummary, RunReport};
+pub use profile::{FaultEvent, OpStat, PhaseStat, Profile, TimelineSnapshot};
+pub use report::{LatencySummary, ResourceSummary, RunReport};
 pub use resource::Resource;
 pub use rng::SimRng;
 pub use time::{SimCtx, VTime};

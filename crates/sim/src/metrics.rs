@@ -12,12 +12,14 @@
 //! single relaxed atomic op on the returned `Arc` handle, so instrumentation
 //! stays cheap enough to leave on unconditionally.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::contention::LockContention;
 use crate::time::VTime;
 use crate::trace::TraceLog;
 
@@ -85,6 +87,13 @@ impl LatencyRecorder {
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of every recorded sample (not bucketed). This is what the
+    /// wait/service conservation property checks against: bucketing loses
+    /// precision per sample, but the sum is accumulated from the raw values.
+    pub fn total(&self) -> VTime {
+        VTime::from_nanos(self.sum_ns.load(Ordering::Relaxed))
     }
 
     /// Mean latency (zero if empty).
@@ -303,6 +312,38 @@ impl Timeline {
             .insert(at.as_nanos() / self.bucket_ns, value);
     }
 
+    /// Accumulate `delta` into the bucket containing `at`. Unlike
+    /// [`record`](Self::record) (last-write-wins, for gauge trends), `add`
+    /// sums contributions — the semantics a busy-time-per-bucket utilization
+    /// series needs, where every reservation deposits its overlap with each
+    /// bucket it spans.
+    pub fn add(&self, at: VTime, delta: i64) {
+        *self
+            .samples
+            .lock()
+            .entry(at.as_nanos() / self.bucket_ns)
+            .or_insert(0) += delta;
+    }
+
+    /// Accumulate a busy interval `[start_ns, end_ns)` into every bucket it
+    /// overlaps, `add`ing the per-bucket overlap in nanoseconds. This is the
+    /// primitive behind per-resource utilization timelines: dividing a
+    /// bucket's sum by `bucket_ns * lanes` yields that bucket's utilization.
+    pub fn add_busy(&self, start_ns: u64, end_ns: u64) {
+        if end_ns <= start_ns {
+            return;
+        }
+        let mut samples = self.samples.lock();
+        let mut s = start_ns;
+        while s < end_ns {
+            let bucket = s / self.bucket_ns;
+            let bucket_end = (bucket + 1) * self.bucket_ns;
+            let e = end_ns.min(bucket_end);
+            *samples.entry(bucket).or_insert(0) += (e - s) as i64;
+            s = e;
+        }
+    }
+
     /// Copy of the samples, keyed by bucket index, in time order.
     pub fn snapshot(&self) -> BTreeMap<u64, i64> {
         self.samples.lock().clone()
@@ -319,10 +360,13 @@ impl Timeline {
     }
 }
 
-type MetricKey = (&'static str, &'static str);
+type MetricKey = (Cow<'static, str>, Cow<'static, str>);
 
 /// Repo-wide metric registry: counters, gauges and latency histograms keyed
-/// by static `(component, name)` pairs, plus the causal [`TraceLog`].
+/// by `(component, name)` pairs, plus the causal [`TraceLog`] and the
+/// [`LockContention`] profile. Components with a fixed identity pass
+/// `&'static str` keys (zero-cost); per-instance resources (`astore-0.pmem`)
+/// pass owned `String`s.
 ///
 /// One registry is created per [`SimEnv`](crate::cluster::SimEnv) and shared
 /// (via `Arc`) by every subsystem of that deployment; components that are
@@ -337,6 +381,7 @@ pub struct MetricsRegistry {
     latencies: Mutex<BTreeMap<MetricKey, Arc<LatencyRecorder>>>,
     timelines: Mutex<BTreeMap<MetricKey, Arc<Timeline>>>,
     trace: Arc<TraceLog>,
+    contention: Arc<LockContention>,
 }
 
 impl Default for MetricsRegistry {
@@ -354,6 +399,7 @@ impl MetricsRegistry {
             latencies: Mutex::new(BTreeMap::new()),
             timelines: Mutex::new(BTreeMap::new()),
             trace: Arc::new(TraceLog::new(TraceLog::DEFAULT_CAPACITY)),
+            contention: Arc::new(LockContention::new()),
         }
     }
 
@@ -365,42 +411,58 @@ impl MetricsRegistry {
     }
 
     /// Get-or-register the counter `component/name`.
-    pub fn counter(&self, component: &'static str, name: &'static str) -> Arc<Counter> {
+    pub fn counter(
+        &self,
+        component: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+    ) -> Arc<Counter> {
         Arc::clone(
             self.counters
                 .lock()
-                .entry((component, name))
+                .entry((component.into(), name.into()))
                 .or_insert_with(|| Arc::new(Counter::new())),
         )
     }
 
     /// Get-or-register the gauge `component/name`.
-    pub fn gauge(&self, component: &'static str, name: &'static str) -> Arc<Gauge> {
+    pub fn gauge(
+        &self,
+        component: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+    ) -> Arc<Gauge> {
         Arc::clone(
             self.gauges
                 .lock()
-                .entry((component, name))
+                .entry((component.into(), name.into()))
                 .or_insert_with(|| Arc::new(Gauge::new())),
         )
     }
 
     /// Get-or-register the latency histogram `component/name`.
-    pub fn latency(&self, component: &'static str, name: &'static str) -> Arc<LatencyRecorder> {
+    pub fn latency(
+        &self,
+        component: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+    ) -> Arc<LatencyRecorder> {
         Arc::clone(
             self.latencies
                 .lock()
-                .entry((component, name))
+                .entry((component.into(), name.into()))
                 .or_insert_with(|| Arc::new(LatencyRecorder::new())),
         )
     }
 
     /// Get-or-register the timeline `component/name` with the default 1 ms
     /// bucket width.
-    pub fn timeline(&self, component: &'static str, name: &'static str) -> Arc<Timeline> {
+    pub fn timeline(
+        &self,
+        component: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+    ) -> Arc<Timeline> {
         Arc::clone(
             self.timelines
                 .lock()
-                .entry((component, name))
+                .entry((component.into(), name.into()))
                 .or_insert_with(|| Arc::new(Timeline::new(Timeline::DEFAULT_BUCKET_NS))),
         )
     }
@@ -417,6 +479,13 @@ impl MetricsRegistry {
     /// The causal trace log shared by every span in this deployment.
     pub fn trace(&self) -> &Arc<TraceLog> {
         &self.trace
+    }
+
+    /// The deployment-wide lock-contention profile (fed by the engine's
+    /// lock manager, folded into reports by
+    /// [`Profile`](crate::profile::Profile)).
+    pub fn lock_contention(&self) -> &Arc<LockContention> {
+        &self.contention
     }
 
     /// Snapshot every counter as `"component.name" -> value`, sorted by key
@@ -458,7 +527,7 @@ impl MetricsRegistry {
             .counters
             .lock()
             .iter()
-            .map(|(k, v)| (*k, Arc::clone(v)))
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
             .collect();
         for ((c, n), src) in counters {
             dst.counter(c, n).add(src.take());
@@ -467,7 +536,7 @@ impl MetricsRegistry {
             .gauges
             .lock()
             .iter()
-            .map(|(k, v)| (*k, Arc::clone(v)))
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
             .collect();
         for ((c, n), src) in gauges {
             dst.gauge(c, n).set(src.get());
@@ -476,7 +545,7 @@ impl MetricsRegistry {
             .latencies
             .lock()
             .iter()
-            .map(|(k, v)| (*k, Arc::clone(v)))
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
             .collect();
         for ((c, n), src) in lats {
             src.drain_into(&dst.latency(c, n));
@@ -499,6 +568,7 @@ impl MetricsRegistry {
             v.reset();
         }
         self.trace.clear();
+        self.contention.reset();
     }
 }
 
@@ -810,6 +880,54 @@ mod tests {
         assert_eq!(snap[&2], -1);
         tl.reset();
         assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn timeline_add_accumulates_within_bucket() {
+        let tl = Timeline::new(1_000); // 1us buckets
+        tl.add(VTime::from_nanos(100), 3);
+        tl.add(VTime::from_nanos(900), 5); // same bucket, sums
+        tl.add(VTime::from_micros(2), 2);
+        let snap = tl.snapshot();
+        assert_eq!(snap[&0], 8);
+        assert_eq!(snap[&2], 2);
+    }
+
+    #[test]
+    fn timeline_add_busy_splits_across_buckets() {
+        let tl = Timeline::new(1_000);
+        // 300ns..2_500ns spans buckets 0 (700ns), 1 (1000ns), 2 (500ns).
+        tl.add_busy(300, 2_500);
+        let snap = tl.snapshot();
+        assert_eq!(snap[&0], 700);
+        assert_eq!(snap[&1], 1_000);
+        assert_eq!(snap[&2], 500);
+        // Total deposited equals the interval length.
+        assert_eq!(snap.values().sum::<i64>(), 2_200);
+        // Degenerate interval deposits nothing.
+        tl.add_busy(10, 10);
+        assert_eq!(tl.snapshot().values().sum::<i64>(), 2_200);
+    }
+
+    #[test]
+    fn registry_accepts_owned_keys() {
+        let reg = MetricsRegistry::new();
+        let name = format!("astore-{}.pmem", 0);
+        reg.counter(name.clone(), "busy_ns").add(7);
+        // Same dynamic key resolves to the same handle as a fresh String.
+        assert_eq!(reg.counter("astore-0.pmem".to_string(), "busy_ns").get(), 7);
+        assert_eq!(reg.counter_values()["astore-0.pmem.busy_ns"], 7);
+        // Static and owned keys share one namespace.
+        reg.gauge("engine.cpu", "lanes").set(20);
+        assert_eq!(reg.gauge_values()["engine.cpu.lanes"], 20);
+    }
+
+    #[test]
+    fn recorder_total_is_exact_sum() {
+        let r = LatencyRecorder::new();
+        r.record(VTime::from_nanos(123_457));
+        r.record(VTime::from_nanos(1));
+        assert_eq!(r.total(), VTime::from_nanos(123_458));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use crate::contention::{LockProfile, DEFAULT_TOP_K};
 use crate::metrics::MetricsRegistry;
 use crate::trace::TraceEvent;
 
@@ -61,6 +62,20 @@ pub struct TimelineSnapshot {
     pub samples: BTreeMap<u64, i64>,
 }
 
+/// One fault injection lifted out of the trace (a zero-length `fault/*`
+/// instant recorded by the timestamped [`FaultPlan`](crate::fault::FaultPlan)
+/// variants), in recording order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Virtual time of the injection, ns.
+    pub at_ns: u64,
+    /// Injection kind: `crash`, `restore`, `partition`, `heal`,
+    /// `drops_on`, `drops_off`.
+    pub op: String,
+    /// Subject node id (0 for fabric-wide drop-probability changes).
+    pub node: u64,
+}
+
 /// The folded trace: per-op aggregates, commit-phase accounting, and
 /// timeline snapshots (see module docs).
 #[derive(Clone, Debug, Default)]
@@ -83,12 +98,26 @@ pub struct Profile {
     pub commit_phases: BTreeMap<String, PhaseStat>,
     /// Every registered timeline, keyed `"component.name"`.
     pub timelines: BTreeMap<String, TimelineSnapshot>,
+    /// Lock-contention profile: per-table wait/hold stats plus the top-K
+    /// contended keys (empty when the engine recorded no lock traffic).
+    pub locks: LockProfile,
+    /// Fault injections recorded as `fault/*` trace instants, in recording
+    /// order. Fault events never aggregate into `ops` or `folded` — they
+    /// are markers, not work.
+    pub fault_events: Vec<FaultEvent>,
+    /// Inferno-compatible folded stacks: root-to-span `component/op`
+    /// frames joined by `;`, weighted by the span's *self* time in ns.
+    /// Zero-weight stacks are omitted (inferno drops them anyway);
+    /// `BTreeMap` order keeps the export byte-deterministic.
+    pub folded: BTreeMap<String, u64>,
 }
 
 impl Profile {
-    /// Fold `registry`'s trace log and timelines into a profile.
+    /// Fold `registry`'s trace log, timelines and lock-contention state
+    /// into a profile.
     pub fn from_registry(registry: &MetricsRegistry) -> Profile {
         let mut p = Self::from_events(&registry.trace().events());
+        p.locks = registry.lock_contention().snapshot(DEFAULT_TOP_K);
         p.timelines = registry
             .timeline_handles()
             .into_iter()
@@ -112,19 +141,31 @@ impl Profile {
             ..Profile::default()
         };
         // Index live (non-abandoned) spans and the inclusive time of each
-        // span's direct children, in one pass each.
+        // span's direct children, in one pass each. Fault instants are
+        // markers, not work: they lift into `fault_events` and stay out of
+        // every aggregate.
         let mut dur_of: HashMap<u64, u64> = HashMap::with_capacity(events.len());
+        let mut by_id: HashMap<u64, &TraceEvent> = HashMap::with_capacity(events.len());
         for ev in events {
+            if ev.component == "fault" {
+                p.fault_events.push(FaultEvent {
+                    at_ns: ev.start.as_nanos(),
+                    op: ev.op.to_string(),
+                    node: ev.client,
+                });
+                continue;
+            }
             if ev.abandoned {
                 p.abandoned += 1;
             } else {
                 dur_of.insert(ev.id, (ev.end - ev.start).as_nanos());
+                by_id.insert(ev.id, ev);
             }
         }
         let mut child_ns: HashMap<u64, u64> = HashMap::new();
         let mut children: HashMap<u64, Vec<&TraceEvent>> = HashMap::new();
         for ev in events {
-            if ev.abandoned {
+            if ev.abandoned || ev.component == "fault" {
                 continue;
             }
             if ev.parent != 0 {
@@ -138,15 +179,19 @@ impl Profile {
             }
         }
         for ev in events {
-            if ev.abandoned {
+            if ev.abandoned || ev.component == "fault" {
                 continue;
             }
             let dur = (ev.end - ev.start).as_nanos();
             let kids = child_ns.get(&ev.id).copied().unwrap_or(0);
+            let self_ns = dur.saturating_sub(kids);
             let stat = p.ops.entry(op_key(ev)).or_default();
             stat.count += 1;
             stat.total_ns += dur;
-            stat.self_ns += dur.saturating_sub(kids);
+            stat.self_ns += self_ns;
+            if self_ns > 0 {
+                *p.folded.entry(folded_key(ev, &by_id)).or_default() += self_ns;
+            }
             if ev.parent == 0 || !dur_of.contains_key(&ev.parent) {
                 p.root_total_ns += dur;
             }
@@ -169,10 +214,14 @@ impl Profile {
         p
     }
 
-    /// Whether no spans and no timeline samples were captured (tracing was
-    /// off — the report's `profile` section will say so, not vanish).
+    /// Whether no spans, timeline samples or lock traffic were captured
+    /// (tracing was off — the report's `profile` section will say so, not
+    /// vanish).
     pub fn is_empty(&self) -> bool {
-        self.spans == 0 && self.timelines.values().all(|t| t.samples.is_empty())
+        self.spans == 0
+            && self.timelines.values().all(|t| t.samples.is_empty())
+            && self.locks.is_empty()
+            && self.fault_events.is_empty()
     }
 
     /// Deterministic JSON encoding, appended to `out` (no trailing
@@ -250,12 +299,96 @@ impl Profile {
             }
             out.push_str("}}");
         }
+        let _ = write!(out, "\n{indent}  }},\n{indent}  \"locks\": {{");
+        let _ = write!(out, "\n{indent}    \"tables\": {{");
+        first = true;
+        for (label, t) in &self.locks.tables {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{indent}      \"{label}\": {{\"space\": {}, \"acquires\": {}, \"waits\": {}, \
+                 \"wait_total_ns\": {}, \"wait_p99_ns\": {}, \"wait_max_ns\": {}, \
+                 \"holds\": {}, \"hold_total_ns\": {}, \"hold_p50_ns\": {}, \
+                 \"hold_p99_ns\": {}, \"hold_max_ns\": {}}}",
+                t.space,
+                t.acquires,
+                t.waits,
+                t.wait_total_ns,
+                t.wait_p99_ns,
+                t.wait_max_ns,
+                t.holds,
+                t.hold_total_ns,
+                t.hold_p50_ns,
+                t.hold_p99_ns,
+                t.hold_max_ns,
+            );
+        }
+        let _ = write!(out, "\n{indent}    }},\n{indent}    \"top\": [");
+        first = true;
+        for k in &self.locks.top {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{indent}      {{\"table\": \"{}\", \"space\": {}, \"key\": \"{}\", \
+                 \"waits\": {}, \"wait_total_ns\": {}, \"wait_max_ns\": {}}}",
+                k.table, k.space, k.key_hex, k.waits, k.wait_total_ns, k.wait_max_ns,
+            );
+        }
+        let _ = write!(out, "\n{indent}    ]\n{indent}  }},");
+        let _ = write!(out, "\n{indent}  \"fault_events\": [");
+        first = true;
+        for f in &self.fault_events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{indent}    {{\"at_ns\": {}, \"op\": \"{}\", \"node\": {}}}",
+                f.at_ns, f.op, f.node,
+            );
+        }
+        let _ = write!(out, "\n{indent}  ],\n{indent}  \"folded\": {{");
+        first = true;
+        for (stack, w) in &self.folded {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n{indent}    \"{stack}\": {w}");
+        }
         let _ = write!(out, "\n{indent}  }}\n{indent}}}");
     }
 }
 
 fn op_key(ev: &TraceEvent) -> String {
     format!("{}/{}", ev.component, ev.op)
+}
+
+/// Root-to-span stack of `component/op` frames joined by `;` — the folded
+/// line format flamegraph renderers (inferno et al.) consume. A span whose
+/// parent was evicted from the ring becomes a root frame, matching how
+/// root-time accounting treats it.
+fn folded_key(ev: &TraceEvent, by_id: &HashMap<u64, &TraceEvent>) -> String {
+    let mut frames = vec![op_key(ev)];
+    let mut parent = ev.parent;
+    while parent != 0 {
+        match by_id.get(&parent) {
+            Some(pe) => {
+                frames.push(op_key(pe));
+                parent = pe.parent;
+            }
+            None => break,
+        }
+    }
+    frames.reverse();
+    frames.join(";")
 }
 
 #[cfg(test)]
@@ -374,6 +507,74 @@ mod tests {
         assert!(
             a.contains("\"wal/flush\": {\"count\": 1, \"total_ns\": 4000, \"share_pct\": 40.00}")
         );
+    }
+
+    #[test]
+    fn folded_stacks_weighted_by_self_time() {
+        let p = Profile::from_events(&sample_events());
+        // commit self 5us, flush self 1us, append self 3us, lock 1us,
+        // pagestore root 2us; zero-weight stacks omitted.
+        assert_eq!(p.folded["core/commit"], 5_000);
+        assert_eq!(p.folded["core/commit;wal/flush"], 1_000);
+        assert_eq!(p.folded["core/commit;wal/flush;astore/append"], 3_000);
+        assert_eq!(p.folded["core/commit;lock/wait"], 1_000);
+        assert_eq!(p.folded["pagestore/ship"], 2_000);
+        // Folded self-times partition root time exactly.
+        assert_eq!(p.folded.values().sum::<u64>(), p.root_total_ns);
+    }
+
+    #[test]
+    fn fault_instants_lift_out_of_aggregates() {
+        let log = Arc::new(TraceLog::new(64));
+        log.enable();
+        let mut ctx = SimCtx::new(1, 7);
+        let sp = log.span(&ctx, "core", "commit");
+        log.instant(VTime::from_micros(3), "fault", "crash", 2);
+        ctx.advance(VTime::from_micros(10));
+        sp.finish(&ctx);
+        log.instant(VTime::from_micros(12), "fault", "restore", 2);
+        let p = Profile::from_events(&log.events());
+        assert_eq!(p.fault_events.len(), 2);
+        assert_eq!(p.fault_events[0].op, "crash");
+        assert_eq!(p.fault_events[0].at_ns, 3_000);
+        assert_eq!(p.fault_events[0].node, 2);
+        assert_eq!(p.fault_events[1].op, "restore");
+        // Not counted as spans/ops/roots/folded.
+        assert!(!p.ops.keys().any(|k| k.starts_with("fault/")));
+        assert!(!p.folded.keys().any(|k| k.contains("fault/")));
+        assert_eq!(p.root_total_ns, 10_000);
+    }
+
+    #[test]
+    fn lock_profile_rides_registry_snapshot() {
+        let reg = MetricsRegistry::new();
+        let c = reg.lock_contention();
+        c.set_label(7, "orders");
+        c.note_acquire(7);
+        c.note_wait(7, b"\x09", VTime::from_micros(4));
+        c.note_hold(7, VTime::from_micros(20));
+        let p = Profile::from_registry(&reg);
+        assert!(!p.is_empty());
+        assert_eq!(p.locks.tables["orders"].waits, 1);
+        assert_eq!(p.locks.top.len(), 1);
+        assert_eq!(p.locks.top[0].key_hex, "09");
+        let mut s = String::new();
+        p.write_json(&mut s, "  ");
+        assert!(s.contains("\"locks\""));
+        assert!(s.contains("\"orders\""));
+        assert!(s.contains("\"key\": \"09\""));
+    }
+
+    #[test]
+    fn json_carries_fault_and_folded_sections() {
+        let p = Profile::from_events(&sample_events());
+        let mut s = String::new();
+        p.write_json(&mut s, "  ");
+        assert!(s.contains("\"fault_events\": ["));
+        assert!(s.contains("\"folded\""));
+        assert!(s.contains("\"core/commit;wal/flush;astore/append\": 3000"));
+        assert!(s.contains("\"tables\""));
+        assert!(s.contains("\"top\": ["));
     }
 
     #[test]

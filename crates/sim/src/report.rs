@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::metrics::{LatencyRecorder, MetricsRegistry, TrialResult};
+use crate::metrics::{LatencyRecorder, MetricsRegistry, Timeline, TrialResult};
 use crate::profile::Profile;
 
 /// Five-number summary of a latency histogram, in integer nanoseconds.
@@ -55,6 +55,50 @@ impl LatencySummary {
     }
 }
 
+/// Saturation summary of one simulated resource (a `Resource` built with
+/// `with_metrics`): parallelism, totals, the wait/service split, and a
+/// steady-state utilization estimate from the trailing half of the
+/// resource's `util_busy_ns` timeline buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResourceSummary {
+    /// Parallel lanes (servers) of the resource.
+    pub lanes: i64,
+    /// Operations served.
+    pub ops: u64,
+    /// Total service time charged, ns.
+    pub busy_ns: u64,
+    /// Steady-state utilization in hundredths of a percent (integer math;
+    /// `1234` renders as `12.34`). Computed over the trailing half of the
+    /// sampled utilization buckets, so warm-up ramp is excluded.
+    pub steady_util_x100: u64,
+    /// Queueing-delay distribution (`start - now` per acquisition).
+    pub wait: LatencySummary,
+    /// Service-time distribution.
+    pub service: LatencySummary,
+}
+
+/// Steady-state utilization from a busy-ns-per-bucket timeline: sum the
+/// trailing half of the sampled buckets and divide by the covered bucket
+/// span times the lane count. Returns hundredths of a percent.
+fn steady_util_x100(tl: &Timeline, lanes: i64) -> u64 {
+    if lanes <= 0 {
+        return 0;
+    }
+    let samples = tl.snapshot();
+    if samples.is_empty() {
+        return 0;
+    }
+    let idxs: Vec<u64> = samples.keys().copied().collect();
+    let first = idxs[idxs.len() / 2];
+    let last = *idxs.last().unwrap();
+    let busy: i64 = samples.range(first..).map(|(_, v)| *v).sum();
+    let window = (last - first + 1) as u128 * tl.bucket_ns() as u128 * lanes as u128;
+    if window == 0 || busy <= 0 {
+        return 0;
+    }
+    (busy as u128 * 10_000 / window) as u64
+}
+
 /// One benchmark run, frozen for export (see module docs).
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -75,6 +119,11 @@ pub struct RunReport {
     /// Every registry latency histogram, summarised, keyed
     /// `"component.name"`.
     pub op_latencies: BTreeMap<String, LatencySummary>,
+    /// Per-resource saturation summaries, keyed by resource name
+    /// (`engine.cpu`, `astore-0.pmem`, …). A component counts as a
+    /// resource when it registered a `<name>.lanes` gauge — which
+    /// `Resource::with_metrics` does.
+    pub resources: BTreeMap<String, ResourceSummary>,
     /// Folded trace profile: per-op inclusive/self time, commit-phase
     /// accounting, timeline snapshots. Empty (but present in the JSON) when
     /// tracing was off for the run.
@@ -99,19 +148,55 @@ impl RunReport {
                 LatencySummary::from_recorder(&LatencyRecorder::new()),
             ),
         };
+        let counters = registry.counter_values();
+        let gauges = registry.gauge_values();
+        let op_latencies: BTreeMap<String, LatencySummary> = registry
+            .latency_handles()
+            .into_iter()
+            .map(|(k, r)| (k, LatencySummary::from_recorder(&r)))
+            .collect();
+        let timelines: BTreeMap<String, std::sync::Arc<Timeline>> =
+            registry.timeline_handles().into_iter().collect();
+        let empty = LatencySummary::from_recorder(&LatencyRecorder::new());
+        let resources: BTreeMap<String, ResourceSummary> = gauges
+            .iter()
+            .filter_map(|(k, lanes)| {
+                let name = k.strip_suffix(".lanes")?;
+                Some((
+                    name.to_string(),
+                    ResourceSummary {
+                        lanes: *lanes,
+                        ops: counters.get(&format!("{name}.ops")).copied().unwrap_or(0),
+                        busy_ns: counters
+                            .get(&format!("{name}.busy_ns"))
+                            .copied()
+                            .unwrap_or(0),
+                        steady_util_x100: timelines
+                            .get(&format!("{name}.util_busy_ns"))
+                            .map(|tl| steady_util_x100(tl, *lanes))
+                            .unwrap_or(0),
+                        wait: op_latencies
+                            .get(&format!("{name}.wait"))
+                            .cloned()
+                            .unwrap_or_else(|| empty.clone()),
+                        service: op_latencies
+                            .get(&format!("{name}.service"))
+                            .cloned()
+                            .unwrap_or_else(|| empty.clone()),
+                    },
+                ))
+            })
+            .collect();
         RunReport {
             name: name.to_string(),
             committed,
             aborted,
             window_ns,
             latency,
-            counters: registry.counter_values(),
-            gauges: registry.gauge_values(),
-            op_latencies: registry
-                .latency_handles()
-                .into_iter()
-                .map(|(k, r)| (k, LatencySummary::from_recorder(&r)))
-                .collect(),
+            counters,
+            gauges,
+            op_latencies,
+            resources,
             profile: Profile::from_registry(registry),
         }
     }
@@ -135,7 +220,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"vedb-bench-report/v2\",");
+        let _ = writeln!(out, "  \"schema\": \"vedb-bench-report/v3\",");
         let _ = writeln!(out, "  \"name\": \"{}\",", escape(&self.name));
         let _ = writeln!(out, "  \"committed\": {},", self.committed);
         let _ = writeln!(out, "  \"aborted\": {},", self.aborted);
@@ -171,9 +256,128 @@ impl RunReport {
             let _ = write!(out, "\n    \"{}\": ", escape(k));
             v.write_json(&mut out);
         }
+        out.push_str("\n  },\n  \"resources\": {");
+        first = true;
+        for (k, r) in &self.resources {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"lanes\": {}, \"ops\": {}, \"busy_ns\": {}, \
+                 \"steady_util_pct\": {}.{:02}, \"wait\": ",
+                escape(k),
+                r.lanes,
+                r.ops,
+                r.busy_ns,
+                r.steady_util_x100 / 100,
+                r.steady_util_x100 % 100,
+            );
+            r.wait.write_json(&mut out);
+            out.push_str(", \"service\": ");
+            r.service.write_json(&mut out);
+            out.push('}');
+        }
         out.push_str("\n  },\n  \"profile\": ");
         self.profile.write_json(&mut out, "  ");
         out.push_str("\n}\n");
+        out
+    }
+}
+
+impl RunReport {
+    /// One-screen `vedb-top`-style text summary: per-resource utilization
+    /// (busiest first), the top spans by self time, the top contended
+    /// locks, and any fault injections — what a bench run prints at the
+    /// end so saturation is visible without opening the JSON.
+    pub fn top_summary(&self) -> String {
+        use crate::time::VTime;
+        let ns = |v: u64| format!("{}", VTime::from_nanos(v));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== vedb-top: {} ({:.0} op/s over {}) ==",
+            self.name,
+            self.throughput(),
+            VTime::from_nanos(self.window_ns),
+        );
+
+        let mut res: Vec<(&String, &ResourceSummary)> = self.resources.iter().collect();
+        res.sort_by(|a, b| {
+            b.1.steady_util_x100
+                .cmp(&a.1.steady_util_x100)
+                .then(a.0.cmp(b.0))
+        });
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>5} {:>8} {:>7} {:>10} {:>10}",
+            "resource", "lanes", "ops", "util%", "wait p99", "svc p99"
+        );
+        for (name, r) in &res {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>5} {:>8} {:>4}.{:02} {:>10} {:>10}",
+                name,
+                r.lanes,
+                r.ops,
+                r.steady_util_x100 / 100,
+                r.steady_util_x100 % 100,
+                ns(r.wait.p99_ns),
+                ns(r.service.p99_ns),
+            );
+        }
+
+        let mut spans: Vec<(&String, &crate::profile::OpStat)> = self.profile.ops.iter().collect();
+        spans.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then(a.0.cmp(b.0)));
+        if !spans.is_empty() {
+            let _ = writeln!(out, "  top spans by self time:");
+            for (k, s) in spans.iter().take(8) {
+                let _ = writeln!(
+                    out,
+                    "    {:<28} count {:>8}  self {:>10}  incl {:>10}",
+                    k,
+                    s.count,
+                    ns(s.self_ns),
+                    ns(s.total_ns)
+                );
+            }
+        }
+
+        if !self.profile.locks.top.is_empty() {
+            let _ = writeln!(out, "  top contended locks:");
+            for l in self.profile.locks.top.iter().take(5) {
+                let _ = writeln!(
+                    out,
+                    "    {:<16} key {:<16} waits {:>6}  total {:>10}  max {:>10}",
+                    l.table,
+                    l.key_hex,
+                    l.waits,
+                    ns(l.wait_total_ns),
+                    ns(l.wait_max_ns)
+                );
+            }
+        }
+
+        if !self.profile.fault_events.is_empty() {
+            let _ = writeln!(
+                out,
+                "  fault injections: {} (first at {})",
+                self.profile.fault_events.len(),
+                ns(self.profile.fault_events[0].at_ns)
+            );
+        }
+        out
+    }
+
+    /// The profile's folded flamegraph stacks rendered as inferno-style
+    /// lines: `frame;frame;frame weight\n`, in deterministic (BTreeMap)
+    /// order. Empty string when tracing was off.
+    pub fn folded_stacks(&self) -> String {
+        let mut out = String::new();
+        for (stack, w) in &self.profile.folded {
+            let _ = writeln!(out, "{stack} {w}");
+        }
         out
     }
 }
@@ -234,7 +438,8 @@ mod tests {
         let a = rep.to_json();
         let b = rep.to_json();
         assert_eq!(a, b);
-        assert!(a.contains("\"schema\": \"vedb-bench-report/v2\""));
+        assert!(a.contains("\"schema\": \"vedb-bench-report/v3\""));
+        assert!(a.contains("\"resources\""));
         assert!(a.contains("\"profile\""));
         assert!(a.contains("\"fig\\\"x\\\"\""));
         assert!(a.contains("\"pmem.flushes\": 3"));
@@ -250,6 +455,70 @@ mod tests {
         let a = RunReport::collect("same", None, &sample_registry()).to_json();
         let b = RunReport::collect("same", None, &sample_registry()).to_json();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resources_discovered_via_lanes_gauge() {
+        use crate::resource::Resource;
+        let reg = sample_registry();
+        let r = Resource::with_metrics("astore-0.pmem", 2, &reg);
+        // Two back-to-back acquisitions: the second queues behind the
+        // first once both lanes fill, so wait histograms see traffic.
+        for _ in 0..3 {
+            r.acquire(VTime::ZERO, VTime::from_micros(10));
+        }
+        let rep = RunReport::collect("res", None, &reg);
+        let rs = &rep.resources["astore-0.pmem"];
+        assert_eq!(rs.lanes, 2);
+        assert_eq!(rs.ops, 3);
+        assert_eq!(rs.busy_ns, 30_000);
+        assert_eq!(rs.wait.count, 3);
+        assert_eq!(rs.service.count, 3);
+        assert_eq!(rs.service.mean_ns, 10_000);
+        assert_eq!(rs.service.max_ns, 10_000);
+        // Non-resource components don't leak into the section.
+        assert!(!rep.resources.contains_key("pmem"));
+        let json = rep.to_json();
+        assert!(json.contains("\"astore-0.pmem\": {\"lanes\": 2"));
+        assert!(json.contains("\"steady_util_pct\""));
+    }
+
+    #[test]
+    fn top_summary_is_one_screen_and_covers_sections() {
+        use crate::resource::Resource;
+        let reg = sample_registry();
+        let r = Resource::with_metrics("engine.cpu", 1, &reg);
+        r.acquire(VTime::ZERO, VTime::from_micros(50));
+        let c = reg.lock_contention();
+        c.set_label(3, "warehouse");
+        c.note_acquire(3);
+        c.note_wait(3, b"\x01", VTime::from_micros(9));
+        reg.trace().enable();
+        {
+            use crate::time::SimCtx;
+            let mut ctx = SimCtx::new(1, 7);
+            let sp = reg.trace().span(&ctx, "core", "commit");
+            ctx.advance(VTime::from_micros(4));
+            sp.finish(&ctx);
+        }
+        reg.trace()
+            .instant(VTime::from_micros(2), "fault", "crash", 1);
+        let mut trial = TrialResult::new(VTime::from_millis(10));
+        trial.committed = 42;
+        let rep = RunReport::collect("smoke", Some(&trial), &reg);
+        let top = rep.top_summary();
+        assert!(top.contains("vedb-top: smoke"));
+        assert!(top.contains("engine.cpu"));
+        assert!(top.contains("top spans by self time"));
+        assert!(top.contains("core/commit"));
+        assert!(top.contains("top contended locks"));
+        assert!(top.contains("warehouse"));
+        assert!(top.contains("fault injections: 1"));
+        // Folded export matches the profile and ends each line with the
+        // integer self-weight — the inferno folded-line contract.
+        let folded = rep.folded_stacks();
+        assert_eq!(folded, "core/commit 4000\n");
+        reg.trace().disable();
     }
 
     #[test]

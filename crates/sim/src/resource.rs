@@ -22,8 +22,11 @@
 //! saturation and latency blow-up under concurrency emerge naturally,
 //! which is the behaviour the paper's Figures 6, 7 and 13 hinge on.
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 
+use crate::metrics::{Counter, LatencyRecorder, MetricsRegistry, Timeline};
 use crate::time::VTime;
 
 /// How much history a lane retains. Reservations ending further than this
@@ -85,11 +88,23 @@ struct State {
     ops: u64,
 }
 
+/// Metric handles a resource publishes into when built with
+/// [`Resource::with_metrics`]: the wait/service split, total busy time and
+/// op counts, plus a busy-ns-per-bucket utilization [`Timeline`].
+struct ResourceMetrics {
+    wait: Arc<LatencyRecorder>,
+    service: Arc<LatencyRecorder>,
+    busy_ns: Arc<Counter>,
+    ops: Arc<Counter>,
+    util: Arc<Timeline>,
+}
+
 /// A named, contended resource with `k` parallel lanes.
 pub struct Resource {
     name: String,
     state: Mutex<State>,
     n_lanes: usize,
+    metrics: Option<ResourceMetrics>,
 }
 
 impl Resource {
@@ -108,7 +123,35 @@ impl Resource {
                 ops: 0,
             }),
             n_lanes: lanes,
+            metrics: None,
         }
+    }
+
+    /// Like [`new`](Self::new), publishing this resource's saturation
+    /// metrics into `registry` under its own name as the component:
+    ///
+    /// * `<name>.wait` / `<name>.service` latency histograms — every
+    ///   acquisition split into queueing delay (`start - now`) and service
+    ///   time, so `wait + service` equals the caller-observed latency
+    ///   exactly;
+    /// * `<name>.busy_ns` / `<name>.ops` counters (totals);
+    /// * `<name>.lanes` gauge — marks the component as a resource for
+    ///   report discovery and carries the parallelism for utilization math;
+    /// * `<name>.util_busy_ns` timeline — per-bucket busy nanoseconds
+    ///   (bucket utilization = value / (bucket_ns × lanes)).
+    pub fn with_metrics(name: impl Into<String>, lanes: usize, registry: &MetricsRegistry) -> Self {
+        let name = name.into();
+        registry.gauge(name.clone(), "lanes").set(lanes as i64);
+        let metrics = ResourceMetrics {
+            wait: registry.latency(name.clone(), "wait"),
+            service: registry.latency(name.clone(), "service"),
+            busy_ns: registry.counter(name.clone(), "busy_ns"),
+            ops: registry.counter(name.clone(), "ops"),
+            util: registry.timeline(name.clone(), "util_busy_ns"),
+        };
+        let mut r = Self::new(name, lanes);
+        r.metrics = Some(metrics);
+        r
     }
 
     /// Name given at construction (for reports).
@@ -152,6 +195,17 @@ impl Resource {
         st.lanes[li].reserve(start, end, idx);
         st.total_busy_ns += svc;
         st.ops += 1;
+        drop(st);
+        if let Some(m) = &self.metrics {
+            // By construction start >= now and end == start + svc, so
+            // wait + service == end - now exactly (the conservation the
+            // attribution proptest pins).
+            m.wait.record(VTime::from_nanos(start - now_ns));
+            m.service.record(service);
+            m.busy_ns.add(svc);
+            m.ops.inc();
+            m.util.add_busy(start, end);
+        }
         VTime::from_nanos(end)
     }
 
@@ -331,5 +385,72 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn zero_lanes_panics() {
         let _ = Resource::new("bad", 0);
+    }
+
+    #[test]
+    fn history_pruning_never_undercounts_total_busy() {
+        // Regression guard for the utilization accounting: `HISTORY_NS`
+        // pruning drains old lane *reservations* (calendar slots) but must
+        // never touch `total_busy_ns`, which accumulates independently per
+        // acquire. Drive a long-lived single-lane resource far past the
+        // 50ms history horizon (pruning runs every 64 ops) and check every
+        // charged nanosecond is still accounted.
+        let r = Resource::new("pmem", 1);
+        let svc = VTime::from_micros(100);
+        let step = VTime::from_millis(2);
+        let n: u64 = 1000; // spans 2s of virtual time, 40x the horizon
+        for i in 0..n {
+            r.acquire(step * i, svc);
+        }
+        assert_eq!(r.total_busy(), svc * n);
+        assert_eq!(r.ops(), n);
+        // The lanes themselves were pruned (bounded memory), proving the
+        // horizon actually passed through the calendar.
+        let slots: usize = r.state.lock().lanes.iter().map(|l| l.slots.len()).sum();
+        assert!(
+            slots < (n as usize) / 2,
+            "pruning never ran: {slots} slots retained"
+        );
+    }
+
+    #[test]
+    fn attached_resource_splits_wait_and_service() {
+        let reg = MetricsRegistry::new();
+        let r = Resource::with_metrics("disk", 1, &reg);
+        let d1 = r.acquire(VTime::ZERO, VTime::from_micros(10));
+        let d2 = r.acquire(VTime::ZERO, VTime::from_micros(10));
+        assert_eq!(d1, VTime::from_micros(10));
+        assert_eq!(d2, VTime::from_micros(20)); // queued 10us behind d1
+        let lats = reg.latency_handles();
+        let get = |name: &str| {
+            lats.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, h)| Arc::clone(h))
+                .unwrap()
+        };
+        let wait = get("disk.wait");
+        let service = get("disk.service");
+        assert_eq!(wait.count(), 2);
+        assert_eq!(wait.total(), VTime::from_micros(10)); // 0 + 10us
+        assert_eq!(service.total(), VTime::from_micros(20));
+        // wait + service == total caller-observed latency (20us + 20us).
+        assert_eq!(
+            wait.total() + service.total(),
+            (d1 - VTime::ZERO) + (d2 - VTime::ZERO)
+        );
+        assert_eq!(reg.gauge_values()["disk.lanes"], 1);
+        assert_eq!(reg.counter_values()["disk.busy_ns"], 20_000);
+        assert_eq!(reg.counter_values()["disk.ops"], 2);
+        // Both 10us services land in utilization bucket 0 (1ms buckets).
+        let tl = &reg.timeline_handles()[0];
+        assert_eq!(tl.0, "disk.util_busy_ns");
+        assert_eq!(tl.1.snapshot()[&0], 20_000);
+    }
+
+    #[test]
+    fn detached_resource_records_nothing() {
+        let r = Resource::new("disk", 1);
+        r.acquire(VTime::ZERO, VTime::from_micros(10));
+        assert!(r.metrics.is_none());
     }
 }

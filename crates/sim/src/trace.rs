@@ -158,6 +158,32 @@ impl TraceLog {
         }
     }
 
+    /// Record an instantaneous event: a zero-length root span at virtual
+    /// time `at` (no open-span stack involvement, so it can be called from
+    /// code that has no [`SimCtx`], e.g. fault injection). `client` carries
+    /// the subject's identity — for fault events, the node id. No-op when
+    /// the log is disabled.
+    pub fn instant(&self, at: VTime, component: &'static str, op: &'static str, client: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut buf = self.buf.lock();
+        if buf.events.len() >= self.cap.load(Ordering::Relaxed) {
+            buf.events.pop_front();
+        }
+        buf.events.push_back(TraceEvent {
+            id,
+            parent: 0,
+            client,
+            component,
+            op,
+            start: at,
+            end: at,
+            abandoned: false,
+        });
+    }
+
     fn close(&self, inner: SpanInner, end: VTime, abandoned: bool) {
         let mut buf = self.buf.lock();
         if let Some(stack) = buf.open.get_mut(&inner.client) {
@@ -394,6 +420,28 @@ mod tests {
         assert_eq!(log.len(), 3);
         let evs = log.events();
         assert_eq!(evs[0].id, 5);
+    }
+
+    #[test]
+    fn instants_are_zero_length_roots_and_respect_disable() {
+        let log = Arc::new(TraceLog::new(16));
+        log.instant(VTime::from_millis(1), "fault", "crash", 2);
+        assert!(log.is_empty(), "disabled log must drop instants");
+        log.enable();
+        let ctx = SimCtx::new(1, 7);
+        let sp = log.span(&ctx, "core", "commit");
+        log.instant(VTime::from_millis(3), "fault", "crash", 2);
+        sp.finish(&ctx);
+        let evs = log.events();
+        assert_eq!(evs.len(), 2);
+        let fault = &evs[0];
+        assert_eq!(fault.component, "fault");
+        assert_eq!(fault.parent, 0, "instants never nest under open spans");
+        assert_eq!(fault.client, 2);
+        assert_eq!(fault.start, fault.end);
+        assert!(!fault.abandoned);
+        // The open-span stack was untouched: commit still closes as a root.
+        assert_eq!(evs[1].parent, 0);
     }
 
     #[test]

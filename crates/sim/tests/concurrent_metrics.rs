@@ -10,7 +10,6 @@
 //! by construction).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 use vedb_sim::{LatencyRecorder, MetricsRegistry, RecoveryCounters, VTime};
 
