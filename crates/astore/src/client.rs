@@ -81,6 +81,9 @@ struct SegMeta {
 struct ClientStats {
     registry: Arc<MetricsRegistry>,
     appends: Arc<Counter>,
+    /// Records carried by appends; `batch_records / appends` is the
+    /// group-commit consolidation ratio as seen by the store.
+    batch_records: Arc<Counter>,
     append_bytes: Arc<Counter>,
     reads: Arc<Counter>,
     read_bytes: Arc<Counter>,
@@ -93,6 +96,7 @@ impl ClientStats {
     fn register(registry: Arc<MetricsRegistry>) -> Self {
         ClientStats {
             appends: registry.counter("astore", "appends"),
+            batch_records: registry.counter("astore", "batch_records"),
             append_bytes: registry.counter("astore", "append_bytes"),
             reads: registry.counter("astore", "reads"),
             read_bytes: registry.counter("astore", "read_bytes"),
@@ -588,8 +592,100 @@ impl AStoreClient {
         }
     }
 
-    /// Append `data` to the segment (the §IV-B write path) with the options
-    /// in `opts`. Returns the segment-relative offset the data landed at.
+    /// Append a batch of `records` to the segment in one §IV-B write —
+    /// **the primitive append**. The batch takes a single reservation
+    /// (records land back to back at the current segment length), every
+    /// record becomes its own WRITE work request in one chain per replica,
+    /// the io-meta WRITE covering the *whole* batch is chained after them,
+    /// and one doorbell rings the lot out. Returns each record's
+    /// segment-relative offset.
+    ///
+    /// Durability contract: when this returns `Ok`, every record of the
+    /// batch is persistent on every replica — there is no partially-durable
+    /// prefix observable through the io-meta, because the length update is
+    /// the chain's final WRITE.
+    ///
+    /// [`append_with`](Self::append_with) is the single-record wrapper.
+    pub fn append_batch(
+        &self,
+        ctx: &mut SimCtx,
+        handle: SegmentHandle,
+        records: &[&[u8]],
+    ) -> Result<Vec<u64>> {
+        self.append_records(ctx, handle, records, &[])
+    }
+
+    /// Shared implementation of the batch append: `records` back to back,
+    /// an optional speculative `tail` after the last record (not counted in
+    /// the segment length), and the covering io-meta — all in one chained
+    /// work request per replica.
+    fn append_records(
+        &self,
+        ctx: &mut SimCtx,
+        handle: SegmentHandle,
+        records: &[&[u8]],
+        tail: &[u8],
+    ) -> Result<Vec<u64>> {
+        assert!(!records.is_empty(), "empty batches are not meaningful");
+        assert!(
+            records.iter().all(|r| !r.is_empty()),
+            "empty appends are not meaningful"
+        );
+        let t0 = ctx.now();
+        let sp = self.stats.trace.span(ctx, "astore", "append");
+        self.charge_sdk(ctx);
+        // A frozen segment gets one shot at un-freezing — the CM may have
+        // repaired the replica set since the failed write that froze it.
+        if self.is_frozen(handle) && !self.try_unfreeze(ctx, handle)? {
+            return Err(AStoreError::SegmentFrozen(handle.id));
+        }
+        let data_len: u64 = records.iter().map(|r| r.len() as u64).sum();
+        let (base, new_len) = {
+            let segs = self.segs.lock();
+            let meta = segs
+                .get(&handle.id)
+                .ok_or(AStoreError::UnknownSegment(handle.id))?;
+            if meta.frozen {
+                return Err(AStoreError::SegmentFrozen(handle.id));
+            }
+            let end = meta.len + data_len + tail.len() as u64;
+            if end > meta.capacity {
+                return Err(AStoreError::SegmentFull {
+                    used: meta.len,
+                    capacity: meta.capacity,
+                });
+            }
+            (meta.len, meta.len + data_len)
+        };
+        let len_bytes = new_len.to_le_bytes();
+        let mut writes: Vec<(u64, &[u8])> = Vec::with_capacity(records.len() + 2);
+        let mut offsets = Vec::with_capacity(records.len());
+        let mut off = base;
+        for rec in records {
+            writes.push((off, rec));
+            offsets.push(off);
+            off += rec.len() as u64;
+        }
+        if !tail.is_empty() {
+            writes.push((off, tail));
+        }
+        writes.push((u64::MAX, &len_bytes)); // io-meta, chained (final WRITE)
+        self.fanout_write(ctx, handle, &writes)?;
+        if let Some(m) = self.segs.lock().get_mut(&handle.id) {
+            m.len = new_len;
+        }
+        self.stats.appends.inc();
+        self.stats.batch_records.add(records.len() as u64);
+        self.stats.append_bytes.add(data_len);
+        self.stats.append_lat.record(ctx.now() - t0);
+        sp.finish(ctx);
+        Ok(offsets)
+    }
+
+    /// Append `data` to the segment with the options in `opts` — the
+    /// documented **single-record wrapper** over the batch primitive
+    /// [`append_batch`](Self::append_batch). Returns the segment-relative
+    /// offset the data landed at.
     ///
     /// `opts.tail` additionally writes bytes *after* the record without
     /// advancing the segment length (the EBP writer lays down a zeroed
@@ -601,57 +697,19 @@ impl AStoreClient {
         data: &[u8],
         opts: AppendOpts<'_>,
     ) -> Result<u64> {
-        assert!(!data.is_empty(), "empty appends are not meaningful");
-        let t0 = ctx.now();
-        let sp = self.stats.trace.span(ctx, "astore", "append");
-        self.charge_sdk(ctx);
         let tail = opts.tail.unwrap_or(&[]);
-        // A frozen segment gets one shot at un-freezing — the CM may have
-        // repaired the replica set since the failed write that froze it.
-        if self.is_frozen(handle) && !self.try_unfreeze(ctx, handle)? {
-            return Err(AStoreError::SegmentFrozen(handle.id));
-        }
-        let (off, new_len) = {
-            let segs = self.segs.lock();
-            let meta = segs
-                .get(&handle.id)
-                .ok_or(AStoreError::UnknownSegment(handle.id))?;
-            if meta.frozen {
-                return Err(AStoreError::SegmentFrozen(handle.id));
-            }
-            let end = meta.len + (data.len() + tail.len()) as u64;
-            if end > meta.capacity {
-                return Err(AStoreError::SegmentFull {
-                    used: meta.len,
-                    capacity: meta.capacity,
-                });
-            }
-            (meta.len, meta.len + data.len() as u64)
-        };
-        let len_bytes = new_len.to_le_bytes();
-        let mut writes: Vec<(u64, &[u8])> = vec![(off, data)];
-        if !tail.is_empty() {
-            writes.push((off + data.len() as u64, tail));
-        }
-        writes.push((u64::MAX, &len_bytes)); // io-meta, chained (2nd WRITE)
-        self.fanout_write(ctx, handle, &writes)?;
-        if let Some(m) = self.segs.lock().get_mut(&handle.id) {
-            m.len = new_len;
-        }
-        self.stats.appends.inc();
-        self.stats.append_bytes.add(data.len() as u64);
-        self.stats.append_lat.record(ctx.now() - t0);
-        sp.finish(ctx);
-        Ok(off)
+        Ok(self.append_records(ctx, handle, &[data], tail)?[0])
     }
 
-    /// Append `data` to the segment.
+    /// Append `data` to the segment — single-record wrapper over
+    /// [`append_batch`](Self::append_batch).
     #[deprecated(note = "use `append_with(ctx, handle, data, AppendOpts::new())`")]
     pub fn append(&self, ctx: &mut SimCtx, handle: SegmentHandle, data: &[u8]) -> Result<u64> {
         self.append_with(ctx, handle, data, AppendOpts::new())
     }
 
-    /// Append `data` followed by a speculative `tail` write.
+    /// Append `data` followed by a speculative `tail` write —
+    /// single-record wrapper over [`append_batch`](Self::append_batch).
     #[deprecated(note = "use `append_with(ctx, handle, data, AppendOpts::new().with_tail(tail))`")]
     pub fn append_with_tail(
         &self,

@@ -254,57 +254,87 @@ impl SegmentRing {
     }
 
     /// Append one REDO record; returns its assigned LSN (persistence
-    /// order, §III). Handles segment-full advancement and replica-failure
-    /// replacement transparently.
+    /// order, §III) — single-record wrapper over
+    /// [`append_batch`](Self::append_batch).
     pub fn append(&self, ctx: &mut SimCtx, record: &[u8]) -> Result<Lsn> {
-        assert!(!record.is_empty());
-        assert!(
-            (record.len() as u64) <= self.seg_capacity - RING_HDR_SIZE,
-            "record larger than a segment"
-        );
-        let (mut active, lsn) = {
-            let st = self.state.lock();
-            (st.active, st.next_lsn)
-        };
-        // A previous failed write may have left the active slot in Error
-        // with no replacement (e.g. the cluster was too degraded to create
-        // one). Replace it now that we are asked to write again.
-        if self.state.lock().slots[active].status == SlotStatus::Error {
-            self.replace_slot(ctx, active, lsn)?;
+        Ok(self.append_batch(ctx, &[record])?[0])
+    }
+
+    /// Append a batch of REDO records in ring order with **one
+    /// reservation** — the primitive append. All records that fit the
+    /// active segment go down as a single [`AStoreClient::append_batch`]
+    /// (one chained work request per replica); the batch only splits at a
+    /// segment boundary. Returns each record's assigned LSN, dense and in
+    /// argument order. Handles segment-full advancement and
+    /// replica-failure replacement transparently, exactly like the
+    /// single-record path always did.
+    pub fn append_batch(&self, ctx: &mut SimCtx, records: &[&[u8]]) -> Result<Vec<Lsn>> {
+        assert!(!records.is_empty());
+        for record in records {
+            assert!(!record.is_empty());
+            assert!(
+                (record.len() as u64) <= self.seg_capacity - RING_HDR_SIZE,
+                "record larger than a segment"
+            );
         }
-        // Advance to the next slot if the record does not fit.
-        let used = self
-            .client
-            .segment_len(self.state.lock().slots[active].handle);
-        if used + record.len() as u64 > self.seg_capacity {
-            self.freeze_slot(ctx, active, SlotStatus::Full)?;
-            let next = (active + 1) % self.state.lock().slots.len();
-            if self.state.lock().slots[next].status != SlotStatus::Empty {
-                return Err(AStoreError::LogFull);
+        let mut lsns = Vec::with_capacity(records.len());
+        let mut rest = records;
+        while !rest.is_empty() {
+            let (active, lsn) = {
+                let st = self.state.lock();
+                (st.active, st.next_lsn)
+            };
+            // A previous failed write may have left the active slot in
+            // Error with no replacement (e.g. the cluster was too degraded
+            // to create one). Replace it now that we write again.
+            if self.state.lock().slots[active].status == SlotStatus::Error {
+                self.replace_slot(ctx, active, lsn)?;
             }
-            self.open_slot(ctx, next, lsn)?;
-            self.state.lock().active = next;
-            active = next;
-        }
-        let handle = self.state.lock().slots[active].handle;
-        match self
-            .client
-            .append_with(ctx, handle, record, AppendOpts::new())
-        {
-            Ok(_) => {}
-            Err(e) if e.is_segment_unwritable() || e.is_retryable() => {
-                // §V-E, after the client's own retry budget is spent: close
-                // the failed segment, create a new one, retry once there.
-                self.freeze_slot(ctx, active, SlotStatus::Error)?;
-                let new_handle = self.replace_slot(ctx, active, lsn)?;
-                self.client
-                    .append_with(ctx, new_handle, record, AppendOpts::new())?;
+            // Take the longest record prefix that fits the active segment.
+            let used = self
+                .client
+                .segment_len(self.state.lock().slots[active].handle);
+            let room = self.seg_capacity.saturating_sub(used);
+            let mut take = 0usize;
+            let mut bytes = 0u64;
+            while take < rest.len() && bytes + rest[take].len() as u64 <= room {
+                bytes += rest[take].len() as u64;
+                take += 1;
             }
-            Err(e) => return Err(e),
+            if take == 0 {
+                // Not even one record fits: advance to the next slot.
+                self.freeze_slot(ctx, active, SlotStatus::Full)?;
+                let next = (active + 1) % self.state.lock().slots.len();
+                if self.state.lock().slots[next].status != SlotStatus::Empty {
+                    return Err(AStoreError::LogFull);
+                }
+                self.open_slot(ctx, next, lsn)?;
+                self.state.lock().active = next;
+                continue;
+            }
+            let sub = &rest[..take];
+            let handle = self.state.lock().slots[active].handle;
+            match self.client.append_batch(ctx, handle, sub) {
+                Ok(_) => {}
+                Err(e) if e.is_segment_unwritable() || e.is_retryable() => {
+                    // §V-E, after the client's own retry budget is spent:
+                    // close the failed segment, create a new one, retry the
+                    // same sub-batch once there.
+                    self.freeze_slot(ctx, active, SlotStatus::Error)?;
+                    let new_handle = self.replace_slot(ctx, active, lsn)?;
+                    self.client.append_batch(ctx, new_handle, sub)?;
+                }
+                Err(e) => return Err(e),
+            }
+            let mut cur = lsn;
+            for record in sub {
+                lsns.push(cur);
+                cur += record.len() as u64;
+            }
+            self.state.lock().next_lsn = cur;
+            rest = &rest[take..];
         }
-        let mut st = self.state.lock();
-        st.next_lsn = lsn + record.len() as u64;
-        Ok(lsn)
+        Ok(lsns)
     }
 
     /// Recycle every frozen segment whose entire LSN range is below

@@ -157,6 +157,11 @@ impl AStoreServer {
 
     /// Absolute device offset of the client-maintained `used_len` io-meta
     /// for the slot whose data starts at `slot_data_offset`.
+    ///
+    /// One io-meta WRITE covers an entire batched append: the client
+    /// chains every record of the batch before the single `used_len`
+    /// update, so the server-visible length only ever moves to a
+    /// whole-batch boundary (no partially-durable batch is observable).
     pub fn io_meta_offset(&self, slot_data_offset: u64) -> u64 {
         let slot = ((slot_data_offset - self.geo.data_base()) / self.geo.slot_size) as usize;
         self.geo.meta_offset(slot) + crate::layout::IO_META_USED_OFFSET

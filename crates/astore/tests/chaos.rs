@@ -182,6 +182,64 @@ fn ring_traffic_rides_through_replica_crash() {
     assert!(client.recovery_counters().retries() >= 1);
 }
 
+/// ISSUE 8 group-commit scenario: the segment leader (first replica of
+/// the active route) crashes in the middle of a stream of *batched* group
+/// flushes driven through [`SegmentRing::append_batch`]. Invariants:
+///
+/// * **Zero acked-but-lost commits** — every batch that returned `Ok` is
+///   readable afterwards, byte for byte.
+/// * **No reordering across the batch boundary** — LSNs stay dense and in
+///   submission order through the crash, and the recovered REDO stream is
+///   exactly the acked batches concatenated in order.
+#[test]
+fn leader_crash_mid_group_flush_keeps_every_acked_batch() {
+    let c = cluster(VTime::from_secs(3600));
+    let mut ctx = SimCtx::new(1, 0x6C07);
+    let client = connect(&c, &mut ctx, 1, RetryPolicy::default());
+    let ring = SegmentRing::create(&mut ctx, Arc::clone(&client), 6, 0).unwrap();
+    let victim = client.cached_route(ring.segment_ids()[0]).unwrap().replicas[0].node;
+
+    let mut expected = Vec::new();
+    let mut idx = 0usize;
+    for batch_no in 0..40 {
+        // Consolidated group: 2–6 commit-sized records per flush.
+        let group: Vec<Vec<u8>> = (0..2 + (batch_no * 7) % 5)
+            .map(|_| {
+                let r = record(idx);
+                idx += 1;
+                r
+            })
+            .collect();
+        let refs: Vec<&[u8]> = group.iter().map(|r| r.as_slice()).collect();
+        if batch_no == 20 {
+            // Kill the segment leader with this batch in flight.
+            c.env.faults.crash_at(ctx.now(), victim);
+        }
+        let lsns = ring
+            .append_batch(&mut ctx, &refs)
+            .unwrap_or_else(|e| panic!("batch {batch_no} must not surface an error, got {e}"));
+        let mut cur = expected.len() as u64;
+        for (lsn, rec) in lsns.iter().zip(&group) {
+            assert_eq!(
+                *lsn, cur,
+                "batch {batch_no}: LSNs must stay dense and ordered across the crash"
+            );
+            cur += rec.len() as u64;
+        }
+        for rec in &group {
+            expected.extend_from_slice(rec);
+        }
+    }
+
+    let (start, bytes) = ring.read_from(&mut ctx, 0).unwrap();
+    assert_eq!(start, 0);
+    assert_eq!(
+        bytes, expected,
+        "every acked batch must survive the leader crash, in submission order"
+    );
+    assert!(client.recovery_counters().retries() >= 1);
+}
+
 /// Sustained 1% message loss over a long append+read workload: every
 /// operation completes, and the total retry count stays near the expected
 /// loss rate rather than exploding (bounded backoff, no retry storms).

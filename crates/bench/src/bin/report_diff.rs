@@ -10,6 +10,11 @@
 //!   --max-util-drift <pp>       gate steady-state resource-utilization drift,
 //!                               percentage points either direction
 //!                               (default: report only)
+//!   --assert-counter-ratio-lt <num/den> <x>
+//!                               gate the NEW report on counters[num]/counters[den] < x
+//!                               (repeatable; missing/zero denominator fails)
+//!   --assert-counter-lt <a> <b> gate the NEW report on counters[a] < counters[b]
+//!                               (repeatable)
 //! ```
 //!
 //! Exit codes: 0 clean, 1 a gated metric regressed, 2 usage/parse error.
@@ -22,7 +27,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: report_diff <baseline.json> <new.json> \
          [--max-tput-drop F] [--max-p50-rise F] [--max-p99-rise F] \
-         [--max-phase-shift-pp PP] [--max-util-drift PP]"
+         [--max-phase-shift-pp PP] [--max-util-drift PP] \
+         [--assert-counter-ratio-lt NUM/DEN X]... [--assert-counter-lt A B]..."
     );
     ExitCode::from(2)
 }
@@ -78,6 +84,24 @@ fn main() -> ExitCode {
                 }
                 th.max_util_drift_pp = Some(pp);
             }
+            "--assert-counter-ratio-lt" => {
+                let pair = it.next();
+                let limit = it.next().and_then(|v| v.parse::<f64>().ok());
+                match (pair.and_then(|p| p.split_once('/')), limit) {
+                    (Some((num, den)), Some(x))
+                        if !num.is_empty() && !den.is_empty() && x > 0.0 =>
+                    {
+                        th.counter_ratio_lt.push((num.into(), den.into(), x));
+                    }
+                    _ => return usage(),
+                }
+            }
+            "--assert-counter-lt" => match (it.next(), it.next()) {
+                (Some(a), Some(b)) if !a.starts_with('-') && !b.starts_with('-') => {
+                    th.counter_lt.push((a.clone(), b.clone()));
+                }
+                _ => return usage(),
+            },
             "--help" | "-h" => return usage(),
             p if !p.starts_with('-') => paths.push(p.to_string()),
             _ => return usage(),

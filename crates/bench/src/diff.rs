@@ -328,6 +328,16 @@ pub struct Thresholds {
     /// points (either direction — a device suddenly idling flags a broken
     /// path as surely as one saturating); `None` reports without gating.
     pub max_util_drift_pp: Option<f64>,
+    /// Absolute gates on the *new* report: each `(num, den, limit)` asserts
+    /// `counters[num] / counters[den] < limit`. Used for invariants that
+    /// hold regardless of the baseline — e.g. the group-commit gate
+    /// `core.wal_flushes / core.txn_commits < 0.5`. A missing or zero
+    /// denominator fails the gate (the invariant is unverifiable).
+    pub counter_ratio_lt: Vec<(String, String, f64)>,
+    /// Absolute gates on the *new* report: each `(a, b)` asserts
+    /// `counters[a] < counters[b]` — e.g. `rdma.doorbells < rdma.wrs`
+    /// proves multi-WR chains actually share doorbells.
+    pub counter_lt: Vec<(String, String)>,
 }
 
 impl Default for Thresholds {
@@ -338,6 +348,8 @@ impl Default for Thresholds {
             max_p99_rise: 0.20,
             max_phase_shift_pp: None,
             max_util_drift_pp: None,
+            counter_ratio_lt: Vec::new(),
+            counter_lt: Vec::new(),
         }
     }
 }
@@ -542,6 +554,50 @@ pub fn diff(base: &ReportSummary, new: &ReportSummary, th: &Thresholds) -> DiffO
         }
     }
 
+    // Absolute counter gates, evaluated against the new report only.
+    for (num, den, limit) in &th.counter_ratio_lt {
+        let n = new.counters.get(num).copied().unwrap_or(0.0);
+        let d = new.counters.get(den).copied().unwrap_or(0.0);
+        let (shown, ok) = if d > 0.0 {
+            (n / d, n / d < *limit)
+        } else {
+            (f64::NAN, false)
+        };
+        let _ = writeln!(
+            table,
+            "{:<28} {:>14} {:>14.3} {:>9}  {}",
+            format!("assert {num}/{den}"),
+            format!("< {limit}"),
+            shown,
+            "",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            regressions.push(if d > 0.0 {
+                format!("{num}/{den}: {n:.0}/{d:.0} = {shown:.3} not below {limit}")
+            } else {
+                format!("{num}/{den}: denominator `{den}` missing or zero")
+            });
+        }
+    }
+    for (a, b) in &th.counter_lt {
+        let av = new.counters.get(a).copied().unwrap_or(0.0);
+        let bv = new.counters.get(b).copied().unwrap_or(0.0);
+        let ok = av < bv;
+        let _ = writeln!(
+            table,
+            "{:<28} {:>14.0} {:>14.0} {:>9}  {}",
+            format!("assert {a} < {b}"),
+            av,
+            bv,
+            "",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            regressions.push(format!("{a} ({av:.0}) not below {b} ({bv:.0})"));
+        }
+    }
+
     DiffOutcome { table, regressions }
 }
 
@@ -707,6 +763,49 @@ mod tests {
         // Within budget passes.
         let near = summary_util(43.0); // +3pp
         assert!(!diff(&base, &near, &strict).regressed());
+    }
+
+    #[test]
+    fn counter_ratio_gate_checks_new_report_only() {
+        // Fixture counters: core.commits = 100, astore.appends = 40.
+        let s = summary(5000.0, 20, 80, 40, 60);
+        let pass = Thresholds {
+            counter_ratio_lt: vec![("astore.appends".into(), "core.commits".into(), 0.5)],
+            ..Thresholds::default()
+        };
+        assert!(!diff(&s, &s, &pass).regressed());
+        let fail = Thresholds {
+            counter_ratio_lt: vec![("astore.appends".into(), "core.commits".into(), 0.3)],
+            ..Thresholds::default()
+        };
+        let out = diff(&s, &s, &fail);
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("not below 0.3"), "{out:?}");
+        // A missing denominator is a failure, not a silent pass.
+        let missing = Thresholds {
+            counter_ratio_lt: vec![("astore.appends".into(), "no.such".into(), 0.5)],
+            ..Thresholds::default()
+        };
+        let out = diff(&s, &s, &missing);
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("missing or zero"));
+    }
+
+    #[test]
+    fn counter_lt_gate_checks_new_report_only() {
+        let s = summary(5000.0, 20, 80, 40, 60);
+        let pass = Thresholds {
+            counter_lt: vec![("astore.appends".into(), "core.commits".into())],
+            ..Thresholds::default()
+        };
+        assert!(!diff(&s, &s, &pass).regressed());
+        let fail = Thresholds {
+            counter_lt: vec![("core.commits".into(), "astore.appends".into())],
+            ..Thresholds::default()
+        };
+        let out = diff(&s, &s, &fail);
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("not below"));
     }
 
     #[test]

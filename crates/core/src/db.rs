@@ -43,7 +43,9 @@ use crate::ebp::{Ebp, EbpConfig};
 use crate::lock::{LockManager, LockMode};
 use crate::row::{decode_row, encode_key, encode_row, Row, Value};
 use crate::txn::{TxnHandle, TxnStatus};
-use crate::wal::{BlobGroupLog, LogBackend, RingLog, UndoInfo, UndoOp, Wal, WalRecord};
+use crate::wal::{
+    BlobGroupLog, FlushPolicy, LogBackend, RingLog, UndoInfo, UndoOp, Wal, WalRecord,
+};
 use crate::{EngineError, Result};
 
 /// Which log backend the engine uses — the paper's central switch.
@@ -86,6 +88,9 @@ pub struct DbConfig {
     /// Fault-recovery policy for the engine's AStore client: retries,
     /// backoff, lease renewal and replica failover all run under this.
     pub retry: RetryPolicy,
+    /// Commit-path flush policy: per-commit flushes (default) or
+    /// group-commit consolidation (see [`FlushPolicy`]).
+    pub flush: FlushPolicy,
 }
 
 impl Default for DbConfig {
@@ -99,6 +104,7 @@ impl Default for DbConfig {
             lock_timeout: Duration::from_millis(200),
             auto_checkpoint_bytes: 2 << 20,
             retry: RetryPolicy::default(),
+            flush: FlushPolicy::PerCommit,
         }
     }
 }
@@ -168,6 +174,12 @@ impl DbConfigBuilder {
         self
     }
 
+    /// Commit-path flush policy (per-commit or group-commit consolidation).
+    pub fn flush_policy(mut self, policy: FlushPolicy) -> Self {
+        self.cfg.flush = policy;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<DbConfig> {
         let c = &self.cfg;
@@ -196,6 +208,22 @@ impl DbConfigBuilder {
             if ebp.capacity_bytes == 0 {
                 return Err(EngineError::Config(
                     "ebp capacity_bytes must be at least 1".into(),
+                ));
+            }
+        }
+        if let FlushPolicy::Group {
+            max_batch_bytes,
+            max_wait,
+        } = c.flush
+        {
+            if max_batch_bytes == 0 {
+                return Err(EngineError::Config(
+                    "flush_policy Group max_batch_bytes must be at least 1".into(),
+                ));
+            }
+            if max_wait == vedb_sim::VTime::ZERO {
+                return Err(EngineError::Config(
+                    "flush_policy Group max_wait must be non-zero".into(),
                 ));
             }
         }
@@ -465,10 +493,11 @@ impl Db {
                 ecfg.clone(),
             )
         });
+        let flush_policy = cfg.flush;
         let db = Db::assemble(
             fabric,
             cfg,
-            Wal::with_metrics(backend, &fabric.env.metrics),
+            Wal::with_metrics(backend, flush_policy, &fabric.env.metrics),
             astore_client,
             ebp,
             log_segments,

@@ -35,6 +35,7 @@ pub use catalog::{Catalog, ColumnDef, ColumnType, IndexDef, TableDef};
 pub use db::{Db, DbConfig, DbConfigBuilder, LogBackendKind};
 pub use row::{Row, Value};
 pub use txn::TxnHandle;
+pub use wal::FlushPolicy;
 
 use vedb_astore::PageId;
 

@@ -85,7 +85,7 @@ pub fn recover(
     );
     let ring = SegmentRing::recover(ctx, Arc::clone(&client), ring_segment_ids)?;
     let log_segments = ring.segment_ids();
-    let wal = Wal::with_metrics(Box::new(RingLog::new(ring)), &fabric.env.metrics);
+    let wal = Wal::with_metrics(Box::new(RingLog::new(ring)), cfg.flush, &fabric.env.metrics);
 
     // 2. Analysis.
     let records = wal.records_from(ctx, 0)?;

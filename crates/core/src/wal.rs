@@ -17,10 +17,12 @@
 //! Swapping these two (same engine, same workload) *is* the paper's
 //! with/without-AStore comparison.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use vedb_astore::{Lsn, SegmentRing};
 use vedb_blobstore::BlobGroup;
 use vedb_pagestore::redo::{decode_record, encode_record, RedoRecord};
@@ -215,6 +217,13 @@ pub trait LogBackend: Send + Sync {
     }
     /// Durably append `bytes`; returns the record's LSN.
     fn append(&self, ctx: &mut SimCtx, bytes: &[u8]) -> Result<Lsn>;
+    /// Durably append a batch of records in order; returns each record's
+    /// LSN. Backends that can take one reservation for the whole batch
+    /// (AStore: one chained work request per replica, one doorbell)
+    /// override this; the default is a per-record loop.
+    fn append_batch(&self, ctx: &mut SimCtx, records: &[&[u8]]) -> Result<Vec<Lsn>> {
+        records.iter().map(|r| self.append(ctx, r)).collect()
+    }
     /// Read the retained stream from `lsn` to the end.
     fn read_from(&self, ctx: &mut SimCtx, lsn: Lsn) -> Result<(Lsn, Vec<u8>)>;
     /// Allow the backend to reclaim everything below `upto`.
@@ -249,6 +258,10 @@ impl LogBackend for RingLog {
 
     fn append(&self, ctx: &mut SimCtx, bytes: &[u8]) -> Result<Lsn> {
         Ok(self.ring.append(ctx, bytes)?)
+    }
+
+    fn append_batch(&self, ctx: &mut SimCtx, records: &[&[u8]]) -> Result<Vec<Lsn>> {
+        Ok(self.ring.append_batch(ctx, records)?)
     }
 
     fn read_from(&self, ctx: &mut SimCtx, lsn: Lsn) -> Result<(Lsn, Vec<u8>)> {
@@ -319,11 +332,124 @@ impl LogBackend for BlobGroupLog {
     }
 }
 
+/// When does a commit's `flush` hit the backend?
+///
+/// Validated by `DbConfig::builder().flush_policy(..)`: a `Group` policy
+/// must have non-zero `max_batch_bytes` and `max_wait`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Every committer issues its own backend flush — the pre-consolidator
+    /// behavior, byte-compatible with it. A racing committer's buffered
+    /// bytes still ride along (the flush takes the whole buffer), but in
+    /// practice every commit pays a full one-sided flush.
+    #[default]
+    PerCommit,
+    /// Group-commit consolidation: the first committer to reach the WAL
+    /// becomes the *leader* and dwells, letting concurrent committers
+    /// enqueue their frames, then writes the whole buffer as **one**
+    /// batched append. Carried committers are woken only after the batch
+    /// end-LSN is durable (ack-after-persist, never before).
+    Group {
+        /// Flush as soon as this many bytes are buffered, even if the
+        /// dwell window has not elapsed.
+        max_batch_bytes: usize,
+        /// Longest a leader dwells (virtual time) before flushing whatever
+        /// has accumulated. Bounds the latency a solo commit can pay.
+        max_wait: VTime,
+    },
+}
+
 struct WalBuffer {
     /// Framed records not yet written to the backend.
     buf: Vec<u8>,
+    /// Byte offset in `buf` where each buffered frame starts. Group
+    /// flushes split the buffer at these boundaries so one batched append
+    /// carries whole records.
+    frames: Vec<usize>,
     /// LSN the next record will receive.
     next_lsn: Lsn,
+    /// `Commit` frames buffered since the last flush took the buffer —
+    /// the group size of the next flush.
+    pending_commits: u64,
+}
+
+struct GroupState {
+    /// A leader is currently dwelling or flushing.
+    leader: bool,
+    /// Committers parked waiting for the leader's batch.
+    waiters: usize,
+    /// Completed flushes: `(end_lsn, virtual time the batch was durable)`.
+    /// A carried committer acks at the durable time of the first batch
+    /// covering its LSN, never earlier.
+    history: VecDeque<(Lsn, VTime)>,
+}
+
+/// Merges concurrent commit flushes into one batched AStore append.
+///
+/// Committers enqueue their frames in the WAL buffer and call
+/// [`Wal::flush`]; the first one in becomes the leader, everyone else
+/// parks here. The leader dwells (real time, so sibling committer threads
+/// actually get to run; virtual time advances in step), takes the buffer,
+/// issues a single [`LogBackend::append_batch`], records the batch's
+/// durable point, and wakes the carried committers — whose clocks are
+/// moved to that durable point before they ack (§V-B ack-after-persist).
+struct GroupCommitConsolidator {
+    state: Mutex<GroupState>,
+    cv: Condvar,
+}
+
+/// Completed-flush history entries kept for late acks. A committer only
+/// needs the entry covering its own LSN, which is nearly always the most
+/// recent; the tail exists for stragglers.
+const FLUSH_HISTORY: usize = 64;
+
+impl GroupCommitConsolidator {
+    fn new() -> Self {
+        GroupCommitConsolidator {
+            state: Mutex::new(GroupState {
+                leader: false,
+                waiters: 0,
+                history: VecDeque::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Virtual time at which everything below `upto` became durable, if
+    /// the covering flush is still in history.
+    fn ack_time(&self, upto: Lsn) -> Option<VTime> {
+        let st = self.state.lock();
+        st.history
+            .iter()
+            .find(|(end, _)| *end > upto)
+            .map(|&(_, t)| t)
+    }
+
+    /// Record a completed flush's durable point (used by both policies, so
+    /// late acks always have a covering entry).
+    fn record(&self, end: Lsn, durable_at: VTime) {
+        let mut st = self.state.lock();
+        st.history.push_back((end, durable_at));
+        while st.history.len() > FLUSH_HISTORY {
+            st.history.pop_front();
+        }
+    }
+
+    /// Record a completed flush and release leadership.
+    fn finish(&self, end: Lsn, durable_at: VTime) {
+        self.record(end, durable_at);
+        let mut st = self.state.lock();
+        st.leader = false;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Release leadership without a completed flush (error path or empty
+    /// buffer), waking parked committers to retry.
+    fn abdicate(&self) {
+        self.state.lock().leader = false;
+        self.cv.notify_all();
+    }
 }
 
 /// The engine's WAL writer with a global in-memory log buffer.
@@ -331,8 +457,20 @@ struct WalBuffer {
 /// Records are appended to the buffer at memory speed; durability happens
 /// at [`flush`](Self::flush) — which transactions call at commit (§V-B:
 /// the paper registers the DBEngine's *global log buffer* with the RDMA
-/// NIC and writes it out with one-sided verbs). Concurrent committers get
-/// group commit for free: whoever flushes first carries everyone's bytes.
+/// NIC and writes it out with one-sided verbs). *When* the buffer hits the
+/// backend is the [`FlushPolicy`]:
+///
+/// * [`FlushPolicy::PerCommit`] — every committer flushes immediately.
+///   Despite the whole buffer being taken per flush, committers on
+///   instant virtual clocks almost never overlap, so flushes ≈ commits
+///   (the metrics prove it: `core.wal_flushes` ≈ `core.txn_commits`).
+///   Acks are after-persist under both policies: a committer whose bytes
+///   rode someone else's flush waits until that flush's durable point.
+/// * [`FlushPolicy::Group`] — the `GroupCommitConsolidator` elects the
+///   first committer as leader; it dwells up to `max_wait` (or until
+///   `max_batch_bytes` accumulate) while concurrent committers are
+///   *carried*: they park, their frames ride the leader's single batched
+///   append, and they are acked only once the batch end-LSN is durable.
 pub struct Wal {
     backend: Box<dyn LogBackend>,
     state: Mutex<WalBuffer>,
@@ -341,11 +479,15 @@ pub struct Wal {
     /// interleave and land bytes at the wrong LSN (the backend assigns LSN
     /// by arrival order).
     flush_lock: Mutex<()>,
+    policy: FlushPolicy,
+    group: GroupCommitConsolidator,
     /// Largest single backend write (matches the paper's observation that
     /// a 256 KB one-sided write costs ~0.1 ms; bigger flushes are split).
     max_io: usize,
     bytes_logged: Arc<Counter>,
     flushes: Arc<Counter>,
+    group_flushes: Arc<Counter>,
+    carried_commits: Arc<Counter>,
     bytes_flushed: Arc<Counter>,
     flush_lat: Arc<LatencyRecorder>,
     /// Buffered-but-unflushed bytes over virtual time: rises as committers
@@ -359,24 +501,38 @@ pub struct Wal {
 impl Wal {
     /// Wrap a backend with a detached metrics registry.
     pub fn new(backend: Box<dyn LogBackend>) -> Self {
-        Self::with_metrics(backend, &MetricsRegistry::detached())
+        Self::with_metrics(
+            backend,
+            FlushPolicy::PerCommit,
+            &MetricsRegistry::detached(),
+        )
     }
 
     /// Wrap a backend, publishing WAL counters/latencies into `registry`.
-    pub fn with_metrics(backend: Box<dyn LogBackend>, registry: &MetricsRegistry) -> Self {
+    pub fn with_metrics(
+        backend: Box<dyn LogBackend>,
+        policy: FlushPolicy,
+        registry: &MetricsRegistry,
+    ) -> Self {
         let next = backend.next_lsn();
         let max_io = backend.max_append().min(256 * 1024);
         Wal {
             backend,
             state: Mutex::new(WalBuffer {
                 buf: Vec::new(),
+                frames: Vec::new(),
                 next_lsn: next,
+                pending_commits: 0,
             }),
             flushed: AtomicU64::new(next),
             flush_lock: Mutex::new(()),
+            policy,
+            group: GroupCommitConsolidator::new(),
             max_io,
             bytes_logged: registry.counter("core", "wal_bytes_logged"),
             flushes: registry.counter("core", "wal_flushes"),
+            group_flushes: registry.counter("core", "wal_group_flushes"),
+            carried_commits: registry.counter("core", "wal_carried_commits"),
             bytes_flushed: registry.counter("core", "wal_bytes_flushed"),
             flush_lat: registry.latency("core", "wal_flush"),
             backlog: registry.timeline("core", "wal_backlog_bytes"),
@@ -394,7 +550,8 @@ impl Wal {
         let sp = self.trace.span(ctx, "wal", "serialize");
         let mut body = Vec::with_capacity(64);
         encode_wal_record(rec, &mut body);
-        let lsn = self.buffer_frame(ctx, &body);
+        let is_commit = matches!(rec, WalRecord::Commit { .. });
+        let lsn = self.buffer_frame(ctx, &body, is_commit);
         sp.finish(ctx);
         Ok(lsn)
     }
@@ -429,9 +586,12 @@ impl Wal {
         Ok((lsn, redo))
     }
 
-    fn buffer_frame(&self, ctx: &mut SimCtx, body: &[u8]) -> Lsn {
+    fn buffer_frame(&self, ctx: &mut SimCtx, body: &[u8], is_commit: bool) -> Lsn {
         let mut state = self.state.lock();
         let lsn = Self::buffer_frame_locked(&mut state, body);
+        if is_commit {
+            state.pending_commits += 1;
+        }
         let backlog = state.buf.len() as i64;
         drop(state);
         self.bytes_logged.add(4 + body.len() as u64);
@@ -442,6 +602,7 @@ impl Wal {
 
     fn buffer_frame_locked(state: &mut WalBuffer, body: &[u8]) -> Lsn {
         let lsn = state.next_lsn;
+        state.frames.push(state.buf.len());
         state
             .buf
             .extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -450,42 +611,215 @@ impl Wal {
         lsn
     }
 
-    /// Make everything logged at or before `upto` durable. Returns once
-    /// the covering backend write(s) complete; a caller whose bytes were
-    /// already carried by another committer's flush returns immediately.
+    /// Make everything logged at or before `upto` durable, per the
+    /// configured [`FlushPolicy`]. Returns once the covering backend
+    /// write(s) complete — under `Group`, a carried committer returns at
+    /// the virtual time its batch became durable, never before.
     pub fn flush(&self, ctx: &mut SimCtx, upto: Lsn) -> Result<()> {
-        if self.flushed.load(Ordering::Acquire) > upto {
+        match self.policy {
+            FlushPolicy::PerCommit => self.flush_per_commit(ctx, upto),
+            FlushPolicy::Group {
+                max_batch_bytes,
+                max_wait,
+            } => self.flush_grouped(ctx, upto, max_batch_bytes, max_wait),
+        }
+    }
+
+    /// Pre-consolidator flush path, byte-compatible on the wire: every
+    /// caller that finds undurable bytes takes the whole buffer and writes
+    /// it in `max_io` chunks itself. Acks are still after-persist: a
+    /// committer whose bytes rode a racing flush waits until that flush's
+    /// durable point before returning (same history mechanism as the
+    /// grouped path — without it a carried committer would ack at a
+    /// virtual time *before* its bytes hit the backend).
+    fn flush_per_commit(&self, ctx: &mut SimCtx, upto: Lsn) -> Result<()> {
+        if self.ack_if_durable(ctx, upto) {
             return Ok(());
         }
         let sp = self.trace.span(ctx, "wal", "flush");
         let _serialize = self.flush_lock.lock();
         // A racing flush may have carried our bytes while we waited.
-        if self.flushed.load(Ordering::Acquire) > upto {
+        if self.ack_if_durable(ctx, upto) {
             sp.finish(ctx);
             return Ok(());
         }
-        // Take the whole buffer (group commit).
-        let (bytes, end) = {
-            let mut state = self.state.lock();
-            if state.buf.is_empty() {
-                drop(state);
+        let (bytes, end) = match self.take_buffer() {
+            Some(taken) => taken,
+            None => {
                 sp.finish(ctx);
                 return Ok(());
             }
-            (std::mem::take(&mut state.buf), state.next_lsn)
         };
         let t0 = ctx.now();
-        for chunk in bytes.chunks(self.max_io) {
+        for chunk in bytes.0.chunks(self.max_io) {
             self.backend.append(ctx, chunk)?;
         }
+        let durable_at = ctx.now();
         self.flushed.fetch_max(end, Ordering::AcqRel);
         self.flushes.inc();
-        self.bytes_flushed.add(bytes.len() as u64);
-        self.flush_lat.record(ctx.now() - t0);
+        self.bytes_flushed.add(bytes.0.len() as u64);
+        self.flush_lat.record(durable_at - t0);
         // The group commit drained the buffer at take time.
         self.backlog.record(t0, 0);
+        self.group.record(end, durable_at);
         sp.finish(ctx);
         Ok(())
+    }
+
+    /// Group-commit flush: lead or be carried.
+    fn flush_grouped(
+        &self,
+        ctx: &mut SimCtx,
+        upto: Lsn,
+        max_batch_bytes: usize,
+        max_wait: VTime,
+    ) -> Result<()> {
+        if self.ack_if_durable(ctx, upto) {
+            return Ok(());
+        }
+        let sp = self.trace.span(ctx, "wal", "flush");
+        // Lead, or park until the current leader's batch lands.
+        {
+            let mut g = self.group.state.lock();
+            loop {
+                if self.flushed.load(Ordering::Acquire) > upto {
+                    drop(g);
+                    self.ack_if_durable(ctx, upto);
+                    sp.finish(ctx);
+                    return Ok(());
+                }
+                if !g.leader {
+                    g.leader = true;
+                    break;
+                }
+                g.waiters += 1;
+                self.group.cv.wait(&mut g);
+                g.waiters -= 1;
+            }
+        }
+        let result = self.lead_group_flush(ctx, max_batch_bytes, max_wait);
+        sp.finish(ctx);
+        result
+    }
+
+    /// If `upto` is already durable, move the clock to the covering
+    /// batch's durable point (ack-after-persist) and report true.
+    fn ack_if_durable(&self, ctx: &mut SimCtx, upto: Lsn) -> bool {
+        if self.flushed.load(Ordering::Acquire) <= upto {
+            return false;
+        }
+        if let Some(t) = self.group.ack_time(upto) {
+            if t > ctx.now() {
+                ctx.wait_until(t);
+            }
+        }
+        true
+    }
+
+    /// The leader half of the consolidator: dwell, take, batch-append,
+    /// publish the durable point, wake the carried committers.
+    fn lead_group_flush(
+        &self,
+        ctx: &mut SimCtx,
+        max_batch_bytes: usize,
+        max_wait: VTime,
+    ) -> Result<()> {
+        // Dwell so concurrent committers can enqueue. Virtual clocks
+        // advance in zero real time, so the dwell must burn *real* time
+        // for sibling committer threads to actually reach the buffer; the
+        // virtual clock advances in step to keep the latency honest.
+        const DWELL_STEPS: u64 = 4;
+        let step = VTime::from_nanos((max_wait.as_nanos() / DWELL_STEPS).max(1));
+        for i in 0..DWELL_STEPS {
+            if self.state.lock().buf.len() >= max_batch_bytes {
+                break;
+            }
+            // Solo fast path: after one arrival window with nobody parked
+            // behind us, stop dwelling — a lone committer pays at most one
+            // step of extra latency.
+            if i > 0 && self.group.state.lock().waiters == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(60));
+            ctx.advance(step);
+        }
+        let _serialize = self.flush_lock.lock();
+        let ((bytes, frames), end) = match self.take_buffer() {
+            Some(taken) => taken,
+            None => {
+                self.group.abdicate();
+                return Ok(());
+            }
+        };
+        let carried = {
+            // Everyone parked right now rides this batch.
+            let g = self.group.state.lock();
+            g.waiters as u64
+        };
+        let t0 = ctx.now();
+        let records = Self::split_records(&bytes, &frames, self.max_io);
+        let outcome = self.backend.append_batch(ctx, &records);
+        if let Err(e) = outcome {
+            // The batch may be partially durable; `flushed` stays put so
+            // affected committers retry (and fail loudly if the backend is
+            // truly gone) rather than ack on a guess.
+            self.group.abdicate();
+            return Err(e);
+        }
+        let durable_at = ctx.now();
+        self.flushed.fetch_max(end, Ordering::AcqRel);
+        self.flushes.inc();
+        self.group_flushes.inc();
+        self.carried_commits.add(carried);
+        self.bytes_flushed.add(bytes.len() as u64);
+        self.flush_lat.record(durable_at - t0);
+        self.backlog.record(t0, 0);
+        self.group.finish(end, durable_at);
+        Ok(())
+    }
+
+    /// Take the whole buffer; `None` if it is empty. Returns the bytes,
+    /// the frame-start offsets within them, and the end LSN.
+    #[allow(clippy::type_complexity)]
+    fn take_buffer(&self) -> Option<((Vec<u8>, Vec<usize>), Lsn)> {
+        let mut state = self.state.lock();
+        if state.buf.is_empty() {
+            return None;
+        }
+        state.pending_commits = 0;
+        Some((
+            (
+                std::mem::take(&mut state.buf),
+                std::mem::take(&mut state.frames),
+            ),
+            state.next_lsn,
+        ))
+    }
+
+    /// Split the taken buffer into batch records: whole frames, merged up
+    /// to `max_io` bytes per record (an oversized frame falls back to raw
+    /// chunking — it cannot ride in one backend write anyway).
+    fn split_records<'a>(bytes: &'a [u8], frames: &[usize], max_io: usize) -> Vec<&'a [u8]> {
+        let mut records = Vec::new();
+        let mut start = 0usize;
+        for (i, &frame_start) in frames.iter().enumerate() {
+            let frame_end = frames.get(i + 1).copied().unwrap_or(bytes.len());
+            if frame_end - start > max_io && frame_start > start {
+                records.push(&bytes[start..frame_start]);
+                start = frame_start;
+            }
+            if frame_end - start > max_io {
+                // Single frame larger than one write: split it raw.
+                for chunk in bytes[start..frame_end].chunks(max_io) {
+                    records.push(chunk);
+                }
+                start = frame_end;
+            }
+        }
+        if start < bytes.len() {
+            records.push(&bytes[start..]);
+        }
+        records
     }
 
     /// LSN below which everything is durable.

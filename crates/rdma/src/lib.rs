@@ -154,6 +154,12 @@ struct VerbStats {
     chain_bytes: Arc<Counter>,
     cas_ops: Arc<Counter>,
     drops: Arc<Counter>,
+    /// MMIO doorbell rings: one per posted chain, regardless of length.
+    doorbells: Arc<Counter>,
+    /// Work requests posted. `doorbells < wrs` is the proof that chains
+    /// actually batch — the commit path's batching ratio is `wrs /
+    /// doorbells`.
+    wrs: Arc<Counter>,
     read_lat: Arc<LatencyRecorder>,
     write_lat: Arc<LatencyRecorder>,
     chain_lat: Arc<LatencyRecorder>,
@@ -171,6 +177,8 @@ impl VerbStats {
             chain_bytes: reg.counter("rdma", "chain_bytes"),
             cas_ops: reg.counter("rdma", "cas_ops"),
             drops: reg.counter("rdma", "drops"),
+            doorbells: reg.counter("rdma", "doorbells"),
+            wrs: reg.counter("rdma", "wrs"),
             read_lat: reg.latency("rdma", "read"),
             write_lat: reg.latency("rdma", "write"),
             chain_lat: reg.latency("rdma", "write_chain"),
@@ -274,6 +282,8 @@ impl RdmaEndpoint {
         ctx.wait_until(media_done + self.model.wire_delay());
         self.stats.reads.inc();
         self.stats.read_bytes.add(len as u64);
+        self.stats.doorbells.inc();
+        self.stats.wrs.inc();
         self.stats.read_lat.record(ctx.now() - t0);
         sp.finish(ctx);
         Ok(data)
@@ -303,6 +313,8 @@ impl RdmaEndpoint {
         ctx.wait_until(media_done + self.model.wire_delay());
         self.stats.writes.inc();
         self.stats.write_bytes.add(data.len() as u64);
+        self.stats.doorbells.inc();
+        self.stats.wrs.inc();
         self.stats.write_lat.record(ctx.now() - t0);
         sp.finish(ctx);
         Ok(())
@@ -351,6 +363,10 @@ impl RdmaEndpoint {
         ctx.wait_until(read_done + self.model.wire_delay());
         self.stats.chain_writes.inc();
         self.stats.chain_bytes.add(total_len as u64);
+        // One doorbell covered `writes.len()` WRITE WRs plus the flushing
+        // READ — the §V-B batching the commit path exploits.
+        self.stats.doorbells.inc();
+        self.stats.wrs.add(writes.len() as u64 + 1);
         self.stats.chain_lat.record(ctx.now() - t0);
         sp.finish(ctx);
         Ok(())
@@ -383,6 +399,8 @@ impl RdmaEndpoint {
             .map_err(|e| RdmaError::Device(e.to_string()))?;
         ctx.wait_until(media_done + self.model.wire_delay());
         self.stats.cas_ops.inc();
+        self.stats.doorbells.inc();
+        self.stats.wrs.inc();
         self.stats.cas_lat.record(ctx.now() - t0);
         sp.finish(ctx);
         Ok(old)
@@ -769,6 +787,10 @@ mod tests {
         assert_eq!(env.metrics.counter("rdma", "chain_writes").get(), 1);
         assert_eq!(env.metrics.counter("rdma", "chain_bytes").get(), 80);
         assert_eq!(env.metrics.counter("rdma", "cas_ops").get(), 1);
+        // write + read + cas ring one doorbell for one WR each; the
+        // 2-WRITE chain rings once for 3 WRs (2 WRITEs + flushing READ).
+        assert_eq!(env.metrics.counter("rdma", "doorbells").get(), 4);
+        assert_eq!(env.metrics.counter("rdma", "wrs").get(), 6);
         assert_eq!(env.metrics.latency("rdma", "read").count(), 1);
         assert!(env.metrics.latency("rdma", "write_chain").mean() > VTime::ZERO);
 

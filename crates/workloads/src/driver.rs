@@ -13,15 +13,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use vedb_sim::{LatencyRecorder, SimCtx, TrialResult, VTime};
 
-/// Conservative synchronization window: a client may run at most this far
-/// ahead (in virtual time) of the slowest active client. Without the bound,
-/// client clocks diverge (one unlucky tail-latency operation), and a client
-/// "in the future" reserves resource lanes that artificially delay clients
-/// "in the past" — a causality violation that inflates queueing. Throttling
-/// happens only *between* operations, when a client holds no locks, so it
-/// cannot deadlock; the globally slowest client never throttles, so
-/// progress is guaranteed.
-const SYNC_WINDOW: VTime = VTime::from_millis(10);
+/// Default synchronization window (see [`DriverConfig::sync_window`]): a
+/// client may run at most this far ahead (in virtual time) of the slowest
+/// active client. Without the bound, client clocks diverge (one unlucky
+/// tail-latency operation), and a client "in the future" reserves resource
+/// lanes that artificially delay clients "in the past" — a causality
+/// violation that inflates queueing. Throttling happens only *between*
+/// operations, when a client holds no locks, so it cannot deadlock; the
+/// globally slowest client never throttles, so progress is guaranteed.
+pub const DEFAULT_SYNC_WINDOW: VTime = VTime::from_millis(10);
 
 /// Trial shape.
 #[derive(Debug, Clone)]
@@ -39,6 +39,14 @@ pub struct DriverConfig {
     /// monotonic in virtual time, so clients starting "in the past" would
     /// instantly be catapulted forward and measure nothing.
     pub start: VTime,
+    /// How far (in virtual time) a client may run ahead of the slowest
+    /// active client before throttling ([`DEFAULT_SYNC_WINDOW`] unless a
+    /// bench narrows it). A wide window lets a client bank many cheap
+    /// operations before it realizes queueing it caused for others, which
+    /// smears contention into the latency tail; benches that study a
+    /// contended device at the *median* want a window of only a few
+    /// operation-latencies.
+    pub sync_window: VTime,
 }
 
 impl DriverConfig {
@@ -50,6 +58,7 @@ impl DriverConfig {
             measure: VTime::from_millis(100),
             seed: 42,
             start: VTime::ZERO,
+            sync_window: DEFAULT_SYNC_WINDOW,
         }
     }
 
@@ -118,7 +127,7 @@ where
                             .map(|c| c.load(Ordering::Acquire))
                             .min()
                             .unwrap_or(0);
-                        if ctx.now().as_nanos() <= min + SYNC_WINDOW.as_nanos() {
+                        if ctx.now().as_nanos() <= min + cfg.sync_window.as_nanos() {
                             break;
                         }
                         // Cheap real-time wait; large fleets must not
@@ -174,6 +183,7 @@ mod tests {
             measure: VTime::from_millis(100),
             seed: 1,
             start: VTime::ZERO,
+            sync_window: DEFAULT_SYNC_WINDOW,
         };
         // Every op takes exactly 1ms of virtual time.
         let result = run_trial(&cfg, |ctx, _| {

@@ -48,6 +48,6 @@ pub mod prelude {
     pub use vedb_core::db::{Db, DbConfig, DbConfigBuilder, LogBackendKind, StorageFabric};
     pub use vedb_core::ebp::{EbpConfig, EbpPolicy};
     pub use vedb_core::query::{execute, AggExpr, AggFunc, CmpOp, Expr, Plan, QuerySession};
-    pub use vedb_core::{Catalog, ColumnType, EngineError, Row, TxnHandle, Value};
+    pub use vedb_core::{Catalog, ColumnType, EngineError, FlushPolicy, Row, TxnHandle, Value};
     pub use vedb_sim::{ClusterSpec, LatencyModel, SimCtx, VTime};
 }
