@@ -24,9 +24,6 @@
 //! server-side *delayed* cleanup of deallocated segments (cleanup delay ≫
 //! refresh period), and client leases fenced by epoch at the CM.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod client;
 pub mod cm;
 pub mod ebp_format;

@@ -2,6 +2,9 @@
 //! operations, B+Tree point ops through the full engine stack, row/key
 //! codecs, REDO codecs, and the latency-histogram recorder.
 
+// `criterion_group!` expands to undocumented public items.
+#![allow(missing_docs)]
+
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};

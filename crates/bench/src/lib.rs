@@ -6,9 +6,6 @@
 //! *shape* comparison (who wins, by what factor, where the crossover sits)
 //! is immediate. EXPERIMENTS.md records the outputs.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod diff;
 pub mod flame;
 

@@ -16,9 +16,6 @@
 //! [`BlobServer`] is the per-storage-node server (handlers charge SSD and
 //! CPU time on that node); [`BlobGroup`] is the client-side SDK container.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -147,6 +144,7 @@ impl BlobServer {
     /// SSD write per started `io_size` unit. Returns the offset the data
     /// landed at.
     pub fn handle_append(&self, ctx: &mut SimCtx, blob: BlobId, data: &[u8]) -> Result<u64> {
+        // vedb-lint: allow(no-panic-in-runtime, "deployment wiring: blob server nodes are built with an SSD resource; fails at fabric construction")
         let ssd = self.res.ssd.as_ref().expect("blob server node has an SSD");
         // Physical I/Os are fixed-size: a 4KB logical append still writes
         // one full io_size unit (the write amplification the paper accepts).
@@ -170,6 +168,7 @@ impl BlobServer {
         offset: u64,
         len: usize,
     ) -> Result<Vec<u8>> {
+        // vedb-lint: allow(no-panic-in-runtime, "deployment wiring: blob server nodes are built with an SSD resource; fails at fabric construction")
         let ssd = self.res.ssd.as_ref().expect("blob server node has an SSD");
         let done = ssd.acquire(ctx.now(), self.model.ssd_read_svc(len));
         ctx.wait_until(done);
@@ -337,6 +336,7 @@ impl BlobGroup {
             new_extents.push(Extent {
                 logical_off: logical_off + (i * self.cfg.io_size) as u64,
                 stripe,
+                // vedb-lint: allow(no-panic-in-runtime, "the quorum loop above errors out before this point unless at least one replica acked")
                 blob_off: blob_off.expect("acked >= 1"),
                 len: chunk.len(),
             });

@@ -330,6 +330,9 @@ struct MetaState {
     roots: HashMap<u32, (u32, u8)>,
 }
 
+/// Bounded retries for transient stale-replica page reads (`get_frame`).
+const PAGE_READ_RETRIES: u32 = 3;
+
 /// The meta page's identity.
 pub const META_PAGE: PageId = PageId {
     space_no: 0,
@@ -365,32 +368,31 @@ pub(crate) fn decode_meta_blob(buf: &[u8]) -> Result<MetaBlob> {
     Ok((m.next_page, m.roots))
 }
 
+/// Bounds-checked little-endian u32 read; truncation is a codec error, not
+/// a panic — meta pages come off the wire / storage and may be damaged.
+fn meta_u32(buf: &[u8], pos: usize) -> Result<u32> {
+    buf.get(pos..pos + 4)
+        .and_then(|b| <[u8; 4]>::try_from(b).ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| EngineError::Codec("meta truncated".into()))
+}
+
 fn decode_meta(buf: &[u8]) -> Result<MetaState> {
     let err = || EngineError::Codec("meta truncated".into());
     let mut m = MetaState::default();
-    let n = u32::from_le_bytes(buf.get(0..4).ok_or_else(err)?.try_into().unwrap()) as usize;
+    let n = meta_u32(buf, 0)? as usize;
     let mut pos = 4;
     for _ in 0..n {
-        let s = u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap());
-        let v = u32::from_le_bytes(
-            buf.get(pos + 4..pos + 8)
-                .ok_or_else(err)?
-                .try_into()
-                .unwrap(),
-        );
+        let s = meta_u32(buf, pos)?;
+        let v = meta_u32(buf, pos + 4)?;
         m.next_page.insert(s, v);
         pos += 8;
     }
-    let r = u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap()) as usize;
+    let r = meta_u32(buf, pos)? as usize;
     pos += 4;
     for _ in 0..r {
-        let s = u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap());
-        let root = u32::from_le_bytes(
-            buf.get(pos + 4..pos + 8)
-                .ok_or_else(err)?
-                .try_into()
-                .unwrap(),
-        );
+        let s = meta_u32(buf, pos)?;
+        let root = meta_u32(buf, pos + 4)?;
         let level = *buf.get(pos + 8).ok_or_else(err)?;
         m.roots.insert(s, (root, level));
         pos += 9;
@@ -430,6 +432,9 @@ pub struct Db {
     meta: Mutex<MetaState>,
     page_lsns: Mutex<HashMap<PageId, Lsn>>,
     ship_buf: Mutex<Vec<RedoRecord>>,
+    /// Serializes drain-and-ship so concurrent committers cannot hand
+    /// batches to PageStore in inverted LSN order (see `flush_ship`).
+    ship_order: Mutex<()>,
     shipped_lsn: AtomicU64,
     next_txn: AtomicU64,
     space_latches: Mutex<HashMap<u32, Arc<RwLock<()>>>>,
@@ -468,7 +473,9 @@ impl Db {
         let mut log_segments = Vec::new();
         let backend: Box<dyn LogBackend> = match cfg.log {
             LogBackendKind::AStore => {
-                let client = Arc::clone(astore_client.as_ref().expect("astore client"));
+                let client = Arc::clone(astore_client.as_ref().ok_or_else(|| {
+                    EngineError::Config("AStore log backend requires an AStore fabric".into())
+                })?);
                 let ring = SegmentRing::create(ctx, client, cfg.ring_segments, 0)?;
                 log_segments = ring.segment_ids();
                 Box::new(RingLog::new(ring))
@@ -487,12 +494,15 @@ impl Db {
                 ))
             }
         };
-        let ebp = cfg.ebp.as_ref().map(|ecfg| {
-            Ebp::new(
-                Arc::clone(astore_client.as_ref().expect("astore client")),
+        let ebp = match cfg.ebp.as_ref() {
+            Some(ecfg) => Some(Ebp::new(
+                Arc::clone(astore_client.as_ref().ok_or_else(|| {
+                    EngineError::Config("the EBP requires an AStore fabric".into())
+                })?),
                 ecfg.clone(),
-            )
-        });
+            )),
+            None => None,
+        };
         let flush_policy = cfg.flush;
         let db = Db::assemble(
             fabric,
@@ -535,6 +545,7 @@ impl Db {
             meta: Mutex::new(MetaState::default()),
             page_lsns: Mutex::new(HashMap::new()),
             ship_buf: Mutex::new(Vec::new()),
+            ship_order: Mutex::new(()),
             shipped_lsn: AtomicU64::new(0),
             next_txn: AtomicU64::new(1),
             space_latches: Mutex::new(HashMap::new()),
@@ -1018,6 +1029,12 @@ impl Db {
         // Only durable (flushed) records may reach PageStore — otherwise a
         // crash could leave PageStore with effects whose log was lost.
         let durable = self.wal.flushed_lsn();
+        // Drain and ship under one lock: if two committers drained
+        // concurrently and raced to `ship()`, the later-LSN batch could
+        // reach the PageStore facade first; replicas would then drop the
+        // earlier batch as a back-link duplicate and serve stale page
+        // images (the `slot out of range` flake, ROADMAP item 6).
+        let _order = self.ship_order.lock();
         let records: Vec<RedoRecord> = {
             let mut buf = self.ship_buf.lock();
             if buf.is_empty() {
@@ -1044,6 +1061,12 @@ impl Db {
         let mut ship_ctx = ctx.fork();
         if self.pagestore.ship(&mut ship_ctx, &records).is_ok() {
             self.shipped_lsn.fetch_max(max_lsn, Ordering::AcqRel);
+        } else {
+            // Quorum failure: the batch must go back in the buffer. Losing
+            // it here would leave PageStore permanently unable to replay
+            // these LSNs (every later read of the touched pages would fail
+            // `NotYetApplied` forever).
+            self.ship_buf.lock().extend(records);
         }
         if sync {
             ctx.wait_until(ship_ctx.now());
@@ -1199,13 +1222,26 @@ impl TreeAccess for Db {
                 self.wal.flush(ctx, min_lsn)?;
                 self.flush_ship(ctx, true);
             }
-            match self.pagestore.read_page(ctx, pid, min_lsn) {
-                Ok(bytes) => Ok(Page::from_bytes(&bytes)?),
-                Err(PageStoreError::UnknownPage(_)) if min_lsn == 0 => {
-                    // Freshly allocated page: starts blank.
-                    Ok(Page::new())
+            // Stale-replica reads are transient: a replica whose apply
+            // watermark lags can serve an older page image (surfacing as
+            // `SlotOutOfRange` / `NotYetApplied`). Re-drive shipping and
+            // retry with virtual-time backoff before failing the query.
+            let mut attempt = 0u32;
+            loop {
+                match self.pagestore.read_page(ctx, pid, min_lsn) {
+                    Ok(bytes) => return Ok(Page::from_bytes(&bytes)?),
+                    Err(PageStoreError::UnknownPage(_)) if min_lsn == 0 => {
+                        // Freshly allocated page: starts blank.
+                        return Ok(Page::new());
+                    }
+                    Err(e) if e.is_retryable() && attempt < PAGE_READ_RETRIES => {
+                        attempt += 1;
+                        self.wal.flush(ctx, min_lsn)?;
+                        self.flush_ship(ctx, true);
+                        ctx.advance(VTime::from_micros(50u64 << attempt));
+                    }
+                    Err(e) => return Err(e.into()),
                 }
-                Err(e) => Err(e.into()),
             }
         })
     }

@@ -16,9 +16,6 @@
 //! exactly the paper's "veDB" vs "veDB + AStore (+EBP)" configurations and
 //! drive every experiment in §VII.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod btree;
 pub mod buffer;
 pub mod catalog;
@@ -87,9 +84,7 @@ impl EngineError {
     pub fn is_retryable(&self) -> bool {
         match self {
             EngineError::AStore(e) => e.is_retryable(),
-            EngineError::PageStore(e) => {
-                matches!(e, vedb_pagestore::PageStoreError::Network(_))
-            }
+            EngineError::PageStore(e) => e.is_retryable(),
             EngineError::LockTimeout { .. } => true,
             _ => false,
         }

@@ -136,6 +136,7 @@ impl LockManager {
         // Timeout (deadlock-victim) paths drop the guard → abandoned span.
         let sp = self.trace.span(ctx, "lock", "wait");
         let shard = Arc::clone(self.shard_of(&key));
+        // vedb-lint: allow(no-wall-clock, "real-time budget bounding how long a live OS thread may spin-wait on a row lock; it decides victim selection, never enters reported latencies (those come from the trace span virtual clock)")
         let deadline = std::time::Instant::now() + self.timeout;
         let mut table = shard.table.lock();
         loop {

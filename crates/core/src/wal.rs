@@ -102,15 +102,31 @@ fn encode_undo(undo: &UndoInfo, out: &mut Vec<u8>) {
     out.extend_from_slice(cell);
 }
 
+/// Bounds-checked little-endian reads: WAL bytes come back from storage
+/// after a crash and may be torn — truncation must surface as a codec
+/// error on the recovery path, never as a panic.
+fn wal_u32(buf: &[u8], pos: usize, what: &str) -> Result<u32> {
+    buf.get(pos..pos + 4)
+        .and_then(|b| <[u8; 4]>::try_from(b).ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| EngineError::Codec(format!("{what} truncated")))
+}
+
+fn wal_u64(buf: &[u8], pos: usize, what: &str) -> Result<u64> {
+    buf.get(pos..pos + 8)
+        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+        .map(u64::from_le_bytes)
+        .ok_or_else(|| EngineError::Codec(format!("{what} truncated")))
+}
+
 fn decode_undo(buf: &[u8]) -> Result<(UndoInfo, usize)> {
     let err = || EngineError::Codec("undo truncated".into());
-    let space = u32::from_le_bytes(buf.get(0..4).ok_or_else(err)?.try_into().unwrap());
+    let space = wal_u32(buf, 0, "undo")?;
     let tag = *buf.get(4).ok_or_else(err)?;
-    let klen = u32::from_le_bytes(buf.get(5..9).ok_or_else(err)?.try_into().unwrap()) as usize;
+    let klen = wal_u32(buf, 5, "undo")? as usize;
     let key = buf.get(9..9 + klen).ok_or_else(err)?.to_vec();
     let mut pos = 9 + klen;
-    let clen =
-        u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap()) as usize;
+    let clen = wal_u32(buf, pos, "undo")? as usize;
     pos += 4;
     let cell = buf.get(pos..pos + clen).ok_or_else(err)?.to_vec();
     pos += clen;
@@ -179,10 +195,10 @@ pub fn decode_wal_record(buf: &[u8]) -> Result<WalRecord> {
             Ok(WalRecord::Page { redo, undo })
         }
         1 => Ok(WalRecord::Commit {
-            txn_id: u64::from_le_bytes(buf.get(1..9).ok_or_else(err)?.try_into().unwrap()),
+            txn_id: wal_u64(buf, 1, "commit record")?,
         }),
         2 => Ok(WalRecord::Abort {
-            txn_id: u64::from_le_bytes(buf.get(1..9).ok_or_else(err)?.try_into().unwrap()),
+            txn_id: wal_u64(buf, 1, "abort record")?,
         }),
         t => Err(EngineError::Codec(format!("bad wal tag {t}"))),
     }
@@ -194,7 +210,10 @@ pub fn iter_frames(start_lsn: Lsn, bytes: &[u8]) -> Vec<(Lsn, WalRecord)> {
     let mut out = Vec::new();
     let mut pos = 0usize;
     while pos + 4 <= bytes.len() {
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let Ok(len) = wal_u32(bytes, pos, "frame header") else {
+            break;
+        };
+        let len = len as usize;
         if len == 0 || pos + 4 + len > bytes.len() {
             break;
         }
@@ -740,6 +759,7 @@ impl Wal {
             if i > 0 && self.group.state.lock().waiters == 0 {
                 break;
             }
+            // vedb-lint: allow(no-wall-clock, "group-commit leader dwell burns real CPU time so sibling committer OS threads can enqueue; the virtual clock charges the flush separately, so reports are unaffected")
             std::thread::sleep(Duration::from_micros(60));
             ctx.advance(step);
         }

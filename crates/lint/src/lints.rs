@@ -1,0 +1,358 @@
+//! The four token-scan lints (the fifth, lock-order, lives in
+//! [`crate::lockgraph`]).
+//!
+//! Each lint is a named pass over a [`Scanned`] file. Scoping is by path:
+//! a lint only fires in the modules its invariant protects (see
+//! `DESIGN.md` "Determinism invariants"). Findings carry the lint name so
+//! `// vedb-lint: allow(<name>, "<reason>")` can suppress them with a
+//! written justification.
+
+use crate::scan::Scanned;
+use crate::{Diagnostic, Severity};
+
+/// Lint names, kept in one place so suppressions, fixtures and docs agree.
+pub const NO_WALL_CLOCK: &str = "no-wall-clock";
+/// See [`NO_WALL_CLOCK`].
+pub const NO_UNSEEDED_RNG: &str = "no-unseeded-rng";
+/// See [`NO_WALL_CLOCK`].
+pub const ORDERED_SERIALIZATION: &str = "ordered-serialization";
+/// See [`NO_WALL_CLOCK`].
+pub const NO_PANIC_IN_RUNTIME: &str = "no-panic-in-runtime";
+/// See [`NO_WALL_CLOCK`].
+pub const LOCK_ORDER: &str = "lock-order";
+/// Emitted for malformed / reason-less suppression comments.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// Is `path` inside the sim's clock internals, where wall-clock reads are
+/// the implementation of virtual time itself?
+fn is_clock_internal(path: &str) -> bool {
+    path.contains("crates/sim/src/time.rs")
+}
+
+/// Modules that feed `RunReport` / metrics / trace export: any unordered
+/// iteration here can change report bytes between runs.
+fn is_report_path(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    p.contains("crates/sim/src/metrics.rs")
+        || p.contains("crates/sim/src/profile.rs")
+        || p.contains("crates/sim/src/trace.rs")
+        || p.contains("crates/sim/src/report.rs")
+        || p.contains("crates/sim/src/contention.rs")
+        || p.contains("crates/bench/")
+}
+
+/// Server-side request paths where a panic kills a storage node (or the
+/// engine's commit path) instead of surfacing a typed, retryable error.
+fn is_runtime_path(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    p.contains("crates/astore/src/server.rs")
+        || p.contains("crates/pagestore/src/server.rs")
+        || p.contains("crates/pagestore/src/redo.rs")
+        || p.contains("crates/blobstore/src/")
+        || p.contains("crates/core/src/db.rs")
+        || p.contains("crates/core/src/wal.rs")
+        || p.contains("crates/core/src/recovery.rs")
+}
+
+/// Find every occurrence of identifier `word` in `code` (word-boundary
+/// match on sanitized text), returning byte offsets.
+fn find_ident(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(word) {
+        let at = from + rel;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || {
+            let b = bytes[after];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            hits.push(at);
+        }
+        from = at + word.len();
+    }
+    hits
+}
+
+fn diag(s: &Scanned, lint: &str, line: usize, msg: String, out: &mut Vec<Diagnostic>) {
+    if s.is_suppressed(lint, line).is_some() {
+        return;
+    }
+    out.push(Diagnostic {
+        severity: Severity::Error,
+        lint: lint.to_string(),
+        path: s.path.clone(),
+        line,
+        message: msg,
+    });
+}
+
+/// Report malformed suppression directives (missing/empty reasons).
+pub fn check_suppression_syntax(s: &Scanned, out: &mut Vec<Diagnostic>) {
+    for (line, msg) in &s.bad_directives {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            lint: BAD_SUPPRESSION.to_string(),
+            path: s.path.clone(),
+            line: *line,
+            message: msg.clone(),
+        });
+    }
+}
+
+/// Lint 1 — **no-wall-clock**: `std::time::Instant`, `SystemTime` and
+/// `std::thread::sleep` are forbidden outside the sim's clock internals.
+/// Every latency in a report must come from the virtual clock; one stray
+/// wall-clock read silently couples results to host load.
+/// (`std::time::Duration` is fine: it is a value type, not a clock.)
+pub fn no_wall_clock(s: &Scanned, out: &mut Vec<Diagnostic>) {
+    if is_clock_internal(&s.path) {
+        return;
+    }
+    for word in ["Instant", "SystemTime"] {
+        for at in find_ident(&s.code, word) {
+            let line = crate::scan::line_of(&s.code, at);
+            diag(
+                s,
+                NO_WALL_CLOCK,
+                line,
+                format!(
+                    "`{word}` reads the wall clock; all runtime timing must flow \
+                     from the virtual clock (`SimCtx::now`)"
+                ),
+                out,
+            );
+        }
+    }
+    for at in find_ident(&s.code, "sleep") {
+        // Only thread::sleep — `sleep` as a local name is unusual but legal.
+        let prefix = &s.code[..at];
+        let tail: String = prefix
+            .chars()
+            .rev()
+            .take(24)
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        if tail.trim_end().ends_with("thread::") {
+            let line = crate::scan::line_of(&s.code, at);
+            diag(
+                s,
+                NO_WALL_CLOCK,
+                line,
+                "`thread::sleep` blocks on the wall clock; use virtual-time \
+                 waits (`SimCtx::wait_until` / `advance`) on simulated paths"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// Lint 2 — **no-unseeded-rng**: `thread_rng()` / `rand::random` are
+/// forbidden everywhere. Randomness must flow from the seeded `SimCtx`
+/// RNG so two runs with the same seed are byte-identical.
+pub fn no_unseeded_rng(s: &Scanned, out: &mut Vec<Diagnostic>) {
+    for word in ["thread_rng", "from_entropy", "OsRng"] {
+        for at in find_ident(&s.code, word) {
+            let line = crate::scan::line_of(&s.code, at);
+            diag(
+                s,
+                NO_UNSEEDED_RNG,
+                line,
+                format!(
+                    "`{word}` draws OS entropy; all randomness must come from \
+                     the seeded `SimCtx` RNG (xoshiro256++)"
+                ),
+                out,
+            );
+        }
+    }
+    // `rand::random` / `rand::random::<T>()` path form.
+    for at in find_ident(&s.code, "random") {
+        let prefix = &s.code[..at];
+        if prefix.trim_end().ends_with("rand::") {
+            let line = crate::scan::line_of(&s.code, at);
+            diag(
+                s,
+                NO_UNSEEDED_RNG,
+                line,
+                "`rand::random` is seeded from OS entropy; use the seeded \
+                 `SimCtx` RNG"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// Lint 3 — **ordered-serialization**: in report-path modules, iterating a
+/// `HashMap`/`HashSet` is flagged unless the statement shows an ordering
+/// step (`sort`/`BTreeMap` collect). Hash iteration order is arbitrary
+/// and changes across runs — on the report path that breaks
+/// byte-determinism of `BENCH_*.json`.
+pub fn ordered_serialization(s: &Scanned, out: &mut Vec<Diagnostic>) {
+    if !is_report_path(&s.path) {
+        return;
+    }
+    let hash_vars = collect_hash_idents(&s.code);
+    let lines: Vec<&str> = s.code.lines().collect();
+    for (i, line_text) in lines.iter().enumerate() {
+        let line_no = i + 1;
+        // Statement context: this line plus up to two continuation lines,
+        // so `.iter()\n.map(..)\n.sorted..` chains are seen together.
+        let stmt: String = lines[i..(i + 3).min(lines.len())].join(" ");
+        let ordered = stmt.contains(".sort")
+            || stmt.contains("BTreeMap")
+            || stmt.contains("BTreeSet")
+            || stmt.contains("sorted");
+        if ordered {
+            continue;
+        }
+        for var in &hash_vars {
+            let direct_iter = [".iter()", ".keys()", ".values()", ".drain(", ".into_iter()"]
+                .iter()
+                .any(|m| line_text.contains(&format!("{var}{m}")));
+            let for_loop = {
+                // `for x in map` / `for (k, v) in &map` / `in map {`
+                line_text.contains("for ")
+                    && line_text.contains(" in ")
+                    && line_text
+                        .split(" in ")
+                        .nth(1)
+                        .map(|rhs| {
+                            let rhs = rhs.trim_start_matches(['&', ' ']);
+                            rhs == *var
+                                || rhs.starts_with(&format!("{var} "))
+                                || rhs.starts_with(&format!("{var} {{"))
+                                || rhs.starts_with(&format!("{var}."))
+                                || rhs.starts_with(&format!("self.{var}"))
+                        })
+                        .unwrap_or(false)
+            };
+            if direct_iter || for_loop {
+                diag(
+                    s,
+                    ORDERED_SERIALIZATION,
+                    line_no,
+                    format!(
+                        "iteration over hash collection `{var}` in a report-path \
+                         module; hash order is nondeterministic — sort the result, \
+                         or hold the data in a `BTreeMap`"
+                    ),
+                    out,
+                );
+                break; // one diagnostic per line is enough
+            }
+        }
+    }
+}
+
+/// Identifiers declared (let-binding, struct field, or fn param) with a
+/// `HashMap`/`HashSet` type in this file. Also catches
+/// `= HashMap::new()` / `with_capacity` initializers.
+fn collect_hash_idents(code: &str) -> Vec<String> {
+    let mut vars = Vec::new();
+    for line in code.lines() {
+        let t = line.trim();
+        let mentions_hash = t.contains("HashMap") || t.contains("HashSet");
+        if !mentions_hash {
+            continue;
+        }
+        // `let [mut] name: Hash... =` / `let [mut] name = Hash...`
+        if let Some(rest) = t.strip_prefix("let ") {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                vars.push(name);
+                continue;
+            }
+        }
+        // `name: HashMap<..>` field / param declaration.
+        if let Some(colon) = t.find(':') {
+            if t[colon..].contains("HashMap") || t[colon..].contains("HashSet") {
+                let name: String = t[..colon]
+                    .trim()
+                    .trim_start_matches("pub ")
+                    .trim_start_matches("pub(crate) ")
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() && name != "impl" && name != "fn" {
+                    vars.push(name);
+                }
+            }
+        }
+    }
+    vars.sort();
+    vars.dedup();
+    vars
+}
+
+/// Lint 4 — **no-panic-in-runtime**: `unwrap()` / `expect()` / `panic!` are
+/// forbidden in server-side request paths. A panic there takes down a
+/// simulated storage node mid-request (and in production would crash a
+/// real server); failures must surface as typed errors the retry layer can
+/// classify.
+pub fn no_panic_in_runtime(s: &Scanned, out: &mut Vec<Diagnostic>) {
+    if !is_runtime_path(&s.path) {
+        return;
+    }
+    for (needle, what) in [
+        (".unwrap()", "unwrap()"),
+        (".expect(", "expect()"),
+        ("panic!(", "panic!"),
+        ("unimplemented!(", "unimplemented!"),
+        ("todo!(", "todo!"),
+    ] {
+        let mut from = 0;
+        while let Some(rel) = s.code[from..].find(needle) {
+            let at = from + rel;
+            from = at + needle.len();
+            let line = crate::scan::line_of(&s.code, at);
+            diag(
+                s,
+                NO_PANIC_IN_RUNTIME,
+                line,
+                format!(
+                    "`{what}` in a server-side request path can kill the node \
+                     mid-request; return a typed error (or justify the invariant \
+                     with an allow-reason)"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    #[test]
+    fn hash_ident_collection() {
+        let code = "let mut dur_of: HashMap<u64, u64> = HashMap::new();\n\
+                    open: HashMap<u64, Vec<u64>>,\n\
+                    let plain = 3;\n";
+        let vars = collect_hash_idents(code);
+        assert_eq!(vars, vec!["dur_of".to_string(), "open".to_string()]);
+    }
+
+    #[test]
+    fn wall_clock_duration_is_allowed() {
+        let s = scan("crates/core/src/x.rs", "use std::time::Duration;\n");
+        let mut out = Vec::new();
+        no_wall_clock(&s, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,662 @@
+//! Lint 5 — **lock-order**: the static lock-acquisition graph.
+//!
+//! Deadlocks in this codebase come from one shape: function F acquires
+//! lock class B while already holding class A, and function G does the
+//! reverse. This pass extracts every such ordered pair *statically* and
+//! maintains them as a committed golden file
+//! (`crates/lint/lock_order.golden`): a new edge is an explicit diff a
+//! reviewer must acknowledge, and a cycle in the class graph fails the
+//! build outright.
+//!
+//! ## What counts as an acquisition
+//!
+//! * `recv.lock()` — `parking_lot::Mutex` (zero-arg only; `stream.lock(x)`
+//!   style calls don't exist here),
+//! * `recv.read()` / `recv.write()` — zero-arg `RwLock` guards (the
+//!   zero-arg requirement keeps `io::Read::read(buf)` out),
+//! * `recv.acquire(..)` where `recv` ends in `locks` — the engine's
+//!   row-lock `LockManager`.
+//!
+//! ## Lock classes
+//!
+//! A class is `<crate>/<file-stem>::<final field name>` — e.g.
+//! `core/db::ship_buf` for `self.ship_buf.lock()`. Distinct fields with
+//! one name in one file merge into one class; that is deliberately
+//! conservative (a false cycle is a prompt to rename a field, a missed
+//! cycle would be a silent deadlock).
+//!
+//! ## Guard lifetimes (approximation)
+//!
+//! A guard bound by `let g = ...` lives until its enclosing block closes,
+//! `drop(g)` runs, or `g` is re-bound. An unbound guard (temporary) lives
+//! to the end of its statement. Guards returned from helper functions are
+//! invisible — the helper's own acquisitions are attributed to the helper.
+//! These approximations are pinned by the fixture suite.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::scan::Scanned;
+use crate::{Diagnostic, Severity};
+
+/// One directed edge: `from` was held while `to` was acquired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Class already held.
+    pub from: String,
+    /// Class acquired under it.
+    pub to: String,
+}
+
+/// An edge plus one example site (for diagnostics; not part of the golden
+/// identity).
+#[derive(Debug, Clone)]
+pub struct EdgeSite {
+    /// The edge.
+    pub edge: Edge,
+    /// `file:line` of one acquisition that created it.
+    pub site: String,
+    /// Function it occurred in.
+    pub function: String,
+    /// Line (for suppression lookup).
+    pub line: usize,
+}
+
+/// Lock class for a path label like `crates/core/src/db.rs`.
+fn class_prefix(path: &str) -> String {
+    let p = path.replace('\\', "/");
+    let stem = p
+        .rsplit('/')
+        .next()
+        .unwrap_or(&p)
+        .trim_end_matches(".rs")
+        .to_string();
+    let krate = p
+        .split("crates/")
+        .nth(1)
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("root")
+        .to_string();
+    format!("{krate}/{stem}")
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tok<'a> {
+    Ident(&'a str),
+    Punct(u8),
+}
+
+struct Lexed<'a> {
+    toks: Vec<(usize, Tok<'a>)>, // (line, token)
+}
+
+fn lex(code: &str) -> Lexed<'_> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut line = 1;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push((line, Tok::Ident(&code[start..i])));
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else {
+            toks.push((line, Tok::Punct(b)));
+            i += 1;
+        }
+    }
+    Lexed { toks }
+}
+
+/// A live guard.
+#[derive(Debug, Clone)]
+struct Guard {
+    class: String,
+    /// Binding name (`None` = statement temporary).
+    name: Option<String>,
+    /// Brace depth the guard was acquired at (its scope closes when the
+    /// enclosing block does).
+    depth: usize,
+    /// Acquired in the statement currently being read (resolved at `;`).
+    from_stmt: bool,
+    /// The acquisition was the statement's top-level expression
+    /// (`… .lock();` directly before the `;`), so a `let` binding names the
+    /// guard itself — not some value computed *from* a temporary guard, as
+    /// in `let blob = encode(&self.meta.lock());` where the guard dies at
+    /// the semicolon.
+    bindable: bool,
+}
+
+/// Reconstruct the receiver chain of a method call: `body[dot_idx]` is the
+/// `.` before the method name; walk left over `ident (. ident)*`, skipping
+/// `[...]` index expressions. `foo().lock()` (call-result receivers) return
+/// `None` — helper-returned guards are invisible by design.
+fn receiver_of(body: &[(usize, Tok<'_>)], dot_idx: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut dot = dot_idx;
+    loop {
+        let mut j = dot.checked_sub(1)?;
+        match body.get(j)?.1 {
+            Tok::Punct(b']') => {
+                let mut depth = 0i32;
+                loop {
+                    match body.get(j)?.1 {
+                        Tok::Punct(b']') => depth += 1,
+                        Tok::Punct(b'[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j = j.checked_sub(1)?;
+                }
+                j = j.checked_sub(1)?;
+                match body.get(j)?.1 {
+                    Tok::Ident(name) => parts.push(name.to_string()),
+                    _ => return None,
+                }
+            }
+            Tok::Ident(name) => parts.push(name.to_string()),
+            _ => return None,
+        }
+        match j.checked_sub(1).map(|p| body[p].1) {
+            Some(Tok::Punct(b'.')) => dot = j - 1,
+            _ => break,
+        }
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+/// Extract every (held → acquired) edge from one file.
+pub fn extract_edges(s: &Scanned) -> Vec<EdgeSite> {
+    let prefix = class_prefix(&s.path);
+    let lexed = lex(&s.code);
+    let toks = &lexed.toks;
+    let mut edges: Vec<EdgeSite> = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        if let (_, Tok::Ident("fn")) = toks[i] {
+            // fn name ... { body }
+            let fn_name = match toks.get(i + 1) {
+                Some((_, Tok::Ident(n))) => n.to_string(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // Find the body's opening brace at angle/paren depth 0. `where`
+            // clauses and return types may contain braces only inside
+            // type-level constructs we don't see at depth 0.
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut body_start = None;
+            while j < toks.len() {
+                match toks[j].1 {
+                    Tok::Punct(b'(') | Tok::Punct(b'[') => paren += 1,
+                    Tok::Punct(b')') | Tok::Punct(b']') => paren -= 1,
+                    Tok::Punct(b'{') if paren == 0 => {
+                        body_start = Some(j);
+                        break;
+                    }
+                    Tok::Punct(b';') if paren == 0 => break, // trait method decl
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(body_start) = body_start else {
+                i = j + 1;
+                continue;
+            };
+            let body_end = matching_brace(toks, body_start);
+            analyze_fn(
+                s,
+                &prefix,
+                &fn_name,
+                &toks[body_start..body_end],
+                &mut edges,
+            );
+            i = body_end;
+        } else {
+            i += 1;
+        }
+    }
+    edges
+}
+
+fn matching_brace(toks: &[(usize, Tok<'_>)], open: usize) -> usize {
+    let mut depth = 0;
+    for (k, (_, t)) in toks.iter().enumerate().skip(open) {
+        match t {
+            Tok::Punct(b'{') => depth += 1,
+            Tok::Punct(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// Walk one function body tracking guards and recording edges.
+fn analyze_fn(
+    s: &Scanned,
+    prefix: &str,
+    fn_name: &str,
+    body: &[(usize, Tok<'_>)],
+    edges: &mut Vec<EdgeSite>,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: usize = 0;
+    // Pending `let` binding name for the current statement.
+    let mut stmt_let: Option<String> = None;
+
+    let mut i = 0;
+    while i < body.len() {
+        let (line, t) = body[i];
+        match t {
+            Tok::Punct(b'{') => depth += 1,
+            Tok::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                // Closing a block ends the statement too.
+                end_statement(&mut guards, &mut stmt_let);
+            }
+            Tok::Punct(b';') => {
+                end_statement(&mut guards, &mut stmt_let);
+            }
+            Tok::Ident("let") => {
+                // `let [mut] name =`
+                let mut k = i + 1;
+                if let Some((_, Tok::Ident("mut"))) = body.get(k) {
+                    k += 1;
+                }
+                if let Some((_, Tok::Ident(name))) = body.get(k) {
+                    stmt_let = Some(name.to_string());
+                    // Rebinding a name sheds the old guard.
+                    guards.retain(|g| g.name.as_deref() != Some(*name));
+                }
+            }
+            Tok::Ident("drop") => {
+                if let (Some((_, Tok::Punct(b'('))), Some((_, Tok::Ident(victim)))) =
+                    (body.get(i + 1), body.get(i + 2))
+                {
+                    let victim = victim.to_string();
+                    guards.retain(|g| g.name.as_deref() != Some(victim.as_str()));
+                }
+            }
+            Tok::Ident(m @ ("lock" | "read" | "write" | "acquire")) => {
+                // Must look like `. m ( )` (or `.acquire(args)` on `locks`).
+                let dotted = matches!(body.get(i.wrapping_sub(1)), Some((_, Tok::Punct(b'.'))));
+                let open = matches!(body.get(i + 1), Some((_, Tok::Punct(b'('))));
+                if !dotted || !open {
+                    i += 1;
+                    continue;
+                }
+                let zero_arg = matches!(body.get(i + 2), Some((_, Tok::Punct(b')'))));
+                let recv = receiver_of(body, i - 1);
+                // Closing paren of this call: for zero-arg calls it is
+                // i + 2; for `acquire(args…)` walk to the match.
+                let close = if zero_arg {
+                    i + 2
+                } else {
+                    let mut depth_p = 0i32;
+                    let mut k = i + 1;
+                    loop {
+                        match body.get(k).map(|t| t.1) {
+                            Some(Tok::Punct(b'(')) => depth_p += 1,
+                            Some(Tok::Punct(b')')) => {
+                                depth_p -= 1;
+                                if depth_p == 0 {
+                                    break k;
+                                }
+                            }
+                            None => break k,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                };
+                let bindable = matches!(body.get(close + 1), Some((_, Tok::Punct(b';'))));
+                let class = match (m, zero_arg, recv.as_deref()) {
+                    ("acquire", _, Some(r)) if r.ends_with("locks") => {
+                        format!("{prefix}::row-locks")
+                    }
+                    ("lock" | "read" | "write", true, Some(r)) => {
+                        let field = r.rsplit('.').next().unwrap_or(r);
+                        if field == "self" || field.is_empty() {
+                            i += 1;
+                            continue;
+                        }
+                        format!("{prefix}::{field}")
+                    }
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                // Record edges from every live guard of a different class.
+                let mut seen: BTreeSet<&str> = BTreeSet::new();
+                for g in &guards {
+                    if g.class != class && seen.insert(g.class.as_str()) {
+                        edges.push(EdgeSite {
+                            edge: Edge {
+                                from: g.class.clone(),
+                                to: class.clone(),
+                            },
+                            site: format!("{}:{}", s.path, line),
+                            function: fn_name.to_string(),
+                            line,
+                        });
+                    }
+                }
+                guards.push(Guard {
+                    class,
+                    name: None,
+                    depth,
+                    from_stmt: true,
+                    bindable,
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// At `;` (or block close): statement temporaries die; the statement's
+/// first acquisition survives when the statement was a `let` binding
+/// (matching `let g = a.lock();`).
+fn end_statement(guards: &mut Vec<Guard>, stmt_let: &mut Option<String>) {
+    let bound = stmt_let.take();
+    let mut named = false;
+    guards.retain_mut(|g| {
+        if !g.from_stmt {
+            return true;
+        }
+        g.from_stmt = false;
+        if !named && g.bindable {
+            if let Some(b) = &bound {
+                g.name = Some(b.clone());
+                named = true;
+                return true;
+            }
+        }
+        false
+    });
+}
+
+/// The whole-tree graph: dedup edges, keep the first example site of each.
+pub fn build_graph(all: &[EdgeSite]) -> BTreeMap<Edge, EdgeSite> {
+    let mut graph: BTreeMap<Edge, EdgeSite> = BTreeMap::new();
+    for es in all {
+        graph.entry(es.edge.clone()).or_insert_with(|| es.clone());
+    }
+    graph
+}
+
+/// Serialize the graph in golden-file form (one `A -> B` per line, sorted).
+pub fn render_golden(graph: &BTreeMap<Edge, EdgeSite>) -> String {
+    let mut out = String::from(
+        "# vedb-lint lock-order golden file.\n\
+         # One edge per line: <held-class> -> <acquired-class>.\n\
+         # Regenerate with: cargo run -p vedb-lint -- --write-golden <paths>\n",
+    );
+    for e in graph.keys() {
+        out.push_str(&format!("{} -> {}\n", e.from, e.to));
+    }
+    out
+}
+
+/// Parse a golden file back into edges.
+pub fn parse_golden(text: &str) -> BTreeSet<Edge> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            l.split_once("->").map(|(a, b)| Edge {
+                from: a.trim().to_string(),
+                to: b.trim().to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Find cycles in the class graph. Returns each cycle as the ordered list
+/// of classes (starting from the lexicographically smallest member, so
+/// output is deterministic).
+pub fn find_cycles(graph: &BTreeMap<Edge, EdgeSite>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for e in graph.keys() {
+        adj.entry(&e.from).or_default().push(&e.to);
+    }
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    // Bounded DFS from every node; the graphs here are tiny.
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack = vec![(start, vec![start])];
+        while let Some((node, path)) = stack.pop() {
+            if let Some(nexts) = adj.get(node) {
+                for &n in nexts {
+                    if n == start {
+                        let mut cyc: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+                        // Canonicalize: rotate so the smallest element leads.
+                        let min_pos = (0..cyc.len()).min_by_key(|&i| cyc[i].clone()).unwrap_or(0);
+                        cyc.rotate_left(min_pos);
+                        cycles.insert(cyc);
+                    } else if !path.contains(&n) && path.len() < 16 {
+                        let mut np = path.clone();
+                        np.push(n);
+                        stack.push((n, np));
+                    }
+                }
+            }
+        }
+    }
+    cycles.into_iter().collect()
+}
+
+/// Compare the tree's graph against the golden set; emit diagnostics for
+/// new edges, stale golden entries, and cycles.
+pub fn diff_against_golden(
+    graph: &BTreeMap<Edge, EdgeSite>,
+    golden: &BTreeSet<Edge>,
+    golden_path: &str,
+    scans: &[Scanned],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (edge, site) in graph {
+        if golden.contains(edge) {
+            continue;
+        }
+        // A lock-order suppression on the acquisition line waives the edge.
+        let suppressed = scans
+            .iter()
+            .find(|s| site.site.starts_with(&s.path))
+            .and_then(|s| s.is_suppressed(crate::lints::LOCK_ORDER, site.line))
+            .is_some();
+        if suppressed {
+            continue;
+        }
+        let (path, line) = site
+            .site
+            .rsplit_once(':')
+            .map(|(p, l)| (p.to_string(), l.parse().unwrap_or(0)))
+            .unwrap_or((site.site.clone(), 0));
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            lint: crate::lints::LOCK_ORDER.to_string(),
+            path,
+            line,
+            message: format!(
+                "new lock-acquisition edge `{} -> {}` (in `{}`) is not in {}; \
+                 if the ordering is intended, regenerate the golden file with \
+                 `cargo run -p vedb-lint -- --write-golden`",
+                edge.from, edge.to, site.function, golden_path
+            ),
+        });
+    }
+    for edge in golden {
+        if !graph.contains_key(edge) {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                lint: crate::lints::LOCK_ORDER.to_string(),
+                path: golden_path.to_string(),
+                line: 0,
+                message: format!(
+                    "stale golden edge `{} -> {}` no longer exists in the tree; \
+                     regenerate the golden file",
+                    edge.from, edge.to
+                ),
+            });
+        }
+    }
+    for cyc in find_cycles(graph) {
+        let ring = cyc.join(" -> ");
+        let first_site = cyc
+            .first()
+            .and_then(|a| {
+                graph
+                    .iter()
+                    .find(|(e, _)| e.from == *a)
+                    .map(|(_, s)| s.site.clone())
+            })
+            .unwrap_or_default();
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            lint: crate::lints::LOCK_ORDER.to_string(),
+            path: first_site
+                .rsplit_once(':')
+                .map(|(p, _)| p.to_string())
+                .unwrap_or_default(),
+            line: 0,
+            message: format!(
+                "lock-order cycle: {ring} -> {} — two call paths can deadlock; \
+                 break the cycle or merge the locks",
+                cyc.first().map(String::as_str).unwrap_or("")
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    #[test]
+    fn nested_guard_produces_edge() {
+        let s = scan(
+            "crates/core/src/db.rs",
+            "fn f(&self) {\n    let g = self.meta.lock();\n    let h = self.ship_buf.lock();\n}\n",
+        );
+        let edges = extract_edges(&s);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].edge.from, "core/db::meta");
+        assert_eq!(edges[0].edge.to, "core/db::ship_buf");
+    }
+
+    #[test]
+    fn dropped_guard_produces_no_edge() {
+        let s = scan(
+            "crates/core/src/db.rs",
+            "fn f(&self) {\n    let g = self.meta.lock();\n    drop(g);\n    let h = self.ship_buf.lock();\n}\n",
+        );
+        assert!(extract_edges(&s).is_empty());
+    }
+
+    #[test]
+    fn block_scoped_guard_dies_at_close() {
+        let s = scan(
+            "crates/core/src/db.rs",
+            "fn f(&self) {\n    {\n        let g = self.meta.lock();\n    }\n    let h = self.ship_buf.lock();\n}\n",
+        );
+        assert!(extract_edges(&s).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_scopes_to_statement() {
+        let s = scan(
+            "crates/core/src/db.rs",
+            "fn f(&self) {\n    self.meta.lock().insert(1);\n    let h = self.ship_buf.lock();\n}\n",
+        );
+        assert!(extract_edges(&s).is_empty());
+        let s2 = scan(
+            "crates/core/src/db.rs",
+            "fn f(&self) {\n    foo(&self.meta.lock(), &self.ship_buf.lock());\n}\n",
+        );
+        let edges = extract_edges(&s2);
+        assert_eq!(edges.len(), 1);
+    }
+
+    #[test]
+    fn nested_call_guard_is_a_temporary_not_the_binding() {
+        // `blob` binds encode()'s return value; the meta guard dies at `;`.
+        let s = scan(
+            "crates/core/src/db.rs",
+            "fn f(&self) {\n    let blob = encode(&self.meta.lock());\n    let g = self.page.lock();\n}\n",
+        );
+        assert!(extract_edges(&s).is_empty());
+    }
+
+    #[test]
+    fn io_write_with_args_is_not_a_lock() {
+        let s = scan(
+            "crates/core/src/db.rs",
+            "fn f(&self) {\n    let g = self.meta.lock();\n    file.write(buf);\n}\n",
+        );
+        assert!(extract_edges(&s).is_empty());
+    }
+
+    #[test]
+    fn cycle_detector_finds_two_cycle() {
+        let mk = |a: &str, b: &str| EdgeSite {
+            edge: Edge {
+                from: a.into(),
+                to: b.into(),
+            },
+            site: "x.rs:1".into(),
+            function: "f".into(),
+            line: 1,
+        };
+        let graph = build_graph(&[mk("a", "b"), mk("b", "a")]);
+        let cycles = find_cycles(&graph);
+        assert_eq!(cycles, vec![vec!["a".to_string(), "b".to_string()]]);
+        let acyclic = build_graph(&[mk("a", "b"), mk("b", "c"), mk("a", "c")]);
+        assert!(find_cycles(&acyclic).is_empty());
+    }
+
+    #[test]
+    fn golden_roundtrip() {
+        let mk = |a: &str, b: &str| EdgeSite {
+            edge: Edge {
+                from: a.into(),
+                to: b.into(),
+            },
+            site: "x.rs:1".into(),
+            function: "f".into(),
+            line: 1,
+        };
+        let graph = build_graph(&[mk("a", "b"), mk("b", "c")]);
+        let text = render_golden(&graph);
+        let parsed = parse_golden(&text);
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed.contains(&Edge {
+            from: "a".into(),
+            to: "b".into()
+        }));
+    }
+}

@@ -1,0 +1,9 @@
+// Malformed directives: a missing reason and an empty one. Both must be
+// rejected — the written justification is the point of the mechanism.
+fn timings() {
+    // vedb-lint: allow(no-wall-clock)
+    let a = Instant::now();
+    // vedb-lint: allow(no-wall-clock, "")
+    let b = Instant::now();
+    let _ = (a, b);
+}

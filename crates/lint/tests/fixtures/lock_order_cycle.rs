@@ -1,0 +1,11 @@
+// Lock-order fixture, cyclic: `forward` holds alpha while taking beta,
+// `backward` holds beta while taking alpha — the classic ABBA deadlock.
+fn forward(&self) {
+    let _a = self.alpha.lock();
+    let _b = self.beta.lock();
+}
+
+fn backward(&self) {
+    let _b = self.beta.lock();
+    let _a = self.alpha.lock();
+}

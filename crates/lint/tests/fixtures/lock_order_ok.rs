@@ -1,0 +1,13 @@
+// Lock-order fixture, acyclic: every path acquires alpha before beta.
+fn consistent_one(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+fn consistent_two(&self) -> u64 {
+    let _a = self.alpha.lock();
+    let b = self.beta.read();
+    *b
+}

@@ -1,0 +1,12 @@
+// Positive fixture for `ordered-serialization`: hash iteration feeding a
+// report, in several shapes (method chain, for-loop, drain).
+fn export(rows: &mut Vec<String>) {
+    let mut dur_of: HashMap<u64, u64> = HashMap::new();
+    dur_of.insert(1, 2);
+    for (k, v) in &dur_of {
+        rows.push(format!("{k}={v}"));
+    }
+    let keys: Vec<u64> = dur_of.keys().copied().collect();
+    let drained: Vec<(u64, u64)> = dur_of.drain().collect();
+    let _ = (keys, drained);
+}

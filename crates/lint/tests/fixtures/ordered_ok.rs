@@ -1,0 +1,18 @@
+// Negative fixture for `ordered-serialization`: every iteration is
+// order-stable — BTreeMap storage, or an explicit sort on the same
+// statement (including a continuation line).
+fn export(rows: &mut Vec<String>) {
+    let mut dur_of: BTreeMap<u64, u64> = BTreeMap::new();
+    dur_of.insert(1, 2);
+    for (k, v) in &dur_of {
+        rows.push(format!("{k}={v}"));
+    }
+    let mut tags: HashMap<String, u64> = HashMap::new();
+    tags.insert("a".into(), 1);
+    let mut keys: Vec<String> = tags.keys().cloned().collect();
+    keys.sort();
+    let mut pairs: Vec<(String, u64)> = tags
+        .drain(..)
+        .collect::<Vec<_>>();
+    pairs.sort();
+}

@@ -1,0 +1,13 @@
+// Positive fixture for `no-panic-in-runtime`: five panic shapes in what
+// would be a server-side request path.
+fn handle(req: &Request) -> Response {
+    let page = self.pages.get(&req.id).unwrap();
+    let lsn = req.lsn.expect("lsn missing");
+    if page.len() != PAGE_SIZE {
+        panic!("bad image");
+    }
+    match req.kind {
+        Kind::Read => unimplemented!(),
+        Kind::Write => todo!(),
+    }
+}

@@ -1,0 +1,7 @@
+// Positive fixture for `no-unseeded-rng`: four OS-entropy draws.
+fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    let _alt = SmallRng::from_entropy();
+    let _os = OsRng.next_u64();
+    rand::random::<u64>()
+}

@@ -1,0 +1,7 @@
+// Negative fixture for `no-unseeded-rng`: all randomness flows from the
+// seeded SimCtx RNG. A local named `random` is a word-boundary trap the
+// lint must not fall into (it only flags the `rand::random` path form).
+fn jitter(ctx: &mut SimCtx) -> u64 {
+    let random = ctx.rng().next_u64();
+    random % 100
+}

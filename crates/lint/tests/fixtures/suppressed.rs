@@ -1,0 +1,9 @@
+// Suppression-form fixture: a preceding-line directive, a trailing
+// directive, and one finding left unsuppressed (the control).
+fn timings() {
+    // vedb-lint: allow(no-wall-clock, "host-side budget, never reported")
+    let deadline = Instant::now();
+    let wall = SystemTime::now(); // vedb-lint: allow(no-wall-clock, "ditto")
+    let stray = Instant::now();
+    let _ = (deadline, wall, stray);
+}

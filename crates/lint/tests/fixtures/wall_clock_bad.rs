@@ -1,0 +1,7 @@
+// Positive fixture for `no-wall-clock`: three distinct wall-clock reads.
+fn measure() -> u64 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    t0.elapsed().as_micros() as u64
+}

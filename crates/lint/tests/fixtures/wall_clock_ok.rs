@@ -1,0 +1,10 @@
+// Negative fixture for `no-wall-clock`: virtual-time idioms only.
+// `Duration` is a value type, not a clock — it must not fire.
+use std::time::Duration;
+
+fn measure(ctx: &mut SimCtx) -> VTime {
+    let t0 = ctx.now();
+    ctx.advance(VTime::from_micros(50));
+    let _budget = Duration::from_millis(5);
+    ctx.now() - t0
+}

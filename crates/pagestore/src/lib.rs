@@ -16,9 +16,6 @@
 //! cold 16 KB page with the paper-default calibration), which is exactly
 //! the latency the Extended Buffer Pool exists to avoid.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod page;
 pub mod redo;
 pub mod server;
@@ -72,6 +69,25 @@ pub enum PageStoreError {
     },
     /// Network-level failure.
     Network(vedb_rdma::RdmaError),
+}
+
+impl PageStoreError {
+    /// Is this a transient fault that re-driving the same request may
+    /// clear? Beyond network faults, *stale-replica* reads are transient:
+    /// a replica whose apply watermark lags the shipped LSN can serve a
+    /// page image that is behind (`NotYetApplied`) or structurally older
+    /// than the reader expects (`SlotOutOfRange` against a newer
+    /// directory) — both heal once replay catches up, so the engine's
+    /// read path re-ships and retries instead of failing the query.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PageStoreError::Network(_)
+                | PageStoreError::SlotOutOfRange { .. }
+                | PageStoreError::NotYetApplied { .. }
+                | PageStoreError::QuorumFailed { .. }
+        )
+    }
 }
 
 impl From<vedb_rdma::RdmaError> for PageStoreError {

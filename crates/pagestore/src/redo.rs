@@ -122,12 +122,15 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16> {
+        // vedb-lint: allow(no-panic-in-runtime, "take(2) yields exactly 2 bytes; the array conversion is infallible")
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
     fn u32(&mut self) -> Result<u32> {
+        // vedb-lint: allow(no-panic-in-runtime, "take(4) yields exactly 4 bytes; the array conversion is infallible")
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
     fn u64(&mut self) -> Result<u64> {
+        // vedb-lint: allow(no-panic-in-runtime, "take(8) yields exactly 8 bytes; the array conversion is infallible")
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }

@@ -177,6 +177,7 @@ impl PageStoreServer {
                 // Absorb any parked records that now chain on.
                 while let Some((&lsn, parked)) = seg.out_of_order.iter().next() {
                     if parked.prev_same_segment == seg.last_lsn {
+                        // vedb-lint: allow(no-panic-in-runtime, "key was just witnessed by iter().next() under the same segs lock")
                         let parked = seg.out_of_order.remove(&lsn).expect("present");
                         seg.last_lsn = parked.lsn;
                         seg.retained.insert(parked.lsn, parked.clone());
@@ -314,13 +315,26 @@ impl PageStoreServer {
         let mut touched = 0usize;
         {
             let mut segs = self.segs.lock();
+            // vedb-lint: allow(no-panic-in-runtime, "apply_pending only runs for keys handle_ship inserted under this same lock")
             let seg = segs.get_mut(&key).expect("created by ship");
-            for rec in &to_apply {
+            for (i, rec) in to_apply.iter().enumerate() {
                 if !seg.pages.contains_key(&rec.page.page_no) {
                     self.stats.page_materializations.inc();
                 }
                 let page = seg.pages.entry(rec.page.page_no).or_default();
-                rec.apply(page)?;
+                if let Err(e) = rec.apply(page) {
+                    // Put the unapplied tail (this record included) back at
+                    // the queue front: the whole batch was drained above,
+                    // and silently dropping it would freeze `applied_lsn`
+                    // below these records forever (permanent
+                    // `NotYetApplied` on every later read).
+                    let mut tail = to_apply[i..].to_vec();
+                    tail.extend(std::mem::take(&mut seg.queue));
+                    seg.queue = tail;
+                    self.stats.records_applied.add(touched as u64);
+                    self.stats.apply_lag.sub(touched as i64);
+                    return Err(e);
+                }
                 seg.applied_lsn = seg.applied_lsn.max(rec.lsn);
                 touched += 1;
             }
@@ -509,19 +523,26 @@ impl PageStore {
         // Quorum-failure paths drop the guard → abandoned span.
         let sp = self.trace.span(ctx, "pagestore", "ship");
         // Group by segment, preserving order, and attach back-links.
+        // The `ship_state` lock is held across the whole send: back-link
+        // assignment and delivery must be one atomic step, or two
+        // concurrent ships could chain from the same tail / arrive in
+        // inverted LSN order. Crucially, a segment's tail only *commits*
+        // after its group reaches quorum — a failed batch must not advance
+        // the chain, or the re-shipped records would carry a dangling
+        // `prev_same_segment` and park on the replicas forever.
+        let mut ship_state = self.ship_state.lock();
         let mut groups: Vec<(PsSegmentKey, Vec<RedoRecord>)> = Vec::new();
-        {
-            let mut ship_state = self.ship_state.lock();
-            for rec in records {
-                let key = self.cfg.segment_of(rec.page);
-                let prev = ship_state.entry(key).or_insert(0);
-                let mut rec = rec.clone();
-                rec.prev_same_segment = *prev;
-                *prev = rec.lsn;
-                match groups.iter_mut().find(|(k, _)| *k == key) {
-                    Some((_, v)) => v.push(rec),
-                    None => groups.push((key, vec![rec])),
-                }
+        for rec in records {
+            let key = self.cfg.segment_of(rec.page);
+            let tail = match groups.iter().rev().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.last().map(|r| r.lsn).unwrap_or(0),
+                None => ship_state.get(&key).copied().unwrap_or(0),
+            };
+            let mut rec = rec.clone();
+            rec.prev_same_segment = tail;
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(rec),
+                None => groups.push((key, vec![rec])),
             }
         }
         let bytes: usize = records.len() * 64;
@@ -547,6 +568,10 @@ impl PageStore {
                     acked,
                     quorum: self.cfg.quorum,
                 });
+            }
+            // Quorum reached: this segment's chain tail is now durable.
+            if let Some(last) = group.last() {
+                ship_state.insert(*key, last.lsn);
             }
             max_done = max_done.max(group_done);
         }

@@ -29,9 +29,6 @@
 //! Optane's limited internal parallelism), so concurrency collapse emerges
 //! under load.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 use std::sync::Arc;
 
 use parking_lot::RwLock;

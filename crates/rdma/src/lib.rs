@@ -24,9 +24,6 @@
 //! node's* resources in virtual time, so contention is attributed to the
 //! right hardware.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 use std::sync::Arc;
 
 use vedb_pmem::PmemDevice;

@@ -23,9 +23,6 @@
 //! * [`RunReport`] — deterministic JSON snapshots written by the bench
 //!   harness as `BENCH_<figure>.json`.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod cluster;
 pub mod contention;
 pub mod fault;

@@ -132,6 +132,7 @@ where
                         }
                         // Cheap real-time wait; large fleets must not
                         // spin-burn the host's cores.
+                        // vedb-lint: allow(no-wall-clock, "sync-window throttle for live OS worker threads waiting on the slowest member; pure real-time pacing, reported timings all come from SimCtx")
                         std::thread::sleep(std::time::Duration::from_micros(200));
                     }
                     let t0 = ctx.now();

@@ -15,9 +15,6 @@
 //! — are preserved per experiment, which is what the measured effects
 //! depend on (see DESIGN.md §1).
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod ads;
 pub mod chbench;
 pub mod driver;

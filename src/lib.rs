@@ -31,8 +31,6 @@
 //! db.commit(&mut ctx, &mut txn).unwrap();
 //! ```
 
-#![warn(missing_docs)]
-
 pub use vedb_astore as astore;
 pub use vedb_blobstore as blobstore;
 pub use vedb_core as core;
