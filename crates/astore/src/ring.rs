@@ -497,6 +497,25 @@ impl SegmentRing {
         })
     }
 
+    /// The live log window `(oldest_retained_lsn, next_lsn)`: bytes at or
+    /// beyond the first bound are still readable from the ring; everything
+    /// below was recycled by [`truncate`](Self::truncate). The window's
+    /// width is the redo a PageStore replica can be asked to re-ship — and
+    /// what a restarted replica must replay when its checkpoints lag.
+    pub fn log_window(&self) -> (Lsn, Lsn) {
+        let st = self.state.lock();
+        let mut oldest = st.next_lsn;
+        for s in &st.slots {
+            if s.status != SlotStatus::Empty {
+                oldest = oldest.min(s.start_lsn);
+            }
+        }
+        for (_, start, _) in &st.retired {
+            oldest = oldest.min(*start);
+        }
+        (oldest, st.next_lsn)
+    }
+
     /// Number of slots currently Empty (tests / capacity monitoring).
     pub fn empty_slots(&self) -> usize {
         self.state
@@ -596,6 +615,31 @@ mod tests {
         let recycled = ring.truncate(&mut ctx, ring.next_lsn()).unwrap();
         assert!(recycled >= 1, "expected recycling, got {recycled}");
         ring.append(&mut ctx, &rec).unwrap();
+    }
+
+    #[test]
+    fn log_window_tracks_truncation() {
+        let mut ctx = SimCtx::new(1, 7);
+        let tc = test_cluster(&mut ctx);
+        let ring = SegmentRing::create(&mut ctx, Arc::clone(&tc.client), 3, 0).unwrap();
+        assert_eq!(ring.log_window(), (0, 0));
+        let cap = ring.segment_data_capacity() as usize;
+        let rec = vec![0xBBu8; cap / 2 - 8];
+        for _ in 0..4 {
+            ring.append(&mut ctx, &rec).unwrap();
+        }
+        let (oldest, next) = ring.log_window();
+        assert_eq!(oldest, 0, "nothing truncated yet");
+        assert_eq!(next, ring.next_lsn());
+        // Recycle the first full segment; the window's floor advances to
+        // the start of the oldest surviving slot.
+        let first_seg_end = 2 * rec.len() as u64;
+        let recycled = ring.truncate(&mut ctx, first_seg_end).unwrap();
+        assert_eq!(recycled, 1);
+        let (oldest, next) = ring.log_window();
+        assert_eq!(oldest, first_seg_end);
+        assert_eq!(next, ring.next_lsn());
+        assert!(oldest <= next);
     }
 
     #[test]

@@ -12,10 +12,15 @@ use std::sync::Arc;
 
 use vedb_bench::Deployment;
 use vedb_core::db::{DbConfig, LogBackendKind};
-use vedb_sim::{RunReport, VTime};
+use vedb_pagestore::ApplyConfig;
+use vedb_sim::{ClusterSpec, RunReport, VTime};
 use vedb_workloads::tpcc::{self, TpccScale};
 
 fn run_once(name: &str) -> RunReport {
+    run_once_with(name, ApplyConfig::default())
+}
+
+fn run_once_with(name: &str, apply: ApplyConfig) -> RunReport {
     let scale = TpccScale {
         warehouses: 2,
         districts: 2,
@@ -23,7 +28,7 @@ fn run_once(name: &str) -> RunReport {
         items: 60,
         initial_orders: 5,
     };
-    let mut dep = Deployment::open(
+    let mut dep = Deployment::open_with_apply(
         DbConfig::builder()
             .bp_pages(512)
             .bp_shards(4)
@@ -31,6 +36,10 @@ fn run_once(name: &str) -> RunReport {
             .ring_segments(8)
             .build()
             .unwrap(),
+        ClusterSpec::paper_default(),
+        192 << 20,
+        1 << 20,
+        apply,
     );
     dep.db.define_schema(tpcc::define_schema);
     dep.db.create_tables(&mut dep.ctx).unwrap();
@@ -67,6 +76,46 @@ fn seeded_single_client_runs_are_byte_identical() {
     let jb = b.to_json();
     if ja != jb {
         // Byte-level mismatch: show the first differing line for triage.
+        for (la, lb) in ja.lines().zip(jb.lines()) {
+            if la != lb {
+                panic!("reports diverge:\n  run A: {la}\n  run B: {lb}");
+            }
+        }
+        panic!(
+            "reports differ in length: {} vs {} bytes",
+            ja.len(),
+            jb.len()
+        );
+    }
+}
+
+/// Same property with the apply pipeline cranked: an 8-worker parallel
+/// applier plus an aggressive background checkpointer must not introduce
+/// any scheduling nondeterminism — the worker pool folds partitions onto
+/// simulated lanes deterministically and the checkpointer runs on a forked
+/// context, so counters, truncation totals and latency buckets must still
+/// be byte-identical between same-seed runs.
+#[test]
+fn parallel_apply_and_checkpointer_runs_are_byte_identical() {
+    let apply = ApplyConfig {
+        workers: 8,
+        checkpoint_every_records: 128,
+    };
+    let a = run_once_with("det-par", apply.clone());
+    let b = run_once_with("det-par", apply);
+
+    // Sanity: the knobs were live — the pool dispatched batches and the
+    // checkpointer fired and truncated replayed log.
+    assert!(a.counter("storage-0.apply.batches") > 0, "pool never ran");
+    assert!(a.counter("pagestore.checkpoints") > 0, "checkpointer idle");
+    assert!(
+        a.counter("pagestore.log_truncated_records") > 0,
+        "checkpoints must truncate replayed log"
+    );
+
+    let ja = a.to_json();
+    let jb = b.to_json();
+    if ja != jb {
         for (la, lb) in ja.lines().zip(jb.lines()) {
             if la != lb {
                 panic!("reports diverge:\n  run A: {la}\n  run B: {lb}");

@@ -29,7 +29,7 @@ use vedb_astore::{AStoreServer, Lsn, PageId, RetryPolicy, SegmentId, SegmentRing
 use vedb_blobstore::{BlobGroup, BlobGroupConfig, BlobServer};
 use vedb_pagestore::page::{Page, PageType};
 use vedb_pagestore::redo::{PageOp, RedoRecord};
-use vedb_pagestore::{PageStore, PageStoreConfig, PageStoreError, PageStoreServer};
+use vedb_pagestore::{ApplyConfig, PageStore, PageStoreConfig, PageStoreError, PageStoreServer};
 use vedb_rdma::{RdmaEndpoint, RpcFabric};
 use vedb_sim::fault::NodeId;
 use vedb_sim::metrics::{Counter, LatencyRecorder};
@@ -258,6 +258,22 @@ impl StorageFabric {
         astore_capacity: usize,
         astore_slot_bytes: u64,
     ) -> StorageFabric {
+        Self::build_with_apply(
+            spec,
+            astore_capacity,
+            astore_slot_bytes,
+            ApplyConfig::default(),
+        )
+    }
+
+    /// [`build`](Self::build) with an explicit PageStore apply-pipeline
+    /// configuration (worker count, checkpoint cadence).
+    pub fn build_with_apply(
+        spec: ClusterSpec,
+        astore_capacity: usize,
+        astore_slot_bytes: u64,
+        apply: ApplyConfig,
+    ) -> StorageFabric {
         let env = spec.build();
         let cm = ClusterManager::new(
             Arc::clone(&env.faults),
@@ -307,7 +323,14 @@ impl StorageFabric {
             .storage_nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| PageStoreServer::new(200 + i as NodeId, Arc::clone(n), env.model.clone()))
+            .map(|(i, n)| {
+                PageStoreServer::with_apply(
+                    200 + i as NodeId,
+                    Arc::clone(n),
+                    env.model.clone(),
+                    apply.clone(),
+                )
+            })
             .collect();
         let pagestore = PageStore::new(PageStoreConfig::default(), Arc::clone(&rpc), ps_servers);
         StorageFabric {
@@ -1074,15 +1097,26 @@ impl Db {
     }
 
     /// Checkpoint: ship everything, then let the log reclaim space below
-    /// the shipped LSN.
+    /// the shipped LSN — bounded by PageStore's durable truncation
+    /// watermark, so WAL records a degraded replica quorum has not yet
+    /// secured stay re-shippable (the watermark RPC runs on a forked
+    /// clock: a slow storage node must not stall the commit path).
     pub fn checkpoint(&self, ctx: &mut SimCtx) -> Result<()> {
         let _g = self.checkpoint_lock.lock();
         self.wal.flush(ctx, self.wal.next_lsn())?;
         self.flush_ship(ctx, true);
-        let upto = self.shipped_lsn.load(Ordering::Acquire);
+        let shipped = self.shipped_lsn.load(Ordering::Acquire);
+        let mut bg = ctx.fork();
+        let wm = self.pagestore.truncation_watermark(&mut bg);
+        let upto = shipped.min(wm);
         self.wal.truncate(ctx, upto)?;
         self.last_truncate.fetch_max(upto, Ordering::AcqRel);
         Ok(())
+    }
+
+    /// Highest LSN shipped (and quorum-acked) to PageStore.
+    pub fn shipped_lsn(&self) -> Lsn {
+        self.shipped_lsn.load(Ordering::Acquire)
     }
 
     /// Checkpoint when the log's working window exceeds the configured

@@ -180,3 +180,25 @@ pub fn recover(
     db.flush_ship(ctx, true);
     Ok((db, report))
 }
+
+/// Point-in-time restore of the storage layer: rebuild every PageStore
+/// replica from checkpoint + log replay to exactly `target`, durably
+/// discarding redo beyond it. Returns the total records replayed across
+/// replicas.
+///
+/// This is the storage half of a PITR: run it *before* [`recover`], which
+/// then re-ships the engine WAL's surviving records on top (replicas drop
+/// the duplicates via their LSN high-water check). Restoring below the
+/// checkpointer's truncation horizon fails with
+/// [`NotYetApplied`](vedb_pagestore::PageStoreError::NotYetApplied) and
+/// leaves the stores untouched.
+pub fn restore_pagestore_to_lsn(
+    ctx: &mut SimCtx,
+    fabric: &StorageFabric,
+    target: Lsn,
+) -> Result<usize> {
+    fabric
+        .pagestore
+        .restore_to_lsn(ctx, target)
+        .map_err(EngineError::from)
+}

@@ -10,6 +10,10 @@
 //!   EBP exactly once, so `ebp_hits + ebp_misses == bp_misses` over any
 //!   window; a second identical pass finds every page in BP or EBP, so its
 //!   EBP miss delta is zero.
+//! * **Redo lag books** — in a fault-free run every accepted record is
+//!   either applied, queued behind an apply worker, or parked out of
+//!   order: `records_accepted == records_applied + queued_records +
+//!   parked_records`, and `apply_lag_records == queued + parked`.
 
 use std::sync::Arc;
 
@@ -21,6 +25,28 @@ use vedb_sim::{ClusterSpec, SimCtx};
 
 fn fabric() -> StorageFabric {
     StorageFabric::build(ClusterSpec::paper_default(), 32 << 20, 256 * 1024)
+}
+
+/// Assert the fault-free redo-lag conservation equation on a registry.
+fn assert_lag_books_balance(metrics: &vedb_sim::MetricsRegistry, when: &str) {
+    let accepted = metrics.counter("pagestore", "records_accepted").get();
+    let applied = metrics.counter("pagestore", "records_applied").get();
+    let queued = metrics.gauge("pagestore", "queued_records").get();
+    let parked = metrics.gauge("pagestore", "parked_records").get();
+    let lag = metrics.gauge("pagestore", "apply_lag_records").get();
+    assert!(queued >= 0, "{when}: queued gauge went negative: {queued}");
+    assert!(parked >= 0, "{when}: parked gauge went negative: {parked}");
+    assert_eq!(
+        accepted,
+        applied + queued as u64 + parked as u64,
+        "{when}: accepted != applied + queued + parked \
+         ({accepted} != {applied} + {queued} + {parked})"
+    );
+    assert_eq!(
+        lag,
+        queued + parked,
+        "{when}: apply_lag_records must decompose into queued + parked"
+    );
 }
 
 fn schema(cat: &mut vedb_core::Catalog) {
@@ -187,4 +213,61 @@ fn cold_scans_conserve_ebp_lookups() {
         dm2,
         "second-pass misses must all be EBP hits"
     );
+}
+
+/// Fault-free conservation of the redo-lag books across a write/read
+/// workload, at several quiesce points and mid-flight after a bare ship
+/// (records accepted but possibly not yet applied — the split between
+/// `queued_records` and `parked_records` is exactly what the lag gauges
+/// exist to distinguish).
+#[test]
+fn redo_lag_books_balance_fault_free() {
+    let f = fabric();
+    let mut ctx = SimCtx::new(1, 42);
+    let db = open_db(&mut ctx, &f, DbConfig::builder().build().unwrap());
+    assert_lag_books_balance(&f.env.metrics, "after create_tables");
+
+    load(&mut ctx, &db, 800);
+    assert_lag_books_balance(&f.env.metrics, "after load");
+
+    // A cold read pass forces replay on every touched replica.
+    db.buffer_pool().clear();
+    for i in (0..800).step_by(61) {
+        db.get_by_pk(&mut ctx, None, "kv", &[Value::Int(i)])
+            .unwrap()
+            .unwrap();
+    }
+    assert_lag_books_balance(&f.env.metrics, "after cold reads");
+
+    // Mid-flight: ship without forcing apply. Whatever is not yet applied
+    // must sit in the queued/parked gauges, never fall off the books.
+    let mut txn = db.begin();
+    for i in 800..1000 {
+        db.insert(
+            &mut ctx,
+            &mut txn,
+            "kv",
+            vec![Value::Int(i), Value::Str(format!("v{i:-<120}"))],
+        )
+        .unwrap();
+    }
+    db.commit(&mut ctx, &mut txn).unwrap();
+    db.flush_ship(&mut ctx, true);
+    assert_lag_books_balance(&f.env.metrics, "mid-flight after ship");
+    let accepted = f.env.metrics.counter("pagestore", "records_accepted").get();
+    assert!(accepted > 0, "workload must have shipped records");
+
+    // Quiesce: everything applies, the lag gauges drain to zero.
+    db.checkpoint(&mut ctx).unwrap();
+    for server in f.pagestore.servers() {
+        let key = f.pagestore.cfg().segment_of(vedb_core::db::META_PAGE);
+        server.apply_pending(&mut ctx, key).unwrap();
+    }
+    db.buffer_pool().clear();
+    for i in (0..1000).step_by(41) {
+        db.get_by_pk(&mut ctx, None, "kv", &[Value::Int(i)])
+            .unwrap()
+            .unwrap();
+    }
+    assert_lag_books_balance(&f.env.metrics, "after quiesce");
 }

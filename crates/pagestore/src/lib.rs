@@ -15,6 +15,26 @@
 //! The remote-read path costs an RPC + server CPU + SSD time (~1 ms for a
 //! cold 16 KB page with the paper-default calibration), which is exactly
 //! the latency the Extended Buffer Pool exists to avoid.
+//!
+//! ## The apply pipeline, checkpoints, and point-in-time restore
+//!
+//! Each server turns accepted redo into page images through a per-node
+//! worker pool ([`ApplyConfig::workers`]): records partition by page id,
+//! so one page's records stay on one worker in LSN order while distinct
+//! pages apply concurrently on the node's CPU lanes. A background
+//! checkpointer ([`ApplyConfig::checkpoint_every_records`]) materializes
+//! hot pages ahead of reads, snapshots each segment's images durably, and
+//! truncates replayed redo below the previous checkpoint; gossip peers
+//! that fell behind the truncation horizon install the snapshot itself.
+//!
+//! Recovery is first-class: [`PageStoreServer::restart`] rebuilds a
+//! crashed node from checkpoint + log replay (volatile page images, apply
+//! queue and watermark are lost; retained redo, parked records and
+//! checkpoints are durable), and [`PageStore::restore_to_lsn`] /
+//! [`PageStoreServer::restore_to_lsn`] perform a **point-in-time
+//! restore**: replay to an exact LSN, durably discarding everything
+//! beyond it. `restore_to_lsn(l)` yields page images byte-identical to a
+//! fresh run whose redo stream was truncated at `l`.
 
 pub mod page;
 pub mod redo;
@@ -22,7 +42,7 @@ pub mod server;
 
 pub use page::{Page, PageType, PAGE_SIZE};
 pub use redo::{PageOp, RedoRecord};
-pub use server::{PageStore, PageStoreConfig, PageStoreServer, PsSegmentKey};
+pub use server::{ApplyConfig, PageStore, PageStoreConfig, PageStoreServer, PsSegmentKey};
 
 /// Errors from page/REDO/PageStore operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

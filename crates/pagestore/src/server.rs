@@ -12,6 +12,7 @@
 //! from its peers before applying.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -20,7 +21,9 @@ use vedb_rdma::RpcFabric;
 use vedb_sim::cluster::NodeRes;
 use vedb_sim::fault::NodeId;
 use vedb_sim::trace::TraceLog;
-use vedb_sim::{Counter, Gauge, LatencyModel, LatencyRecorder, SimCtx, Timeline, VTime};
+use vedb_sim::{
+    Counter, Gauge, LatencyModel, LatencyRecorder, SimCtx, Timeline, VTime, WorkerPool,
+};
 
 use crate::page::{Page, PAGE_SIZE};
 use crate::redo::RedoRecord;
@@ -66,6 +69,44 @@ impl PageStoreConfig {
     }
 }
 
+/// Per-server apply-pipeline configuration: how redo turns into pages.
+#[derive(Debug, Clone)]
+pub struct ApplyConfig {
+    /// Apply workers per server. Redo is partitioned by page id across the
+    /// pool ([`RedoRecord::apply_partition`]), so independent pages apply
+    /// concurrently on the node's CPU lanes while per-page LSN order is
+    /// preserved. `1` restores the serial applier.
+    pub workers: usize,
+    /// Background-checkpoint trigger: snapshot a segment's page images
+    /// after this many newly accepted records (and truncate replayed redo
+    /// below the *previous* checkpoint). `0` disables checkpointing —
+    /// replicas then retain redo forever and restarts replay from LSN 0.
+    pub checkpoint_every_records: u64,
+}
+
+impl Default for ApplyConfig {
+    fn default() -> Self {
+        ApplyConfig {
+            workers: 4,
+            checkpoint_every_records: 1024,
+        }
+    }
+}
+
+/// A durable segment snapshot: every page image as of `lsn`. Restores and
+/// behind-the-horizon gossip peers start from here instead of LSN 0.
+#[derive(Clone)]
+struct SegCheckpoint {
+    lsn: Lsn,
+    pages: BTreeMap<u32, Page>,
+}
+
+/// One replica's state for one segment.
+///
+/// Durability model: `retained`, `out_of_order` and `checkpoint` are this
+/// replica's **durable** per-segment redo log and snapshot (a quorum ack
+/// means durable append); `pages`, `applied_lsn` and `queue` are volatile
+/// and rebuilt on [`PageStoreServer::restart`].
 #[derive(Default)]
 struct ReplicaSeg {
     pages: HashMap<u32, Page>,
@@ -77,14 +118,28 @@ struct ReplicaSeg {
     queue: Vec<RedoRecord>,
     /// Records whose back-link did not match (a gap precedes them).
     out_of_order: BTreeMap<Lsn, RedoRecord>,
-    /// Everything ever received in order, retained for gossip peers.
+    /// Everything received in order, retained for gossip peers until the
+    /// checkpointer truncates below the previous checkpoint.
     retained: BTreeMap<Lsn, RedoRecord>,
+    /// Latest durable page-image snapshot, if the checkpointer ran.
+    checkpoint: Option<SegCheckpoint>,
+    /// Accepted records since the last checkpoint (trigger counter).
+    accepted_since_ckpt: u64,
 }
 
 /// Replay/read metric handles (component `"pagestore"`), registered into the
-/// node's deployment registry. The `apply_lag_records` gauge is shared by
-/// every server, tracking accepted-but-unapplied records cluster-wide: +1
-/// when a record is accepted (in order or parked), -1 when replay applies it.
+/// node's deployment registry and shared by every server (same registry key
+/// → same instance), so each reads cluster-wide.
+///
+/// Lag accounting distinguishes *where* an accepted record waits:
+/// `queued_records` counts records queued behind an apply worker (in-order,
+/// waiting for CPU), `parked_records` counts records parked out-of-order
+/// behind a back-link gap. `apply_lag_records` is their sum. In fault-free
+/// runs the books balance exactly:
+/// `records_accepted == records_applied + queued_records + parked_records`
+/// (asserted by `metrics_accuracy`); crashes and checkpoint installs retire
+/// records without applying them, counted by `records_superseded` /
+/// `restore_replayed_records` instead.
 struct PsStats {
     ships: Arc<Counter>,
     records_accepted: Arc<Counter>,
@@ -92,7 +147,15 @@ struct PsStats {
     page_materializations: Arc<Counter>,
     page_reads: Arc<Counter>,
     gossip_recoveries: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    checkpoint_pages: Arc<Counter>,
+    log_truncated_records: Arc<Counter>,
+    restores: Arc<Counter>,
+    restore_replayed: Arc<Counter>,
+    records_superseded: Arc<Counter>,
     apply_lag: Arc<Gauge>,
+    queued: Arc<Gauge>,
+    parked: Arc<Gauge>,
     /// Virtual-time-bucketed samples of `apply_lag_records`, recorded on
     /// every accept/apply transition — the replication-lag timeline in the
     /// bench report's `profile` section.
@@ -111,11 +174,40 @@ impl PsStats {
             page_materializations: reg.counter("pagestore", "page_materializations"),
             page_reads: reg.counter("pagestore", "page_reads"),
             gossip_recoveries: reg.counter("pagestore", "gossip_recoveries"),
+            checkpoints: reg.counter("pagestore", "checkpoints"),
+            checkpoint_pages: reg.counter("pagestore", "checkpoint_pages"),
+            log_truncated_records: reg.counter("pagestore", "log_truncated_records"),
+            restores: reg.counter("pagestore", "restores"),
+            restore_replayed: reg.counter("pagestore", "restore_replayed_records"),
+            records_superseded: reg.counter("pagestore", "records_superseded"),
             apply_lag: reg.gauge("pagestore", "apply_lag_records"),
+            queued: reg.gauge("pagestore", "queued_records"),
+            parked: reg.gauge("pagestore", "parked_records"),
             apply_lag_tl: reg.timeline("pagestore", "apply_lag_records"),
             read_lat: reg.latency("pagestore", "read_page"),
             trace: Arc::clone(reg.trace()),
         }
+    }
+}
+
+/// Absorb parked records that now chain onto the in-order stream: either
+/// their back-link matches the stream tail exactly, or (after a checkpoint
+/// install) their predecessor sits at or below `floor`, which the snapshot
+/// is known to cover. Parked→queued gauge transition per record.
+fn absorb_parked(seg: &mut ReplicaSeg, stats: &PsStats, floor: Lsn) {
+    while let Some((&lsn, parked)) = seg.out_of_order.iter().next() {
+        let chains = parked.prev_same_segment == seg.last_lsn
+            || (lsn > seg.last_lsn && parked.prev_same_segment <= floor);
+        if !chains {
+            break;
+        }
+        // vedb-lint: allow(no-panic-in-runtime, "key was just witnessed by iter().next() under the same segs lock")
+        let parked = seg.out_of_order.remove(&lsn).expect("present");
+        stats.parked.sub(1);
+        stats.queued.add(1);
+        seg.last_lsn = parked.lsn;
+        seg.retained.insert(parked.lsn, parked.clone());
+        seg.queue.push(parked);
     }
 }
 
@@ -124,18 +216,44 @@ pub struct PageStoreServer {
     node: NodeId,
     res: Arc<NodeRes>,
     model: LatencyModel,
+    apply: ApplyConfig,
+    /// Apply workers over this node's CPU — parallel redo apply and
+    /// restore replay both price their CPU through the pool.
+    pool: WorkerPool,
+    /// At most one background checkpoint in flight per server.
+    ckpt_inflight: AtomicBool,
     segs: Mutex<HashMap<PsSegmentKey, ReplicaSeg>>,
     stats: PsStats,
 }
 
 impl PageStoreServer {
-    /// Create a server on a storage node.
+    /// Create a server on a storage node with the default apply pipeline
+    /// (parallel workers + background checkpointer, [`ApplyConfig`]).
     pub fn new(node: NodeId, res: Arc<NodeRes>, model: LatencyModel) -> Arc<Self> {
+        Self::with_apply(node, res, model, ApplyConfig::default())
+    }
+
+    /// Create a server with an explicit apply-pipeline configuration.
+    pub fn with_apply(
+        node: NodeId,
+        res: Arc<NodeRes>,
+        model: LatencyModel,
+        apply: ApplyConfig,
+    ) -> Arc<Self> {
         let stats = PsStats::register(&res);
+        let pool = WorkerPool::with_metrics(
+            &format!("{}.apply", res.name),
+            apply.workers.max(1),
+            Arc::clone(&res.cpu),
+            &res.metrics,
+        );
         Arc::new(PageStoreServer {
             node,
             res,
             model,
+            apply,
+            pool,
+            ckpt_inflight: AtomicBool::new(false),
             segs: Mutex::new(HashMap::new()),
             stats,
         })
@@ -153,7 +271,8 @@ impl PageStoreServer {
 
     /// Handler: ingest a batch of records for `key`. Records whose
     /// back-link matches extend the in-order stream; the rest wait in the
-    /// out-of-order buffer. Charges per-record CPU.
+    /// out-of-order buffer. Charges per-record CPU, and kicks the
+    /// background checkpointer once enough new records accumulated.
     pub fn handle_ship(&self, ctx: &mut SimCtx, key: PsSegmentKey, records: &[RedoRecord]) {
         let sp = self.stats.trace.span(ctx, "pagestore", "redo_accept");
         let cpu = self
@@ -162,38 +281,45 @@ impl PageStoreServer {
             .acquire(ctx.now(), VTime::from_nanos(records.len() as u64 * 800));
         ctx.wait_until(cpu);
         self.stats.ships.inc();
-        let mut segs = self.segs.lock();
-        let seg = segs.entry(key).or_default();
-        for rec in records {
-            if rec.lsn <= seg.last_lsn {
-                continue; // duplicate delivery
-            }
-            self.stats.records_accepted.inc();
-            self.stats.apply_lag.add(1);
-            if rec.prev_same_segment == seg.last_lsn {
-                seg.last_lsn = rec.lsn;
-                seg.retained.insert(rec.lsn, rec.clone());
-                seg.queue.push(rec.clone());
-                // Absorb any parked records that now chain on.
-                while let Some((&lsn, parked)) = seg.out_of_order.iter().next() {
-                    if parked.prev_same_segment == seg.last_lsn {
-                        // vedb-lint: allow(no-panic-in-runtime, "key was just witnessed by iter().next() under the same segs lock")
-                        let parked = seg.out_of_order.remove(&lsn).expect("present");
-                        seg.last_lsn = parked.lsn;
-                        seg.retained.insert(parked.lsn, parked.clone());
-                        seg.queue.push(parked);
-                    } else {
-                        break;
-                    }
+        let ckpt_due = {
+            let mut segs = self.segs.lock();
+            let seg = segs.entry(key).or_default();
+            for rec in records {
+                if rec.lsn <= seg.last_lsn {
+                    continue; // duplicate delivery
                 }
-            } else {
-                seg.out_of_order.insert(rec.lsn, rec.clone());
+                if rec.prev_same_segment == seg.last_lsn {
+                    self.stats.records_accepted.inc();
+                    self.stats.queued.add(1);
+                    self.stats.apply_lag.add(1);
+                    seg.accepted_since_ckpt += 1;
+                    seg.last_lsn = rec.lsn;
+                    seg.retained.insert(rec.lsn, rec.clone());
+                    seg.queue.push(rec.clone());
+                    absorb_parked(seg, &self.stats, 0);
+                } else if seg.out_of_order.insert(rec.lsn, rec.clone()).is_none() {
+                    // A re-delivered record already parked here (e.g. the
+                    // same hole pulled from two gossip peers) must not be
+                    // double-counted as accepted.
+                    self.stats.records_accepted.inc();
+                    self.stats.parked.add(1);
+                    self.stats.apply_lag.add(1);
+                    seg.accepted_since_ckpt += 1;
+                }
             }
-        }
-        drop(segs);
+            self.apply.checkpoint_every_records > 0
+                && seg.accepted_since_ckpt >= self.apply.checkpoint_every_records
+        };
         self.stats
             .apply_lag_tl
             .record(ctx.now(), self.stats.apply_lag.get());
+        if ckpt_due && !self.ckpt_inflight.swap(true, Ordering::AcqRel) {
+            // Background work: a forked clock keeps it off the shipper's
+            // critical path; resource charges still land on this node.
+            let mut bg = ctx.fork();
+            let _ = self.checkpoint_segment(&mut bg, key);
+            self.ckpt_inflight.store(false, Ordering::Release);
+        }
         sp.finish(ctx);
     }
 
@@ -284,6 +410,37 @@ impl PageStoreServer {
                 }
             }
             if !progressed {
+                // Record pulls cannot help — either the gap predates the
+                // peers' truncation horizon or the records are truly
+                // lost. A peer's checkpoint can still leap this replica
+                // over the hole wholesale.
+                for peer in peers {
+                    if peer.node() == self.node {
+                        continue;
+                    }
+                    let meta = rpc.call(ctx, peer.node(), peer.res(), 32, 32, |_c| {
+                        peer.handle_checkpoint_meta(key)
+                    });
+                    let Ok(Some((ck_lsn, n_pages))) = meta else {
+                        continue;
+                    };
+                    if ck_lsn <= last {
+                        continue;
+                    }
+                    let resp_bytes = n_pages.max(1) * PAGE_SIZE;
+                    let got = rpc.call(ctx, peer.node(), peer.res(), 64, resp_bytes, |_c| {
+                        peer.handle_get_checkpoint(key, last)
+                    });
+                    if let Ok(Some((lsn, pages))) = got {
+                        if self.install_checkpoint(key, lsn, pages) {
+                            recovered += 1;
+                            progressed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !progressed {
                 break; // peers cannot help (records truly lost)
             }
         }
@@ -292,7 +449,8 @@ impl PageStoreServer {
     }
 
     /// Apply all in-order records (the "constantly replays" background
-    /// work, charged to this node's CPU and SSD).
+    /// work, charged to this node's CPU — through the worker pool — and
+    /// SSD).
     pub fn apply_pending(&self, ctx: &mut SimCtx, key: PsSegmentKey) -> Result<()> {
         let to_apply: Vec<RedoRecord> = {
             let mut segs = self.segs.lock();
@@ -306,51 +464,406 @@ impl PageStoreServer {
         }
         // Span opens only when there is work: an idle replay poll is free.
         let sp = self.stats.trace.span(ctx, "pagestore", "apply");
-        // CPU per record + an amortized SSD write per batch of pages.
-        let cpu = self
-            .res
-            .cpu
-            .acquire(ctx.now(), VTime::from_nanos(to_apply.len() as u64 * 600));
-        ctx.wait_until(cpu);
+        self.apply_batch(ctx, key, to_apply, false)?;
+        sp.finish(ctx);
+        Ok(())
+    }
+
+    /// Apply a drained batch through the worker pool. Records partition by
+    /// page id ([`RedoRecord::apply_partition`]) so a page's records stay
+    /// on one worker in LSN order while distinct pages apply concurrently;
+    /// page mutation itself happens under the segment lock in worker-index
+    /// order, so the resulting images are identical to a serial apply.
+    /// With `recovery` set, applied records count as
+    /// `restore_replayed_records` instead of `records_applied`.
+    fn apply_batch(
+        &self,
+        ctx: &mut SimCtx,
+        key: PsSegmentKey,
+        to_apply: Vec<RedoRecord>,
+        recovery: bool,
+    ) -> Result<usize> {
+        let nparts = self.pool.workers();
+        let mut parts: Vec<Vec<RedoRecord>> = vec![Vec::new(); nparts];
+        for rec in to_apply {
+            let p = rec.apply_partition(nparts);
+            parts[p].push(rec);
+        }
+        let demands: Vec<VTime> = parts
+            .iter()
+            .map(|p| VTime::from_nanos(p.len() as u64 * 600))
+            .collect();
+        self.pool.dispatch(ctx, &demands);
         let mut touched = 0usize;
+        let mut first_err: Option<PageStoreError> = None;
         {
             let mut segs = self.segs.lock();
-            // vedb-lint: allow(no-panic-in-runtime, "apply_pending only runs for keys handle_ship inserted under this same lock")
+            // vedb-lint: allow(no-panic-in-runtime, "apply_batch only runs for keys handle_ship inserted under this same lock")
             let seg = segs.get_mut(&key).expect("created by ship");
-            for (i, rec) in to_apply.iter().enumerate() {
-                if !seg.pages.contains_key(&rec.page.page_no) {
-                    self.stats.page_materializations.inc();
+            let mut applied_max: Lsn = 0;
+            let mut stuck_min: Option<Lsn> = None;
+            let mut requeue: Vec<RedoRecord> = Vec::new();
+            for part in &parts {
+                for (i, rec) in part.iter().enumerate() {
+                    if !seg.pages.contains_key(&rec.page.page_no) {
+                        self.stats.page_materializations.inc();
+                    }
+                    let page = seg.pages.entry(rec.page.page_no).or_default();
+                    match rec.apply(page) {
+                        Ok(()) => {
+                            applied_max = applied_max.max(rec.lsn);
+                            touched += 1;
+                        }
+                        Err(e) => {
+                            // Keep this worker's unapplied tail; other
+                            // workers' pages are independent and keep
+                            // applying. Dropping the tail would freeze
+                            // `applied_lsn` below these records forever
+                            // (permanent `NotYetApplied` on later reads).
+                            stuck_min = Some(stuck_min.map_or(rec.lsn, |s: Lsn| s.min(rec.lsn)));
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                            requeue.extend_from_slice(&part[i..]);
+                            break;
+                        }
+                    }
                 }
-                let page = seg.pages.entry(rec.page.page_no).or_default();
-                if let Err(e) = rec.apply(page) {
-                    // Put the unapplied tail (this record included) back at
-                    // the queue front: the whole batch was drained above,
-                    // and silently dropping it would freeze `applied_lsn`
-                    // below these records forever (permanent
-                    // `NotYetApplied` on every later read).
-                    let mut tail = to_apply[i..].to_vec();
-                    tail.extend(std::mem::take(&mut seg.queue));
-                    seg.queue = tail;
-                    self.stats.records_applied.add(touched as u64);
-                    self.stats.apply_lag.sub(touched as i64);
-                    return Err(e);
-                }
-                seg.applied_lsn = seg.applied_lsn.max(rec.lsn);
-                touched += 1;
+            }
+            // The apply watermark promises "everything at or below is
+            // applied": with a stuck record at LSN s, records beyond s on
+            // *other* workers may be applied but cannot be advertised.
+            let watermark = match stuck_min {
+                None => applied_max,
+                Some(s) => applied_max.min(s.saturating_sub(1)),
+            };
+            seg.applied_lsn = seg.applied_lsn.max(watermark);
+            if !requeue.is_empty() {
+                requeue.sort_by_key(|r| r.lsn);
+                requeue.extend(std::mem::take(&mut seg.queue));
+                seg.queue = requeue;
             }
         }
-        self.stats.records_applied.add(touched as u64);
+        if recovery {
+            self.stats.restore_replayed.add(touched as u64);
+        } else {
+            self.stats.records_applied.add(touched as u64);
+        }
+        self.stats.queued.sub(touched as i64);
         self.stats.apply_lag.sub(touched as i64);
-        if let Some(ssd) = &self.res.ssd {
-            let batches = touched.div_ceil(16).max(1);
-            let done = ssd.acquire(ctx.now(), self.model.ssd_write_svc(batches * PAGE_SIZE) / 4);
-            ctx.wait_until(done);
+        if touched > 0 {
+            if let Some(ssd) = &self.res.ssd {
+                let batches = touched.div_ceil(16).max(1);
+                let done =
+                    ssd.acquire(ctx.now(), self.model.ssd_write_svc(batches * PAGE_SIZE) / 4);
+                ctx.wait_until(done);
+            }
         }
         self.stats
             .apply_lag_tl
             .record(ctx.now(), self.stats.apply_lag.get());
+        match first_err {
+            None => Ok(touched),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Background checkpoint of one segment: materialize its pages (apply
+    /// everything pending — this is what keeps hot pages ahead of reads),
+    /// snapshot the page images durably, and truncate retained redo below
+    /// the **previous** checkpoint. The previous checkpoint's window stays
+    /// served so gossip peers lagging between the two checkpoints can
+    /// still pull records; peers behind the truncation horizon install the
+    /// snapshot itself ([`Self::handle_get_checkpoint`]).
+    pub fn checkpoint_segment(&self, ctx: &mut SimCtx, key: PsSegmentKey) -> Result<()> {
+        self.apply_pending(ctx, key)?;
+        let snap = {
+            let mut segs = self.segs.lock();
+            let Some(seg) = segs.get_mut(&key) else {
+                return Ok(());
+            };
+            let prev_lsn = seg.checkpoint.as_ref().map(|c| c.lsn).unwrap_or(0);
+            if seg.applied_lsn == 0 || seg.applied_lsn <= prev_lsn {
+                None
+            } else {
+                let pages: BTreeMap<u32, Page> =
+                    seg.pages.iter().map(|(k, v)| (*k, v.clone())).collect();
+                let n_pages = pages.len();
+                seg.checkpoint = Some(SegCheckpoint {
+                    lsn: seg.applied_lsn,
+                    pages,
+                });
+                seg.accepted_since_ckpt = 0;
+                let truncated = if prev_lsn > 0 {
+                    let keep = seg.retained.split_off(&(prev_lsn + 1));
+                    let n = seg.retained.len();
+                    seg.retained = keep;
+                    n
+                } else {
+                    0
+                };
+                Some((n_pages, truncated))
+            }
+        };
+        let Some((n_pages, truncated)) = snap else {
+            return Ok(());
+        };
+        let sp = self.stats.trace.span(ctx, "pagestore", "checkpoint");
+        self.stats.checkpoints.inc();
+        self.stats.checkpoint_pages.add(n_pages as u64);
+        self.stats.log_truncated_records.add(truncated as u64);
+        if let Some(ssd) = &self.res.ssd {
+            // Sequential snapshot stream, same amortization as apply's
+            // page flush.
+            let done = ssd.acquire(
+                ctx.now(),
+                self.model.ssd_write_svc(n_pages.max(1) * PAGE_SIZE) / 4,
+            );
+            ctx.wait_until(done);
+        }
         sp.finish(ctx);
         Ok(())
+    }
+
+    /// Handler: checkpoint lsn + page count for `key`, if one exists
+    /// (cheap gossip probe before fetching the snapshot itself).
+    pub fn handle_checkpoint_meta(&self, key: PsSegmentKey) -> Option<(Lsn, usize)> {
+        let segs = self.segs.lock();
+        let ckpt = segs.get(&key)?.checkpoint.as_ref()?;
+        Some((ckpt.lsn, ckpt.pages.len()))
+    }
+
+    /// Handler: serve the segment's checkpoint to a gossip peer whose
+    /// stream tail `after` predates it. `None` when there is no newer
+    /// snapshot to offer.
+    pub fn handle_get_checkpoint(
+        &self,
+        key: PsSegmentKey,
+        after: Lsn,
+    ) -> Option<(Lsn, Vec<(u32, Page)>)> {
+        let segs = self.segs.lock();
+        let ckpt = segs.get(&key)?.checkpoint.as_ref()?;
+        if ckpt.lsn <= after {
+            return None;
+        }
+        Some((
+            ckpt.lsn,
+            ckpt.pages.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        ))
+    }
+
+    /// Install a peer's checkpoint over this replica's segment state: the
+    /// snapshot supersedes local page images, the queued tail, and parked
+    /// records at or below its LSN (they were accepted but never applied
+    /// here — counted as `records_superseded`). Parked records just beyond
+    /// the snapshot chain back on. Returns `false` when the snapshot is
+    /// not newer than the local stream tail.
+    pub fn install_checkpoint(&self, key: PsSegmentKey, lsn: Lsn, pages: Vec<(u32, Page)>) -> bool {
+        let mut segs = self.segs.lock();
+        let seg = segs.entry(key).or_default();
+        if lsn <= seg.last_lsn {
+            return false;
+        }
+        // Every queued record has lsn <= last_lsn < lsn: superseded.
+        let stale_q = seg.queue.len();
+        seg.queue.clear();
+        self.stats.queued.sub(stale_q as i64);
+        self.stats.apply_lag.sub(stale_q as i64);
+        seg.pages = pages.into_iter().collect();
+        seg.checkpoint = Some(SegCheckpoint {
+            lsn,
+            pages: seg.pages.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        });
+        seg.applied_lsn = lsn;
+        seg.last_lsn = lsn;
+        seg.accepted_since_ckpt = 0;
+        let covered: Vec<Lsn> = seg.out_of_order.range(..=lsn).map(|(l, _)| *l).collect();
+        for l in &covered {
+            seg.out_of_order.remove(l);
+        }
+        self.stats.parked.sub(covered.len() as i64);
+        self.stats.apply_lag.sub(covered.len() as i64);
+        self.stats
+            .records_superseded
+            .add((stale_q + covered.len()) as u64);
+        absorb_parked(seg, &self.stats, lsn);
+        true
+    }
+
+    /// Crash-restart this server: volatile state (page images, apply
+    /// queue, apply watermark) is lost; the durable redo log, parked
+    /// records and checkpoints survive. Every segment is rebuilt from
+    /// checkpoint + log replay through the worker pool. Returns the number
+    /// of records replayed; the caller's virtual-time delta across this
+    /// call is the node's recovery time.
+    pub fn restart(&self, ctx: &mut SimCtx) -> Result<usize> {
+        self.restore_all(ctx, Lsn::MAX)
+    }
+
+    /// Point-in-time restore of this server: rebuild every segment from
+    /// checkpoint + log replay to exactly `target`, durably discarding
+    /// redo beyond it. A checkpoint ahead of `target` is discarded too;
+    /// if the retained log then cannot chain from the remaining base up
+    /// to `target` (truncated below the restore point), the segment is
+    /// left untouched and [`PageStoreError::NotYetApplied`] is returned.
+    pub fn restore_to_lsn(&self, ctx: &mut SimCtx, target: Lsn) -> Result<usize> {
+        self.restore_all(ctx, target)
+    }
+
+    fn restore_all(&self, ctx: &mut SimCtx, target: Lsn) -> Result<usize> {
+        let mut keys: Vec<PsSegmentKey> = self.segs.lock().keys().copied().collect();
+        keys.sort_unstable();
+        let sp = self.stats.trace.span(ctx, "pagestore", "restore");
+        let mut replayed = 0;
+        for key in keys {
+            replayed += self.restore_segment(ctx, key, target)?;
+        }
+        self.stats.restores.inc();
+        sp.finish(ctx);
+        Ok(replayed)
+    }
+
+    /// Rebuild one segment to `target` (`Lsn::MAX` = crash-restart, keep
+    /// everything durable). See [`Self::restore_to_lsn`].
+    pub fn restore_segment(
+        &self,
+        ctx: &mut SimCtx,
+        key: PsSegmentKey,
+        target: Lsn,
+    ) -> Result<usize> {
+        let (base_pages, replay) = {
+            let mut segs = self.segs.lock();
+            let Some(seg) = segs.get_mut(&key) else {
+                return Ok(0);
+            };
+            // Pick the base image: the checkpoint, unless it is ahead of
+            // the restore point (then only a full-log replay can work).
+            let base_lsn = match seg.checkpoint.as_ref() {
+                Some(c) if c.lsn <= target => c.lsn,
+                _ => 0,
+            };
+            // Coverage check *before* mutating anything: replay needs an
+            // unbroken back-link chain from the base up to `target`. A
+            // broken chain (e.g. redo truncated below the restore point)
+            // fails the restore and leaves the segment untouched.
+            let mut prev = base_lsn;
+            let mut replay: Vec<RedoRecord> = Vec::new();
+            for (l, r) in seg.retained.range(base_lsn + 1..) {
+                if *l > target {
+                    break;
+                }
+                let chains = r.prev_same_segment == prev
+                    || (prev == base_lsn && r.prev_same_segment <= base_lsn);
+                if !chains {
+                    return Err(PageStoreError::NotYetApplied {
+                        need: *l,
+                        applied: prev,
+                    });
+                }
+                replay.push(r.clone());
+                prev = *l;
+            }
+            // The walk stopping at `target` proves nothing by itself: if
+            // redo between the base and `target` was truncated, the range
+            // is simply empty. The first durable record *beyond* the
+            // target must chain onto the walk tail, or records at or
+            // below the target are missing and state-at-`target` is not
+            // reconstructible.
+            if target < Lsn::MAX {
+                if let Some((_, r)) = seg.retained.range(target + 1..).next() {
+                    let chains = r.prev_same_segment == prev
+                        || (prev == base_lsn && r.prev_same_segment <= base_lsn);
+                    if !chains {
+                        return Err(PageStoreError::NotYetApplied {
+                            need: target,
+                            applied: prev,
+                        });
+                    }
+                }
+            }
+            // PITR: the future beyond `target` is discarded durably.
+            if target < Lsn::MAX {
+                let dropped_r = seg.retained.split_off(&(target + 1)).len();
+                let dropped_p: Vec<Lsn> = seg
+                    .out_of_order
+                    .range(target + 1..)
+                    .map(|(l, _)| *l)
+                    .collect();
+                for l in &dropped_p {
+                    seg.out_of_order.remove(l);
+                }
+                self.stats.parked.sub(dropped_p.len() as i64);
+                self.stats.apply_lag.sub(dropped_p.len() as i64);
+                self.stats
+                    .records_superseded
+                    .add((dropped_r + dropped_p.len()) as u64);
+                if seg.checkpoint.as_ref().is_some_and(|c| c.lsn > target) {
+                    seg.checkpoint = None;
+                }
+            }
+            // Volatile state dies with the old incarnation.
+            let stale_q = seg.queue.len();
+            seg.queue.clear();
+            self.stats.queued.sub(stale_q as i64);
+            self.stats.apply_lag.sub(stale_q as i64);
+            let base = seg.checkpoint.clone();
+            let n_base = base.as_ref().map(|c| c.pages.len()).unwrap_or(0);
+            seg.pages = base
+                .map(|c| c.pages.into_iter().collect())
+                .unwrap_or_default();
+            seg.applied_lsn = base_lsn;
+            seg.last_lsn = replay.last().map(|r| r.lsn).unwrap_or(base_lsn);
+            self.stats.queued.add(replay.len() as i64);
+            self.stats.apply_lag.add(replay.len() as i64);
+            seg.queue = replay.clone();
+            (n_base, replay.len())
+        };
+        if base_pages > 0 {
+            if let Some(ssd) = &self.res.ssd {
+                // Stream the checkpoint image back in (sequential read).
+                let done = ssd.acquire(
+                    ctx.now(),
+                    self.model.ssd_read_svc(base_pages * PAGE_SIZE) / 4,
+                );
+                ctx.wait_until(done);
+            }
+        }
+        let to_apply: Vec<RedoRecord> = {
+            let mut segs = self.segs.lock();
+            match segs.get_mut(&key) {
+                Some(seg) => std::mem::take(&mut seg.queue),
+                None => Vec::new(),
+            }
+        };
+        if !to_apply.is_empty() {
+            self.apply_batch(ctx, key, to_apply, true)?;
+        }
+        Ok(replay)
+    }
+
+    /// Durable watermark of one segment (the log-truncation RPC handler):
+    /// every record at or below it is held in this replica's durable redo
+    /// log or captured by its checkpoint.
+    pub fn segment_watermark(&self, key: PsSegmentKey) -> Lsn {
+        self.segs.lock().get(&key).map(|s| s.last_lsn).unwrap_or(0)
+    }
+
+    /// LSN of this segment's checkpoint, 0 if none (tests / monitoring).
+    pub fn checkpoint_lsn(&self, key: PsSegmentKey) -> Lsn {
+        self.segs
+            .lock()
+            .get(&key)
+            .and_then(|s| s.checkpoint.as_ref().map(|c| c.lsn))
+            .unwrap_or(0)
+    }
+
+    /// Records currently retained for gossip (tests / monitoring).
+    pub fn retained_count(&self, key: PsSegmentKey) -> usize {
+        self.segs
+            .lock()
+            .get(&key)
+            .map(|s| s.retained.len())
+            .unwrap_or(0)
     }
 
     /// LSN replay has reached for `key`.
@@ -580,6 +1093,70 @@ impl PageStore {
         Ok(())
     }
 
+    /// Point-in-time restore of the whole deployment: rebuild every
+    /// replica of every segment from checkpoint + log replay to exactly
+    /// `target`, durably discarding redo beyond it, then re-anchor the
+    /// facade's ship chain at the restored tails so the next ship's
+    /// back-links chain on cleanly. Returns the total records replayed
+    /// across replicas. See [`PageStoreServer::restore_to_lsn`].
+    pub fn restore_to_lsn(&self, ctx: &mut SimCtx, target: Lsn) -> Result<usize> {
+        let sp = self.trace.span(ctx, "pagestore", "restore");
+        let mut total = 0;
+        for server in &self.servers {
+            total += server.restore_to_lsn(ctx, target)?;
+        }
+        let mut ship_state = self.ship_state.lock();
+        let keys: Vec<PsSegmentKey> = ship_state.keys().copied().collect();
+        for key in keys {
+            let tail = self
+                .replicas_of(key)
+                .iter()
+                .map(|s| s.segment_watermark(key))
+                .max()
+                .unwrap_or(0);
+            ship_state.insert(key, tail);
+        }
+        drop(ship_state);
+        sp.finish(ctx);
+        Ok(total)
+    }
+
+    /// AStore log-truncation watermark RPC: the highest LSN such that for
+    /// every segment, all records at or below it are durable at a quorum
+    /// of that segment's replicas. The engine may recycle WAL slots below
+    /// `min(shipped, watermark)` — PageStore can rebuild every page
+    /// without a re-ship. A segment whose quorum-th best replica already
+    /// holds the full shipped tail does not bound the watermark, so in
+    /// steady state this returns [`Lsn::MAX`] and the shipped LSN governs.
+    pub fn truncation_watermark(&self, ctx: &mut SimCtx) -> Lsn {
+        let mut entries: Vec<(PsSegmentKey, Lsn)> = self
+            .ship_state
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        entries.sort_unstable();
+        let mut wm = Lsn::MAX;
+        for (key, tail) in entries {
+            let mut acks: Vec<Lsn> = Vec::new();
+            for server in self.replicas_of(key) {
+                let got = self
+                    .rpc
+                    .call(ctx, server.node(), server.res(), 32, 32, |_c| {
+                        server.segment_watermark(key)
+                    });
+                acks.push(got.unwrap_or(0));
+            }
+            acks.sort_unstable();
+            acks.reverse();
+            let quorum_wm = acks.get(self.cfg.quorum - 1).copied().unwrap_or(0);
+            if quorum_wm < tail {
+                wm = wm.min(quorum_wm);
+            }
+        }
+        wm
+    }
+
     /// Read the latest image of `page` at or beyond `min_lsn`, trying
     /// replicas in order.
     pub fn read_page(&self, ctx: &mut SimCtx, page: PageId, min_lsn: Lsn) -> Result<Vec<u8>> {
@@ -633,12 +1210,23 @@ mod tests {
     use vedb_sim::ClusterSpec;
 
     fn setup() -> (Arc<vedb_sim::SimEnv>, Arc<PageStore>) {
+        setup_with(ApplyConfig::default())
+    }
+
+    fn setup_with(apply: ApplyConfig) -> (Arc<vedb_sim::SimEnv>, Arc<PageStore>) {
         let env = ClusterSpec::paper_default().build();
         let servers: Vec<Arc<PageStoreServer>> = env
             .storage_nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| PageStoreServer::new(200 + i as NodeId, Arc::clone(n), env.model.clone()))
+            .map(|(i, n)| {
+                PageStoreServer::with_apply(
+                    200 + i as NodeId,
+                    Arc::clone(n),
+                    env.model.clone(),
+                    apply.clone(),
+                )
+            })
             .collect();
         let rpc = Arc::new(RpcFabric::new(env.model.clone(), Arc::clone(&env.faults)));
         let ps = PageStore::new(PageStoreConfig::default(), rpc, servers);
@@ -813,6 +1401,174 @@ mod tests {
             ps.read_page(&mut ctx, PageId::new(9, 9), 0),
             Err(PageStoreError::UnknownPage(_))
         ));
+    }
+
+    /// Follow-on inserts for a page already formatted by [`make_records`].
+    fn more_inserts(page: PageId, start_lsn: Lsn, n: usize, slot_base: u16) -> Vec<RedoRecord> {
+        (0..n)
+            .map(|i| RedoRecord {
+                lsn: start_lsn + 10 * i as u64,
+                prev_same_segment: 0, // facade fills it in
+                txn_id: 9,
+                page,
+                op: PageOp::InsertAt {
+                    slot: slot_base + i as u16,
+                    cell: format!("more-{:03}", slot_base as usize + i).into_bytes(),
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn background_checkpoint_truncates_replayed_log() {
+        let (_env, ps) = setup_with(ApplyConfig {
+            workers: 4,
+            checkpoint_every_records: 8,
+        });
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 21);
+        let key = ps.cfg().segment_of(page);
+        // Batch 1 (10 records) triggers checkpoint #1; batch 2 (9 records)
+        // triggers checkpoint #2, which truncates redo below #1.
+        ps.ship(&mut ctx, &make_records(page, 100, 9)).unwrap();
+        ps.ship(&mut ctx, &more_inserts(page, 300, 9, 9)).unwrap();
+        for r in ps.replicas_of(key) {
+            assert_eq!(r.checkpoint_lsn(key), 380, "second checkpoint at tail");
+            assert!(
+                r.retained_count(key) < 19,
+                "replayed redo below the previous checkpoint must be truncated, \
+                 still retaining {}",
+                r.retained_count(key)
+            );
+        }
+        // The truncated log still serves the latest image.
+        let bytes = ps.read_page(&mut ctx, page, 380).unwrap();
+        assert_eq!(Page::from_bytes(&bytes).unwrap().n_slots(), 18);
+    }
+
+    #[test]
+    fn restart_rebuilds_pages_from_durable_log() {
+        let (_env, ps) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 23);
+        let key = ps.cfg().segment_of(page);
+        let recs = make_records(page, 100, 5);
+        let tail = recs.last().unwrap().lsn;
+        ps.ship(&mut ctx, &recs).unwrap();
+        let before = ps.read_page(&mut ctx, page, tail).unwrap();
+        for r in ps.replicas_of(key) {
+            let replayed = r.restart(&mut ctx).unwrap();
+            assert_eq!(replayed, 6, "all durable records replay on restart");
+            assert_eq!(r.applied_lsn(key), tail);
+        }
+        let after = ps.read_page(&mut ctx, page, tail).unwrap();
+        assert_eq!(before, after, "restart must rebuild byte-identical pages");
+    }
+
+    #[test]
+    fn restore_to_lsn_is_point_in_time() {
+        let (_env, ps) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 25);
+        let key = ps.cfg().segment_of(page);
+        // Format @100, inserts @110..150.
+        ps.ship(&mut ctx, &make_records(page, 100, 5)).unwrap();
+        ps.restore_to_lsn(&mut ctx, 120).unwrap();
+        for r in ps.replicas_of(key) {
+            assert_eq!(r.applied_lsn(key), 120);
+            assert_eq!(r.retained_count(key), 3, "redo beyond 120 is discarded");
+        }
+        let bytes = ps.read_page(&mut ctx, page, 120).unwrap();
+        assert_eq!(Page::from_bytes(&bytes).unwrap().n_slots(), 2);
+        // The ship chain re-anchors at the restored tail: new writes land.
+        ps.ship(&mut ctx, &more_inserts(page, 500, 1, 2)).unwrap();
+        let bytes = ps.read_page(&mut ctx, page, 500).unwrap();
+        assert_eq!(Page::from_bytes(&bytes).unwrap().n_slots(), 3);
+    }
+
+    #[test]
+    fn restore_below_truncation_horizon_fails_cleanly() {
+        let (_env, ps) = setup_with(ApplyConfig {
+            workers: 4,
+            checkpoint_every_records: 8,
+        });
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 27);
+        let key = ps.cfg().segment_of(page);
+        ps.ship(&mut ctx, &make_records(page, 100, 9)).unwrap();
+        ps.ship(&mut ctx, &more_inserts(page, 300, 9, 9)).unwrap();
+        // Redo below checkpoint #1 (lsn 190) is truncated; a restore point
+        // inside the truncated range cannot be reached any more.
+        let server = &ps.replicas_of(key)[0];
+        assert!(matches!(
+            server.restore_to_lsn(&mut ctx, 150),
+            Err(PageStoreError::NotYetApplied { .. })
+        ));
+        // The failed restore must leave the segment untouched.
+        assert_eq!(server.applied_lsn(key), 380);
+        let bytes = ps.read_page(&mut ctx, page, 380).unwrap();
+        assert_eq!(Page::from_bytes(&bytes).unwrap().n_slots(), 18);
+    }
+
+    #[test]
+    fn watermark_bounds_wal_truncation_to_lagging_quorum() {
+        let (env, ps) = setup();
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 29);
+        let key = ps.cfg().segment_of(page);
+        let replicas = ps.replicas_of(key);
+        ps.ship(&mut ctx, &make_records(page, 100, 2)).unwrap(); // tail 120
+        env.faults.crash(replicas[0].node());
+        ps.ship(&mut ctx, &more_inserts(page, 300, 3, 2)).unwrap(); // tail 320
+        env.faults.restore(replicas[0].node());
+        // Quorum (2 of 3) holds the full tail: nothing bounds truncation.
+        assert_eq!(ps.truncation_watermark(&mut ctx), Lsn::MAX);
+        // Losing one up-to-date replica degrades the quorum watermark to
+        // the straggler's durable point.
+        env.faults.crash(replicas[1].node());
+        assert_eq!(ps.truncation_watermark(&mut ctx), 120);
+        env.faults.restore(replicas[1].node());
+    }
+
+    #[test]
+    fn gossip_installs_checkpoint_beyond_truncation_horizon() {
+        let (env, ps) = setup_with(ApplyConfig {
+            workers: 4,
+            checkpoint_every_records: 4,
+        });
+        let mut ctx = SimCtx::new(1, 7);
+        let page = PageId::new(1, 31);
+        let key = ps.cfg().segment_of(page);
+        let replicas = ps.replicas_of(key);
+
+        ps.ship(&mut ctx, &make_records(page, 100, 4)).unwrap(); // ckpt #1 @140
+        env.faults.crash(replicas[0].node());
+        // Two more checkpoints on the peers truncate every record replica 0
+        // could pull: its hole now predates the truncation horizon.
+        ps.ship(&mut ctx, &more_inserts(page, 300, 5, 4)).unwrap(); // ckpt #2 @340
+        ps.ship(&mut ctx, &more_inserts(page, 500, 5, 9)).unwrap(); // ckpt #3 @540
+        env.faults.restore(replicas[0].node());
+        ps.ship(&mut ctx, &more_inserts(page, 700, 1, 14)).unwrap();
+        assert!(
+            replicas[0].gap_count(key) > 0,
+            "replica 0 must park the gap"
+        );
+
+        let rpc = RpcFabric::new(env.model.clone(), Arc::clone(&env.faults));
+        let peers: Vec<_> = replicas.clone();
+        let recovered = replicas[0].gossip_fill_until(&mut ctx, &rpc, key, &peers, 700);
+        assert!(recovered > 0, "checkpoint install must make progress");
+        assert_eq!(
+            replicas[0].checkpoint_lsn(key),
+            540,
+            "peer snapshot installed wholesale"
+        );
+        replicas[0].apply_pending(&mut ctx, key).unwrap();
+        assert_eq!(replicas[0].applied_lsn(key), 700);
+        let p = replicas[0]
+            .local_page(&mut ctx, ps.cfg(), page, 700)
+            .unwrap();
+        assert_eq!(p.n_slots(), 15);
     }
 
     #[test]

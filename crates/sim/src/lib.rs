@@ -34,6 +34,7 @@ pub mod resource;
 pub mod rng;
 pub mod time;
 pub mod trace;
+pub mod workers;
 
 pub use cluster::{ClusterSpec, SimEnv};
 pub use contention::{HotKeyStat, LockContention, LockProfile, TableLockStat};
@@ -48,3 +49,4 @@ pub use resource::Resource;
 pub use rng::SimRng;
 pub use time::{SimCtx, VTime};
 pub use trace::{SpanGuard, TraceEvent, TraceLog};
+pub use workers::WorkerPool;
